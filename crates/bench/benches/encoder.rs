@@ -1,0 +1,41 @@
+//! Encoder kernel benchmarks: the compute side of the §5.4 application
+//! (DCT + quantize + RLE per frame), and the synthetic source itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use zc_mpeg::{encode_frame, EncoderConfig, FrameSource, VideoFormat};
+
+fn bench_encoder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpeg_encoder");
+    group.sample_size(10);
+    for (name, fmt) in [
+        ("sd-like", VideoFormat::new(320, 192)),
+        ("720p-like", VideoFormat::new(1280, 720 / 16 * 16)),
+    ] {
+        let frame = FrameSource::new(fmt, 1).frame_at(0);
+        group.throughput(Throughput::Bytes(fmt.frame_bytes() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", name), &frame, |b, frame| {
+            b.iter(|| encode_frame(frame, &EncoderConfig::default()).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_source");
+    group.sample_size(10);
+    let fmt = VideoFormat::new(640, 480);
+    group.throughput(Throughput::Bytes(fmt.frame_bytes() as u64));
+    group.bench_function("generate_640x480", |b| {
+        let src = FrameSource::new(fmt, 3);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            src.frame_at(i).data.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoder, bench_source);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench behind Figure 5: raw TCP vs standard CORBA on the
+//! operational (host-measured) stack, per block size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zc_ttcp::{run_measured, TtcpParams, TtcpVersion};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for &block in &[64 << 10, 1 << 20] {
+        let total = block * 8;
+        group.throughput(Throughput::Bytes(total as u64));
+        for version in [TtcpVersion::RawTcp, TtcpVersion::CorbaStd] {
+            group.bench_with_input(
+                BenchmarkId::new(version.label(), block),
+                &block,
+                |b, &block| {
+                    b.iter(|| run_measured(&TtcpParams::new(version, block, total)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

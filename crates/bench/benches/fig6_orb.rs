@@ -1,0 +1,31 @@
+//! Criterion bench behind Figure 6 (right): the four ORB/stack
+//! combinations, host-measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zc_ttcp::{run_measured, TtcpParams, TtcpVersion};
+
+fn bench_fig6_orb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_orb");
+    group.sample_size(10);
+    let block = 1 << 20;
+    let total = 8 << 20;
+    group.throughput(Throughput::Bytes(total as u64));
+    for version in [
+        TtcpVersion::CorbaStd,
+        TtcpVersion::CorbaStdOverZcTcp,
+        TtcpVersion::CorbaZcOverTcp,
+        TtcpVersion::CorbaZc,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(version.label(), block),
+            &block,
+            |b, &block| {
+                b.iter(|| run_measured(&TtcpParams::new(version, block, total)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_orb);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench behind Figure 6 (left): copying vs zero-copy socket
+//! paths, raw data transfer, host-measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zc_ttcp::{run_measured, TtcpParams, TtcpVersion};
+
+fn bench_fig6_sockets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_sockets");
+    group.sample_size(10);
+    for &block in &[4 << 10, 1 << 20] {
+        let total = (block * 16).max(4 << 20);
+        group.throughput(Throughput::Bytes(total as u64));
+        for version in [TtcpVersion::RawTcp, TtcpVersion::ZcTcp] {
+            group.bench_with_input(
+                BenchmarkId::new(version.label(), block),
+                &block,
+                |b, &block| {
+                    b.iter(|| run_measured(&TtcpParams::new(version, block, total)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_sockets);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Marshaling microbenchmarks: the per-byte cost asymmetry at the heart
+//! of the paper — copying `sequence<octet>` marshaling scales with the
+//! payload; zero-copy `sequence<ZC_Octet>` descriptors are O(1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use zc_buffers::PagePool;
+use zc_cdr::{CdrDecoder, CdrEncoder, CdrMarshal, OctetSeq, ZcOctetSeq};
+
+fn bench_marshal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marshal");
+    for &n in &[4 << 10, 256 << 10, 4 << 20] {
+        group.throughput(Throughput::Bytes(n as u64));
+        let std_seq = OctetSeq(vec![7u8; n]);
+        group.bench_with_input(BenchmarkId::new("octet_seq_copying", n), &n, |b, _| {
+            b.iter(|| {
+                let mut enc = CdrEncoder::native();
+                std_seq.marshal(&mut enc).unwrap();
+                enc.finish_stream().len()
+            })
+        });
+        let zc_seq = ZcOctetSeq::with_length(n);
+        group.bench_with_input(BenchmarkId::new("zc_octet_seq_deposit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut enc = CdrEncoder::native().with_zc(true);
+                zc_seq.marshal(&mut enc).unwrap();
+                let (stream, deposits) = enc.finish();
+                (stream.len(), deposits.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_demarshal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demarshal");
+    let n = 1 << 20;
+    group.throughput(Throughput::Bytes(n as u64));
+    let bytes = {
+        let mut enc = CdrEncoder::native();
+        OctetSeq(vec![7u8; n]).marshal(&mut enc).unwrap();
+        enc.finish_stream()
+    };
+    group.bench_function("octet_seq_copying", |b| {
+        b.iter(|| {
+            let mut dec = CdrDecoder::new(&bytes, zc_cdr::ByteOrder::native());
+            OctetSeq::demarshal(&mut dec).unwrap().len()
+        })
+    });
+    let (zc_stream, deposits) = {
+        let mut enc = CdrEncoder::native().with_zc(true);
+        ZcOctetSeq::with_length(n).marshal(&mut enc).unwrap();
+        enc.finish()
+    };
+    group.bench_function("zc_octet_seq_deposit", |b| {
+        b.iter(|| {
+            let mut dec = CdrDecoder::new(&zc_stream, zc_cdr::ByteOrder::native())
+                .with_deposits(deposits.clone());
+            ZcOctetSeq::demarshal(&mut dec).unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_pool");
+    let pool = PagePool::new(64 << 20);
+    group.bench_function("acquire_release_64k", |b| {
+        b.iter(|| {
+            let buf = pool.acquire(64 << 10);
+            buf.capacity()
+        })
+    });
+    group.bench_function("fresh_alloc_64k", |b| {
+        b.iter(|| zc_buffers::AlignedBuf::with_capacity(64 << 10).capacity())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_marshal, bench_demarshal, bench_pool);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Small-request ORB latency (the per-packet side of the story the paper
+//! cites from earlier work [18]): an empty `ping` and a 4 KiB echo across
+//! ORB configurations.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zc_cdr::ZcOctetSeq;
+use zc_orb::{ObjectAdapterExt, Orb, OrbResult, Servant, ServerRequest};
+use zc_transport::{SimConfig, SimNetwork};
+
+struct Ping;
+impl Servant for Ping {
+    fn repo_id(&self) -> &'static str {
+        "IDL:zcorba/Ping:1.0"
+    }
+    fn dispatch(&self, op: &str, req: &mut ServerRequest<'_>) -> OrbResult<()> {
+        match op {
+            "ping" => req.result(&0u32),
+            "echo4k" => {
+                let d: ZcOctetSeq = req.arg()?;
+                req.result(&d)
+            }
+            other => req.bad_operation(other),
+        }
+    }
+}
+
+fn setup(cfg: SimConfig, zc: bool) -> (zc_orb::ObjectRef, zc_orb::ServerHandle, Orb) {
+    let net = SimNetwork::new(cfg);
+    let server_orb = Orb::builder().sim(net.clone()).zc(zc).build();
+    server_orb.adapter().register("ping", Arc::new(Ping));
+    let server = server_orb.serve(0).unwrap();
+    let client = Orb::builder().sim(net).zc(zc).build();
+    let ior = server.ior_for("ping", "IDL:zcorba/Ping:1.0").unwrap();
+    let obj = client.resolve(&ior).unwrap();
+    (obj, server, client)
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orb_latency");
+    for (name, cfg, zc) in [
+        ("std-orb/copy-stack", SimConfig::copying(), false),
+        ("zc-orb/zc-stack", SimConfig::zero_copy(), true),
+    ] {
+        let (obj, _server, _client) = setup(cfg, zc);
+        group.bench_function(BenchmarkId::new("ping", name), |b| {
+            b.iter(|| {
+                let r: u32 = obj.request("ping").invoke().unwrap().result().unwrap();
+                assert_eq!(r, 0);
+            })
+        });
+        let page = ZcOctetSeq::with_length(4096);
+        group.bench_function(BenchmarkId::new("echo4k", name), |b| {
+            b.iter(|| {
+                let back: ZcOctetSeq = obj
+                    .request("echo4k")
+                    .arg(&page)
+                    .unwrap()
+                    .invoke()
+                    .unwrap()
+                    .result()
+                    .unwrap();
+                assert_eq!(back.len(), 4096);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

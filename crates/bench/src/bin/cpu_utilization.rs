@@ -1,0 +1,40 @@
+//! Experiment E6 — the §6 claim: "For newer machines we can achieve the
+//! full communication bandwidth of Gigabit Ethernet with a CPU utilization
+//! of just 30% versus 100% with the original stack."
+
+use zc_simnet::{cpu_utilization, predict, LinkSpec, MachineSpec, OrbMode, Scenario, SocketMode};
+
+fn row(machine: MachineSpec, socket: SocketMode, orb: OrbMode) {
+    let scn = Scenario {
+        machine,
+        link: LinkSpec::gigabit_ethernet(),
+        socket,
+        orb,
+        block_bytes: 16 << 20,
+    };
+    let mbit = predict(&scn);
+    let (s, r) = cpu_utilization(&scn);
+    println!(
+        "  {:<22} {:>8.0} Mbit/s   sender {:>5.1} %   receiver {:>5.1} %",
+        scn.label(),
+        mbit,
+        s * 100.0,
+        r * 100.0
+    );
+}
+
+fn main() {
+    println!("## E6 — CPU utilization at 16 MiB blocks over GbE\n");
+    for machine in [MachineSpec::pentium_ii_400(), MachineSpec::modern_2003()] {
+        println!("{}:", machine.name);
+        row(machine, SocketMode::Copying, OrbMode::None);
+        row(machine, SocketMode::ZeroCopy, OrbMode::None);
+        row(machine, SocketMode::Copying, OrbMode::Standard);
+        row(machine, SocketMode::ZeroCopy, OrbMode::ZeroCopyOrb);
+        println!();
+    }
+    println!(
+        "paper claim: on the newer machine the zero-copy stack reaches full GbE\n\
+         bandwidth at ≈ 30 % CPU; the conventional stack needs ≈ 100 %."
+    );
+}

@@ -1,0 +1,37 @@
+//! Experiment E1 — **Figure 5**: TTCP bandwidths for unoptimized sockets
+//! and unoptimized CORBA, block sizes 4 KiB … 16 MiB.
+//!
+//! Paper anchors: raw TCP saturates ≈ 330 Mbit/s; CORBA saturates
+//! ≈ 50 Mbit/s ("would not even use a Fast Ethernet to its limit").
+
+use zc_bench::{full_flag, measured_block_sizes, measured_series, modeled_series};
+use zc_ttcp::{format_series_table, TtcpVersion};
+
+fn main() {
+    let sizes = zc_simnet::paper_block_sizes();
+    println!(
+        "{}",
+        format_series_table(
+            "Figure 5 — unoptimized sockets vs unoptimized CORBA (modeled, P-II 400 / GbE)",
+            &sizes,
+            &[
+                modeled_series(TtcpVersion::RawTcp, &sizes),
+                modeled_series(TtcpVersion::CorbaStd, &sizes),
+            ],
+        )
+    );
+
+    let msizes = measured_block_sizes(full_flag());
+    println!(
+        "{}",
+        format_series_table(
+            "Figure 5 — same configurations executed on this host (real copies)",
+            &msizes,
+            &[
+                measured_series(TtcpVersion::RawTcp, &msizes),
+                measured_series(TtcpVersion::CorbaStd, &msizes),
+            ],
+        )
+    );
+    println!("paper anchors: raw TCP ≈ 330 Mbit/s, CORBA ≈ 50 Mbit/s at saturation");
+}

@@ -1,0 +1,51 @@
+//! Experiment E3 — **Figure 6 (right)**: the ORB comparison — standard vs
+//! zero-copy MICO over both TCP stacks.
+//!
+//! Paper anchors: "for the zero-copy version of the ORB the large
+//! overheads of CORBA are gone and the performance of the optimized
+//! zero-copy ORB nearly matches the raw TCP-socket version"; the winning
+//! combination (zero-copy ORB over zero-copy TCP) reaches ≈ 550 Mbit/s —
+//! ten times the ≈ 50 Mbit/s of the original ORB over the standard stack.
+
+use zc_bench::{full_flag, measured_block_sizes, measured_series, modeled_series};
+use zc_ttcp::{format_series_table, run_modeled, TtcpVersion};
+
+fn main() {
+    let sizes = zc_simnet::paper_block_sizes();
+    println!(
+        "{}",
+        format_series_table(
+            "Figure 6 (right) — ORB variants over both stacks (modeled, P-II 400 / GbE)",
+            &sizes,
+            &[
+                modeled_series(TtcpVersion::CorbaStd, &sizes),
+                modeled_series(TtcpVersion::CorbaStdOverZcTcp, &sizes),
+                modeled_series(TtcpVersion::CorbaZcOverTcp, &sizes),
+                modeled_series(TtcpVersion::CorbaZc, &sizes),
+            ],
+        )
+    );
+
+    let big = 16 << 20;
+    let slow = run_modeled(TtcpVersion::CorbaStd, big);
+    let fast = run_modeled(TtcpVersion::CorbaZc, big);
+    println!(
+        "modeled improvement at 16M blocks: {slow:.0} → {fast:.0} Mbit/s ({:.1}×; paper: 50 → 550, 10×)\n",
+        fast / slow
+    );
+
+    let msizes = measured_block_sizes(full_flag());
+    println!(
+        "{}",
+        format_series_table(
+            "Figure 6 (right) — same configurations executed on this host",
+            &msizes,
+            &[
+                measured_series(TtcpVersion::CorbaStd, &msizes),
+                measured_series(TtcpVersion::CorbaStdOverZcTcp, &msizes),
+                measured_series(TtcpVersion::CorbaZcOverTcp, &msizes),
+                measured_series(TtcpVersion::CorbaZc, &msizes),
+            ],
+        )
+    );
+}

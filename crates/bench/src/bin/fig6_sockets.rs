@@ -1,0 +1,38 @@
+//! Experiment E2 — **Figure 6 (left)**: raw TCP over the conventional
+//! stack vs the zero-copy socket interface.
+//!
+//! Paper observations: the zero-copy stack wins across the board, with a
+//! large small-message gain from the cheaper read()/write() calls and
+//! "very good throughput figures for transfers as small as a single
+//! memory page".
+
+use zc_bench::{full_flag, measured_block_sizes, measured_series, modeled_series};
+use zc_ttcp::{format_series_table, TtcpVersion};
+
+fn main() {
+    let sizes = zc_simnet::paper_block_sizes();
+    println!(
+        "{}",
+        format_series_table(
+            "Figure 6 (left) — raw TCP: copying vs zero-copy sockets (modeled, P-II 400 / GbE)",
+            &sizes,
+            &[
+                modeled_series(TtcpVersion::RawTcp, &sizes),
+                modeled_series(TtcpVersion::ZcTcp, &sizes),
+            ],
+        )
+    );
+
+    let msizes = measured_block_sizes(full_flag());
+    println!(
+        "{}",
+        format_series_table(
+            "Figure 6 (left) — same configurations executed on this host",
+            &msizes,
+            &[
+                measured_series(TtcpVersion::RawTcp, &msizes),
+                measured_series(TtcpVersion::ZcTcp, &msizes),
+            ],
+        )
+    );
+}

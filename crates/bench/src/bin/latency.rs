@@ -1,0 +1,37 @@
+//! Round-trip latency percentiles per TTCP version — the per-request view
+//! that complements the bandwidth figures (the paper's related work [18]
+//! measured exactly this for contemporary ORBs).
+//!
+//! ```text
+//! cargo run -p zc-bench --bin latency --release [-- --rounds N]
+//! ```
+
+use zc_ttcp::{run_latency, TtcpVersion};
+
+fn main() {
+    let rounds = std::env::args()
+        .skip_while(|a| a != "--rounds")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+
+    println!("## round-trip latency on this host ({rounds} rounds per cell)\n");
+    for &size in &[0usize, 4 << 10, 64 << 10, 1 << 20] {
+        println!("message size {} bytes:", size);
+        for v in [
+            TtcpVersion::RawTcp,
+            TtcpVersion::ZcTcp,
+            TtcpVersion::CorbaStd,
+            TtcpVersion::CorbaZc,
+        ] {
+            let s = run_latency(v, size, rounds, rounds / 10 + 1);
+            println!("  {:<26} {}", v.label(), s);
+        }
+        println!();
+    }
+    println!(
+        "expected shape: zero-copy variants win by a margin that grows with\n\
+         message size (per-byte copies sit on the round-trip critical path);\n\
+         at size 0 the gap reflects per-request costs only."
+    );
+}

@@ -1,0 +1,26 @@
+//! Emit the full modeled figure sweep as CSV (for plotting or regression
+//! tracking): all six configurations of Figures 5/6 across the paper's
+//! block sizes on the calibrated P-II/GbE testbed.
+//!
+//! ```text
+//! cargo run -p zc-bench --bin sweep_csv --release > sweep.csv
+//! cargo run -p zc-bench --bin sweep_csv --release -- --modern   # 2003 desktop
+//! ```
+
+use zc_simnet::{run_sweep, LinkSpec, MachineSpec, FIGURE_CONFIGS};
+
+fn main() {
+    let modern = std::env::args().any(|a| a == "--modern");
+    let machine = if modern {
+        MachineSpec::modern_2003()
+    } else {
+        MachineSpec::pentium_ii_400()
+    };
+    let sweep = run_sweep(
+        machine,
+        LinkSpec::gigabit_ethernet(),
+        &zc_simnet::paper_block_sizes(),
+        &FIGURE_CONFIGS,
+    );
+    print!("{}", sweep.to_csv());
+}

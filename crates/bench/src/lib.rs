@@ -1,0 +1,77 @@
+//! Shared plumbing for the figure/table harness binaries.
+//!
+//! Every binary prints two views of its experiment:
+//!
+//! 1. **modeled** — the calibrated 2003-testbed prediction (`zc-simnet`),
+//!    which is what should be compared against the paper's absolute
+//!    Mbit/s;
+//! 2. **measured** — the same configuration really executed on this host
+//!    through the operational stack (`zc-transport`/`zc-orb`), where the
+//!    copies are real `memcpy`s; absolute numbers reflect *this* machine,
+//!    but the ordering and the copy accounting must tell the same story.
+
+use zc_ttcp::{run_measured, run_modeled, Series, TtcpParams, TtcpVersion};
+
+/// Block sizes for the measured sweep (a subset of the paper's range keeps
+/// harness runtime reasonable; pass `--full` to binaries for all sizes).
+pub fn measured_block_sizes(full: bool) -> Vec<usize> {
+    if full {
+        zc_simnet::paper_block_sizes()
+    } else {
+        vec![4 << 10, 64 << 10, 1 << 20, 4 << 20]
+    }
+}
+
+/// Total bytes to move per measured point (scales a little with block
+/// size so small blocks don't take forever).
+pub fn measured_total(block: usize) -> usize {
+    (block * 16).clamp(8 << 20, 64 << 20)
+}
+
+/// Modeled series over the paper's full size range.
+pub fn modeled_series(version: TtcpVersion, sizes: &[usize]) -> Series {
+    Series::new(
+        format!("{} (model)", version.label()),
+        sizes.iter().map(|&b| run_modeled(version, b)).collect(),
+    )
+}
+
+/// Measured series over the host.
+pub fn measured_series(version: TtcpVersion, sizes: &[usize]) -> Series {
+    Series::new(
+        format!("{} (host)", version.label()),
+        sizes
+            .iter()
+            .map(|&b| {
+                let p = TtcpParams::new(version, b, measured_total(b));
+                run_measured(&p).mbit_s
+            })
+            .collect(),
+    )
+}
+
+/// Parse the common harness flags: `--full` widens the measured sweep.
+pub fn full_flag() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_sizes() {
+        assert_eq!(measured_block_sizes(false).len(), 4);
+        assert_eq!(measured_block_sizes(true).len(), 13);
+        assert!(measured_total(4096) >= 8 << 20);
+        assert!(measured_total(16 << 20) <= 64 << 20);
+    }
+
+    #[test]
+    fn modeled_series_has_all_points() {
+        let sizes = zc_simnet::paper_block_sizes();
+        let s = modeled_series(TtcpVersion::RawTcp, &sizes);
+        assert_eq!(s.values.len(), sizes.len());
+        assert!(s.values.iter().all(|&v| v > 0.0));
+    }
+}

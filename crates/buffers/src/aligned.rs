@@ -1,0 +1,284 @@
+//! Owned page-aligned heap allocations.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::fmt;
+use std::ptr::NonNull;
+
+/// The page size assumed throughout the system.
+///
+/// The paper's zero-copy socket layer provides its optimization "for transfer
+/// sizes starting at 4 KByte pages only"; all deposit buffers are 4 KiB
+/// aligned and sized in 4 KiB increments.
+pub const PAGE_SIZE: usize = 4096;
+
+/// An owned, heap-allocated byte buffer whose start address is page aligned
+/// and whose capacity is a whole number of pages.
+///
+/// `AlignedBuf` is the only place in the workspace that performs raw
+/// allocation; every zero-copy payload ultimately lives in one. The buffer is
+/// allocated zeroed so that freshly acquired deposit targets never leak prior
+/// contents across (simulated) protection domains.
+pub struct AlignedBuf {
+    ptr: NonNull<u8>,
+    /// Capacity in bytes; always a non-zero multiple of [`PAGE_SIZE`].
+    cap: usize,
+    /// Number of initialized/meaningful bytes, `<= cap`.
+    len: usize,
+}
+
+// SAFETY: the buffer uniquely owns its allocation; access is gated through
+// `&self`/`&mut self` like a `Vec<u8>`.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    /// Allocate a zeroed buffer with capacity for at least `min_capacity`
+    /// bytes (rounded up to whole pages). The logical length starts at 0.
+    pub fn with_capacity(min_capacity: usize) -> Self {
+        let cap = crate::round_up_to_page(min_capacity);
+        let layout = Layout::from_size_align(cap, PAGE_SIZE)
+            .expect("page-aligned layout for a page-rounded capacity is always valid");
+        // SAFETY: layout has non-zero size (round_up_to_page(0) == PAGE_SIZE).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let ptr = NonNull::new(raw).unwrap_or_else(|| std::alloc::handle_alloc_error(layout));
+        AlignedBuf { ptr, cap, len: 0 }
+    }
+
+    /// Allocate a buffer of logical length `len`, zero-filled.
+    pub fn zeroed(len: usize) -> Self {
+        let mut b = Self::with_capacity(len);
+        b.len = len;
+        b
+    }
+
+    /// Allocate and fill from `src` (this *is* a copy and the caller is
+    /// expected to meter it; see [`crate::CopyMeter`]).
+    pub fn from_slice(src: &[u8]) -> Self {
+        let mut b = Self::with_capacity(src.len());
+        b.extend_from_slice(src);
+        b
+    }
+
+    /// Capacity in bytes (a multiple of the page size).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Logical length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the logical length is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set the logical length. Bytes up to `capacity()` are always
+    /// initialized (allocation is zeroed and writes only grow `len`), so any
+    /// `new_len <= capacity()` is safe.
+    ///
+    /// # Panics
+    /// If `new_len > capacity()`.
+    #[inline]
+    pub fn set_len(&mut self, new_len: usize) {
+        assert!(
+            new_len <= self.cap,
+            "set_len {} exceeds capacity {}",
+            new_len,
+            self.cap
+        );
+        self.len = new_len;
+    }
+
+    /// The start address of the buffer; guaranteed page aligned.
+    #[inline]
+    pub fn as_ptr(&self) -> *const u8 {
+        self.ptr.as_ptr()
+    }
+
+    /// View the initialized prefix.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `len <= cap`, allocation is zero-initialized.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Mutable view of the initialized prefix.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as above, plus `&mut self` guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Mutable view of the *whole* capacity (zero-initialized tail included).
+    /// Used by receive paths that fill a buffer before setting its length.
+    #[inline]
+    pub fn spare_capacity_mut(&mut self) -> &mut [u8] {
+        // SAFETY: whole capacity is initialized (zeroed at allocation).
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.cap) }
+    }
+
+    /// Append bytes, growing the logical length.
+    ///
+    /// # Panics
+    /// If the result would exceed `capacity()`. Aligned buffers never
+    /// reallocate — that would invalidate deposited page addresses.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        let new_len = self.len + src.len();
+        assert!(
+            new_len <= self.cap,
+            "extend_from_slice overflows capacity ({} + {} > {})",
+            self.len,
+            src.len(),
+            self.cap
+        );
+        // SAFETY: range `[len, new_len)` is within the allocation.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr(),
+                self.ptr.as_ptr().add(self.len),
+                src.len(),
+            );
+        }
+        self.len = new_len;
+    }
+
+    /// Reset logical length to zero (contents retained; a recycled buffer is
+    /// *not* re-zeroed, matching real page-pool behaviour — callers that need
+    /// secrecy must clear explicitly).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// True if the start address is page aligned (always true by
+    /// construction; exposed for assertions and tests).
+    #[inline]
+    pub fn is_page_aligned(&self) -> bool {
+        (self.ptr.as_ptr() as usize).is_multiple_of(PAGE_SIZE)
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.cap, PAGE_SIZE).expect("valid layout");
+        // SAFETY: allocated with the identical layout in `with_capacity`.
+        unsafe { dealloc(self.ptr.as_ptr(), layout) }
+    }
+}
+
+impl fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlignedBuf")
+            .field("ptr", &self.ptr.as_ptr())
+            .field("cap", &self.cap)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl std::ops::Deref for AlignedBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for AlignedBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.as_mut_slice()
+    }
+}
+
+impl Clone for AlignedBuf {
+    /// Deep copy. Deliberately explicit: cloning payload buffers is exactly
+    /// what the zero-copy regime avoids, so hot paths never call this.
+    fn clone(&self) -> Self {
+        let mut b = Self::with_capacity(self.cap);
+        b.extend_from_slice(self.as_slice());
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_rounding() {
+        for req in [0usize, 1, 100, 4096, 4097, 65536] {
+            let b = AlignedBuf::with_capacity(req);
+            assert!(b.is_page_aligned());
+            assert_eq!(b.capacity() % PAGE_SIZE, 0);
+            assert!(b.capacity() >= req.max(1));
+            assert_eq!(b.len(), 0);
+        }
+    }
+
+    #[test]
+    fn zeroed_contents() {
+        let b = AlignedBuf::zeroed(10_000);
+        assert_eq!(b.len(), 10_000);
+        assert!(b.as_slice().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn extend_and_read_back() {
+        let mut b = AlignedBuf::with_capacity(8192);
+        b.extend_from_slice(&[1, 2, 3]);
+        b.extend_from_slice(&[4, 5]);
+        assert_eq!(b.as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows capacity")]
+    fn extend_overflow_panics() {
+        let mut b = AlignedBuf::with_capacity(PAGE_SIZE);
+        b.extend_from_slice(&vec![0u8; PAGE_SIZE + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn set_len_overflow_panics() {
+        let mut b = AlignedBuf::with_capacity(PAGE_SIZE);
+        b.set_len(PAGE_SIZE + 1);
+    }
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        let b = AlignedBuf::from_slice(&data);
+        assert_eq!(b.as_slice(), &data[..]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut b = AlignedBuf::from_slice(&[9; 100]);
+        let cap = b.capacity();
+        b.clear();
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.capacity(), cap);
+    }
+
+    #[test]
+    fn deep_clone_is_independent() {
+        let mut a = AlignedBuf::from_slice(&[1, 2, 3]);
+        let c = a.clone();
+        a.as_mut_slice()[0] = 99;
+        assert_eq!(c.as_slice(), &[1, 2, 3]);
+        assert_ne!(a.as_ptr(), c.as_ptr());
+    }
+
+    #[test]
+    fn spare_capacity_write_then_set_len() {
+        let mut b = AlignedBuf::with_capacity(PAGE_SIZE);
+        b.spare_capacity_mut()[..4].copy_from_slice(&[7, 8, 9, 10]);
+        b.set_len(4);
+        assert_eq!(b.as_slice(), &[7, 8, 9, 10]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Page-aligned buffer management for the zcorba zero-copy data path.
+//!
+//! The paper's central claim is that *per-byte* overheads — memory-to-memory
+//! copies between layers — dominate the cost of bulk transfers through
+//! distributed object middleware. Everything in this crate exists to make
+//! copies either unnecessary or visible:
+//!
+//! * [`AlignedBuf`] — an owned, page-aligned, heap allocation. Page alignment
+//!   is the contract that lets the (simulated) zero-copy network stack deposit
+//!   payload pages directly into their final destination, exactly as the
+//!   speculative-defragmentation driver of the paper requires 4 KiB aligned
+//!   application buffers.
+//! * [`ZcBytes`] — a cheaply-clonable, sliceable, immutable view over an
+//!   `AlignedBuf` (reference counted). This is the representation behind the
+//!   `sequence<ZC_Octet>` CORBA type: ORB layers hand it around *by
+//!   reference*; cloning or slicing never touches payload bytes.
+//! * [`PagePool`] — a recycling pool of aligned buffers, standing in for the
+//!   ORB/application controlled buffer management the paper advocates
+//!   ("put buffers under user control").
+//! * [`CopyMeter`] — the instrument. Every data-path layer that copies bytes
+//!   does it through [`CopyMeter::copy`] (or records it explicitly), so tests
+//!   can *prove* the zero-copy regime: a deposit-path transfer records zero
+//!   payload bytes copied between the application and the wire.
+//!
+//! The crate is intentionally free of any networking or CORBA knowledge; it
+//! is the lowest substrate of the workspace.
+
+pub mod aligned;
+pub mod meter;
+pub mod pool;
+pub mod zbytes;
+
+pub use aligned::{AlignedBuf, PAGE_SIZE};
+pub use meter::{CopyLayer, CopyMeter, CopySnapshot};
+pub use pool::{PagePool, PoolStats, PooledBuf};
+pub use zbytes::ZcBytes;
+
+/// Round `n` up to the next multiple of the page size.
+///
+/// Used everywhere a payload must be given whole pages (deposit buffers,
+/// pool size classes, simulated NIC receive rings).
+#[inline]
+pub const fn round_up_to_page(n: usize) -> usize {
+    let r = n % PAGE_SIZE;
+    if r == 0 {
+        // An empty buffer still occupies one page so that a deposit target
+        // always has a valid aligned address.
+        if n == 0 {
+            PAGE_SIZE
+        } else {
+            n
+        }
+    } else {
+        n + (PAGE_SIZE - r)
+    }
+}
+
+/// Number of MTU-or-page sized chunks needed to carry `n` bytes.
+#[inline]
+pub const fn div_ceil(n: usize, chunk: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        n.div_ceil(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_up_basics() {
+        assert_eq!(round_up_to_page(0), PAGE_SIZE);
+        assert_eq!(round_up_to_page(1), PAGE_SIZE);
+        assert_eq!(round_up_to_page(PAGE_SIZE), PAGE_SIZE);
+        assert_eq!(round_up_to_page(PAGE_SIZE + 1), 2 * PAGE_SIZE);
+        assert_eq!(round_up_to_page(3 * PAGE_SIZE), 3 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn div_ceil_basics() {
+        assert_eq!(div_ceil(0, 1460), 0);
+        assert_eq!(div_ceil(1, 1460), 1);
+        assert_eq!(div_ceil(1460, 1460), 1);
+        assert_eq!(div_ceil(1461, 1460), 2);
+        assert_eq!(div_ceil(4096, 4096), 1);
+    }
+}

@@ -1,0 +1,390 @@
+//! `ZcBytes` — reference-counted, sliceable, immutable views of aligned
+//! payload buffers. The in-memory representation of `sequence<ZC_Octet>`.
+
+use std::fmt;
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+use crate::aligned::{AlignedBuf, PAGE_SIZE};
+use crate::meter::{CopyLayer, CopyMeter};
+use crate::pool::PoolInner;
+
+/// Shared storage behind one or more `ZcBytes` views.
+///
+/// When the storage originated in a [`crate::PagePool`], the final drop
+/// returns the underlying pages to the pool instead of freeing them — the
+/// "buffers under user/ORB control" principle of §3.2.
+pub(crate) struct Storage {
+    pub(crate) buf: Option<AlignedBuf>,
+    pub(crate) pool: Option<Arc<PoolInner>>,
+}
+
+impl Storage {
+    fn buf(&self) -> &AlignedBuf {
+        self.buf.as_ref().expect("storage buffer present until drop")
+    }
+}
+
+impl Drop for Storage {
+    fn drop(&mut self) {
+        if let (Some(pool), Some(buf)) = (self.pool.take(), self.buf.take()) {
+            pool.release(buf);
+        }
+    }
+}
+
+/// An immutable, cheaply clonable view over page-aligned payload bytes.
+///
+/// Cloning and slicing are O(1) and never touch the payload: this is what
+/// the ORB layers pass around instead of copying. Equality compares
+/// *contents* (for tests); use [`ZcBytes::ptr_eq`] to check whether two views
+/// share storage (the zero-copy property itself).
+#[derive(Clone)]
+pub struct ZcBytes {
+    storage: Arc<Storage>,
+    off: usize,
+    len: usize,
+}
+
+impl ZcBytes {
+    /// Wrap an owned aligned buffer (no copy).
+    pub fn from_aligned(buf: AlignedBuf) -> ZcBytes {
+        let len = buf.len();
+        ZcBytes {
+            storage: Arc::new(Storage {
+                buf: Some(buf),
+                pool: None,
+            }),
+            off: 0,
+            len,
+        }
+    }
+
+    pub(crate) fn from_storage(storage: Storage, len: usize) -> ZcBytes {
+        ZcBytes {
+            storage: Arc::new(storage),
+            off: 0,
+            len,
+        }
+    }
+
+    /// A zero-length view (still backed by one page so the address is valid).
+    pub fn empty() -> ZcBytes {
+        ZcBytes::from_aligned(AlignedBuf::with_capacity(0))
+    }
+
+    /// Zero-filled payload of `len` bytes.
+    pub fn zeroed(len: usize) -> ZcBytes {
+        ZcBytes::from_aligned(AlignedBuf::zeroed(len))
+    }
+
+    /// Build by copying `src` into a fresh aligned buffer, metering the copy
+    /// at `layer`. This is the *entry point* of payload into the zero-copy
+    /// world — after this single touch the bytes are never copied again on a
+    /// deposit path.
+    pub fn copy_from_slice(src: &[u8], meter: &CopyMeter, layer: CopyLayer) -> ZcBytes {
+        let mut buf = AlignedBuf::with_capacity(src.len());
+        buf.set_len(src.len());
+        meter.copy(layer, buf.as_mut_slice(), src);
+        ZcBytes::from_aligned(buf)
+    }
+
+    /// Length of the view in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bytes of this view.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        let buf = self.storage.buf();
+        // `off + len` was validated at construction against the then-current
+        // buffer length, and storage is immutable afterwards.
+        &buf.as_slice()[self.off..self.off + self.len]
+    }
+
+    /// O(1) sub-view. Accepts any range form (`a..b`, `..b`, `a..`, `..`).
+    ///
+    /// # Panics
+    /// If the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> ZcBytes {
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {}..{} out of bounds for ZcBytes of length {}",
+            start,
+            end,
+            self.len
+        );
+        ZcBytes {
+            storage: Arc::clone(&self.storage),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// O(1) split into `[0, mid)` and `[mid, len)`.
+    pub fn split_at(&self, mid: usize) -> (ZcBytes, ZcBytes) {
+        (self.slice(..mid), self.slice(mid..))
+    }
+
+    /// Iterate over consecutive sub-views of at most `chunk` bytes each,
+    /// without copying. This is how the simulated NIC fragments a payload
+    /// into MTU-sized frames on the zero-copy path.
+    pub fn chunks(&self, chunk: usize) -> impl Iterator<Item = ZcBytes> + '_ {
+        assert!(chunk > 0, "chunk size must be positive");
+        (0..self.len)
+            .step_by(chunk)
+            .map(move |start| self.slice(start..(start + chunk).min(self.len)))
+    }
+
+    /// Whether the view *starts* on a page boundary. Deposit receivers
+    /// require this; the ablation A2 deliberately violates it.
+    pub fn is_page_aligned(&self) -> bool {
+        (self.storage.buf().as_ptr() as usize + self.off).is_multiple_of(PAGE_SIZE)
+    }
+
+    /// Whether two views share the same underlying storage — i.e. whether a
+    /// transfer really was zero-copy.
+    pub fn ptr_eq(&self, other: &ZcBytes) -> bool {
+        Arc::ptr_eq(&self.storage, &other.storage)
+    }
+
+    /// Address of the first byte (for diagnostics / alignment assertions).
+    pub fn start_addr(&self) -> usize {
+        self.storage.buf().as_ptr() as usize + self.off
+    }
+
+    /// Number of outstanding views sharing this storage.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.storage)
+    }
+
+    /// Rejoin consecutive sub-views into one spanning view **without
+    /// copying**, if and only if they share one storage and are exactly
+    /// adjacent in order. Returns `None` otherwise.
+    ///
+    /// This is the receive-side primitive behind speculative
+    /// defragmentation: when every fragment of a block landed in place
+    /// (same pages, right offsets), the reassembled block *is* the original
+    /// memory and no byte needs to move.
+    pub fn join_contiguous(parts: &[ZcBytes]) -> Option<ZcBytes> {
+        let first = parts.first()?;
+        let mut expected_off = first.off;
+        let mut total = 0usize;
+        for p in parts {
+            if !Arc::ptr_eq(&p.storage, &first.storage) || p.off != expected_off {
+                return None;
+            }
+            expected_off += p.len;
+            total += p.len;
+        }
+        Some(ZcBytes {
+            storage: Arc::clone(&first.storage),
+            off: first.off,
+            len: total,
+        })
+    }
+}
+
+impl Deref for ZcBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for ZcBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for ZcBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for ZcBytes {}
+
+impl PartialEq<[u8]> for ZcBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for ZcBytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl fmt::Debug for ZcBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ZcBytes{{len: {}, off: {}, aligned: {}, refs: {}}}",
+            self.len,
+            self.off,
+            self.is_page_aligned(),
+            self.ref_count()
+        )
+    }
+}
+
+impl From<AlignedBuf> for ZcBytes {
+    fn from(buf: AlignedBuf) -> Self {
+        ZcBytes::from_aligned(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> ZcBytes {
+        let mut b = AlignedBuf::with_capacity(n);
+        let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        b.extend_from_slice(&data);
+        ZcBytes::from_aligned(b)
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let z = sample(1000);
+        let c = z.clone();
+        assert!(z.ptr_eq(&c));
+        assert_eq!(z, c);
+        assert_eq!(z.ref_count(), 2);
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_correct() {
+        let z = sample(10_000);
+        let s = z.slice(100..200);
+        assert!(s.ptr_eq(&z));
+        assert_eq!(s.as_slice(), &z.as_slice()[100..200]);
+        let s2 = s.slice(..10);
+        assert_eq!(s2.as_slice(), &z.as_slice()[100..110]);
+    }
+
+    #[test]
+    fn slice_forms() {
+        let z = sample(100);
+        assert_eq!(z.slice(..).len(), 100);
+        assert_eq!(z.slice(10..).len(), 90);
+        assert_eq!(z.slice(..10).len(), 10);
+        assert_eq!(z.slice(10..=19).len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_oob_panics() {
+        sample(10).slice(5..20);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let z = sample(4096 * 2 + 7);
+        let (a, b) = z.split_at(4096);
+        assert_eq!(a.len(), 4096);
+        assert_eq!(b.len(), 4096 + 7);
+        let mut joined = a.as_slice().to_vec();
+        joined.extend_from_slice(b.as_slice());
+        assert_eq!(&joined[..], z.as_slice());
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        let z = sample(4096 * 3 + 100);
+        let chunks: Vec<ZcBytes> = z.chunks(1460).collect();
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, z.len());
+        assert!(chunks.iter().all(|c| c.len() <= 1460));
+        assert!(chunks.iter().all(|c| c.ptr_eq(&z)));
+        let mut joined = Vec::new();
+        for c in &chunks {
+            joined.extend_from_slice(c);
+        }
+        assert_eq!(&joined[..], z.as_slice());
+    }
+
+    #[test]
+    fn chunks_of_empty_is_empty() {
+        let z = ZcBytes::empty();
+        assert_eq!(z.chunks(100).count(), 0);
+    }
+
+    #[test]
+    fn alignment_of_page_slices() {
+        let z = sample(PAGE_SIZE * 4);
+        assert!(z.is_page_aligned());
+        assert!(z.slice(PAGE_SIZE..).is_page_aligned());
+        assert!(!z.slice(1..).is_page_aligned());
+    }
+
+    #[test]
+    fn copy_from_slice_meters() {
+        let m = CopyMeter::default();
+        let data = vec![42u8; 5000];
+        let z = ZcBytes::copy_from_slice(&data, &m, CopyLayer::AppFill);
+        assert_eq!(z.as_slice(), &data[..]);
+        assert_eq!(m.bytes(CopyLayer::AppFill), 5000);
+        assert!(z.is_page_aligned());
+    }
+
+    #[test]
+    fn zeroed_and_empty() {
+        let z = ZcBytes::zeroed(1234);
+        assert_eq!(z.len(), 1234);
+        assert!(z.iter().all(|&b| b == 0));
+        assert!(ZcBytes::empty().is_empty());
+    }
+
+    #[test]
+    fn join_contiguous_recovers_whole() {
+        let z = sample(PAGE_SIZE * 3 + 17);
+        let parts: Vec<ZcBytes> = z.chunks(PAGE_SIZE).collect();
+        let joined = ZcBytes::join_contiguous(&parts).expect("contiguous");
+        assert!(joined.ptr_eq(&z));
+        assert_eq!(joined, z);
+    }
+
+    #[test]
+    fn join_rejects_gap_and_reorder_and_foreign() {
+        let z = sample(PAGE_SIZE * 2);
+        let a = z.slice(..100);
+        let b = z.slice(100..200);
+        let c = z.slice(300..400); // gap
+        assert!(ZcBytes::join_contiguous(&[a.clone(), b.clone()]).is_some());
+        assert!(ZcBytes::join_contiguous(&[a.clone(), c]).is_none());
+        assert!(ZcBytes::join_contiguous(&[b.clone(), a.clone()]).is_none());
+        let other = sample(PAGE_SIZE);
+        assert!(ZcBytes::join_contiguous(&[a, other.slice(100..200)]).is_none());
+        assert!(ZcBytes::join_contiguous(&[]).is_none());
+    }
+
+    #[test]
+    fn content_equality_across_storages() {
+        let a = sample(64);
+        let b = sample(64);
+        assert_eq!(a, b);
+        assert!(!a.ptr_eq(&b));
+    }
+}

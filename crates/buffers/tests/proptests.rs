@@ -1,0 +1,103 @@
+//! Property tests for the buffer substrate: slicing laws, pool soundness,
+//! meter arithmetic.
+
+use proptest::prelude::*;
+
+use zc_buffers::{AlignedBuf, CopyLayer, CopyMeter, PagePool, ZcBytes, PAGE_SIZE};
+
+proptest! {
+    /// Slicing commutes with slice-of-slice composition.
+    #[test]
+    fn prop_slice_composition(
+        len in 1usize..50_000,
+        a in 0usize..50_000,
+        b in 0usize..50_000,
+        c in 0usize..50_000,
+        d in 0usize..50_000,
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let mut buf = AlignedBuf::with_capacity(len);
+        buf.extend_from_slice(&data);
+        let z = ZcBytes::from_aligned(buf);
+
+        let (a, b) = (a % (len + 1), b % (len + 1));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let s1 = z.slice(lo..hi);
+        prop_assert_eq!(s1.as_slice(), &data[lo..hi]);
+
+        let inner_len = hi - lo;
+        let (c, d) = (c % (inner_len + 1), d % (inner_len + 1));
+        let (lo2, hi2) = (c.min(d), c.max(d));
+        let s2 = s1.slice(lo2..hi2);
+        prop_assert_eq!(s2.as_slice(), &data[lo + lo2..lo + hi2]);
+        if !s2.is_empty() {
+            prop_assert!(s2.ptr_eq(&z));
+        }
+    }
+
+    /// chunks() of any size covers the view exactly, in order.
+    #[test]
+    fn prop_chunks_cover(len in 0usize..100_000, chunk in 1usize..10_000) {
+        let z = ZcBytes::zeroed(len);
+        let parts: Vec<ZcBytes> = z.chunks(chunk).collect();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, len);
+        prop_assert!(parts.iter().all(|p| p.len() <= chunk));
+        // join recovers the original exactly when non-empty
+        if !parts.is_empty() {
+            let joined = ZcBytes::join_contiguous(&parts).expect("chunks are contiguous");
+            prop_assert!(joined.ptr_eq(&z));
+            prop_assert_eq!(joined.len(), len);
+        }
+    }
+
+    /// Pool leases never alias while outstanding, whatever the size mix.
+    #[test]
+    fn prop_pool_never_aliases(sizes in proptest::collection::vec(1usize..256 * 1024, 1..20)) {
+        let pool = PagePool::new(16 << 20);
+        let leases: Vec<_> = sizes.iter().map(|&s| pool.acquire(s)).collect();
+        let mut addrs: Vec<usize> = leases.iter().map(|l| l.as_ptr() as usize).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        prop_assert_eq!(addrs.len(), leases.len(), "no two live leases share pages");
+        for (lease, &want) in leases.iter().zip(&sizes) {
+            prop_assert!(lease.capacity() >= want);
+            prop_assert!(lease.is_page_aligned());
+            prop_assert_eq!(lease.capacity() % PAGE_SIZE, 0);
+        }
+    }
+
+    /// Pool accounting balances: every acquisition is fresh or reused, and
+    /// after dropping everything, returns + discards equal acquisitions.
+    #[test]
+    fn prop_pool_accounting(rounds in proptest::collection::vec(1usize..64 * 1024, 1..40)) {
+        let pool = PagePool::new(4 << 20);
+        for &s in &rounds {
+            let mut lease = pool.acquire(s);
+            let n = s.min(lease.capacity());
+            lease.set_len(n);
+            drop(lease);
+        }
+        let st = pool.stats();
+        prop_assert_eq!(st.fresh_allocations + st.reuses, rounds.len() as u64);
+        prop_assert_eq!(st.returns + st.discards, rounds.len() as u64);
+        prop_assert!(st.retained_bytes <= 4 << 20);
+    }
+
+    /// Metered copies account exactly the bytes moved.
+    #[test]
+    fn prop_meter_exact(sizes in proptest::collection::vec(0usize..10_000, 0..20)) {
+        let m = CopyMeter::default();
+        let mut total = 0u64;
+        for &s in &sizes {
+            let src = vec![3u8; s];
+            let mut dst = vec![0u8; s];
+            m.copy(CopyLayer::KernelFrag, &mut dst, &src);
+            total += s as u64;
+            prop_assert_eq!(dst, src);
+        }
+        prop_assert_eq!(m.bytes(CopyLayer::KernelFrag), total);
+        prop_assert_eq!(m.events(CopyLayer::KernelFrag), sizes.len() as u64);
+        prop_assert_eq!(m.snapshot().overhead_bytes(), total);
+    }
+}

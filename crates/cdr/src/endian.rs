@@ -1,0 +1,162 @@
+//! Byte order handling for CDR streams.
+
+/// Byte order of a CDR stream, announced in the GIOP flags octet.
+///
+/// CDR uses "receiver makes it right": the sender writes in its native
+/// order and flags it; the receiver byte-swaps only when orders differ.
+/// On a homogeneous subcluster (the paper's prerequisite for the best
+/// zero-copy operation) no swapping ever happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ByteOrder {
+    /// Most significant byte first ("network order" in IP parlance).
+    Big,
+    /// Least significant byte first (x86 native).
+    Little,
+}
+
+impl ByteOrder {
+    /// The byte order of the machine we are running on.
+    pub const fn native() -> ByteOrder {
+        if cfg!(target_endian = "big") {
+            ByteOrder::Big
+        } else {
+            ByteOrder::Little
+        }
+    }
+
+    /// Decode from the GIOP flags bit (bit 0: 1 = little-endian).
+    pub fn from_flag(little: bool) -> ByteOrder {
+        if little {
+            ByteOrder::Little
+        } else {
+            ByteOrder::Big
+        }
+    }
+
+    /// Encode as the GIOP flags bit.
+    pub fn flag(self) -> bool {
+        matches!(self, ByteOrder::Little)
+    }
+
+    /// The opposite order (used by interop tests to emulate a foreign host).
+    pub fn swapped(self) -> ByteOrder {
+        match self {
+            ByteOrder::Big => ByteOrder::Little,
+            ByteOrder::Little => ByteOrder::Big,
+        }
+    }
+}
+
+macro_rules! rw_impl {
+    ($t:ty, $read:ident, $write:ident) => {
+        /// Read a value of this width in the given order.
+        #[inline]
+        pub fn $read(order: ByteOrder, bytes: &[u8]) -> $t {
+            let arr: [u8; std::mem::size_of::<$t>()] =
+                bytes[..std::mem::size_of::<$t>()].try_into().expect("width checked");
+            match order {
+                ByteOrder::Big => <$t>::from_be_bytes(arr),
+                ByteOrder::Little => <$t>::from_le_bytes(arr),
+            }
+        }
+
+        /// Serialize a value of this width in the given order.
+        #[inline]
+        pub fn $write(order: ByteOrder, v: $t) -> [u8; std::mem::size_of::<$t>()] {
+            match order {
+                ByteOrder::Big => v.to_be_bytes(),
+                ByteOrder::Little => v.to_le_bytes(),
+            }
+        }
+    };
+}
+
+rw_impl!(u16, read_u16, write_u16);
+rw_impl!(u32, read_u32, write_u32);
+rw_impl!(u64, read_u64, write_u64);
+rw_impl!(i16, read_i16, write_i16);
+rw_impl!(i32, read_i32, write_i32);
+rw_impl!(i64, read_i64, write_i64);
+
+/// Read an IEEE-754 single in the given order.
+#[inline]
+pub fn read_f32(order: ByteOrder, bytes: &[u8]) -> f32 {
+    f32::from_bits(read_u32(order, bytes))
+}
+
+/// Serialize an IEEE-754 single in the given order.
+#[inline]
+pub fn write_f32(order: ByteOrder, v: f32) -> [u8; 4] {
+    write_u32(order, v.to_bits())
+}
+
+/// Read an IEEE-754 double in the given order.
+#[inline]
+pub fn read_f64(order: ByteOrder, bytes: &[u8]) -> f64 {
+    f64::from_bits(read_u64(order, bytes))
+}
+
+/// Serialize an IEEE-754 double in the given order.
+#[inline]
+pub fn write_f64(order: ByteOrder, v: f64) -> [u8; 8] {
+    write_u64(order, v.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_roundtrip() {
+        assert_eq!(ByteOrder::from_flag(true), ByteOrder::Little);
+        assert_eq!(ByteOrder::from_flag(false), ByteOrder::Big);
+        assert!(ByteOrder::Little.flag());
+        assert!(!ByteOrder::Big.flag());
+        assert_eq!(ByteOrder::Big.swapped(), ByteOrder::Little);
+    }
+
+    #[test]
+    fn u32_orders() {
+        assert_eq!(write_u32(ByteOrder::Big, 0x0102_0304), [1, 2, 3, 4]);
+        assert_eq!(write_u32(ByteOrder::Little, 0x0102_0304), [4, 3, 2, 1]);
+        assert_eq!(read_u32(ByteOrder::Big, &[1, 2, 3, 4]), 0x0102_0304);
+        assert_eq!(read_u32(ByteOrder::Little, &[4, 3, 2, 1]), 0x0102_0304);
+    }
+
+    #[test]
+    fn f64_roundtrip_both_orders() {
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            for v in [0.0f64, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE] {
+                assert_eq!(read_f64(order, &write_f64(order, v)), v);
+            }
+            // NaN payload preserved bit-exactly
+            let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+            assert_eq!(read_f64(order, &write_f64(order, nan)).to_bits(), nan.to_bits());
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            for v in [i32::MIN, -1, 0, 1, i32::MAX] {
+                assert_eq!(read_i32(order, &write_i32(order, v)), v);
+            }
+            for v in [i64::MIN, -42, 0, i64::MAX] {
+                assert_eq!(read_i64(order, &write_i64(order, v)), v);
+            }
+            for v in [i16::MIN, -7, 0, i16::MAX] {
+                assert_eq!(read_i16(order, &write_i16(order, v)), v);
+            }
+        }
+    }
+
+    #[test]
+    fn native_matches_cfg() {
+        let v = 1u32;
+        let first = v.to_ne_bytes()[0];
+        match ByteOrder::native() {
+            ByteOrder::Little => assert_eq!(first, 1),
+            ByteOrder::Big => assert_eq!(first, 0),
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Type identifiers (MICO's "TID") for the CORBA types zcorba handles.
+//!
+//! MICO "allocates a unique key to each of them. This key is represented as
+//! an integer value called Type Identifier (TID)" (§4.1). The zero-copy
+//! extension adds `MICO_TID_ZC_OCTET`; we mirror that with
+//! [`TypeId::ZcOctetSeq`]. The marshaling machinery is statically dispatched
+//! per TID (as in MICO, where concrete `TCSeqOctet`/`TCSeqZCOctet` classes
+//! are instantiated per type), so the TID also appears on the wire in
+//! self-describing encodings such as `Any`-lite used by the dynamic request
+//! path and in deposit descriptors.
+
+use crate::CdrError;
+
+/// Integer type identifiers. Values below 0x100 follow the ordering of the
+/// CORBA `TCKind` enumeration; the zero-copy octet sequence uses the
+/// distinctive value `0x5A43` (ASCII "ZC"), well clear of standard kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum TypeId {
+    /// Absence of a value.
+    Null = 0,
+    /// `void` (operation with no result).
+    Void = 1,
+    /// `short` — 16-bit signed.
+    Short = 2,
+    /// `long` — 32-bit signed.
+    Long = 3,
+    /// `unsigned short`.
+    UShort = 4,
+    /// `unsigned long`.
+    ULong = 5,
+    /// `float` — IEEE single.
+    Float = 6,
+    /// `double` — IEEE double.
+    Double = 7,
+    /// `boolean`.
+    Boolean = 8,
+    /// `char` (we restrict to ISO-8859-1 code points on the wire).
+    Char = 9,
+    /// `octet` — the uninterpreted 8-bit byte that "undergoes no marshaling".
+    Octet = 10,
+    /// `struct`.
+    Struct = 11,
+    /// `enum`.
+    Enum = 17,
+    /// `string`.
+    String = 18,
+    /// generic `sequence<T>`.
+    Sequence = 19,
+    /// `long long` — 64-bit signed.
+    LongLong = 23,
+    /// `unsigned long long`.
+    ULongLong = 24,
+    /// The standard `sequence<octet>` fast-path TID.
+    OctetSeq = 0x100,
+    /// The zero-copy octet stream: `sequence<ZC_Octet>` (MICO_TID_ZC_OCTET).
+    ZcOctetSeq = 0x5A43,
+}
+
+impl TypeId {
+    /// Decode a wire value.
+    pub fn from_u32(v: u32) -> Result<TypeId, CdrError> {
+        Ok(match v {
+            0 => TypeId::Null,
+            1 => TypeId::Void,
+            2 => TypeId::Short,
+            3 => TypeId::Long,
+            4 => TypeId::UShort,
+            5 => TypeId::ULong,
+            6 => TypeId::Float,
+            7 => TypeId::Double,
+            8 => TypeId::Boolean,
+            9 => TypeId::Char,
+            10 => TypeId::Octet,
+            11 => TypeId::Struct,
+            17 => TypeId::Enum,
+            18 => TypeId::String,
+            19 => TypeId::Sequence,
+            23 => TypeId::LongLong,
+            24 => TypeId::ULongLong,
+            0x100 => TypeId::OctetSeq,
+            0x5A43 => TypeId::ZcOctetSeq,
+            other => return Err(CdrError::BadTypeId(other)),
+        })
+    }
+
+    /// The wire value.
+    pub fn as_u32(self) -> u32 {
+        self as u32
+    }
+
+    /// CDR alignment requirement of the *first primitive* of this type.
+    pub fn alignment(self) -> usize {
+        match self {
+            TypeId::Null | TypeId::Void => 1,
+            TypeId::Boolean | TypeId::Char | TypeId::Octet => 1,
+            TypeId::Short | TypeId::UShort => 2,
+            TypeId::Long
+            | TypeId::ULong
+            | TypeId::Float
+            | TypeId::Enum
+            | TypeId::String
+            | TypeId::Sequence
+            | TypeId::OctetSeq
+            | TypeId::ZcOctetSeq
+            | TypeId::Struct => 4,
+            TypeId::Double | TypeId::LongLong | TypeId::ULongLong => 8,
+        }
+    }
+
+    /// Whether values of this type are identical on every architecture we
+    /// support — the precondition for skipping marshaling entirely (§2.1
+    /// "certain types, especially octets ... do not have to be marshaled").
+    pub fn marshal_free(self) -> bool {
+        matches!(
+            self,
+            TypeId::Octet | TypeId::OctetSeq | TypeId::ZcOctetSeq | TypeId::Boolean | TypeId::Char
+        )
+    }
+
+    /// Human-readable IDL-ish name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TypeId::Null => "null",
+            TypeId::Void => "void",
+            TypeId::Short => "short",
+            TypeId::Long => "long",
+            TypeId::UShort => "unsigned short",
+            TypeId::ULong => "unsigned long",
+            TypeId::Float => "float",
+            TypeId::Double => "double",
+            TypeId::Boolean => "boolean",
+            TypeId::Char => "char",
+            TypeId::Octet => "octet",
+            TypeId::Struct => "struct",
+            TypeId::Enum => "enum",
+            TypeId::String => "string",
+            TypeId::Sequence => "sequence",
+            TypeId::LongLong => "long long",
+            TypeId::ULongLong => "unsigned long long",
+            TypeId::OctetSeq => "sequence<octet>",
+            TypeId::ZcOctetSeq => "sequence<ZC_Octet>",
+        }
+    }
+}
+
+impl std::fmt::Display for TypeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [TypeId; 19] = [
+        TypeId::Null,
+        TypeId::Void,
+        TypeId::Short,
+        TypeId::Long,
+        TypeId::UShort,
+        TypeId::ULong,
+        TypeId::Float,
+        TypeId::Double,
+        TypeId::Boolean,
+        TypeId::Char,
+        TypeId::Octet,
+        TypeId::Struct,
+        TypeId::Enum,
+        TypeId::String,
+        TypeId::Sequence,
+        TypeId::LongLong,
+        TypeId::ULongLong,
+        TypeId::OctetSeq,
+        TypeId::ZcOctetSeq,
+    ];
+
+    #[test]
+    fn wire_roundtrip_all() {
+        for t in ALL {
+            assert_eq!(TypeId::from_u32(t.as_u32()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn unknown_tid_rejected() {
+        assert_eq!(TypeId::from_u32(9999), Err(CdrError::BadTypeId(9999)));
+    }
+
+    #[test]
+    fn zc_tid_is_ascii_zc() {
+        assert_eq!(TypeId::ZcOctetSeq.as_u32(), 0x5A43);
+        assert_eq!(&0x5A43u16.to_be_bytes(), b"ZC");
+    }
+
+    #[test]
+    fn alignments_match_cdr_rules() {
+        assert_eq!(TypeId::Octet.alignment(), 1);
+        assert_eq!(TypeId::Short.alignment(), 2);
+        assert_eq!(TypeId::ULong.alignment(), 4);
+        assert_eq!(TypeId::Double.alignment(), 8);
+        assert_eq!(TypeId::LongLong.alignment(), 8);
+        assert_eq!(TypeId::String.alignment(), 4, "string starts with its ulong length");
+    }
+
+    #[test]
+    fn octet_types_are_marshal_free() {
+        assert!(TypeId::Octet.marshal_free());
+        assert!(TypeId::OctetSeq.marshal_free());
+        assert!(TypeId::ZcOctetSeq.marshal_free());
+        assert!(!TypeId::Long.marshal_free());
+        assert!(!TypeId::Double.marshal_free());
+        assert!(!TypeId::String.marshal_free());
+    }
+}

@@ -1,0 +1,299 @@
+//! The object adapter: servant registry, dispatch, and the server-side
+//! request view.
+//!
+//! Plays the role of MICO's method dispatcher plus a minimal POA: object
+//! keys map to servants; an incoming GIOP Request is demarshaled lazily by
+//! the servant's skeleton code through [`ServerRequest`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use zc_cdr::{CdrDecoder, CdrEncoder, CdrMarshal};
+use zc_giop::{SystemException, SystemExceptionKind};
+
+use crate::{OrbError, OrbResult};
+
+/// A server-side object implementation.
+///
+/// `dispatch` is the skeleton entry point: it reads `in` parameters with
+/// [`ServerRequest::arg`], performs the operation, and writes the result
+/// with [`ServerRequest::result`] (or raises). Generated skeletons (zc-idlc)
+/// produce exactly this shape; hand-written servants implement it directly.
+pub trait Servant: Send + Sync {
+    /// CORBA repository id of the most derived interface.
+    fn repo_id(&self) -> &'static str;
+
+    /// Handle one operation.
+    fn dispatch(&self, op: &str, req: &mut ServerRequest<'_>) -> OrbResult<()>;
+}
+
+/// The server-side view of one in-flight request: demarshal arguments,
+/// marshal the result (possibly with reply deposits), or raise an
+/// exception.
+pub struct ServerRequest<'a> {
+    dec: CdrDecoder<'a>,
+    enc: CdrEncoder,
+    exception: Option<SystemException>,
+    result_written: bool,
+}
+
+impl<'a> ServerRequest<'a> {
+    /// Construct around a positioned argument decoder and a reply encoder.
+    /// Used by the connection layer; servants never build one.
+    pub(crate) fn new(dec: CdrDecoder<'a>, enc: CdrEncoder) -> ServerRequest<'a> {
+        ServerRequest {
+            dec,
+            enc,
+            exception: None,
+            result_written: false,
+        }
+    }
+
+    /// Demarshal the next `in` parameter.
+    pub fn arg<T: CdrMarshal>(&mut self) -> OrbResult<T> {
+        Ok(T::demarshal(&mut self.dec)?)
+    }
+
+    /// Marshal the operation result (call once; for multiple out-values use
+    /// a struct or call [`ServerRequest::out`] repeatedly instead).
+    pub fn result<T: CdrMarshal>(&mut self, v: &T) -> OrbResult<()> {
+        self.result_written = true;
+        v.marshal(&mut self.enc)?;
+        Ok(())
+    }
+
+    /// Marshal an additional out-value after the result.
+    pub fn out<T: CdrMarshal>(&mut self, v: &T) -> OrbResult<()> {
+        self.result_written = true;
+        v.marshal(&mut self.enc)?;
+        Ok(())
+    }
+
+    /// Raise a system exception; any partial result is discarded by the
+    /// connection layer.
+    pub fn raise(&mut self, ex: SystemException) -> OrbResult<()> {
+        self.exception = Some(ex);
+        Ok(())
+    }
+
+    /// Convenience: raise `BAD_OPERATION` for an unknown operation name.
+    pub fn bad_operation(&mut self, _op: &str) -> OrbResult<()> {
+        self.raise(SystemException::new(SystemExceptionKind::BadOperation, 0))
+    }
+
+    /// Whether the reply deposit path is active (the servant may use it to
+    /// decide between ZC and plain result types; usually it needn't care).
+    pub fn zc_enabled(&self) -> bool {
+        self.enc.zc_enabled()
+    }
+
+    pub(crate) fn finish(self) -> (CdrEncoder, Option<SystemException>, bool) {
+        (self.enc, self.exception, self.result_written)
+    }
+}
+
+/// Thread-safe registry of object keys → servants.
+#[derive(Default)]
+pub struct ObjectAdapter {
+    servants: RwLock<HashMap<Vec<u8>, Arc<dyn Servant>>>,
+}
+
+impl ObjectAdapter {
+    /// Fresh, empty adapter.
+    pub fn new() -> ObjectAdapter {
+        ObjectAdapter::default()
+    }
+
+    /// Register a servant under a key. Replaces any previous registration
+    /// (CORBA's POA would call this activation).
+    pub fn register_key(&self, key: &[u8], servant: Arc<dyn Servant>) {
+        self.servants.write().insert(key.to_vec(), servant);
+    }
+
+    /// Remove a registration; returns whether something was removed.
+    pub fn deactivate(&self, key: &[u8]) -> bool {
+        self.servants.write().remove(key).is_some()
+    }
+
+    /// Look up a servant.
+    pub fn find(&self, key: &[u8]) -> Option<Arc<dyn Servant>> {
+        self.servants.read().get(key).cloned()
+    }
+
+    /// Number of active servants.
+    pub fn len(&self) -> usize {
+        self.servants.read().len()
+    }
+
+    /// Whether no servants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.servants.read().is_empty()
+    }
+
+    /// Dispatch one request to the servant owning `key`.
+    pub fn dispatch(
+        &self,
+        key: &[u8],
+        op: &str,
+        req: &mut ServerRequest<'_>,
+    ) -> OrbResult<()> {
+        match self.find(key) {
+            Some(servant) => servant.dispatch(op, req),
+            None => {
+                req.raise(SystemException::new(
+                    SystemExceptionKind::ObjectNotExist,
+                    0,
+                ))?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// String-key conveniences (object keys are arbitrary octets in CORBA, but
+/// human-readable names make examples and tests pleasant).
+pub trait ObjectAdapterExt {
+    /// Register under a UTF-8 name.
+    fn register(&self, name: &str, servant: Arc<dyn Servant>);
+}
+
+impl ObjectAdapterExt for ObjectAdapter {
+    fn register(&self, name: &str, servant: Arc<dyn Servant>) {
+        self.register_key(name.as_bytes(), servant);
+    }
+}
+
+impl std::fmt::Debug for ObjectAdapter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObjectAdapter({} servants)", self.len())
+    }
+}
+
+/// Helper used by the connection layer and tests to run a dispatch against
+/// raw body bytes without a live connection.
+pub fn dispatch_local(
+    adapter: &ObjectAdapter,
+    key: &[u8],
+    op: &str,
+    args: &[u8],
+    order: zc_cdr::ByteOrder,
+) -> OrbResult<Vec<u8>> {
+    let dec = CdrDecoder::new(args, order);
+    let enc = CdrEncoder::new(order);
+    let mut req = ServerRequest::new(dec, enc);
+    adapter.dispatch(key, op, &mut req)?;
+    let (enc, ex, _) = req.finish();
+    match ex {
+        Some(ex) => Err(OrbError::System(ex)),
+        None => Ok(enc.finish_stream()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zc_cdr::ByteOrder;
+
+    struct Adder;
+    impl Servant for Adder {
+        fn repo_id(&self) -> &'static str {
+            "IDL:test/Adder:1.0"
+        }
+        fn dispatch(&self, op: &str, req: &mut ServerRequest<'_>) -> OrbResult<()> {
+            match op {
+                "add" => {
+                    let a: i32 = req.arg()?;
+                    let b: i32 = req.arg()?;
+                    req.result(&(a + b))
+                }
+                other => req.bad_operation(other),
+            }
+        }
+    }
+
+    fn encode_args(f: impl FnOnce(&mut CdrEncoder)) -> Vec<u8> {
+        let mut e = CdrEncoder::new(ByteOrder::native());
+        f(&mut e);
+        e.finish_stream()
+    }
+
+    #[test]
+    fn register_find_dispatch() {
+        let oa = ObjectAdapter::new();
+        oa.register("adder", Arc::new(Adder));
+        assert_eq!(oa.len(), 1);
+        assert!(oa.find(b"adder").is_some());
+
+        let args = encode_args(|e| {
+            e.write_i32(20);
+            e.write_i32(22);
+        });
+        let reply = dispatch_local(&oa, b"adder", "add", &args, ByteOrder::native()).unwrap();
+        let mut dec = CdrDecoder::new(&reply, ByteOrder::native());
+        assert_eq!(i32::demarshal(&mut dec).unwrap(), 42);
+    }
+
+    #[test]
+    fn unknown_object_raises_object_not_exist() {
+        let oa = ObjectAdapter::new();
+        let err = dispatch_local(&oa, b"ghost", "op", &[], ByteOrder::native()).unwrap_err();
+        match err {
+            OrbError::System(ex) => {
+                assert_eq!(ex.kind, SystemExceptionKind::ObjectNotExist)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_operation_raises_bad_operation() {
+        let oa = ObjectAdapter::new();
+        oa.register("adder", Arc::new(Adder));
+        let err =
+            dispatch_local(&oa, b"adder", "subtract", &[], ByteOrder::native()).unwrap_err();
+        match err {
+            OrbError::System(ex) => assert_eq!(ex.kind, SystemExceptionKind::BadOperation),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deactivate_removes() {
+        let oa = ObjectAdapter::new();
+        oa.register("adder", Arc::new(Adder));
+        assert!(oa.deactivate(b"adder"));
+        assert!(!oa.deactivate(b"adder"));
+        assert!(oa.is_empty());
+    }
+
+    #[test]
+    fn malformed_args_error_cleanly() {
+        let oa = ObjectAdapter::new();
+        oa.register("adder", Arc::new(Adder));
+        // only one arg instead of two
+        let args = encode_args(|e| e.write_i32(1));
+        let err = dispatch_local(&oa, b"adder", "add", &args, ByteOrder::native()).unwrap_err();
+        assert!(matches!(err, OrbError::Cdr(_)));
+    }
+
+    #[test]
+    fn replacement_registration_wins() {
+        struct Fixed;
+        impl Servant for Fixed {
+            fn repo_id(&self) -> &'static str {
+                "IDL:test/Fixed:1.0"
+            }
+            fn dispatch(&self, _op: &str, req: &mut ServerRequest<'_>) -> OrbResult<()> {
+                req.result(&7i32)
+            }
+        }
+        let oa = ObjectAdapter::new();
+        oa.register("x", Arc::new(Adder));
+        oa.register("x", Arc::new(Fixed));
+        let reply = dispatch_local(&oa, b"x", "anything", &[], ByteOrder::native()).unwrap();
+        let mut dec = CdrDecoder::new(&reply, ByteOrder::native());
+        assert_eq!(i32::demarshal(&mut dec).unwrap(), 7);
+    }
+}

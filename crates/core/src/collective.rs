@@ -1,0 +1,241 @@
+//! Data-parallel collectives over groups of objects.
+//!
+//! The paper situates itself against PARDIS/Cobra and the then-nascent
+//! *Data Parallel CORBA* specification (§1.2, §2.1): CORBA extended with
+//! data distribution across parallel objects. This module provides that
+//! extension on zcorba's zero-copy substrate — and it composes beautifully
+//! with it, because [`zc_buffers::ZcBytes::slice`] is O(1): **scattering a
+//! large block to N workers performs no copies at all**; every worker's
+//! part is a reference into the master's pages.
+//!
+//! Operations invoked through [`ParGroup::scatter`] receive the contract
+//!
+//! ```idl
+//! PartOut op(in unsigned long part, in unsigned long parts,
+//!            in unsigned long long offset, in sequence<ZC_Octet> data);
+//! ```
+//!
+//! and may return any single CDR value (often another ZC sequence).
+
+use zc_buffers::ZcBytes;
+use zc_cdr::{CdrMarshal, ZcOctetSeq};
+
+use crate::proxy::ObjectRef;
+use crate::{OrbError, OrbResult};
+
+/// A group of worker object references addressed collectively.
+///
+/// For true parallelism resolve each member over its own connection
+/// (`Orb::resolve_private`): requests on a shared connection serialize.
+pub struct ParGroup {
+    members: Vec<ObjectRef>,
+}
+
+impl ParGroup {
+    /// Form a group. Panics on an empty member list.
+    pub fn new(members: Vec<ObjectRef>) -> ParGroup {
+        assert!(!members.is_empty(), "a ParGroup needs at least one member");
+        ParGroup { members }
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Split `data` into `len()` contiguous, nearly equal parts — O(1)
+    /// slices of the same storage, no copies.
+    pub fn partition(&self, data: &ZcBytes) -> Vec<(u64, ZcBytes)> {
+        partition_into(data, self.members.len())
+    }
+
+    /// Scatter `data` across the group: worker *i* receives part *i* (by
+    /// reference) via operation `op`, all invocations running
+    /// concurrently. Returns each worker's result in member order.
+    pub fn scatter<R>(&self, op: &str, data: &ZcBytes) -> OrbResult<Vec<R>>
+    where
+        R: CdrMarshal + Send + 'static,
+    {
+        let parts = self.partition(data);
+        let total = self.members.len() as u32;
+        std::thread::scope(|scope| {
+            let mut joins = Vec::with_capacity(parts.len());
+            for (i, ((offset, part), member)) in
+                parts.into_iter().zip(&self.members).enumerate()
+            {
+                let op = op.to_string();
+                joins.push(scope.spawn(move || -> OrbResult<R> {
+                    member
+                        .request(&op)
+                        .arg(&(i as u32))?
+                        .arg(&total)?
+                        .arg(&offset)?
+                        .arg(&ZcOctetSeq::from_zc(part))?
+                        .invoke()?
+                        .result()
+                }));
+            }
+            joins
+                .into_iter()
+                .map(|j| {
+                    j.join()
+                        .map_err(|_| OrbError::Protocol("scatter worker panicked".into()))?
+                })
+                .collect()
+        })
+    }
+
+    /// Scatter, then gather byte results back into one contiguous aligned
+    /// buffer (in part order). The gather concatenation is the single copy
+    /// of the operation — unavoidable when a contiguous result is
+    /// requested — and is metered as application fill by the caller's
+    /// meter if desired.
+    pub fn scatter_gather(&self, op: &str, data: &ZcBytes) -> OrbResult<ZcBytes> {
+        let parts: Vec<ZcOctetSeq> = self.scatter(op, data)?;
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut out = zc_buffers::AlignedBuf::with_capacity(total);
+        for p in &parts {
+            out.extend_from_slice(p);
+        }
+        Ok(ZcBytes::from_aligned(out))
+    }
+
+    /// Broadcast the *same* block to every member (reference-counted, so
+    /// still no copies on the way in), collecting each result.
+    pub fn broadcast<R>(&self, op: &str, data: &ZcBytes) -> OrbResult<Vec<R>>
+    where
+        R: CdrMarshal + Send + 'static,
+    {
+        let total = self.members.len() as u32;
+        std::thread::scope(|scope| {
+            let mut joins = Vec::with_capacity(self.members.len());
+            for (i, member) in self.members.iter().enumerate() {
+                let op = op.to_string();
+                let block = data.clone();
+                joins.push(scope.spawn(move || -> OrbResult<R> {
+                    member
+                        .request(&op)
+                        .arg(&(i as u32))?
+                        .arg(&total)?
+                        .arg(&0u64)?
+                        .arg(&ZcOctetSeq::from_zc(block))?
+                        .invoke()?
+                        .result()
+                }));
+            }
+            joins
+                .into_iter()
+                .map(|j| {
+                    j.join()
+                        .map_err(|_| OrbError::Protocol("broadcast worker panicked".into()))?
+                })
+                .collect()
+        })
+    }
+}
+
+/// Split a block into `n` contiguous `(offset, slice)` parts. Zero-copy:
+/// every part shares `data`'s storage.
+///
+/// When the block is large enough, part boundaries are rounded to page
+/// boundaries so that **every** part of a page-aligned block is itself
+/// page-aligned — keeping each part eligible for direct deposit (the
+/// simulated zero-copy driver, like the real one, can only land
+/// page-aligned blocks in place). Small blocks fall back to a plain
+/// near-equal split.
+pub fn partition_into(data: &ZcBytes, n: usize) -> Vec<(u64, ZcBytes)> {
+    assert!(n > 0);
+    let len = data.len();
+    let page = zc_buffers::PAGE_SIZE;
+    let mut parts = Vec::with_capacity(n);
+    if len >= n * page {
+        // page-rounded boundaries: boundary_i = round_to_page(i * len / n)
+        let mut off = 0usize;
+        for i in 1..=n {
+            let raw = i * len / n;
+            let end = if i == n { len } else { raw / page * page };
+            parts.push((off as u64, data.slice(off..end)));
+            off = end;
+        }
+    } else {
+        let base = len / n;
+        let extra = len % n;
+        let mut off = 0usize;
+        for i in 0..n {
+            let size = base + usize::from(i < extra);
+            parts.push((off as u64, data.slice(off..off + size)));
+            off += size;
+        }
+    }
+    debug_assert_eq!(
+        parts.iter().map(|(_, p)| p.len()).sum::<usize>(),
+        len,
+        "partition must cover exactly"
+    );
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly_without_copies() {
+        let data = ZcBytes::zeroed(10_007);
+        for n in [1, 2, 3, 7, 64] {
+            let parts = partition_into(&data, n);
+            assert_eq!(parts.len(), n);
+            let total: usize = parts.iter().map(|(_, p)| p.len()).sum();
+            assert_eq!(total, data.len());
+            // contiguity + shared storage
+            let mut expect_off = 0u64;
+            for (off, p) in &parts {
+                assert_eq!(*off, expect_off);
+                assert!(p.ptr_eq(&data));
+                expect_off += p.len() as u64;
+            }
+        }
+    }
+
+    #[test]
+    fn large_partitions_cut_on_page_boundaries() {
+        let data = ZcBytes::zeroed((8 << 20) + 12_345);
+        for n in [2, 3, 5, 8] {
+            let parts = partition_into(&data, n);
+            assert_eq!(parts.len(), n);
+            let total: usize = parts.iter().map(|(_, p)| p.len()).sum();
+            assert_eq!(total, data.len());
+            for (off, p) in &parts {
+                assert_eq!(*off as usize % zc_buffers::PAGE_SIZE, 0);
+                assert!(p.is_page_aligned(), "every part stays deposit-eligible");
+            }
+            // near-even: each part within one page + len/n of the ideal
+            let ideal = data.len() / n;
+            for (_, p) in &parts {
+                assert!(p.len().abs_diff(ideal) <= zc_buffers::PAGE_SIZE + data.len() % n);
+            }
+        }
+    }
+
+    #[test]
+    fn small_partition_falls_back_to_even_split() {
+        let data = ZcBytes::zeroed(100);
+        let parts = partition_into(&data, 3);
+        let sizes: Vec<usize> = parts.iter().map(|(_, p)| p.len()).collect();
+        assert_eq!(sizes, vec![34, 33, 33]);
+    }
+
+    #[test]
+    fn partition_more_parts_than_bytes() {
+        let data = ZcBytes::zeroed(3);
+        let parts = partition_into(&data, 8);
+        assert_eq!(parts.len(), 8);
+        let total: usize = parts.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(total, 3);
+    }
+}

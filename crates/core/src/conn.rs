@@ -1,0 +1,626 @@
+//! The GIOP connection: framing, negotiation, and the direct-deposit
+//! sender/receiver of §4.4/§4.5.
+//!
+//! One [`GiopConn`] wraps one transport [`Connection`]. Immediately after
+//! transport establishment both ends exchange a [`Handshake`]; the computed
+//! [`Negotiated`] mode is fixed for the connection's lifetime:
+//!
+//! * **ZC mode** — `ZcOctetSeq` parameters marshal as 8-byte descriptors;
+//!   their blocks are listed in a deposit-manifest service context on the
+//!   Request/Reply (the control transfer) and shipped on the transport's
+//!   data path (the data transfer). The receiver reads the manifest first,
+//!   then pulls each announced block — on a zero-copy transport the block
+//!   lands without a single payload copy.
+//! * **plain mode** — everything marshals inline; the wire is ordinary
+//!   IIOP, interoperable with any CORBA peer.
+//!
+//! The two ablation switches reproduce the paper's design arguments:
+//! `deposit_enabled = false` keeps the marshal *bypass* (no type
+//! conversion) but copies payload inline — "moving copies between layers";
+//! `separate_data = false` keeps descriptors but embeds the blocks in the
+//! control message — coupling synchronization and data again, which
+//! re-introduces buffering copies at both ends.
+
+use zc_buffers::ZcBytes;
+use zc_cdr::{ByteOrder, CdrDecoder, CdrEncoder};
+use zc_giop::{
+    fragment_frames, DepositManifest, GiopHeader, GiopVersion, Handshake, MessageType,
+    Negotiated, ReplyHeader, ReplyStatus, RequestHeader, SystemException, GIOP_HEADER_LEN,
+};
+use zc_transport::{Connection, TransportCtx, TransportError};
+
+/// GIOP bodies above this size are split into `Fragment` continuations.
+/// Oversized control messages arise only on the coupled-data ablation or
+/// with very large marshaled-inline payloads; fragmentation keeps every
+/// single control frame bounded, as GIOP 1.2 intends.
+pub const FRAGMENT_THRESHOLD: usize = 4 << 20;
+
+use crate::{OrbError, OrbResult};
+
+/// Tuning switches for a connection (ablations A1/A4; defaults are the
+/// paper's full design).
+#[derive(Debug, Clone, Copy)]
+pub struct ConnTuning {
+    /// Use out-of-band deposits for `ZcOctetSeq` (when negotiated). When
+    /// `false`, ZC types fall back to inline marshaling even on homogeneous
+    /// connections — the "marshaling bypass only" configuration.
+    pub deposit_enabled: bool,
+    /// Ship deposit blocks on the separated data path. When `false`, blocks
+    /// are embedded in the control message (coupled synchronization + data),
+    /// which forces buffering copies at both ends.
+    pub separate_data: bool,
+}
+
+impl Default for ConnTuning {
+    fn default() -> Self {
+        ConnTuning {
+            deposit_enabled: true,
+            separate_data: true,
+        }
+    }
+}
+
+/// An incoming request as surfaced to the server loop.
+#[derive(Debug)]
+pub struct IncomingRequest {
+    /// Parsed request header.
+    pub header: RequestHeader,
+    /// The full GIOP body (header + padding + arguments).
+    pub body: Vec<u8>,
+    /// Offset of the first argument within `body`.
+    pub args_offset: usize,
+    /// Deposited blocks, in descriptor-index order.
+    pub deposits: Vec<ZcBytes>,
+    /// Byte order of the body.
+    pub order: ByteOrder,
+    /// Whether descriptors (not inline bytes) encode ZC sequences.
+    pub zc: bool,
+}
+
+/// An incoming successful reply as surfaced to the client.
+#[derive(Debug)]
+pub struct IncomingReply {
+    /// The full GIOP body (header + padding + results).
+    pub body: Vec<u8>,
+    /// Offset of the first result value within `body`.
+    pub results_offset: usize,
+    /// Deposited blocks, in descriptor-index order.
+    pub deposits: Vec<ZcBytes>,
+    /// Byte order of the body.
+    pub order: ByteOrder,
+    /// Whether descriptors encode ZC sequences.
+    pub zc: bool,
+}
+
+/// A negotiated GIOP connection over any transport.
+pub struct GiopConn {
+    conn: Box<dyn Connection>,
+    negotiated: Negotiated,
+    ctx: TransportCtx,
+    tuning: ConnTuning,
+    next_request_id: u32,
+    version: GiopVersion,
+    /// Set when a reply timed out: the stream may now hold a stale reply,
+    /// so the connection is unusable (CORBA closes such connections; so do
+    /// we, on drop).
+    poisoned: bool,
+}
+
+impl GiopConn {
+    /// Client-side establishment: send our handshake, read the peer's.
+    pub fn client(
+        mut conn: Box<dyn Connection>,
+        local: Handshake,
+        ctx: TransportCtx,
+        tuning: ConnTuning,
+    ) -> OrbResult<GiopConn> {
+        conn.send_control(&local.encode())?;
+        let remote_bytes = conn.recv_control()?;
+        let remote = Handshake::decode(&remote_bytes)?;
+        let negotiated = Handshake::negotiate(&local, &remote);
+        Ok(GiopConn {
+            conn,
+            negotiated,
+            ctx,
+            tuning,
+            next_request_id: 1,
+            version: GiopVersion::V1_2,
+            poisoned: false,
+        })
+    }
+
+    /// Server-side establishment: read the client's handshake, answer.
+    pub fn server(
+        mut conn: Box<dyn Connection>,
+        local: Handshake,
+        ctx: TransportCtx,
+        tuning: ConnTuning,
+    ) -> OrbResult<GiopConn> {
+        let remote_bytes = conn.recv_control()?;
+        let remote = Handshake::decode(&remote_bytes)?;
+        conn.send_control(&local.encode())?;
+        // Client is the `client` argument of negotiate on both sides.
+        let negotiated = Handshake::negotiate(&remote, &local);
+        Ok(GiopConn {
+            conn,
+            negotiated,
+            ctx,
+            tuning,
+            next_request_id: 1,
+            version: GiopVersion::V1_2,
+            poisoned: false,
+        })
+    }
+
+    /// The negotiated connection mode.
+    pub fn negotiated(&self) -> Negotiated {
+        self.negotiated
+    }
+
+    /// Whether `ZcOctetSeq` takes the deposit path on this connection.
+    pub fn zc_active(&self) -> bool {
+        self.negotiated.zero_copy && self.tuning.deposit_enabled
+    }
+
+    /// Byte order of all GIOP messages on this connection.
+    pub fn wire_order(&self) -> ByteOrder {
+        self.negotiated.wire_order
+    }
+
+    /// The connection's copy meter.
+    pub fn meter(&self) -> std::sync::Arc<zc_buffers::CopyMeter> {
+        std::sync::Arc::clone(&self.ctx.meter)
+    }
+
+    /// Transport statistics.
+    pub fn transport_stats(&self) -> zc_transport::ConnStats {
+        self.conn.stats()
+    }
+
+    /// Peer description.
+    pub fn peer(&self) -> String {
+        self.conn.peer()
+    }
+
+    /// An argument/result encoder configured for this connection (meter,
+    /// byte order, ZC mode).
+    pub fn body_encoder(&self) -> CdrEncoder {
+        CdrEncoder::new(self.wire_order())
+            .with_meter(std::sync::Arc::clone(&self.ctx.meter))
+            .with_zc(self.zc_active())
+    }
+
+    fn alloc_request_id(&mut self) -> u32 {
+        let id = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1);
+        id
+    }
+
+    /// Assemble and send a GIOP message whose body is `header_enc` followed
+    /// by 8-aligned `payload_bytes`, with `deposits` travelling per tuning.
+    fn send_message(
+        &mut self,
+        msg_type: MessageType,
+        mut header_enc: CdrEncoder,
+        payload: &[u8],
+        deposits: Vec<ZcBytes>,
+    ) -> OrbResult<()> {
+        if self.tuning.separate_data || deposits.is_empty() {
+            header_enc.align(8);
+            header_enc.write_raw(payload);
+            let body = header_enc.finish_stream();
+            self.send_framed(msg_type, &body)?;
+            // Data transfer, decoupled: blocks follow on the data path,
+            // already announced by the manifest in the control message.
+            for block in &deposits {
+                self.conn.send_data(block)?;
+            }
+        } else {
+            // Ablation A1: couple data back into the control message.
+            // Blocks are *copied* inline (metered as marshal: this is the
+            // buffering the separation avoids), before the argument bytes.
+            for block in &deposits {
+                header_enc.align(8);
+                let bytes = block.as_slice();
+                header_enc.write_u32(bytes.len() as u32);
+                // metered bulk copy into the control buffer
+                let mut tmp = vec![0u8; bytes.len()];
+                self.ctx
+                    .meter
+                    .copy(zc_buffers::CopyLayer::Marshal, &mut tmp, bytes);
+                header_enc.write_raw(&tmp);
+            }
+            header_enc.align(8);
+            header_enc.write_raw(payload);
+            let body = header_enc.finish_stream();
+            self.send_framed(msg_type, &body)?;
+        }
+        Ok(())
+    }
+
+    /// Frame (and if necessary fragment) a GIOP body onto the control path.
+    fn send_framed(&mut self, msg_type: MessageType, body: &[u8]) -> OrbResult<()> {
+        for frame in fragment_frames(
+            self.version,
+            self.wire_order(),
+            msg_type,
+            body,
+            FRAGMENT_THRESHOLD,
+        ) {
+            self.conn.send_control(&frame)?;
+        }
+        Ok(())
+    }
+
+    /// Receive one GIOP message, reassembling `Fragment` continuations;
+    /// returns `(type, body, order)`.
+    fn recv_message(&mut self) -> OrbResult<(MessageType, Vec<u8>, ByteOrder)> {
+        let (hdr, mut body) = self.recv_one_frame()?;
+        let msg_type = hdr.msg_type;
+        let order = hdr.flags.order;
+        let mut more = hdr.flags.more_fragments;
+        while more {
+            let (cont_hdr, cont_body) = self.recv_one_frame()?;
+            if cont_hdr.msg_type != MessageType::Fragment {
+                return Err(OrbError::Protocol(format!(
+                    "expected Fragment continuation, got {:?}",
+                    cont_hdr.msg_type
+                )));
+            }
+            body.extend_from_slice(&cont_body);
+            more = cont_hdr.flags.more_fragments;
+        }
+        Ok((msg_type, body, order))
+    }
+
+    /// Receive exactly one GIOP frame from the control path.
+    fn recv_one_frame(&mut self) -> OrbResult<(GiopHeader, Vec<u8>)> {
+        let raw = self.conn.recv_control()?;
+        if raw.len() < GIOP_HEADER_LEN {
+            return Err(OrbError::Protocol(format!(
+                "short GIOP frame ({} bytes)",
+                raw.len()
+            )));
+        }
+        let hdr_bytes: [u8; GIOP_HEADER_LEN] =
+            raw[..GIOP_HEADER_LEN].try_into().expect("checked");
+        let hdr = GiopHeader::decode(&hdr_bytes)?;
+        if raw.len() != GIOP_HEADER_LEN + hdr.msg_size as usize {
+            return Err(OrbError::Protocol(format!(
+                "GIOP size mismatch: header says {}, frame has {}",
+                hdr.msg_size,
+                raw.len() - GIOP_HEADER_LEN
+            )));
+        }
+        Ok((hdr, raw[GIOP_HEADER_LEN..].to_vec()))
+    }
+
+    /// Pull announced deposits (separated path) or extract inline blocks
+    /// (coupled path). Returns the blocks and, for the coupled path, the
+    /// offset in `body` where argument decoding should resume.
+    fn collect_deposits(
+        &mut self,
+        manifest: Option<DepositManifest>,
+        body: &[u8],
+        after_header: usize,
+        order: ByteOrder,
+    ) -> OrbResult<(Vec<ZcBytes>, usize)> {
+        let Some(manifest) = manifest else {
+            // No deposits: arguments start at the first 8-aligned offset.
+            return Ok((Vec::new(), align_up(after_header, 8)));
+        };
+        if self.tuning.separate_data {
+            let mut blocks = Vec::with_capacity(manifest.block_count());
+            for &len in &manifest.block_lengths {
+                blocks.push(self.conn.recv_data(len as usize)?);
+            }
+            Ok((blocks, align_up(after_header, 8)))
+        } else {
+            // Inline: blocks precede the arguments, each 8-aligned with a
+            // ulong length prefix. Copy each out into aligned storage.
+            let mut dec = CdrDecoder::new(body, order)
+                .with_meter(std::sync::Arc::clone(&self.ctx.meter));
+            dec.skip(after_header)?;
+            let mut blocks = Vec::with_capacity(manifest.block_count());
+            for &len in &manifest.block_lengths {
+                dec.align(8)?;
+                let announced = dec.read_u32()? as u64;
+                if announced != len {
+                    return Err(OrbError::Protocol(format!(
+                        "inline deposit length {announced} disagrees with manifest {len}"
+                    )));
+                }
+                let bytes = dec.read_raw(len as usize)?;
+                let mut buf = self.ctx.pool.acquire(bytes.len().max(1));
+                buf.set_len(bytes.len());
+                self.ctx.meter.copy(
+                    zc_buffers::CopyLayer::Demarshal,
+                    buf.as_mut_slice(),
+                    bytes,
+                );
+                blocks.push(buf.freeze());
+            }
+            dec.align(8)?;
+            Ok((blocks, dec.position()))
+        }
+    }
+
+    fn check_poisoned(&self) -> OrbResult<()> {
+        if self.poisoned {
+            Err(OrbError::Protocol(
+                "connection poisoned by an earlier reply timeout; resolve a fresh one".into(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Client: receive the reply to `expect_id`, failing with
+    /// `Transport(Timeout)` if it does not arrive within `timeout`. A
+    /// timeout poisons the connection (a stale reply may still be in
+    /// flight); callers must resolve a fresh connection afterwards.
+    pub fn recv_reply_timeout(
+        &mut self,
+        expect_id: u32,
+        timeout: std::time::Duration,
+    ) -> OrbResult<IncomingReply> {
+        self.check_poisoned()?;
+        self.conn.set_recv_timeout(Some(timeout))?;
+        let result = self.recv_reply(expect_id);
+        let _ = self.conn.set_recv_timeout(None);
+        if matches!(result, Err(OrbError::Transport(TransportError::Timeout))) {
+            self.poisoned = true;
+            let _ = self.send_cancel(expect_id);
+        }
+        result
+    }
+
+    /// Client: send a request. `args_enc` must come from
+    /// [`GiopConn::body_encoder`]. Returns the request id.
+    pub fn send_request(
+        &mut self,
+        object_key: &[u8],
+        operation: &str,
+        response_expected: bool,
+        args_enc: CdrEncoder,
+    ) -> OrbResult<u32> {
+        self.check_poisoned()?;
+        let (args, deposits) = args_enc.finish();
+        let request_id = self.alloc_request_id();
+        let mut header = RequestHeader::new(request_id, object_key.to_vec(), operation);
+        header.response_expected = response_expected;
+        if !deposits.is_empty() {
+            header.service_contexts.push(
+                DepositManifest {
+                    block_lengths: deposits.iter().map(|b| b.len() as u64).collect(),
+                }
+                .to_context(),
+            );
+        }
+        let mut enc = CdrEncoder::new(self.wire_order());
+        header.marshal(&mut enc)?;
+        self.send_message(MessageType::Request, enc, &args, deposits)?;
+        Ok(request_id)
+    }
+
+    /// Client: receive the reply to `expect_id`.
+    pub fn recv_reply(&mut self, expect_id: u32) -> OrbResult<IncomingReply> {
+        let (msg_type, body, order) = self.recv_message()?;
+        match msg_type {
+            MessageType::Reply => {}
+            MessageType::CloseConnection => {
+                return Err(OrbError::Transport(TransportError::Closed))
+            }
+            MessageType::MessageError => {
+                return Err(OrbError::Protocol("peer reported MessageError".into()))
+            }
+            other => {
+                return Err(OrbError::Protocol(format!(
+                    "unexpected {other:?} while awaiting Reply"
+                )))
+            }
+        }
+        let mut dec = CdrDecoder::new(&body, order);
+        let header = ReplyHeader::demarshal(&mut dec)?;
+        let after_header = dec.position();
+        if header.request_id != expect_id {
+            return Err(OrbError::Protocol(format!(
+                "reply id {} does not match request id {expect_id}",
+                header.request_id
+            )));
+        }
+        let manifest = DepositManifest::find_in(&header.service_contexts)?;
+        match header.status {
+            ReplyStatus::NoException => {
+                let (deposits, results_offset) =
+                    self.collect_deposits(manifest, &body, after_header, order)?;
+                let zc = self.zc_active();
+                Ok(IncomingReply {
+                    body,
+                    results_offset,
+                    deposits,
+                    order,
+                    zc,
+                })
+            }
+            ReplyStatus::SystemException => {
+                let mut dec = CdrDecoder::new(&body, order);
+                ReplyHeader::demarshal(&mut dec)?;
+                dec.align(8)?;
+                let ex = SystemException::demarshal(&mut dec)?;
+                Err(OrbError::System(ex))
+            }
+            ReplyStatus::UserException => {
+                // body: repo-id string, then the encoded members
+                let mut dec = CdrDecoder::new(&body, order);
+                ReplyHeader::demarshal(&mut dec)?;
+                dec.align(8)?;
+                let repo_id = dec.read_string()?;
+                // the members blob carries its own byte-order flag (the
+                // servant's native order, which may differ from the wire
+                // order on heterogeneous connections)
+                let members_little = dec.read_bool()?;
+                let members = dec.read_octet_seq()?;
+                Err(OrbError::User(crate::UserExceptionData {
+                    repo_id,
+                    body: members,
+                    order: ByteOrder::from_flag(members_little),
+                }))
+            }
+            ReplyStatus::LocationForward => Err(OrbError::Protocol(
+                "location forwarding is not supported by this ORB".into(),
+            )),
+        }
+    }
+
+    /// Server: receive the next request. `CancelRequest` messages are
+    /// consumed silently (we never start executing before reading the next
+    /// request, so a cancel that arrives here is already moot).
+    pub fn recv_request(&mut self) -> OrbResult<IncomingRequest> {
+        loop {
+            let (msg_type, body, order) = self.recv_message()?;
+            match msg_type {
+                MessageType::Request => {
+                    let mut dec = CdrDecoder::new(&body, order);
+                    let header = RequestHeader::demarshal(&mut dec)?;
+                    let after_header = dec.position();
+                    let manifest = DepositManifest::find_in(&header.service_contexts)?;
+                    let (deposits, args_offset) =
+                        self.collect_deposits(manifest, &body, after_header, order)?;
+                    let zc = self.zc_active();
+                    return Ok(IncomingRequest {
+                        header,
+                        body,
+                        args_offset,
+                        deposits,
+                        order,
+                        zc,
+                    });
+                }
+                MessageType::CancelRequest => continue,
+                MessageType::CloseConnection => {
+                    return Err(OrbError::Transport(TransportError::Closed))
+                }
+                MessageType::LocateRequest => {
+                    // Answer OBJECT_HERE (2 would be forward; 1 = here).
+                    let mut dec = CdrDecoder::new(&body, order);
+                    let request_id = dec.read_u32()?;
+                    let mut enc = CdrEncoder::new(self.wire_order());
+                    enc.write_u32(request_id);
+                    enc.write_u32(1); // OBJECT_HERE
+                    let body = enc.finish_stream();
+                    self.send_framed(MessageType::LocateReply, &body)?;
+                    continue;
+                }
+                other => {
+                    return Err(OrbError::Protocol(format!(
+                        "unexpected {other:?} while awaiting Request"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Server: send a successful reply whose body is `results_enc`.
+    pub fn send_reply_ok(&mut self, request_id: u32, results_enc: CdrEncoder) -> OrbResult<()> {
+        let (results, deposits) = results_enc.finish();
+        let mut header = ReplyHeader::ok(request_id);
+        if !deposits.is_empty() {
+            header.service_contexts.push(
+                DepositManifest {
+                    block_lengths: deposits.iter().map(|b| b.len() as u64).collect(),
+                }
+                .to_context(),
+            );
+        }
+        let mut enc = CdrEncoder::new(self.wire_order());
+        header.marshal(&mut enc)?;
+        self.send_message(MessageType::Reply, enc, &results, deposits)
+    }
+
+    /// Server: send a system-exception reply.
+    pub fn send_reply_exception(
+        &mut self,
+        request_id: u32,
+        ex: &SystemException,
+    ) -> OrbResult<()> {
+        let mut header = ReplyHeader::ok(request_id);
+        header.status = ReplyStatus::SystemException;
+        let mut enc = CdrEncoder::new(self.wire_order());
+        header.marshal(&mut enc)?;
+        enc.align(8);
+        let mut body_enc = CdrEncoder::new(self.wire_order());
+        ex.marshal(&mut body_enc)?;
+        let payload = body_enc.finish_stream();
+        self.send_message(MessageType::Reply, enc, &payload, Vec::new())
+    }
+
+    /// Server: send a user-exception reply (repo id + encoded members).
+    pub fn send_reply_user(
+        &mut self,
+        request_id: u32,
+        data: &crate::UserExceptionData,
+    ) -> OrbResult<()> {
+        let mut header = ReplyHeader::ok(request_id);
+        header.status = ReplyStatus::UserException;
+        let mut enc = CdrEncoder::new(self.wire_order());
+        header.marshal(&mut enc)?;
+        enc.align(8);
+        let mut body_enc = CdrEncoder::new(self.wire_order());
+        body_enc.write_string(&data.repo_id);
+        // Members stay in the servant's encoding order; ship that order as
+        // a flag so heterogeneous clients decode correctly.
+        body_enc.write_bool(data.order.flag());
+        body_enc.write_octet_seq(&data.body);
+        let payload = body_enc.finish_stream();
+        self.send_message(MessageType::Reply, enc, &payload, Vec::new())
+    }
+
+    /// Either side: orderly shutdown notification (best effort).
+    pub fn send_close(&mut self) {
+        let _ = self.send_framed(MessageType::CloseConnection, &[]);
+    }
+
+    /// Client: ask whether the peer hosts `object_key` (GIOP
+    /// LocateRequest/LocateReply). Returns `true` for OBJECT_HERE.
+    ///
+    /// Note: per GIOP a server may answer OBJECT_HERE based on reachability
+    /// alone; a request to a here-but-unregistered key still raises
+    /// `OBJECT_NOT_EXIST` at invocation time.
+    pub fn locate(&mut self, object_key: &[u8]) -> OrbResult<bool> {
+        let request_id = self.alloc_request_id();
+        let mut enc = CdrEncoder::new(self.wire_order());
+        enc.write_u32(request_id);
+        enc.write_octet_seq(object_key);
+        let body = enc.finish_stream();
+        self.send_framed(MessageType::LocateRequest, &body)?;
+        let (msg_type, body, order) = self.recv_message()?;
+        if msg_type != MessageType::LocateReply {
+            return Err(OrbError::Protocol(format!(
+                "expected LocateReply, got {msg_type:?}"
+            )));
+        }
+        let mut dec = CdrDecoder::new(&body, order);
+        let id = dec.read_u32()?;
+        if id != request_id {
+            return Err(OrbError::Protocol(format!(
+                "LocateReply id {id} does not match {request_id}"
+            )));
+        }
+        let status = dec.read_u32()?;
+        Ok(status == 1) // 0 = UNKNOWN_OBJECT, 1 = OBJECT_HERE, 2 = FORWARD
+    }
+
+    /// Client: cancel an outstanding request (advisory, per GIOP).
+    pub fn send_cancel(&mut self, request_id: u32) -> OrbResult<()> {
+        let mut enc = CdrEncoder::new(self.wire_order());
+        enc.write_u32(request_id);
+        let body = enc.finish_stream();
+        self.send_framed(MessageType::CancelRequest, &body)
+    }
+}
+
+#[inline]
+fn align_up(n: usize, a: usize) -> usize {
+    n.div_ceil(a) * a
+}

@@ -1,0 +1,176 @@
+//! A CORBA Naming Service — the bootstrap substrate every real CORBA
+//! deployment relies on (`resolve_initial_references("NameService")`).
+//!
+//! Implemented *on top of* the public ORB API: the service is an ordinary
+//! servant ([`NamingContextServant`]) binding names to stringified IORs,
+//! and [`NamingClient`] is an ordinary typed stub. Applications then need
+//! exactly one well-known endpoint instead of shuttling IOR strings by
+//! hand.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use zc_giop::{Ior, SystemException, SystemExceptionKind};
+
+use crate::adapter::{ObjectAdapterExt, Servant, ServerRequest};
+use crate::orb::{Orb, ServerHandle};
+use crate::proxy::ObjectRef;
+use crate::{OrbError, OrbResult};
+
+/// The conventional object key of the name service.
+pub const NAME_SERVICE_KEY: &str = "NameService";
+
+/// Repository id of the naming context interface.
+pub const NAMING_REPO_ID: &str = "IDL:zcorba/NamingContext:1.0";
+
+/// Minor code used on `OBJECT_NOT_EXIST` when a name is unbound.
+pub const MINOR_UNBOUND_NAME: u32 = 0x5A43_0010;
+
+/// The name-service servant: a flat `name → IOR` table.
+///
+/// Operations: `bind(name, ior) -> bool(replaced)`,
+/// `resolve(name) -> ior-string`, `unbind(name) -> bool`,
+/// `list() -> sequence<string>`.
+#[derive(Default)]
+pub struct NamingContextServant {
+    bindings: RwLock<HashMap<String, String>>,
+}
+
+impl NamingContextServant {
+    /// Fresh, empty context.
+    pub fn new() -> NamingContextServant {
+        NamingContextServant::default()
+    }
+
+    /// Number of bindings (diagnostics).
+    pub fn len(&self) -> usize {
+        self.bindings.read().len()
+    }
+
+    /// Whether no names are bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.read().is_empty()
+    }
+}
+
+impl Servant for NamingContextServant {
+    fn repo_id(&self) -> &'static str {
+        NAMING_REPO_ID
+    }
+    fn dispatch(&self, op: &str, req: &mut ServerRequest<'_>) -> OrbResult<()> {
+        match op {
+            "bind" => {
+                let name: String = req.arg()?;
+                let ior: String = req.arg()?;
+                // validate before storing: a bad IOR must fail at bind
+                // time, not at some future resolve
+                if Ior::from_ior_string(&ior).is_err() {
+                    return req.raise(SystemException::new(SystemExceptionKind::Marshal, 2));
+                }
+                let replaced = self.bindings.write().insert(name, ior).is_some();
+                req.result(&replaced)
+            }
+            "resolve" => {
+                let name: String = req.arg()?;
+                match self.bindings.read().get(&name) {
+                    Some(ior) => req.result(ior),
+                    None => req.raise(SystemException::new(
+                        SystemExceptionKind::ObjectNotExist,
+                        MINOR_UNBOUND_NAME,
+                    )),
+                }
+            }
+            "unbind" => {
+                let name: String = req.arg()?;
+                let removed = self.bindings.write().remove(&name).is_some();
+                req.result(&removed)
+            }
+            "list" => {
+                let mut names: Vec<String> = self.bindings.read().keys().cloned().collect();
+                names.sort();
+                req.result(&names)
+            }
+            other => req.bad_operation(other),
+        }
+    }
+}
+
+/// Install a name service on a serving ORB; returns its IOR.
+pub fn install_name_service(orb: &Orb, server: &ServerHandle) -> OrbResult<Ior> {
+    orb.adapter()
+        .register(NAME_SERVICE_KEY, Arc::new(NamingContextServant::new()));
+    server.ior_for(NAME_SERVICE_KEY, NAMING_REPO_ID)
+}
+
+/// Typed client stub for the naming context.
+#[derive(Clone)]
+pub struct NamingClient {
+    obj: ObjectRef,
+}
+
+impl NamingClient {
+    /// Wrap a resolved reference.
+    pub fn new(obj: ObjectRef) -> NamingClient {
+        NamingClient { obj }
+    }
+
+    /// Connect to the name service at a well-known endpoint.
+    pub fn connect(orb: &Orb, host: &str, port: u16) -> OrbResult<NamingClient> {
+        let ior = Ior::new_iiop(NAMING_REPO_ID, host, port, NAME_SERVICE_KEY.as_bytes());
+        Ok(NamingClient {
+            obj: orb.resolve(&ior)?,
+        })
+    }
+
+    /// Bind (or rebind) `name` to an object reference. Returns whether a
+    /// previous binding was replaced.
+    pub fn bind(&self, name: &str, ior: &Ior) -> OrbResult<bool> {
+        self.obj
+            .request("bind")
+            .arg(&name.to_string())?
+            .arg(&ior.to_ior_string())?
+            .invoke()?
+            .result()
+    }
+
+    /// Resolve `name` to an IOR.
+    pub fn resolve_name(&self, name: &str) -> OrbResult<Ior> {
+        let s: String = self
+            .obj
+            .request("resolve")
+            .arg(&name.to_string())?
+            .invoke()?
+            .result()?;
+        Ok(Ior::from_ior_string(&s)?)
+    }
+
+    /// Resolve `name` all the way to a connected object reference.
+    pub fn resolve_object(&self, orb: &Orb, name: &str) -> OrbResult<ObjectRef> {
+        orb.resolve(&self.resolve_name(name)?)
+    }
+
+    /// Remove a binding. Returns whether it existed.
+    pub fn unbind(&self, name: &str) -> OrbResult<bool> {
+        self.obj
+            .request("unbind")
+            .arg(&name.to_string())?
+            .invoke()?
+            .result()
+    }
+
+    /// All bound names, sorted.
+    pub fn list(&self) -> OrbResult<Vec<String>> {
+        self.obj.request("list").invoke()?.result()
+    }
+}
+
+/// Classify a resolve error: was it just an unbound name?
+pub fn is_unbound_name(err: &OrbError) -> bool {
+    matches!(
+        err,
+        OrbError::System(ex)
+            if ex.kind == SystemExceptionKind::ObjectNotExist && ex.minor == MINOR_UNBOUND_NAME
+    )
+}

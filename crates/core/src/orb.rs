@@ -1,0 +1,421 @@
+//! The ORB runtime: configuration, client-side resolution, server loop.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use zc_buffers::{CopyMeter, PagePool};
+use zc_cdr::CdrDecoder;
+use zc_giop::{Handshake, Ior, SystemException, SystemExceptionKind};
+use zc_transport::{
+    Acceptor, Connection, SimNetwork, TcpTransportListener, TransportCtx, TransportError,
+};
+
+use crate::adapter::{ObjectAdapter, ServerRequest};
+use crate::conn::{ConnTuning, GiopConn};
+use crate::proxy::ObjectRef;
+use crate::{OrbError, OrbResult};
+
+/// Which transport an ORB instance uses.
+#[derive(Clone)]
+pub enum TransportSel {
+    /// The in-process simulated network.
+    Sim(SimNetwork),
+    /// Real loopback TCP.
+    Tcp,
+}
+
+/// ORB configuration (fixed at build time).
+#[derive(Clone)]
+pub struct OrbConfig {
+    /// Offer the zero-copy deposit path during negotiation.
+    pub zc_enabled: bool,
+    /// Connection tuning (ablation switches).
+    pub tuning: ConnTuning,
+    /// Pretend to be a foreign architecture in handshakes — forces the
+    /// conventional, fully-marshaled path (heterogeneity experiments).
+    pub pretend_foreign: bool,
+}
+
+impl Default for OrbConfig {
+    fn default() -> Self {
+        OrbConfig {
+            zc_enabled: true,
+            tuning: ConnTuning::default(),
+            pretend_foreign: false,
+        }
+    }
+}
+
+/// A client connection shared by every ObjectRef resolved to one endpoint.
+type SharedConn = Arc<Mutex<GiopConn>>;
+
+struct OrbInner {
+    ctx: TransportCtx,
+    transport: TransportSel,
+    config: OrbConfig,
+    adapter: Arc<ObjectAdapter>,
+    conn_cache: Mutex<HashMap<(String, u16), SharedConn>>,
+}
+
+/// The Object Request Broker. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Orb {
+    inner: Arc<OrbInner>,
+}
+
+impl Orb {
+    /// Start building an ORB.
+    pub fn builder() -> OrbBuilder {
+        OrbBuilder::default()
+    }
+
+    /// The servant registry.
+    pub fn adapter(&self) -> &ObjectAdapter {
+        &self.inner.adapter
+    }
+
+    /// The copy meter shared by every layer of this ORB.
+    pub fn meter(&self) -> Arc<CopyMeter> {
+        Arc::clone(&self.inner.ctx.meter)
+    }
+
+    /// The deposit-buffer pool.
+    pub fn pool(&self) -> PagePool {
+        self.inner.ctx.pool.clone()
+    }
+
+    /// The ORB's configuration.
+    pub fn config(&self) -> &OrbConfig {
+        &self.inner.config
+    }
+
+    fn local_handshake(&self) -> Handshake {
+        if self.inner.config.pretend_foreign {
+            Handshake::foreign()
+        } else {
+            Handshake::local(self.inner.config.zc_enabled)
+        }
+    }
+
+    fn dial(&self, host: &str, port: u16) -> OrbResult<Box<dyn Connection>> {
+        match &self.inner.transport {
+            TransportSel::Sim(net) => Ok(net.connect(port, self.inner.ctx.clone())?),
+            TransportSel::Tcp => {
+                let connector = zc_transport::TcpConnector {
+                    ctx: self.inner.ctx.clone(),
+                };
+                Ok(zc_transport::Connector::connect(&connector, host, port)?)
+            }
+        }
+    }
+
+    fn establish(&self, host: &str, port: u16) -> OrbResult<GiopConn> {
+        let conn = self.dial(host, port)?;
+        GiopConn::client(
+            conn,
+            self.local_handshake(),
+            self.inner.ctx.clone(),
+            self.inner.config.tuning,
+        )
+    }
+
+    /// Resolve an IOR to an object reference, reusing a cached connection
+    /// to the same endpoint when one exists.
+    pub fn resolve(&self, ior: &Ior) -> OrbResult<ObjectRef> {
+        let profile = ior.iiop_profile()?;
+        let key = (profile.host.clone(), profile.port);
+        let conn = {
+            let cache = self.inner.conn_cache.lock();
+            cache.get(&key).cloned()
+        };
+        let conn = match conn {
+            Some(c) => c,
+            None => {
+                let c = Arc::new(Mutex::new(self.establish(&profile.host, profile.port)?));
+                self.inner
+                    .conn_cache
+                    .lock()
+                    .insert(key, Arc::clone(&c));
+                c
+            }
+        };
+        ObjectRef::new(ior.clone(), conn)
+    }
+
+    /// Resolve over a *fresh private* connection (needed for concurrent
+    /// clients, since requests on one connection are serialized).
+    pub fn resolve_private(&self, ior: &Ior) -> OrbResult<ObjectRef> {
+        let profile = ior.iiop_profile()?;
+        let conn = Arc::new(Mutex::new(self.establish(&profile.host, profile.port)?));
+        ObjectRef::new(ior.clone(), conn)
+    }
+
+    /// Resolve an `IOR:…` string.
+    pub fn resolve_str(&self, ior: &str) -> OrbResult<ObjectRef> {
+        self.resolve(&Ior::from_ior_string(ior)?)
+    }
+
+    /// Start serving registered objects on `port` (0 = ephemeral).
+    pub fn serve(&self, port: u16) -> OrbResult<ServerHandle> {
+        let (acceptor, host, port): (Box<dyn Acceptor>, String, u16) =
+            match &self.inner.transport {
+                TransportSel::Sim(net) => {
+                    let l = net.listen(port, self.inner.ctx.clone())?;
+                    let (h, p) = l.endpoint();
+                    (Box::new(l), h, p)
+                }
+                TransportSel::Tcp => {
+                    let l = TcpTransportListener::bind(port, self.inner.ctx.clone())?;
+                    let (h, p) = l.endpoint();
+                    (Box::new(l), h, p)
+                }
+            };
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let orb = self.clone();
+        let flag = Arc::clone(&shutdown);
+        let acceptor_thread = std::thread::Builder::new()
+            .name(format!("zcorba-accept-{port}"))
+            .spawn(move || {
+                while let Ok(conn) = acceptor.accept() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let orb2 = orb.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("zcorba-conn".to_string())
+                        .spawn(move || orb2.run_connection(conn));
+                }
+            })
+            .expect("spawn acceptor thread");
+        Ok(ServerHandle {
+            orb: self.clone(),
+            host,
+            port,
+            shutdown,
+            acceptor_thread: Some(acceptor_thread),
+        })
+    }
+
+    /// Serve one accepted connection until it closes (the per-connection
+    /// server loop: MICO's `GIOPConn::do_read` + dispatcher).
+    fn run_connection(&self, conn: Box<dyn Connection>) {
+        let mut gc = match GiopConn::server(
+            conn,
+            self.local_handshake(),
+            self.inner.ctx.clone(),
+            self.inner.config.tuning,
+        ) {
+            Ok(gc) => gc,
+            Err(_) => return, // failed or garbled handshake: drop quietly
+        };
+        loop {
+            let incoming = match gc.recv_request() {
+                Ok(r) => r,
+                Err(OrbError::Transport(TransportError::Closed)) => break,
+                Err(_) => break,
+            };
+            let request_id = incoming.header.request_id;
+            let response_expected = incoming.header.response_expected;
+
+            // Build the argument decoder over the received body, wired to
+            // the deposited blocks when the connection is in ZC mode.
+            let mut dec = CdrDecoder::new(&incoming.body, incoming.order)
+                .with_meter(self.meter());
+            if incoming.zc {
+                dec = dec.with_deposits(incoming.deposits);
+            }
+            let dispatch_outcome = dec
+                .skip(incoming.args_offset)
+                .map_err(OrbError::from)
+                .and_then(|()| {
+                    let enc = gc.body_encoder();
+                    let mut sreq = ServerRequest::new(dec, enc);
+                    let r = self.inner.adapter.dispatch(
+                        &incoming.header.object_key,
+                        &incoming.header.operation,
+                        &mut sreq,
+                    );
+                    let (enc, ex, _) = sreq.finish();
+                    r.map(|()| (enc, ex))
+                });
+
+            if !response_expected {
+                continue;
+            }
+            let send_result = match dispatch_outcome {
+                Ok((enc, None)) => gc.send_reply_ok(request_id, enc),
+                Ok((_, Some(ex))) => gc.send_reply_exception(request_id, &ex),
+                Err(OrbError::System(ex)) => gc.send_reply_exception(request_id, &ex),
+                Err(OrbError::User(data)) => gc.send_reply_user(request_id, &data),
+                Err(OrbError::Cdr(_)) => gc.send_reply_exception(
+                    request_id,
+                    &SystemException::new(SystemExceptionKind::Marshal, 1),
+                ),
+                Err(_) => gc.send_reply_exception(
+                    request_id,
+                    &SystemException::new(SystemExceptionKind::Internal, 1),
+                ),
+            };
+            if send_result.is_err() {
+                break;
+            }
+        }
+        gc.send_close();
+    }
+}
+
+impl std::fmt::Debug for Orb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Orb(zc: {}, servants: {})",
+            self.inner.config.zc_enabled,
+            self.inner.adapter.len()
+        )
+    }
+}
+
+/// Builder for [`Orb`].
+#[derive(Default)]
+pub struct OrbBuilder {
+    transport: Option<TransportSel>,
+    config: OrbConfig,
+    meter: Option<Arc<CopyMeter>>,
+    pool: Option<PagePool>,
+}
+
+
+impl OrbBuilder {
+    /// Use the in-process simulated network.
+    pub fn sim(mut self, net: SimNetwork) -> Self {
+        self.transport = Some(TransportSel::Sim(net));
+        self
+    }
+
+    /// Use real loopback TCP.
+    pub fn tcp(mut self) -> Self {
+        self.transport = Some(TransportSel::Tcp);
+        self
+    }
+
+    /// Offer (or refuse) the zero-copy deposit path in negotiation.
+    pub fn zc(mut self, enabled: bool) -> Self {
+        self.config.zc_enabled = enabled;
+        self
+    }
+
+    /// Account copies on a supplied meter (e.g. shared between the client
+    /// and server ORBs of an experiment).
+    pub fn meter(mut self, meter: Arc<CopyMeter>) -> Self {
+        self.meter = Some(meter);
+        self
+    }
+
+    /// Use a specific deposit-buffer pool.
+    pub fn pool(mut self, pool: PagePool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Ablation A4: disable out-of-band deposits (marshal bypass only).
+    pub fn deposit_enabled(mut self, enabled: bool) -> Self {
+        self.config.tuning.deposit_enabled = enabled;
+        self
+    }
+
+    /// Ablation A1: couple data back into the control messages.
+    pub fn separate_data(mut self, separate: bool) -> Self {
+        self.config.tuning.separate_data = separate;
+        self
+    }
+
+    /// Pretend to be a foreign architecture (forces conventional IIOP).
+    pub fn pretend_foreign(mut self, foreign: bool) -> Self {
+        self.config.pretend_foreign = foreign;
+        self
+    }
+
+    /// Build the ORB.
+    ///
+    /// # Panics
+    /// If no transport was selected.
+    pub fn build(self) -> Orb {
+        let transport = self.transport.expect("OrbBuilder: select .sim(net) or .tcp()");
+        let meter = self.meter.unwrap_or_else(CopyMeter::new_shared);
+        let pool = self.pool.unwrap_or_else(PagePool::default_for_orb);
+        Orb {
+            inner: Arc::new(OrbInner {
+                ctx: TransportCtx { meter, pool },
+                transport,
+                config: self.config,
+                adapter: Arc::new(ObjectAdapter::new()),
+                conn_cache: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+}
+
+/// A running server: endpoint information and lifecycle control.
+pub struct ServerHandle {
+    orb: Orb,
+    host: String,
+    port: u16,
+    shutdown: Arc<AtomicBool>,
+    acceptor_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Host peers should dial.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Port peers should dial.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Produce an IOR for an object registered under `key`.
+    /// Returns an error if nothing is registered under that key.
+    pub fn ior_for(&self, key: &str, type_id: &str) -> OrbResult<Ior> {
+        if self.orb.adapter().find(key.as_bytes()).is_none() {
+            return Err(OrbError::Unresolvable(format!(
+                "no servant registered under key {key:?}"
+            )));
+        }
+        Ok(Ior::new_iiop(type_id, &self.host, self.port, key.as_bytes()))
+    }
+
+    /// Stop accepting new connections and join the acceptor thread.
+    /// Existing connections drain naturally as clients disconnect.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = self.orb.dial(&self.host.clone(), self.port);
+        if let Some(h) = self.acceptor_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServerHandle({}:{})", self.host, self.port)
+    }
+}

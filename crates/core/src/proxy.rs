@@ -1,0 +1,223 @@
+//! Client-side proxies: object references, static requests and replies.
+//!
+//! This is the stub side of the paper's Figure 3 data path: the application
+//! passes parameters by reference into a [`StaticRequest`]; marshaling
+//! happens once, into the connection's body encoder (or, for `ZcOctetSeq`
+//! on a ZC connection, not at all — a descriptor is written and the block
+//! rides the data channel).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use zc_buffers::ZcBytes;
+use zc_cdr::{CdrDecoder, CdrEncoder, CdrMarshal};
+use zc_giop::Ior;
+
+use crate::conn::{GiopConn, IncomingReply};
+use crate::{OrbError, OrbResult};
+
+/// A client-side reference to a remote object: the IOR plus a (shared)
+/// negotiated connection to its server.
+#[derive(Clone)]
+pub struct ObjectRef {
+    ior: Ior,
+    object_key: Vec<u8>,
+    conn: Arc<Mutex<GiopConn>>,
+}
+
+impl ObjectRef {
+    /// Wrap an established connection. Normally obtained from
+    /// [`crate::Orb::resolve`].
+    pub fn new(ior: Ior, conn: Arc<Mutex<GiopConn>>) -> OrbResult<ObjectRef> {
+        let object_key = ior.iiop_profile()?.object_key.clone();
+        Ok(ObjectRef {
+            ior,
+            object_key,
+            conn,
+        })
+    }
+
+    /// The reference's IOR.
+    pub fn ior(&self) -> &Ior {
+        &self.ior
+    }
+
+    /// Whether this reference's connection negotiated the zero-copy path.
+    pub fn is_zero_copy(&self) -> bool {
+        self.conn.lock().zc_active()
+    }
+
+    /// Begin a static invocation of `operation`.
+    pub fn request(&self, operation: &str) -> StaticRequest {
+        let enc = self.conn.lock().body_encoder();
+        StaticRequest {
+            target: self.clone(),
+            operation: operation.to_string(),
+            enc,
+            err: None,
+        }
+    }
+
+    /// GIOP locate: does the server claim to host this object's key?
+    pub fn locate(&self) -> OrbResult<bool> {
+        self.conn.lock().locate(&self.object_key)
+    }
+
+    /// Transport statistics of the underlying connection.
+    pub fn transport_stats(&self) -> zc_transport::ConnStats {
+        self.conn.lock().transport_stats()
+    }
+}
+
+impl std::fmt::Debug for ObjectRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ObjectRef({} @ {:?})",
+            self.ior.type_id,
+            String::from_utf8_lossy(&self.object_key)
+        )
+    }
+}
+
+/// A static method invocation under construction (MICO's `StaticRequest`).
+pub struct StaticRequest {
+    target: ObjectRef,
+    operation: String,
+    enc: CdrEncoder,
+    err: Option<OrbError>,
+}
+
+impl StaticRequest {
+    /// Marshal the next `in` parameter. Errors are deferred to
+    /// [`StaticRequest::invoke`] so calls chain fluently.
+    pub fn arg<T: CdrMarshal>(mut self, v: &T) -> OrbResult<StaticRequest> {
+        if self.err.is_none() {
+            if let Err(e) = v.marshal(&mut self.enc) {
+                self.err = Some(e.into());
+            }
+        }
+        Ok(self)
+    }
+
+    /// Send the request and wait for its reply.
+    pub fn invoke(self) -> OrbResult<Reply> {
+        self.invoke_inner(None)
+    }
+
+    /// Send the request and wait at most `timeout` for the reply. On
+    /// timeout the connection is poisoned (a stale reply may still
+    /// arrive); resolve a fresh reference to continue.
+    pub fn invoke_timeout(self, timeout: std::time::Duration) -> OrbResult<Reply> {
+        self.invoke_inner(Some(timeout))
+    }
+
+    fn invoke_inner(self, timeout: Option<std::time::Duration>) -> OrbResult<Reply> {
+        let StaticRequest {
+            target,
+            operation,
+            enc,
+            err,
+        } = self;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        let mut conn = target.conn.lock();
+        let id = conn.send_request(&target.object_key, &operation, true, enc)?;
+        let incoming = match timeout {
+            None => conn.recv_reply(id)?,
+            Some(d) => conn.recv_reply_timeout(id, d)?,
+        };
+        let meter = conn.meter();
+        Ok(Reply { incoming, meter })
+    }
+
+    /// Send the request without expecting a reply (IDL `oneway`).
+    pub fn invoke_oneway(self) -> OrbResult<()> {
+        let StaticRequest {
+            target,
+            operation,
+            enc,
+            err,
+        } = self;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        let mut conn = target.conn.lock();
+        conn.send_request(&target.object_key, &operation, false, enc)?;
+        Ok(())
+    }
+}
+
+/// A successful reply; demarshal results in declaration order.
+#[derive(Debug)]
+pub struct Reply {
+    incoming: IncomingReply,
+    meter: Arc<zc_buffers::CopyMeter>,
+}
+
+impl Reply {
+    /// Demarshal the (single) result value.
+    pub fn result<T: CdrMarshal>(self) -> OrbResult<T> {
+        let mut results = self.results();
+        results.next()
+    }
+
+    /// Iterate multiple out-values.
+    pub fn results(self) -> ReplyResults {
+        let IncomingReply {
+            body,
+            results_offset,
+            deposits,
+            order,
+            zc,
+        } = self.incoming;
+        ReplyResults {
+            body,
+            offset: results_offset,
+            slots: deposits.into_iter().map(Some).collect(),
+            order,
+            zc,
+            meter: self.meter,
+        }
+    }
+
+    /// Peek at the first deposited block, if any (fast path for streaming
+    /// consumers that want the raw pages).
+    pub fn first_deposit(&self) -> Option<ZcBytes> {
+        self.incoming.deposits.first().cloned()
+    }
+}
+
+/// Sequential access to a reply's out-values.
+pub struct ReplyResults {
+    body: Vec<u8>,
+    offset: usize,
+    slots: Vec<Option<ZcBytes>>,
+    order: zc_cdr::ByteOrder,
+    zc: bool,
+    meter: Arc<zc_buffers::CopyMeter>,
+}
+
+impl ReplyResults {
+    /// Demarshal the next out-value. (Named distinctly from
+    /// `Iterator::next` — results are heterogeneous, so this cannot be an
+    /// iterator.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next<T: CdrMarshal>(&mut self) -> OrbResult<T> {
+        // Rebuild a decoder positioned at the current offset; deposit slots
+        // persist across calls so descriptor indices stay stable.
+        let slots = std::mem::take(&mut self.slots);
+        let mut dec =
+            CdrDecoder::new(&self.body, self.order).with_meter(Arc::clone(&self.meter));
+        if self.zc {
+            dec = dec.with_deposit_slots(slots);
+        }
+        dec.skip(self.offset).map_err(OrbError::from)?;
+        let v = T::demarshal(&mut dec)?;
+        self.offset = dec.position();
+        self.slots = dec.into_deposit_slots();
+        Ok(v)
+    }
+}

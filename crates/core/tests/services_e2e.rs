@@ -1,0 +1,225 @@
+//! End-to-end tests for the ORB-hosted services: the naming service and
+//! the data-parallel collectives.
+
+use std::sync::Arc;
+
+use zc_buffers::{CopyLayer, CopyMeter, ZcBytes};
+use zc_cdr::ZcOctetSeq;
+use zc_orb::naming::{install_name_service, is_unbound_name, NamingClient};
+use zc_orb::{ObjectAdapterExt, Orb, OrbResult, ParGroup, Servant, ServerRequest};
+use zc_transport::{SimConfig, SimNetwork};
+
+struct Doubler;
+impl Servant for Doubler {
+    fn repo_id(&self) -> &'static str {
+        "IDL:svc/Doubler:1.0"
+    }
+    fn dispatch(&self, op: &str, req: &mut ServerRequest<'_>) -> OrbResult<()> {
+        match op {
+            "double" => {
+                let x: i64 = req.arg()?;
+                req.result(&(2 * x))
+            }
+            // the ParGroup contract: (part, parts, offset, data) -> result
+            "sum_part" => {
+                let _part: u32 = req.arg()?;
+                let _parts: u32 = req.arg()?;
+                let _offset: u64 = req.arg()?;
+                let data: ZcOctetSeq = req.arg()?;
+                req.result(&data.iter().map(|&b| b as u64).sum::<u64>())
+            }
+            "reverse_part" => {
+                let _part: u32 = req.arg()?;
+                let _parts: u32 = req.arg()?;
+                let _offset: u64 = req.arg()?;
+                let data: ZcOctetSeq = req.arg()?;
+                let mut rev: Vec<u8> = data.to_vec();
+                rev.reverse();
+                let mut buf = zc_buffers::AlignedBuf::with_capacity(rev.len());
+                buf.extend_from_slice(&rev);
+                req.result(&ZcOctetSeq::from_zc(ZcBytes::from_aligned(buf)))
+            }
+            "first_byte" => {
+                let _part: u32 = req.arg()?;
+                let _parts: u32 = req.arg()?;
+                let _offset: u64 = req.arg()?;
+                let data: ZcOctetSeq = req.arg()?;
+                req.result(&(data.first().copied().unwrap_or(0) as u32))
+            }
+            other => req.bad_operation(other),
+        }
+    }
+}
+
+fn cluster() -> (Orb, Orb, zc_orb::ServerHandle) {
+    let net = SimNetwork::new(SimConfig::zero_copy());
+    let server_orb = Orb::builder().sim(net.clone()).build();
+    server_orb.adapter().register("doubler", Arc::new(Doubler));
+    let server = server_orb.serve(0).unwrap();
+    let client_orb = Orb::builder().sim(net).build();
+    (server_orb, client_orb, server)
+}
+
+#[test]
+fn naming_bind_resolve_roundtrip() {
+    let (server_orb, client_orb, server) = cluster();
+    install_name_service(&server_orb, &server).unwrap();
+    let ns = NamingClient::connect(&client_orb, server.host(), server.port()).unwrap();
+
+    // nothing bound yet
+    let err = ns.resolve_name("svc/doubler").unwrap_err();
+    assert!(is_unbound_name(&err), "{err:?}");
+
+    // bind and resolve through the service to a working object
+    let doubler_ior = server.ior_for("doubler", "IDL:svc/Doubler:1.0").unwrap();
+    assert!(!ns.bind("svc/doubler", &doubler_ior).unwrap());
+    let obj = ns.resolve_object(&client_orb, "svc/doubler").unwrap();
+    let y: i64 = obj
+        .request("double")
+        .arg(&21i64)
+        .unwrap()
+        .invoke()
+        .unwrap()
+        .result()
+        .unwrap();
+    assert_eq!(y, 42);
+
+    // rebinding reports replacement
+    assert!(ns.bind("svc/doubler", &doubler_ior).unwrap());
+
+    // list and unbind
+    ns.bind("svc/other", &doubler_ior).unwrap();
+    assert_eq!(ns.list().unwrap(), vec!["svc/doubler", "svc/other"]);
+    assert!(ns.unbind("svc/other").unwrap());
+    assert!(!ns.unbind("svc/other").unwrap());
+    assert_eq!(ns.list().unwrap(), vec!["svc/doubler"]);
+}
+
+#[test]
+fn naming_rejects_malformed_ior_at_bind_time() {
+    let (server_orb, client_orb, server) = cluster();
+    install_name_service(&server_orb, &server).unwrap();
+    // Speak to the service through a raw (untyped) reference, like a buggy
+    // client would, and push a malformed IOR string.
+    let raw = client_orb
+        .resolve(&zc_giop::Ior::new_iiop(
+            zc_orb::naming::NAMING_REPO_ID,
+            server.host(),
+            server.port(),
+            zc_orb::naming::NAME_SERVICE_KEY.as_bytes(),
+        ))
+        .unwrap();
+    let err = raw
+        .request("bind")
+        .arg(&"bad".to_string())
+        .unwrap()
+        .arg(&"IOR:zz".to_string())
+        .unwrap()
+        .invoke()
+        .unwrap_err();
+    assert!(matches!(err, zc_orb::OrbError::System(_)));
+    // and the bad name is not listed afterwards
+    let ns = NamingClient::connect(&client_orb, server.host(), server.port()).unwrap();
+    assert!(ns.list().unwrap().is_empty());
+}
+
+#[test]
+fn scatter_is_zero_copy_and_complete() {
+    let net = SimNetwork::new(SimConfig::zero_copy());
+    let meter = CopyMeter::new_shared();
+    let server_orb = Orb::builder().sim(net.clone()).meter(Arc::clone(&meter)).build();
+    server_orb.adapter().register("w", Arc::new(Doubler));
+    let server = server_orb.serve(0).unwrap();
+    let client_orb = Orb::builder().sim(net).meter(Arc::clone(&meter)).build();
+    let ior = server.ior_for("w", "IDL:svc/Doubler:1.0").unwrap();
+
+    let group = ParGroup::new(
+        (0..4)
+            .map(|_| client_orb.resolve_private(&ior).unwrap())
+            .collect(),
+    );
+
+    // 4 MiB of known content
+    let n = 4 << 20;
+    let mut buf = zc_buffers::AlignedBuf::zeroed(n);
+    for (i, b) in buf.as_mut_slice().iter_mut().enumerate() {
+        *b = (i % 251) as u8;
+    }
+    let data = ZcBytes::from_aligned(buf);
+    let expected: u64 = data.iter().map(|&b| b as u64).sum();
+
+    let before = meter.snapshot();
+    let sums: Vec<u64> = group.scatter("sum_part", &data).unwrap();
+    let delta = meter.snapshot().since(&before);
+
+    assert_eq!(sums.len(), 4);
+    assert_eq!(sums.iter().sum::<u64>(), expected);
+    assert_eq!(
+        delta.bytes(CopyLayer::Marshal) + delta.bytes(CopyLayer::Demarshal),
+        0,
+        "scatter marshals nothing:\n{}",
+        delta.report()
+    );
+    // The partitioner cuts on page boundaries, so every part is
+    // deposit-eligible: zero fallback copies anywhere.
+    assert_eq!(
+        delta.bytes(CopyLayer::DepositFallback),
+        0,
+        "page-aligned parts never fall back:\n{}",
+        delta.report()
+    );
+}
+
+#[test]
+fn scatter_gather_reassembles_in_order() {
+    let (_server_orb, client_orb, server) = cluster();
+    let ior = server.ior_for("doubler", "IDL:svc/Doubler:1.0").unwrap();
+    let group = ParGroup::new(
+        (0..3)
+            .map(|_| client_orb.resolve_private(&ior).unwrap())
+            .collect(),
+    );
+    let payload: Vec<u8> = (0..30_000).map(|i| (i % 256) as u8).collect();
+    let data = {
+        let mut b = zc_buffers::AlignedBuf::with_capacity(payload.len());
+        b.extend_from_slice(&payload);
+        ZcBytes::from_aligned(b)
+    };
+    // each worker reverses its part; gather concatenates part-reversals
+    let gathered = group.scatter_gather("reverse_part", &data).unwrap();
+    assert_eq!(gathered.len(), payload.len());
+    let mut expect = Vec::new();
+    for (_, part) in group.partition(&data) {
+        let mut rev = part.to_vec();
+        rev.reverse();
+        expect.extend_from_slice(&rev);
+    }
+    assert_eq!(gathered.as_slice(), &expect[..]);
+}
+
+#[test]
+fn broadcast_delivers_whole_block_to_every_member() {
+    let (_server_orb, client_orb, server) = cluster();
+    let ior = server.ior_for("doubler", "IDL:svc/Doubler:1.0").unwrap();
+    let group = ParGroup::new(
+        (0..5)
+            .map(|_| client_orb.resolve_private(&ior).unwrap())
+            .collect(),
+    );
+    let mut buf = zc_buffers::AlignedBuf::zeroed(4096);
+    buf.as_mut_slice()[0] = 0xEE;
+    let data = ZcBytes::from_aligned(buf);
+    let firsts: Vec<u32> = group.broadcast("first_byte", &data).unwrap();
+    assert_eq!(firsts, vec![0xEE; 5]);
+}
+
+#[test]
+fn scatter_worker_failure_propagates() {
+    let (_server_orb, client_orb, server) = cluster();
+    let ior = server.ior_for("doubler", "IDL:svc/Doubler:1.0").unwrap();
+    let group = ParGroup::new(vec![client_orb.resolve_private(&ior).unwrap()]);
+    let err = group
+        .scatter::<u64>("no_such_op", &ZcBytes::zeroed(100))
+        .unwrap_err();
+    assert!(matches!(err, zc_orb::OrbError::System(_)));
+}

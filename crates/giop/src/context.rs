@@ -1,0 +1,209 @@
+//! GIOP service contexts, including the zcorba deposit manifest.
+
+use zc_cdr::{CdrDecoder, CdrEncoder, CdrResult};
+
+/// Service-context id for the zcorba deposit manifest. High bit pattern
+/// `0x5A43….` ("ZC") keeps us inside the OMG "vendor" id space.
+pub const SVC_CTX_DEPOSIT: u32 = 0x5A43_0001;
+
+/// Service-context id for negotiation echoes (diagnostics; the binding
+/// negotiation itself happens in the connection handshake).
+pub const SVC_CTX_NEGOTIATE: u32 = 0x5A43_0002;
+
+/// A single GIOP service context: an id plus opaque encapsulated data.
+///
+/// Standard CORBA receivers skip contexts they do not understand, which is
+/// what keeps the deposit manifest interoperable: a non-ZC peer would never
+/// see one (negotiation precedes use), and even if it did the request body
+/// remains self-contained.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceContext {
+    /// Context identifier.
+    pub id: u32,
+    /// Raw context data (conventionally a CDR encapsulation).
+    pub data: Vec<u8>,
+}
+
+impl ServiceContext {
+    /// Marshal a service-context list (ulong count, then id + octet-seq
+    /// data per entry).
+    pub fn marshal_list(list: &[ServiceContext], enc: &mut CdrEncoder) -> CdrResult<()> {
+        enc.write_u32(list.len() as u32);
+        for ctx in list {
+            enc.write_u32(ctx.id);
+            enc.write_octet_seq(&ctx.data);
+        }
+        Ok(())
+    }
+
+    /// Demarshal a service-context list.
+    pub fn demarshal_list(dec: &mut CdrDecoder<'_>) -> CdrResult<Vec<ServiceContext>> {
+        let count = dec.read_u32()?;
+        let mut out = Vec::with_capacity((count as usize).min(64));
+        for _ in 0..count {
+            let id = dec.read_u32()?;
+            let data = dec.read_octet_seq()?;
+            out.push(ServiceContext { id, data });
+        }
+        Ok(out)
+    }
+
+    /// Find a context by id.
+    pub fn find(list: &[ServiceContext], id: u32) -> Option<&ServiceContext> {
+        list.iter().find(|c| c.id == id)
+    }
+}
+
+/// The deposit manifest: the control-path announcement of out-of-band data.
+///
+/// Carried as a service context on any Request or Reply whose body contains
+/// deposit descriptors. It lists the byte length of every block, in
+/// descriptor-index order, so the receiver's deposit callback can allocate
+/// appropriately sized page-aligned buffers *before* the blocks arrive on
+/// the data channel — the role played in the paper by the "GIOPRequest
+/// header [that] contains the size of the data block that is needed by the
+/// receiver to correctly receive the GIOPRequest message" (§4.4).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DepositManifest {
+    /// Byte length of each deposited block, in index order.
+    pub block_lengths: Vec<u64>,
+}
+
+impl DepositManifest {
+    /// Total payload bytes announced.
+    pub fn total_bytes(&self) -> u64 {
+        self.block_lengths.iter().sum()
+    }
+
+    /// Number of blocks announced.
+    pub fn block_count(&self) -> usize {
+        self.block_lengths.len()
+    }
+
+    /// Encode into a service context.
+    pub fn to_context(&self) -> ServiceContext {
+        let mut enc = CdrEncoder::native();
+        enc.write_octet(enc.order().flag() as u8); // encapsulation-style flag
+        enc.write_u32(self.block_lengths.len() as u32);
+        for &len in &self.block_lengths {
+            enc.write_u64(len);
+        }
+        ServiceContext {
+            id: SVC_CTX_DEPOSIT,
+            data: enc.finish_stream(),
+        }
+    }
+
+    /// Decode from a service context previously produced by
+    /// [`DepositManifest::to_context`]. Returns `None` if the id differs.
+    pub fn from_context(ctx: &ServiceContext) -> CdrResult<Option<DepositManifest>> {
+        if ctx.id != SVC_CTX_DEPOSIT {
+            return Ok(None);
+        }
+        let flag = *ctx.data.first().ok_or(zc_cdr::CdrError::OutOfBounds {
+            need: 1,
+            have: 0,
+        })?;
+        let order = zc_cdr::ByteOrder::from_flag(flag & 1 == 1);
+        let mut dec = CdrDecoder::new(&ctx.data, order);
+        dec.read_octet()?; // flag
+        let count = dec.read_u32()?;
+        let mut block_lengths = Vec::with_capacity((count as usize).min(1024));
+        for _ in 0..count {
+            block_lengths.push(dec.read_u64()?);
+        }
+        Ok(Some(DepositManifest { block_lengths }))
+    }
+
+    /// Scan a context list for a manifest.
+    pub fn find_in(list: &[ServiceContext]) -> CdrResult<Option<DepositManifest>> {
+        match ServiceContext::find(list, SVC_CTX_DEPOSIT) {
+            Some(ctx) => DepositManifest::from_context(ctx),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zc_cdr::ByteOrder;
+
+    #[test]
+    fn context_list_roundtrip() {
+        let list = vec![
+            ServiceContext {
+                id: 1,
+                data: vec![1, 2, 3],
+            },
+            ServiceContext {
+                id: SVC_CTX_NEGOTIATE,
+                data: vec![],
+            },
+        ];
+        let mut enc = CdrEncoder::new(ByteOrder::Big);
+        ServiceContext::marshal_list(&list, &mut enc).unwrap();
+        let bytes = enc.finish_stream();
+        let mut dec = CdrDecoder::new(&bytes, ByteOrder::Big);
+        let back = ServiceContext::demarshal_list(&mut dec).unwrap();
+        assert_eq!(back, list);
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = DepositManifest {
+            block_lengths: vec![4096, 0, 1 << 24, 12345],
+        };
+        let ctx = m.to_context();
+        assert_eq!(ctx.id, SVC_CTX_DEPOSIT);
+        let back = DepositManifest::from_context(&ctx).unwrap().unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.total_bytes(), 4096 + (1 << 24) + 12345);
+        assert_eq!(back.block_count(), 4);
+    }
+
+    #[test]
+    fn manifest_ignores_foreign_context() {
+        let ctx = ServiceContext {
+            id: 77,
+            data: vec![1, 2, 3],
+        };
+        assert_eq!(DepositManifest::from_context(&ctx).unwrap(), None);
+    }
+
+    #[test]
+    fn find_in_list() {
+        let m = DepositManifest {
+            block_lengths: vec![10],
+        };
+        let list = vec![
+            ServiceContext {
+                id: 5,
+                data: vec![],
+            },
+            m.to_context(),
+        ];
+        assert_eq!(DepositManifest::find_in(&list).unwrap().unwrap(), m);
+        assert_eq!(DepositManifest::find_in(&list[..1]).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_manifest_is_valid() {
+        let m = DepositManifest::default();
+        let back = DepositManifest::from_context(&m.to_context())
+            .unwrap()
+            .unwrap();
+        assert_eq!(back.block_count(), 0);
+        assert_eq!(back.total_bytes(), 0);
+    }
+
+    #[test]
+    fn truncated_manifest_rejected() {
+        let mut ctx = DepositManifest {
+            block_lengths: vec![1, 2, 3],
+        }
+        .to_context();
+        ctx.data.truncate(8);
+        assert!(DepositManifest::from_context(&ctx).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! The connection-open architecture/capability handshake.
+//!
+//! "For remote communication with the same architecture on client and
+//! server, certain types … do not have to be marshaled and demarshaled at
+//! all. The negotiation of the architecture and the typeset between the
+//! client and server is specified by the GIOP protocol already." (§2.1)
+//!
+//! zcorba performs this negotiation once per connection, immediately after
+//! transport establishment and before any GIOP traffic: each side sends a
+//! fixed-format [`Handshake`] frame describing its architecture and
+//! zero-copy capability; both sides then independently compute the same
+//! [`Handshake::negotiate`] outcome. Direct deposit is enabled only when
+//! the architectures match bit-for-bit *and* both ends opted in — otherwise
+//! the connection silently runs conventional, fully-marshaled IIOP, which
+//! keeps heterogeneous interoperability intact.
+
+use zc_cdr::{ByteOrder, CdrDecoder, CdrEncoder};
+
+use crate::{GiopError, GiopResult};
+
+/// Magic bytes opening a handshake frame (distinct from "GIOP" so a foreign
+/// peer fails fast and loudly rather than misparsing).
+pub const HANDSHAKE_MAGIC: [u8; 4] = *b"ZCH1";
+
+/// One side's architecture and capability declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Handshake {
+    /// Native byte order of this host.
+    pub byte_order: ByteOrder,
+    /// Native word size in bytes (8 on all our targets; part of the
+    /// architecture identity check).
+    pub word_size: u8,
+    /// Page size used for deposit buffers.
+    pub page_size: u32,
+    /// Free-form architecture tag (e.g. `x86_64-linux`); must match exactly
+    /// for the marshaling bypass to be safe.
+    pub arch: String,
+    /// Whether this ORB supports (and wants) direct deposit.
+    pub zc_supported: bool,
+}
+
+/// The jointly computed outcome of a handshake exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Negotiated {
+    /// Both ends are the same architecture (byte order, word size, page
+    /// size, arch tag) — marshaling bypass is safe.
+    pub homogeneous: bool,
+    /// Direct deposit is active on this connection.
+    pub zero_copy: bool,
+    /// The byte order the connection will use for GIOP messages (the
+    /// client's native order; the server "makes it right").
+    pub wire_order: ByteOrder,
+}
+
+impl Handshake {
+    /// The handshake for this host.
+    pub fn local(zc_supported: bool) -> Handshake {
+        Handshake {
+            byte_order: ByteOrder::native(),
+            word_size: std::mem::size_of::<usize>() as u8,
+            page_size: zc_buffers::PAGE_SIZE as u32,
+            arch: format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS),
+            zc_supported,
+        }
+    }
+
+    /// A handshake that *pretends* to be a foreign architecture — used by
+    /// interop tests and the heterogeneity experiments to force the
+    /// conventional path without actual foreign hardware.
+    pub fn foreign() -> Handshake {
+        Handshake {
+            byte_order: ByteOrder::native().swapped(),
+            word_size: 4,
+            page_size: zc_buffers::PAGE_SIZE as u32,
+            arch: "sparc32-solaris".to_string(),
+            zc_supported: false,
+        }
+    }
+
+    /// Serialize to a self-contained frame (fixed magic, then CDR in this
+    /// host's byte order with a leading flag octet).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = CdrEncoder::new(self.byte_order);
+        enc.write_raw(&HANDSHAKE_MAGIC);
+        enc.write_octet(self.byte_order.flag() as u8);
+        enc.write_octet(self.word_size);
+        enc.write_bool(self.zc_supported);
+        enc.write_u32(self.page_size);
+        enc.write_string(&self.arch);
+        enc.finish_stream()
+    }
+
+    /// Parse a frame produced by [`Handshake::encode`].
+    pub fn decode(bytes: &[u8]) -> GiopResult<Handshake> {
+        if bytes.len() < 6 || bytes[..4] != HANDSHAKE_MAGIC {
+            return Err(GiopError::BadHandshake);
+        }
+        let byte_order = ByteOrder::from_flag(bytes[4] & 1 == 1);
+        let mut dec = CdrDecoder::new(bytes, byte_order);
+        dec.read_octet()?; // 'Z'
+        dec.read_octet()?; // 'C'
+        dec.read_octet()?; // 'H'
+        dec.read_octet()?; // '1'
+        dec.read_octet()?; // order flag
+        let word_size = dec.read_octet()?;
+        let zc_supported = dec.read_bool()?;
+        let page_size = dec.read_u32()?;
+        let arch = dec.read_string()?;
+        Ok(Handshake {
+            byte_order,
+            word_size,
+            page_size,
+            arch,
+            zc_supported,
+        })
+    }
+
+    /// Compute the connection mode. Both peers run this with the same two
+    /// declarations (ordering normalized by role: `client`, `server`), so
+    /// they agree without a second round trip.
+    pub fn negotiate(client: &Handshake, server: &Handshake) -> Negotiated {
+        let homogeneous = client.byte_order == server.byte_order
+            && client.word_size == server.word_size
+            && client.page_size == server.page_size
+            && client.arch == server.arch;
+        Negotiated {
+            homogeneous,
+            zero_copy: homogeneous && client.zc_supported && server.zc_supported,
+            wire_order: client.byte_order,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let h = Handshake::local(true);
+        let back = Handshake::decode(&h.encode()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn foreign_roundtrip() {
+        let h = Handshake::foreign();
+        let back = Handshake::decode(&h.encode()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Handshake::local(true).encode();
+        bytes[0] = b'G';
+        assert_eq!(Handshake::decode(&bytes), Err(GiopError::BadHandshake));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = Handshake::local(true).encode();
+        assert!(Handshake::decode(&bytes[..5]).is_err());
+        assert!(Handshake::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn negotiation_homogeneous_both_willing() {
+        let a = Handshake::local(true);
+        let b = Handshake::local(true);
+        let n = Handshake::negotiate(&a, &b);
+        assert!(n.homogeneous);
+        assert!(n.zero_copy);
+        assert_eq!(n.wire_order, ByteOrder::native());
+    }
+
+    #[test]
+    fn negotiation_one_side_unwilling() {
+        let a = Handshake::local(true);
+        let b = Handshake::local(false);
+        let n = Handshake::negotiate(&a, &b);
+        assert!(n.homogeneous, "same machine is still homogeneous");
+        assert!(!n.zero_copy, "but deposit needs both ends willing");
+    }
+
+    #[test]
+    fn negotiation_heterogeneous_never_zero_copy() {
+        let a = Handshake::local(true);
+        let mut b = Handshake::foreign();
+        b.zc_supported = true; // even a willing foreign peer can't deposit
+        let n = Handshake::negotiate(&a, &b);
+        assert!(!n.homogeneous);
+        assert!(!n.zero_copy);
+    }
+
+    #[test]
+    fn wire_order_is_client_native() {
+        let mut client = Handshake::local(true);
+        client.byte_order = ByteOrder::Big;
+        let server = Handshake::local(true);
+        let n = Handshake::negotiate(&client, &server);
+        assert_eq!(n.wire_order, ByteOrder::Big);
+    }
+
+    #[test]
+    fn page_size_mismatch_blocks_deposit() {
+        let a = Handshake::local(true);
+        let mut b = Handshake::local(true);
+        b.page_size = 8192;
+        let n = Handshake::negotiate(&a, &b);
+        assert!(!n.zero_copy);
+    }
+}

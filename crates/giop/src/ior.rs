@@ -1,0 +1,270 @@
+//! Interoperable Object References (IOR) with IIOP profiles.
+
+use zc_cdr::{ByteOrder, CdrDecoder, CdrEncoder, CdrResult};
+
+use crate::msg::GiopVersion;
+use crate::{GiopError, GiopResult};
+
+/// OMG tag for the IIOP profile.
+pub const TAG_INTERNET_IOP: u32 = 0;
+
+/// An IIOP profile: where an object lives and how to name it there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IiopProfile {
+    /// IIOP (GIOP) version the endpoint speaks.
+    pub version: GiopVersion,
+    /// Hostname or dotted address.
+    pub host: String,
+    /// TCP port.
+    pub port: u16,
+    /// Opaque object key within the server ORB.
+    pub object_key: Vec<u8>,
+}
+
+impl IiopProfile {
+    /// Encode the profile body (an encapsulation).
+    fn marshal_body(&self, enc: &mut CdrEncoder) {
+        enc.write_encapsulation(|e| {
+            e.write_octet(self.version.major);
+            e.write_octet(self.version.minor);
+            e.write_string(&self.host);
+            e.write_u16(self.port);
+            e.write_octet_seq(&self.object_key);
+        });
+    }
+
+    fn demarshal_body(dec: &mut CdrDecoder<'_>) -> CdrResult<IiopProfile> {
+        dec.read_encapsulation(|e| {
+            let major = e.read_octet()?;
+            let minor = e.read_octet()?;
+            let host = e.read_string()?;
+            let port = e.read_u16()?;
+            let object_key = e.read_octet_seq()?;
+            Ok(IiopProfile {
+                version: GiopVersion { major, minor },
+                host,
+                port,
+                object_key,
+            })
+        })
+    }
+}
+
+/// A tagged profile: either a parsed IIOP profile or an opaque foreign one
+/// (preserved byte-exactly so re-encoding an IOR we merely relayed is
+/// lossless — a property real ORBs must maintain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaggedProfile {
+    /// `TAG_INTERNET_IOP`.
+    Iiop(IiopProfile),
+    /// Any other tag, kept verbatim.
+    Other {
+        /// The profile tag.
+        tag: u32,
+        /// Raw encapsulated profile data.
+        data: Vec<u8>,
+    },
+}
+
+/// An Interoperable Object Reference: a repository type id plus one or more
+/// profiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ior {
+    /// Repository id of the most derived interface (e.g.
+    /// `IDL:zcorba/Transfer:1.0`), empty for anonymous references.
+    pub type_id: String,
+    /// Profiles, in preference order.
+    pub profiles: Vec<TaggedProfile>,
+}
+
+impl Ior {
+    /// Build a single-profile IIOP reference.
+    pub fn new_iiop(type_id: &str, host: &str, port: u16, object_key: &[u8]) -> Ior {
+        Ior {
+            type_id: type_id.to_string(),
+            profiles: vec![TaggedProfile::Iiop(IiopProfile {
+                version: GiopVersion::V1_2,
+                host: host.to_string(),
+                port,
+                object_key: object_key.to_vec(),
+            })],
+        }
+    }
+
+    /// The first IIOP profile, if any.
+    pub fn iiop_profile(&self) -> GiopResult<&IiopProfile> {
+        self.profiles
+            .iter()
+            .find_map(|p| match p {
+                TaggedProfile::Iiop(p) => Some(p),
+                TaggedProfile::Other { .. } => None,
+            })
+            .ok_or(GiopError::NoIiopProfile)
+    }
+
+    /// Marshal onto a CDR stream.
+    pub fn marshal(&self, enc: &mut CdrEncoder) -> CdrResult<()> {
+        enc.write_string(&self.type_id);
+        enc.write_u32(self.profiles.len() as u32);
+        for p in &self.profiles {
+            match p {
+                TaggedProfile::Iiop(prof) => {
+                    enc.write_u32(TAG_INTERNET_IOP);
+                    prof.marshal_body(enc);
+                }
+                TaggedProfile::Other { tag, data } => {
+                    enc.write_u32(*tag);
+                    enc.write_octet_seq(data);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Demarshal from a CDR stream.
+    pub fn demarshal(dec: &mut CdrDecoder<'_>) -> CdrResult<Ior> {
+        let type_id = dec.read_string()?;
+        let count = dec.read_u32()?;
+        let mut profiles = Vec::with_capacity((count as usize).min(16));
+        for _ in 0..count {
+            let tag = dec.read_u32()?;
+            if tag == TAG_INTERNET_IOP {
+                profiles.push(TaggedProfile::Iiop(IiopProfile::demarshal_body(dec)?));
+            } else {
+                profiles.push(TaggedProfile::Other {
+                    tag,
+                    data: dec.read_octet_seq()?,
+                });
+            }
+        }
+        Ok(Ior { type_id, profiles })
+    }
+
+    /// The classic `IOR:<hex>` stringified form: the hex encoding of a CDR
+    /// encapsulation (flag octet + marshaled IOR) in native order.
+    pub fn to_ior_string(&self) -> String {
+        let mut enc = CdrEncoder::native();
+        enc.write_octet(enc.order().flag() as u8);
+        self.marshal(&mut enc).expect("IOR marshal is infallible");
+        let bytes = enc.finish_stream();
+        let mut s = String::with_capacity(4 + bytes.len() * 2);
+        s.push_str("IOR:");
+        for b in bytes {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parse an `IOR:<hex>` string.
+    pub fn from_ior_string(s: &str) -> GiopResult<Ior> {
+        let hex = s
+            .strip_prefix("IOR:")
+            .ok_or_else(|| GiopError::BadIorString(s.to_string()))?;
+        if hex.len() % 2 != 0 || hex.is_empty() {
+            return Err(GiopError::BadIorString(s.to_string()));
+        }
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        for i in (0..hex.len()).step_by(2) {
+            let b = u8::from_str_radix(&hex[i..i + 2], 16)
+                .map_err(|_| GiopError::BadIorString(s.to_string()))?;
+            bytes.push(b);
+        }
+        let order = ByteOrder::from_flag(bytes[0] & 1 == 1);
+        let mut dec = CdrDecoder::new(&bytes, order);
+        dec.read_octet()?; // flag
+        Ok(Ior::demarshal(&mut dec)?)
+    }
+}
+
+impl std::fmt::Display for Ior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_ior_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ior {
+        Ior::new_iiop("IDL:zcorba/Transfer:1.0", "10.0.0.7", 2809, b"transfer-1")
+    }
+
+    #[test]
+    fn cdr_roundtrip_both_orders() {
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let ior = sample();
+            let mut enc = CdrEncoder::new(order);
+            ior.marshal(&mut enc).unwrap();
+            let bytes = enc.finish_stream();
+            let mut dec = CdrDecoder::new(&bytes, order);
+            assert_eq!(Ior::demarshal(&mut dec).unwrap(), ior);
+        }
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let ior = sample();
+        let s = ior.to_ior_string();
+        assert!(s.starts_with("IOR:"));
+        assert!(s[4..].chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(Ior::from_ior_string(&s).unwrap(), ior);
+    }
+
+    #[test]
+    fn iiop_profile_lookup() {
+        let ior = sample();
+        let p = ior.iiop_profile().unwrap();
+        assert_eq!(p.host, "10.0.0.7");
+        assert_eq!(p.port, 2809);
+        assert_eq!(p.object_key, b"transfer-1");
+    }
+
+    #[test]
+    fn foreign_profile_preserved_verbatim() {
+        let mut ior = sample();
+        ior.profiles.push(TaggedProfile::Other {
+            tag: 0x4D454F57,
+            data: vec![0xDE, 0xAD, 0xBE, 0xEF],
+        });
+        let s = ior.to_ior_string();
+        let back = Ior::from_ior_string(&s).unwrap();
+        assert_eq!(back, ior);
+        // lossless relay: restringify identically
+        assert_eq!(back.to_ior_string(), s);
+    }
+
+    #[test]
+    fn no_iiop_profile_error() {
+        let ior = Ior {
+            type_id: "IDL:x:1.0".into(),
+            profiles: vec![TaggedProfile::Other {
+                tag: 99,
+                data: vec![],
+            }],
+        };
+        assert_eq!(ior.iiop_profile().unwrap_err(), GiopError::NoIiopProfile);
+    }
+
+    #[test]
+    fn malformed_strings_rejected() {
+        assert!(Ior::from_ior_string("NOPE:00").is_err());
+        assert!(Ior::from_ior_string("IOR:").is_err());
+        assert!(Ior::from_ior_string("IOR:0").is_err());
+        assert!(Ior::from_ior_string("IOR:zz").is_err());
+    }
+
+    #[test]
+    fn multi_profile_order_preserved() {
+        let mut ior = sample();
+        ior.profiles.push(TaggedProfile::Iiop(IiopProfile {
+            version: GiopVersion::V1_0,
+            host: "backup".into(),
+            port: 1,
+            object_key: vec![1],
+        }));
+        let back = Ior::from_ior_string(&ior.to_ior_string()).unwrap();
+        assert_eq!(back.profiles.len(), 2);
+        assert_eq!(back.iiop_profile().unwrap().host, "10.0.0.7");
+    }
+}

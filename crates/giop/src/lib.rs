@@ -1,0 +1,97 @@
+//! GIOP/IIOP — the General (Internet) Inter-ORB Protocol engine.
+//!
+//! The paper's ORB keeps "the standard Internet InterORB Protocol (IIOP)"
+//! for ORB-to-ORB communication while separating bulk data out of the
+//! message stream. This crate provides the protocol pieces:
+//!
+//! * [`msg`] — the 12-byte GIOP message header, message types, flags,
+//!   framing helpers and fragmentation;
+//! * [`request`]/[`reply`] — Request and Reply headers and system-exception
+//!   bodies;
+//! * [`context`] — service contexts, including the two zcorba-specific
+//!   contexts: the **deposit manifest** (announces the sizes of the
+//!   out-of-band blocks so the receiver can pre-allocate page-aligned
+//!   buffers before the data arrives — the "size of the data block that is
+//!   needed by the receiver" from §4.4) and the negotiation record;
+//! * [`handshake`] — the connection-open architecture/capability exchange
+//!   ("the negotiation of the architecture and the typeset between the
+//!   client and server is specified by the GIOP protocol already", §2.1);
+//! * [`ior`] — Interoperable Object References with IIOP profiles and
+//!   `IOR:` stringification.
+
+pub mod context;
+pub mod handshake;
+pub mod ior;
+pub mod msg;
+pub mod reply;
+pub mod request;
+
+pub use context::{DepositManifest, ServiceContext, SVC_CTX_DEPOSIT, SVC_CTX_NEGOTIATE};
+pub use handshake::{Handshake, Negotiated};
+pub use ior::{IiopProfile, Ior, TaggedProfile};
+pub use msg::{
+    frame as frame_msg, fragment_frames, reassemble, GiopFlags, GiopHeader, GiopVersion,
+    MessageType, GIOP_HEADER_LEN, GIOP_MAGIC,
+};
+pub use reply::{ReplyHeader, ReplyStatus, SystemException, SystemExceptionKind};
+pub use request::RequestHeader;
+
+use zc_cdr::CdrError;
+
+/// Errors raised by the GIOP layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GiopError {
+    /// The four magic bytes were not `GIOP`.
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u8, u8),
+    /// Unknown message type octet.
+    BadMessageType(u8),
+    /// Announced message size exceeds the configured maximum.
+    MessageTooLarge(u64),
+    /// A header or body failed to decode.
+    Cdr(CdrError),
+    /// Malformed IOR string.
+    BadIorString(String),
+    /// The IOR does not contain a usable IIOP profile.
+    NoIiopProfile,
+    /// Handshake frame malformed or incompatible magic.
+    BadHandshake,
+}
+
+impl From<CdrError> for GiopError {
+    fn from(e: CdrError) -> Self {
+        GiopError::Cdr(e)
+    }
+}
+
+impl std::fmt::Display for GiopError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GiopError::BadMagic(m) => write!(f, "bad GIOP magic {m:?}"),
+            GiopError::BadVersion(maj, min) => write!(f, "unsupported GIOP version {maj}.{min}"),
+            GiopError::BadMessageType(t) => write!(f, "unknown GIOP message type {t}"),
+            GiopError::MessageTooLarge(n) => write!(f, "GIOP message size {n} exceeds limit"),
+            GiopError::Cdr(e) => write!(f, "CDR error in GIOP message: {e}"),
+            GiopError::BadIorString(s) => write!(f, "malformed IOR string: {s}"),
+            GiopError::NoIiopProfile => write!(f, "IOR carries no IIOP profile"),
+            GiopError::BadHandshake => write!(f, "malformed zcorba handshake frame"),
+        }
+    }
+}
+
+impl std::error::Error for GiopError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GiopError::Cdr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for GIOP operations.
+pub type GiopResult<T> = Result<T, GiopError>;
+
+/// Maximum accepted GIOP message size (control messages only — bulk payload
+/// travels on the data channel, so control frames stay small).
+pub const MAX_GIOP_MESSAGE: u64 = 64 << 20;

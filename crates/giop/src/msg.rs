@@ -1,0 +1,402 @@
+//! The GIOP message header and framing.
+
+use zc_cdr::{endian, ByteOrder};
+
+use crate::{GiopError, GiopResult, MAX_GIOP_MESSAGE};
+
+/// The four magic bytes opening every GIOP message.
+pub const GIOP_MAGIC: [u8; 4] = *b"GIOP";
+
+/// Length of the fixed GIOP message header.
+pub const GIOP_HEADER_LEN: usize = 12;
+
+/// Protocol version. We speak 1.0 and 1.2 (1.2 adds bidirectional use and
+/// the fragment bit semantics we rely on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GiopVersion {
+    /// Major version (always 1).
+    pub major: u8,
+    /// Minor version (0 or 2).
+    pub minor: u8,
+}
+
+impl GiopVersion {
+    /// GIOP 1.0 — the version MICO spoke in the paper's era.
+    pub const V1_0: GiopVersion = GiopVersion { major: 1, minor: 0 };
+    /// GIOP 1.2.
+    pub const V1_2: GiopVersion = GiopVersion { major: 1, minor: 2 };
+
+    fn validate(self) -> GiopResult<GiopVersion> {
+        if self.major == 1 && (self.minor == 0 || self.minor == 2) {
+            Ok(self)
+        } else {
+            Err(GiopError::BadVersion(self.major, self.minor))
+        }
+    }
+}
+
+impl std::fmt::Display for GiopVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+/// The flags octet of the GIOP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GiopFlags {
+    /// Byte order of the message body (bit 0).
+    pub order: ByteOrder,
+    /// More fragments follow (bit 1).
+    pub more_fragments: bool,
+}
+
+impl GiopFlags {
+    /// Flags for a complete (unfragmented) message in `order`.
+    pub fn complete(order: ByteOrder) -> GiopFlags {
+        GiopFlags {
+            order,
+            more_fragments: false,
+        }
+    }
+
+    /// Encode to the wire octet.
+    pub fn to_octet(self) -> u8 {
+        (self.order.flag() as u8) | ((self.more_fragments as u8) << 1)
+    }
+
+    /// Decode from the wire octet (unknown bits are reserved and ignored).
+    pub fn from_octet(b: u8) -> GiopFlags {
+        GiopFlags {
+            order: ByteOrder::from_flag(b & 1 == 1),
+            more_fragments: b & 2 == 2,
+        }
+    }
+}
+
+/// GIOP message types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MessageType {
+    /// Client → server method invocation.
+    Request = 0,
+    /// Server → client result.
+    Reply = 1,
+    /// Client cancels an outstanding request.
+    CancelRequest = 2,
+    /// Client asks where an object lives.
+    LocateRequest = 3,
+    /// Server answers a LocateRequest.
+    LocateReply = 4,
+    /// Orderly connection shutdown.
+    CloseConnection = 5,
+    /// Protocol error notification.
+    MessageError = 6,
+    /// Continuation of a fragmented message.
+    Fragment = 7,
+}
+
+impl MessageType {
+    /// Decode from the wire octet.
+    pub fn from_octet(b: u8) -> GiopResult<MessageType> {
+        Ok(match b {
+            0 => MessageType::Request,
+            1 => MessageType::Reply,
+            2 => MessageType::CancelRequest,
+            3 => MessageType::LocateRequest,
+            4 => MessageType::LocateReply,
+            5 => MessageType::CloseConnection,
+            6 => MessageType::MessageError,
+            7 => MessageType::Fragment,
+            other => return Err(GiopError::BadMessageType(other)),
+        })
+    }
+}
+
+/// The fixed 12-byte GIOP message header:
+/// `magic(4) | version(2) | flags(1) | msg_type(1) | msg_size(4)`.
+///
+/// `msg_size` counts the body bytes following the header and is encoded in
+/// the byte order announced by the flags octet. Conveniently, 12 bytes keeps
+/// the body 4- and 8-aligned when the header lands on an aligned address —
+/// CDR alignment in the body is computed relative to the body start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GiopHeader {
+    /// Protocol version.
+    pub version: GiopVersion,
+    /// Flags (byte order + fragmentation).
+    pub flags: GiopFlags,
+    /// Message type.
+    pub msg_type: MessageType,
+    /// Body length in bytes.
+    pub msg_size: u32,
+}
+
+impl GiopHeader {
+    /// Header for a complete message.
+    pub fn new(
+        version: GiopVersion,
+        order: ByteOrder,
+        msg_type: MessageType,
+        msg_size: u32,
+    ) -> GiopHeader {
+        GiopHeader {
+            version,
+            flags: GiopFlags::complete(order),
+            msg_type,
+            msg_size,
+        }
+    }
+
+    /// Serialize to the fixed 12 bytes.
+    pub fn encode(&self) -> [u8; GIOP_HEADER_LEN] {
+        let mut out = [0u8; GIOP_HEADER_LEN];
+        out[..4].copy_from_slice(&GIOP_MAGIC);
+        out[4] = self.version.major;
+        out[5] = self.version.minor;
+        out[6] = self.flags.to_octet();
+        out[7] = self.msg_type as u8;
+        out[8..12].copy_from_slice(&endian::write_u32(self.flags.order, self.msg_size));
+        out
+    }
+
+    /// Parse from the fixed 12 bytes, validating magic, version, type and
+    /// the size limit.
+    pub fn decode(bytes: &[u8; GIOP_HEADER_LEN]) -> GiopResult<GiopHeader> {
+        let magic: [u8; 4] = bytes[..4].try_into().expect("fixed width");
+        if magic != GIOP_MAGIC {
+            return Err(GiopError::BadMagic(magic));
+        }
+        let version = GiopVersion {
+            major: bytes[4],
+            minor: bytes[5],
+        }
+        .validate()?;
+        let flags = GiopFlags::from_octet(bytes[6]);
+        let msg_type = MessageType::from_octet(bytes[7])?;
+        let msg_size = endian::read_u32(flags.order, &bytes[8..12]);
+        if msg_size as u64 > MAX_GIOP_MESSAGE {
+            return Err(GiopError::MessageTooLarge(msg_size as u64));
+        }
+        Ok(GiopHeader {
+            version,
+            flags,
+            msg_type,
+            msg_size,
+        })
+    }
+}
+
+/// Frame a complete GIOP message: header followed by body.
+pub fn frame(
+    version: GiopVersion,
+    order: ByteOrder,
+    msg_type: MessageType,
+    body: &[u8],
+) -> Vec<u8> {
+    let header = GiopHeader::new(version, order, msg_type, body.len() as u32);
+    let mut out = Vec::with_capacity(GIOP_HEADER_LEN + body.len());
+    out.extend_from_slice(&header.encode());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Split a large body into a first message plus `Fragment` continuations of
+/// at most `max_body` bytes each, setting the more-fragments bit on all but
+/// the last. GIOP 1.2 semantics (fragments carry the request id as their
+/// first ulong; callers include it in each chunk).
+pub fn fragment_frames(
+    version: GiopVersion,
+    order: ByteOrder,
+    msg_type: MessageType,
+    body: &[u8],
+    max_body: usize,
+) -> Vec<Vec<u8>> {
+    assert!(max_body > 0, "fragment body size must be positive");
+    if body.len() <= max_body {
+        return vec![frame(version, order, msg_type, body)];
+    }
+    let mut frames = Vec::new();
+    let chunks: Vec<&[u8]> = body.chunks(max_body).collect();
+    let last = chunks.len() - 1;
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        let mt = if i == 0 { msg_type } else { MessageType::Fragment };
+        let mut header = GiopHeader::new(version, order, mt, chunk.len() as u32);
+        header.flags.more_fragments = i != last;
+        let mut f = Vec::with_capacity(GIOP_HEADER_LEN + chunk.len());
+        f.extend_from_slice(&header.encode());
+        f.extend_from_slice(chunk);
+        frames.push(f);
+    }
+    frames
+}
+
+/// Reassemble frames produced by [`fragment_frames`] back into
+/// `(msg_type, body)`. Returns an error when a continuation is not a
+/// `Fragment` or the final frame still announces more fragments.
+pub fn reassemble(frames: &[Vec<u8>]) -> GiopResult<(MessageType, Vec<u8>)> {
+    let mut body = Vec::new();
+    let mut msg_type = None;
+    let last = frames.len().saturating_sub(1);
+    for (i, f) in frames.iter().enumerate() {
+        if f.len() < GIOP_HEADER_LEN {
+            return Err(GiopError::BadMagic([0; 4]));
+        }
+        let hdr_bytes: [u8; GIOP_HEADER_LEN] = f[..GIOP_HEADER_LEN].try_into().expect("checked");
+        let hdr = GiopHeader::decode(&hdr_bytes)?;
+        match (i, hdr.msg_type) {
+            (0, t) => msg_type = Some(t),
+            (_, MessageType::Fragment) => {}
+            (_, t) => return Err(GiopError::BadMessageType(t as u8)),
+        }
+        if (i == last) == hdr.flags.more_fragments {
+            return Err(GiopError::BadHandshake); // inconsistent fragment bits
+        }
+        if f.len() != GIOP_HEADER_LEN + hdr.msg_size as usize {
+            return Err(GiopError::MessageTooLarge(hdr.msg_size as u64));
+        }
+        body.extend_from_slice(&f[GIOP_HEADER_LEN..]);
+    }
+    Ok((msg_type.ok_or(GiopError::BadHandshake)?, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip_both_orders() {
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let h = GiopHeader::new(GiopVersion::V1_2, order, MessageType::Request, 1234);
+            let bytes = h.encode();
+            assert_eq!(&bytes[..4], b"GIOP");
+            let back = GiopHeader::decode(&bytes).unwrap();
+            assert_eq!(back, h);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let h = GiopHeader::new(GiopVersion::V1_0, ByteOrder::Big, MessageType::Reply, 0);
+        let mut bytes = h.encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            GiopHeader::decode(&bytes),
+            Err(GiopError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let h = GiopHeader::new(GiopVersion::V1_0, ByteOrder::Big, MessageType::Reply, 0);
+        let mut bytes = h.encode();
+        bytes[5] = 9;
+        assert_eq!(GiopHeader::decode(&bytes), Err(GiopError::BadVersion(1, 9)));
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let h = GiopHeader::new(GiopVersion::V1_0, ByteOrder::Big, MessageType::Reply, 0);
+        let mut bytes = h.encode();
+        bytes[7] = 42;
+        assert_eq!(
+            GiopHeader::decode(&bytes),
+            Err(GiopError::BadMessageType(42))
+        );
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let h = GiopHeader::new(
+            GiopVersion::V1_0,
+            ByteOrder::Big,
+            MessageType::Request,
+            u32::MAX,
+        );
+        let bytes = h.encode();
+        assert!(matches!(
+            GiopHeader::decode(&bytes),
+            Err(GiopError::MessageTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn size_follows_flag_order() {
+        let h = GiopHeader::new(GiopVersion::V1_0, ByteOrder::Little, MessageType::Request, 1);
+        let bytes = h.encode();
+        assert_eq!(bytes[8], 1, "little-endian size starts with LSB");
+        let h = GiopHeader::new(GiopVersion::V1_0, ByteOrder::Big, MessageType::Request, 1);
+        let bytes = h.encode();
+        assert_eq!(bytes[11], 1, "big-endian size ends with LSB");
+    }
+
+    #[test]
+    fn frame_concatenates_header_and_body() {
+        let f = frame(
+            GiopVersion::V1_2,
+            ByteOrder::Little,
+            MessageType::Request,
+            &[1, 2, 3],
+        );
+        assert_eq!(f.len(), GIOP_HEADER_LEN + 3);
+        let hdr = GiopHeader::decode(&f[..12].try_into().unwrap()).unwrap();
+        assert_eq!(hdr.msg_size, 3);
+        assert_eq!(&f[12..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn fragmentation_roundtrip() {
+        let body: Vec<u8> = (0..10_000).map(|i| (i % 256) as u8).collect();
+        let frames = fragment_frames(
+            GiopVersion::V1_2,
+            ByteOrder::Little,
+            MessageType::Request,
+            &body,
+            1460,
+        );
+        assert!(frames.len() > 1);
+        let (mt, back) = reassemble(&frames).unwrap();
+        assert_eq!(mt, MessageType::Request);
+        assert_eq!(back, body);
+    }
+
+    #[test]
+    fn small_body_is_single_frame() {
+        let frames = fragment_frames(
+            GiopVersion::V1_0,
+            ByteOrder::Big,
+            MessageType::Reply,
+            &[1, 2],
+            1460,
+        );
+        assert_eq!(frames.len(), 1);
+        let hdr = GiopHeader::decode(&frames[0][..12].try_into().unwrap()).unwrap();
+        assert!(!hdr.flags.more_fragments);
+    }
+
+    #[test]
+    fn truncated_fragment_stream_rejected() {
+        let body = vec![0u8; 5000];
+        let mut frames = fragment_frames(
+            GiopVersion::V1_2,
+            ByteOrder::Little,
+            MessageType::Request,
+            &body,
+            1024,
+        );
+        frames.pop(); // lose the final fragment
+        assert!(reassemble(&frames).is_err());
+    }
+
+    #[test]
+    fn flags_octet_roundtrip() {
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            for more in [false, true] {
+                let f = GiopFlags {
+                    order,
+                    more_fragments: more,
+                };
+                assert_eq!(GiopFlags::from_octet(f.to_octet()), f);
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The GIOP Reply header, reply status and system exceptions.
+
+use zc_cdr::{CdrDecoder, CdrEncoder, CdrError, CdrResult};
+
+use crate::context::ServiceContext;
+
+/// Reply status codes (CORBA `ReplyStatusType`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum ReplyStatus {
+    /// Normal completion; result follows.
+    NoException = 0,
+    /// A declared (IDL `raises`) exception follows.
+    UserException = 1,
+    /// A CORBA system exception follows.
+    SystemException = 2,
+    /// The object lives elsewhere; an IOR follows.
+    LocationForward = 3,
+}
+
+impl ReplyStatus {
+    /// Decode from the wire value.
+    pub fn from_u32(v: u32) -> CdrResult<ReplyStatus> {
+        Ok(match v {
+            0 => ReplyStatus::NoException,
+            1 => ReplyStatus::UserException,
+            2 => ReplyStatus::SystemException,
+            3 => ReplyStatus::LocationForward,
+            other => return Err(CdrError::BadEnumValue(other)),
+        })
+    }
+}
+
+/// A GIOP Reply header: service contexts, request id, status. The result
+/// value / exception body follows in the same stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyHeader {
+    /// Service contexts (a reply carrying deposits announces them here).
+    pub service_contexts: Vec<ServiceContext>,
+    /// Echoes the request id this reply answers.
+    pub request_id: u32,
+    /// Outcome discriminator.
+    pub status: ReplyStatus,
+}
+
+impl ReplyHeader {
+    /// A successful-reply header.
+    pub fn ok(request_id: u32) -> ReplyHeader {
+        ReplyHeader {
+            service_contexts: Vec::new(),
+            request_id,
+            status: ReplyStatus::NoException,
+        }
+    }
+
+    /// Encode onto a CDR stream.
+    pub fn marshal(&self, enc: &mut CdrEncoder) -> CdrResult<()> {
+        ServiceContext::marshal_list(&self.service_contexts, enc)?;
+        enc.write_u32(self.request_id);
+        enc.write_u32(self.status as u32);
+        Ok(())
+    }
+
+    /// Decode from a CDR stream.
+    pub fn demarshal(dec: &mut CdrDecoder<'_>) -> CdrResult<ReplyHeader> {
+        let service_contexts = ServiceContext::demarshal_list(dec)?;
+        let request_id = dec.read_u32()?;
+        let status = ReplyStatus::from_u32(dec.read_u32()?)?;
+        Ok(ReplyHeader {
+            service_contexts,
+            request_id,
+            status,
+        })
+    }
+}
+
+/// The standard system exceptions we raise (a pragmatic subset of the
+/// CORBA set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemExceptionKind {
+    /// Target object does not exist.
+    ObjectNotExist,
+    /// Operation name not understood by the target.
+    BadOperation,
+    /// Marshaling/demarshaling failure.
+    Marshal,
+    /// Communication failure.
+    CommFailure,
+    /// Feature not implemented.
+    NoImplement,
+    /// Internal ORB error.
+    Internal,
+    /// Request was cancelled or timed out.
+    Timeout,
+    /// Transient failure; retry may succeed.
+    Transient,
+}
+
+impl SystemExceptionKind {
+    /// The CORBA repository id for this exception.
+    pub fn repo_id(self) -> &'static str {
+        match self {
+            SystemExceptionKind::ObjectNotExist => "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0",
+            SystemExceptionKind::BadOperation => "IDL:omg.org/CORBA/BAD_OPERATION:1.0",
+            SystemExceptionKind::Marshal => "IDL:omg.org/CORBA/MARSHAL:1.0",
+            SystemExceptionKind::CommFailure => "IDL:omg.org/CORBA/COMM_FAILURE:1.0",
+            SystemExceptionKind::NoImplement => "IDL:omg.org/CORBA/NO_IMPLEMENT:1.0",
+            SystemExceptionKind::Internal => "IDL:omg.org/CORBA/INTERNAL:1.0",
+            SystemExceptionKind::Timeout => "IDL:omg.org/CORBA/TIMEOUT:1.0",
+            SystemExceptionKind::Transient => "IDL:omg.org/CORBA/TRANSIENT:1.0",
+        }
+    }
+
+    /// Recover the kind from a repository id.
+    pub fn from_repo_id(id: &str) -> Option<SystemExceptionKind> {
+        Some(match id {
+            "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0" => SystemExceptionKind::ObjectNotExist,
+            "IDL:omg.org/CORBA/BAD_OPERATION:1.0" => SystemExceptionKind::BadOperation,
+            "IDL:omg.org/CORBA/MARSHAL:1.0" => SystemExceptionKind::Marshal,
+            "IDL:omg.org/CORBA/COMM_FAILURE:1.0" => SystemExceptionKind::CommFailure,
+            "IDL:omg.org/CORBA/NO_IMPLEMENT:1.0" => SystemExceptionKind::NoImplement,
+            "IDL:omg.org/CORBA/INTERNAL:1.0" => SystemExceptionKind::Internal,
+            "IDL:omg.org/CORBA/TIMEOUT:1.0" => SystemExceptionKind::Timeout,
+            "IDL:omg.org/CORBA/TRANSIENT:1.0" => SystemExceptionKind::Transient,
+            _ => return None,
+        })
+    }
+}
+
+/// A system exception as carried in a Reply body with
+/// [`ReplyStatus::SystemException`]: repository id, minor code, completion
+/// status (0 = yes, 1 = no, 2 = maybe).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemException {
+    /// Which standard exception.
+    pub kind: SystemExceptionKind,
+    /// Vendor-specific minor code.
+    pub minor: u32,
+    /// Whether the operation had completed when the exception was raised.
+    pub completed: u32,
+}
+
+impl SystemException {
+    /// Convenience constructor with `completed = NO`.
+    pub fn new(kind: SystemExceptionKind, minor: u32) -> SystemException {
+        SystemException {
+            kind,
+            minor,
+            completed: 1,
+        }
+    }
+
+    /// Encode as a Reply body.
+    pub fn marshal(&self, enc: &mut CdrEncoder) -> CdrResult<()> {
+        enc.write_string(self.kind.repo_id());
+        enc.write_u32(self.minor);
+        enc.write_u32(self.completed);
+        Ok(())
+    }
+
+    /// Decode from a Reply body.
+    pub fn demarshal(dec: &mut CdrDecoder<'_>) -> CdrResult<SystemException> {
+        let id = dec.read_string()?;
+        let kind = SystemExceptionKind::from_repo_id(&id).ok_or(CdrError::InvalidString)?;
+        let minor = dec.read_u32()?;
+        let completed = dec.read_u32()?;
+        Ok(SystemException {
+            kind,
+            minor,
+            completed,
+        })
+    }
+}
+
+impl std::fmt::Display for SystemException {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (minor {}, completed {})",
+            self.kind.repo_id(),
+            self.minor,
+            self.completed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zc_cdr::ByteOrder;
+
+    #[test]
+    fn reply_header_roundtrip() {
+        for status in [
+            ReplyStatus::NoException,
+            ReplyStatus::UserException,
+            ReplyStatus::SystemException,
+            ReplyStatus::LocationForward,
+        ] {
+            let h = ReplyHeader {
+                service_contexts: vec![],
+                request_id: 9,
+                status,
+            };
+            let mut enc = CdrEncoder::new(ByteOrder::Little);
+            h.marshal(&mut enc).unwrap();
+            let bytes = enc.finish_stream();
+            let mut dec = CdrDecoder::new(&bytes, ByteOrder::Little);
+            assert_eq!(ReplyHeader::demarshal(&mut dec).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn bad_status_rejected() {
+        let mut enc = CdrEncoder::new(ByteOrder::Big);
+        enc.write_u32(0); // empty contexts
+        enc.write_u32(1); // request id
+        enc.write_u32(17); // invalid status
+        let bytes = enc.finish_stream();
+        let mut dec = CdrDecoder::new(&bytes, ByteOrder::Big);
+        assert!(ReplyHeader::demarshal(&mut dec).is_err());
+    }
+
+    #[test]
+    fn system_exception_roundtrip_all_kinds() {
+        let kinds = [
+            SystemExceptionKind::ObjectNotExist,
+            SystemExceptionKind::BadOperation,
+            SystemExceptionKind::Marshal,
+            SystemExceptionKind::CommFailure,
+            SystemExceptionKind::NoImplement,
+            SystemExceptionKind::Internal,
+            SystemExceptionKind::Timeout,
+            SystemExceptionKind::Transient,
+        ];
+        for kind in kinds {
+            let e = SystemException::new(kind, 3);
+            let mut enc = CdrEncoder::new(ByteOrder::Little);
+            e.marshal(&mut enc).unwrap();
+            let bytes = enc.finish_stream();
+            let mut dec = CdrDecoder::new(&bytes, ByteOrder::Little);
+            assert_eq!(SystemException::demarshal(&mut dec).unwrap(), e);
+            assert_eq!(SystemExceptionKind::from_repo_id(kind.repo_id()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn unknown_repo_id_rejected() {
+        let mut enc = CdrEncoder::new(ByteOrder::Little);
+        enc.write_string("IDL:example/NotAThing:1.0");
+        enc.write_u32(0);
+        enc.write_u32(0);
+        let bytes = enc.finish_stream();
+        let mut dec = CdrDecoder::new(&bytes, ByteOrder::Little);
+        assert!(SystemException::demarshal(&mut dec).is_err());
+    }
+}

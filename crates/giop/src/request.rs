@@ -1,0 +1,135 @@
+//! The GIOP Request header.
+
+use zc_cdr::{CdrDecoder, CdrEncoder, CdrResult};
+
+use crate::context::ServiceContext;
+
+/// A GIOP Request header (1.0-style layout, which both our versions share):
+/// service contexts, request id, response-expected flag, object key,
+/// operation name, and principal (always empty here, as deprecated).
+///
+/// The parameter body follows the header in the same CDR stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// Service contexts (deposit manifest travels here).
+    pub service_contexts: Vec<ServiceContext>,
+    /// Request id, unique per connection; replies echo it.
+    pub request_id: u32,
+    /// `false` for oneway operations — no Reply will be sent.
+    pub response_expected: bool,
+    /// Opaque key identifying the target object within the server ORB.
+    pub object_key: Vec<u8>,
+    /// Operation (method) name.
+    pub operation: String,
+}
+
+impl RequestHeader {
+    /// Construct a header with no service contexts.
+    pub fn new(request_id: u32, object_key: Vec<u8>, operation: &str) -> RequestHeader {
+        RequestHeader {
+            service_contexts: Vec::new(),
+            request_id,
+            response_expected: true,
+            object_key,
+            operation: operation.to_string(),
+        }
+    }
+
+    /// Encode onto a CDR stream (the start of a Request message body).
+    pub fn marshal(&self, enc: &mut CdrEncoder) -> CdrResult<()> {
+        ServiceContext::marshal_list(&self.service_contexts, enc)?;
+        enc.write_u32(self.request_id);
+        enc.write_bool(self.response_expected);
+        enc.write_octet_seq(&self.object_key);
+        enc.write_string(&self.operation);
+        enc.write_u32(0); // principal: zero-length sequence (deprecated)
+        Ok(())
+    }
+
+    /// Decode from a CDR stream.
+    pub fn demarshal(dec: &mut CdrDecoder<'_>) -> CdrResult<RequestHeader> {
+        let service_contexts = ServiceContext::demarshal_list(dec)?;
+        let request_id = dec.read_u32()?;
+        let response_expected = dec.read_bool()?;
+        let object_key = dec.read_octet_seq()?;
+        let operation = dec.read_string()?;
+        let principal_len = dec.read_u32()?;
+        for _ in 0..principal_len {
+            dec.read_octet()?;
+        }
+        Ok(RequestHeader {
+            service_contexts,
+            request_id,
+            response_expected,
+            object_key,
+            operation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{DepositManifest, SVC_CTX_DEPOSIT};
+    use zc_cdr::ByteOrder;
+
+    fn roundtrip(h: &RequestHeader, order: ByteOrder) -> RequestHeader {
+        let mut enc = CdrEncoder::new(order);
+        h.marshal(&mut enc).unwrap();
+        let bytes = enc.finish_stream();
+        let mut dec = CdrDecoder::new(&bytes, order);
+        let back = RequestHeader::demarshal(&mut dec).unwrap();
+        assert_eq!(dec.remaining(), 0);
+        back
+    }
+
+    #[test]
+    fn plain_roundtrip() {
+        let h = RequestHeader::new(42, b"obj-key-1".to_vec(), "transfer");
+        assert_eq!(roundtrip(&h, ByteOrder::Big), h);
+        assert_eq!(roundtrip(&h, ByteOrder::Little), h);
+    }
+
+    #[test]
+    fn oneway_flag_preserved() {
+        let mut h = RequestHeader::new(7, b"k".to_vec(), "notify");
+        h.response_expected = false;
+        assert!(!roundtrip(&h, ByteOrder::Little).response_expected);
+    }
+
+    #[test]
+    fn with_deposit_manifest() {
+        let mut h = RequestHeader::new(1, b"key".to_vec(), "push");
+        h.service_contexts.push(
+            DepositManifest {
+                block_lengths: vec![1 << 20],
+            }
+            .to_context(),
+        );
+        let back = roundtrip(&h, ByteOrder::Little);
+        let m = DepositManifest::find_in(&back.service_contexts)
+            .unwrap()
+            .unwrap();
+        assert_eq!(m.block_lengths, vec![1 << 20]);
+        assert_eq!(back.service_contexts[0].id, SVC_CTX_DEPOSIT);
+    }
+
+    #[test]
+    fn empty_object_key_and_operation_name() {
+        let h = RequestHeader::new(0, vec![], "");
+        assert_eq!(roundtrip(&h, ByteOrder::Big), h);
+    }
+
+    #[test]
+    fn parameters_follow_header_in_same_stream() {
+        let h = RequestHeader::new(3, b"ok".to_vec(), "op");
+        let mut enc = CdrEncoder::new(ByteOrder::Little);
+        h.marshal(&mut enc).unwrap();
+        enc.write_u32(0xFEED_F00D); // first parameter
+        let bytes = enc.finish_stream();
+        let mut dec = CdrDecoder::new(&bytes, ByteOrder::Little);
+        let back = RequestHeader::demarshal(&mut dec).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(dec.read_u32().unwrap(), 0xFEED_F00D);
+    }
+}

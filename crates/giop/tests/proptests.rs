@@ -1,0 +1,150 @@
+//! Property tests: GIOP framing, fragmentation, IORs and headers round-trip
+//! under arbitrary inputs; decoders never panic on garbage.
+
+use proptest::prelude::*;
+
+use zc_cdr::{ByteOrder, CdrDecoder, CdrEncoder};
+use zc_giop::{
+    DepositManifest, GiopHeader, GiopVersion, Handshake, IiopProfile, Ior, MessageType,
+    ReplyHeader, ReplyStatus, RequestHeader, TaggedProfile, GIOP_HEADER_LEN,
+};
+
+fn orders() -> impl Strategy<Value = ByteOrder> {
+    prop_oneof![Just(ByteOrder::Big), Just(ByteOrder::Little)]
+}
+
+proptest! {
+    #[test]
+    fn prop_giop_header_roundtrip(
+        size in 0u32..1_000_000,
+        order in orders(),
+        mt in 0u8..8,
+    ) {
+        let h = GiopHeader::new(
+            GiopVersion::V1_2,
+            order,
+            MessageType::from_octet(mt).unwrap(),
+            size,
+        );
+        prop_assert_eq!(GiopHeader::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn prop_header_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), GIOP_HEADER_LEN..=GIOP_HEADER_LEN)) {
+        let arr: [u8; GIOP_HEADER_LEN] = bytes.try_into().unwrap();
+        let _ = GiopHeader::decode(&arr);
+    }
+
+    #[test]
+    fn prop_fragmentation_roundtrip(
+        body in proptest::collection::vec(any::<u8>(), 0..20_000),
+        max_body in 1usize..4096,
+        order in orders(),
+    ) {
+        let frames = zc_giop::msg::fragment_frames(
+            GiopVersion::V1_2, order, MessageType::Request, &body, max_body);
+        let (mt, back) = zc_giop::msg::reassemble(&frames).unwrap();
+        prop_assert_eq!(mt, MessageType::Request);
+        prop_assert_eq!(back, body);
+    }
+
+    #[test]
+    fn prop_request_header_roundtrip(
+        id: u32,
+        expected: bool,
+        key in proptest::collection::vec(any::<u8>(), 0..64),
+        op in "[a-zA-Z_][a-zA-Z0-9_]{0,30}",
+        order in orders(),
+    ) {
+        let mut h = RequestHeader::new(id, key, &op);
+        h.response_expected = expected;
+        let mut enc = CdrEncoder::new(order);
+        h.marshal(&mut enc).unwrap();
+        let bytes = enc.finish_stream();
+        let mut dec = CdrDecoder::new(&bytes, order);
+        prop_assert_eq!(RequestHeader::demarshal(&mut dec).unwrap(), h);
+    }
+
+    #[test]
+    fn prop_reply_header_roundtrip(id: u32, status in 0u32..4, order in orders()) {
+        let h = ReplyHeader {
+            service_contexts: vec![],
+            request_id: id,
+            status: ReplyStatus::from_u32(status).unwrap(),
+        };
+        let mut enc = CdrEncoder::new(order);
+        h.marshal(&mut enc).unwrap();
+        let bytes = enc.finish_stream();
+        let mut dec = CdrDecoder::new(&bytes, order);
+        prop_assert_eq!(ReplyHeader::demarshal(&mut dec).unwrap(), h);
+    }
+
+    #[test]
+    fn prop_manifest_roundtrip(lengths in proptest::collection::vec(any::<u64>(), 0..50)) {
+        let m = DepositManifest { block_lengths: lengths };
+        let back = DepositManifest::from_context(&m.to_context()).unwrap().unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn prop_ior_string_roundtrip(
+        type_id in "[ -~]{0,40}",
+        host in "[a-z0-9.]{1,30}",
+        port: u16,
+        key in proptest::collection::vec(any::<u8>(), 0..32),
+        foreign_tag in 1u32..1000,
+        foreign_data in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut ior = Ior::new_iiop(&type_id, &host, port, &key);
+        ior.profiles.push(TaggedProfile::Other { tag: foreign_tag, data: foreign_data });
+        let s = ior.to_ior_string();
+        let back = Ior::from_ior_string(&s).unwrap();
+        prop_assert_eq!(&back, &ior);
+        prop_assert_eq!(back.to_ior_string(), s);
+    }
+
+    #[test]
+    fn prop_ior_parse_never_panics(s in "IOR:[0-9a-fA-F]{0,200}") {
+        let _ = Ior::from_ior_string(&s);
+    }
+
+    #[test]
+    fn prop_handshake_roundtrip(zc: bool, word in 1u8..16, page in 1u32..65536, arch in "[a-z0-9-]{1,20}") {
+        let h = Handshake {
+            byte_order: ByteOrder::native(),
+            word_size: word,
+            page_size: page,
+            arch,
+            zc_supported: zc,
+        };
+        prop_assert_eq!(Handshake::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn prop_handshake_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Handshake::decode(&bytes);
+    }
+
+    /// Negotiation is symmetric in its homogeneity/zero-copy verdicts.
+    #[test]
+    fn prop_negotiation_symmetric_verdict(zc_a: bool, zc_b: bool, foreign: bool) {
+        let a = Handshake::local(zc_a);
+        let b = if foreign { Handshake::foreign() } else { Handshake::local(zc_b) };
+        let n1 = Handshake::negotiate(&a, &b);
+        let n2 = Handshake::negotiate(&b, &a);
+        prop_assert_eq!(n1.homogeneous, n2.homogeneous);
+        prop_assert_eq!(n1.zero_copy, n2.zero_copy);
+    }
+}
+
+#[test]
+fn iiop_profile_struct_is_public() {
+    // compile-time check that the profile type is usable downstream
+    let p = IiopProfile {
+        version: GiopVersion::V1_0,
+        host: "h".into(),
+        port: 1,
+        object_key: vec![],
+    };
+    assert_eq!(p.port, 1);
+}

@@ -1,0 +1,13 @@
+//! Runs the zc-idl compiler on the fixture IDL at build time; the crate's
+//! lib includes the generated Rust, proving that zc-idlc output compiles
+//! and interoperates with the ORB.
+
+use std::path::PathBuf;
+
+fn main() {
+    println!("cargo:rerun-if-changed=idl/media.idl");
+    let src = std::fs::read_to_string("idl/media.idl").expect("read fixture IDL");
+    let rust = zc_idl::compile_str(&src).expect("fixture IDL compiles");
+    let out = PathBuf::from(std::env::var("OUT_DIR").expect("OUT_DIR"));
+    std::fs::write(out.join("media_generated.rs"), rust).expect("write generated code");
+}

@@ -1,0 +1,11 @@
+//! Compiled output of `zc-idlc` on `idl/media.idl`, included verbatim.
+//!
+//! The `generated` module is exactly what a user gets from
+//! `zc-idlc idl/media.idl -o src/media.rs`; the integration tests in
+//! `tests/` run the generated client stub against the generated skeleton
+//! over a live ORB.
+
+/// The generated bindings for `idl/media.idl`.
+pub mod generated {
+    include!(concat!(env!("OUT_DIR"), "/media_generated.rs"));
+}

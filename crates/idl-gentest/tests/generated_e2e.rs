@@ -1,0 +1,208 @@
+//! Drives the zc-idlc-generated stub and skeleton end-to-end over a live
+//! ORB — the strongest possible test of the code generator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use zc_cdr::{OctetSeq, ZcOctetSeq};
+use zc_idl_gentest::generated::{
+    Codec, EncodeFailed, Encoder, EncoderClient, EncoderSkeleton, FrameInfo,
+};
+use zc_orb::{Orb, OrbResult};
+use zc_transport::{SimConfig, SimNetwork};
+
+/// A test implementation of the generated `Encoder` trait.
+struct TestEncoder {
+    frames: AtomicU64,
+    flushes: AtomicU64,
+}
+
+impl Encoder for TestEncoder {
+    fn encode(&self, info: FrameInfo, raw: ZcOctetSeq) -> OrbResult<ZcOctetSeq> {
+        if info.stream_id == u32::MAX {
+            // declared failure path: raise the IDL exception
+            return Err(EncodeFailed {
+                frame_id: info.stream_id,
+                reason: format!("stream {} rejected", info.stream_id),
+            }
+            .raise());
+        }
+        self.frames.fetch_add(1, Ordering::SeqCst);
+        assert!(info.keyframe || info.pts >= 0);
+        // "encode" = pass the frame through untouched (identity codec).
+        Ok(raw)
+    }
+
+    fn encode_std(&self, _info: FrameInfo, raw: OctetSeq) -> OrbResult<OctetSeq> {
+        self.frames.fetch_add(1, Ordering::SeqCst);
+        Ok(raw)
+    }
+
+    fn batch(&self, frames: Vec<FrameInfo>, codec: Codec) -> OrbResult<u32> {
+        assert_eq!(codec, Codec::MPEG4);
+        Ok(frames.len() as u32)
+    }
+
+    fn stats(&self, rate: f64) -> OrbResult<(f64, u32, f64)> {
+        // returns (__ret, frames out-param, rate inout-param)
+        Ok((
+            rate * 2.0,
+            self.frames.load(Ordering::SeqCst) as u32,
+            rate + 1.0,
+        ))
+    }
+
+    fn flush(&self, _epoch: u32) -> OrbResult<()> {
+        self.flushes.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn reset(&self) -> OrbResult<()> {
+        self.frames.store(0, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+fn fixture() -> (EncoderClient, zc_orb::ServerHandle, Orb) {
+    let net = SimNetwork::new(SimConfig::zero_copy());
+    let server_orb = Orb::builder().sim(net.clone()).build();
+    server_orb.adapter().register_key(
+        b"encoder",
+        Arc::new(EncoderSkeleton(TestEncoder {
+            frames: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        })),
+    );
+    let server = server_orb.serve(0).unwrap();
+    let ior = zc_giop::Ior::new_iiop(EncoderClient::REPO_ID, "sim", server.port(), b"encoder");
+    let client_orb = Orb::builder().sim(net).build();
+    let obj = client_orb.resolve(&ior).unwrap();
+    (EncoderClient::new(obj), server, client_orb)
+}
+
+#[test]
+fn zero_copy_roundtrip_through_generated_code() {
+    let (client, _server, _orb) = fixture();
+    let info = FrameInfo {
+        stream_id: 1,
+        pts: 40,
+        keyframe: true,
+        label: "gop0/frame0".into(),
+    };
+    let raw = ZcOctetSeq::with_length(2 << 20);
+    let encoded = client.encode(&info, &raw).unwrap();
+    assert_eq!(encoded.len(), raw.len());
+    assert!(
+        encoded.ptr_eq(&raw),
+        "identity encode over ZC connection returns the same pages"
+    );
+}
+
+#[test]
+fn standard_roundtrip_through_generated_code() {
+    let (client, _server, _orb) = fixture();
+    let info = FrameInfo {
+        stream_id: 2,
+        pts: 80,
+        keyframe: false,
+        label: "p-frame".into(),
+    };
+    let data: Vec<u8> = (0..100_000).map(|i| (i % 255) as u8).collect();
+    let out = client.encode_std(&info, &OctetSeq(data.clone())).unwrap();
+    assert_eq!(out.0, data);
+}
+
+#[test]
+fn structs_enums_and_sequences() {
+    let (client, _server, _orb) = fixture();
+    let frames: Vec<FrameInfo> = (0..17)
+        .map(|i| FrameInfo {
+            stream_id: i,
+            pts: i as i64 * 40,
+            keyframe: i % 12 == 0,
+            label: format!("f{i}"),
+        })
+        .collect();
+    let n = client.batch(&frames, &Codec::MPEG4).unwrap();
+    assert_eq!(n, 17);
+}
+
+#[test]
+fn out_and_inout_parameters() {
+    let (client, _server, _orb) = fixture();
+    let info = FrameInfo {
+        stream_id: 0,
+        pts: 0,
+        keyframe: true,
+        label: String::new(),
+    };
+    client.encode(&info, &ZcOctetSeq::with_length(16)).unwrap();
+    client.encode(&info, &ZcOctetSeq::with_length(16)).unwrap();
+    let (doubled, frames, bumped) = client.stats(&12.5).unwrap();
+    assert_eq!(doubled, 25.0);
+    assert_eq!(frames, 2);
+    assert_eq!(bumped, 13.5);
+}
+
+#[test]
+fn oneway_and_void_operations() {
+    let (client, _server, _orb) = fixture();
+    client.flush(&7).unwrap();
+    client.reset().unwrap();
+    let (_, frames, _) = client.stats(&1.0).unwrap();
+    assert_eq!(frames, 0, "reset cleared the counter");
+}
+
+#[test]
+fn unknown_operation_via_raw_request() {
+    let (client, _server, _orb) = fixture();
+    let err = client
+        .object()
+        .request("transcode_4k")
+        .invoke()
+        .unwrap_err();
+    assert!(matches!(err, zc_orb::OrbError::System(_)));
+}
+
+#[test]
+fn declared_exception_roundtrip() {
+    let (client, _server, _orb) = fixture();
+    let bad = FrameInfo {
+        stream_id: u32::MAX,
+        pts: 0,
+        keyframe: true,
+        label: "poison".into(),
+    };
+    let err = client
+        .encode(&bad, &ZcOctetSeq::with_length(16))
+        .unwrap_err();
+    let ex = EncodeFailed::from_error(&err).expect("typed user exception");
+    assert_eq!(ex.frame_id, u32::MAX);
+    assert!(ex.reason.contains("rejected"));
+    assert_eq!(EncodeFailed::REPO_ID, "IDL:zcorba/media/EncodeFailed:1.0");
+    // a different exception type does not falsely match
+    assert!(zc_idl_gentest::generated::EncodeFailed::from_error(
+        &zc_orb::OrbError::Protocol("x".into())
+    )
+    .is_none());
+    // the connection stays usable
+    let good = FrameInfo {
+        stream_id: 1,
+        pts: 40,
+        keyframe: true,
+        label: "ok".into(),
+    };
+    let out = client.encode(&good, &ZcOctetSeq::with_length(8)).unwrap();
+    assert_eq!(out.len(), 8);
+}
+
+#[test]
+fn repo_id_includes_module_path() {
+    assert_eq!(EncoderClient::REPO_ID, "IDL:zcorba/media/Encoder:1.0");
+}
+
+#[test]
+fn generated_constants() {
+    assert_eq!(zc_idl_gentest::generated::MAX_BATCH, 64u32);
+    assert_eq!(zc_idl_gentest::generated::CODEC_FAMILY, "mpeg");
+}

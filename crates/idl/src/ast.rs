@@ -1,0 +1,442 @@
+//! The IDL abstract syntax tree and its pretty-printer.
+
+use crate::Pos;
+
+/// A complete IDL specification (one compilation unit).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Spec {
+    /// Top-level definitions.
+    pub definitions: Vec<Definition>,
+}
+
+/// Any top-level or module-level definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Definition {
+    /// `module name { … };`
+    Module(Module),
+    /// `interface name { … };`
+    Interface(Interface),
+    /// `struct name { … };`
+    Struct(StructDef),
+    /// `enum name { … };`
+    Enum(EnumDef),
+    /// `typedef type name;`
+    Typedef(Typedef),
+    /// `exception name { … };`
+    Exception(ExceptionDef),
+    /// `const type name = value;`
+    Const(ConstDef),
+}
+
+impl Definition {
+    /// The defined name.
+    pub fn name(&self) -> &str {
+        match self {
+            Definition::Module(m) => &m.name,
+            Definition::Interface(i) => &i.name,
+            Definition::Struct(s) => &s.name,
+            Definition::Enum(e) => &e.name,
+            Definition::Typedef(t) => &t.name,
+            Definition::Exception(e) => &e.name,
+            Definition::Const(c) => &c.name,
+        }
+    }
+
+    /// The position where the definition starts.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Definition::Module(m) => m.pos,
+            Definition::Interface(i) => i.pos,
+            Definition::Struct(s) => s.pos,
+            Definition::Enum(e) => e.pos,
+            Definition::Typedef(t) => t.pos,
+            Definition::Exception(e) => e.pos,
+            Definition::Const(c) => c.pos,
+        }
+    }
+}
+
+/// An IDL module (maps to a Rust `mod`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Nested definitions.
+    pub definitions: Vec<Definition>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// An IDL interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// Interface name.
+    pub name: String,
+    /// Operations, in declaration order.
+    pub operations: Vec<Operation>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+impl Interface {
+    /// The CORBA repository id this compiler assigns.
+    pub fn repo_id(&self, module_path: &[String]) -> String {
+        let mut path = module_path.join("/");
+        if !path.is_empty() {
+            path.push('/');
+        }
+        format!("IDL:{path}{}:1.0", self.name)
+    }
+}
+
+/// One operation of an interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name (the GIOP `operation` string).
+    pub name: String,
+    /// Return type (`Type::Void` for none).
+    pub ret: Type,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// `oneway` operations get no reply.
+    pub oneway: bool,
+    /// Declared exceptions (`raises(...)`), by name.
+    pub raises: Vec<String>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Parameter passing direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamDir {
+    /// Client → server.
+    In,
+    /// Server → client (returned alongside the result).
+    Out,
+    /// Both ways.
+    InOut,
+}
+
+/// One operation parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Direction.
+    pub dir: ParamDir,
+    /// Parameter type.
+    pub ty: Type,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order (CDR marshals them in this order).
+    pub members: Vec<Member>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// One struct field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Member {
+    /// Field type.
+    pub ty: Type,
+    /// Field name.
+    pub name: String,
+}
+
+/// A user exception definition (`exception Name { members };`). Members
+/// may be empty, unlike structs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExceptionDef {
+    /// Exception name.
+    pub name: String,
+    /// Member fields (possibly none).
+    pub members: Vec<Member>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+impl ExceptionDef {
+    /// The repository id the compiler assigns.
+    pub fn repo_id(&self, module_path: &[String]) -> String {
+        let mut path = module_path.join("/");
+        if !path.is_empty() {
+            path.push('/');
+        }
+        format!("IDL:{path}{}:1.0", self.name)
+    }
+}
+
+/// An enum definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Enumerators, discriminants 0..n in order.
+    pub variants: Vec<String>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A constant value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstValue {
+    /// Integer (sign applied).
+    Int(i128),
+    /// String.
+    Str(String),
+    /// Boolean (`TRUE`/`FALSE`).
+    Bool(bool),
+}
+
+impl ConstValue {
+    /// IDL rendering.
+    pub fn idl(&self) -> String {
+        match self {
+            ConstValue::Int(v) => v.to_string(),
+            ConstValue::Str(s) => format!("{s:?}"),
+            ConstValue::Bool(true) => "TRUE".into(),
+            ConstValue::Bool(false) => "FALSE".into(),
+        }
+    }
+}
+
+/// A constant declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstDef {
+    /// Constant name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// The value.
+    pub value: ConstValue,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A typedef.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Typedef {
+    /// New name.
+    pub name: String,
+    /// Aliased type.
+    pub ty: Type,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// IDL types (the subset zcorba speaks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// `void` (return type only).
+    Void,
+    /// `octet`
+    Octet,
+    /// `boolean`
+    Boolean,
+    /// `char`
+    Char,
+    /// `short`
+    Short,
+    /// `unsigned short`
+    UShort,
+    /// `long`
+    Long,
+    /// `unsigned long`
+    ULong,
+    /// `long long`
+    LongLong,
+    /// `unsigned long long`
+    ULongLong,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `string`
+    String_,
+    /// `sequence<octet>` — the standard copying byte stream.
+    OctetSeq,
+    /// `sequence<zc_octet>` — the zero-copy byte stream (the extension).
+    ZcOctetSeq,
+    /// `sequence<T>` for any other element type.
+    Sequence(Box<Type>),
+    /// A user-defined name (struct, enum, or typedef), possibly scoped
+    /// (`module::Name` flattens to the last segment for lookup).
+    Named(String),
+    /// A fixed-size array declarator `T name[N]` (typedefs and struct
+    /// members only, per IDL).
+    Array(Box<Type>, u64),
+}
+
+impl Type {
+    /// IDL rendering (used by the pretty-printer and error messages).
+    pub fn idl(&self) -> String {
+        match self {
+            Type::Void => "void".into(),
+            Type::Octet => "octet".into(),
+            Type::Boolean => "boolean".into(),
+            Type::Char => "char".into(),
+            Type::Short => "short".into(),
+            Type::UShort => "unsigned short".into(),
+            Type::Long => "long".into(),
+            Type::ULong => "unsigned long".into(),
+            Type::LongLong => "long long".into(),
+            Type::ULongLong => "unsigned long long".into(),
+            Type::Float => "float".into(),
+            Type::Double => "double".into(),
+            Type::String_ => "string".into(),
+            Type::OctetSeq => "sequence<octet>".into(),
+            Type::ZcOctetSeq => "sequence<zc_octet>".into(),
+            Type::Sequence(el) => format!("sequence<{}>", el.idl()),
+            Type::Named(n) => n.clone(),
+            Type::Array(el, n) => format!("{}[{n}]", el.idl()),
+        }
+    }
+
+    /// Split into (base type, declarator suffix) for pretty-printing
+    /// declarations: arrays put their extents after the declared name,
+    /// outermost dimension first (`double m[2][3]`).
+    pub fn declarator(&self) -> (&Type, String) {
+        let mut cur = self;
+        let mut suffix = String::new();
+        while let Type::Array(el, n) = cur {
+            suffix.push_str(&format!("[{n}]"));
+            cur = el;
+        }
+        (cur, suffix)
+    }
+}
+
+/// Pretty-print a spec back to canonical IDL (used by the parser fixpoint
+/// property test and by tooling that normalizes IDL files).
+pub fn pretty(spec: &Spec) -> String {
+    let mut out = String::new();
+    for d in &spec.definitions {
+        pretty_def(d, 0, &mut out);
+    }
+    out
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn pretty_def(d: &Definition, depth: usize, out: &mut String) {
+    match d {
+        Definition::Module(m) => {
+            indent(depth, out);
+            out.push_str(&format!("module {} {{\n", m.name));
+            for d in &m.definitions {
+                pretty_def(d, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("};\n");
+        }
+        Definition::Interface(i) => {
+            indent(depth, out);
+            out.push_str(&format!("interface {} {{\n", i.name));
+            for op in &i.operations {
+                indent(depth + 1, out);
+                if op.oneway {
+                    out.push_str("oneway ");
+                }
+                out.push_str(&format!("{} {}(", op.ret.idl(), op.name));
+                let params: Vec<String> = op
+                    .params
+                    .iter()
+                    .map(|p| {
+                        let dir = match p.dir {
+                            ParamDir::In => "in",
+                            ParamDir::Out => "out",
+                            ParamDir::InOut => "inout",
+                        };
+                        format!("{dir} {} {}", p.ty.idl(), p.name)
+                    })
+                    .collect();
+                out.push_str(&params.join(", "));
+                out.push(')');
+                if !op.raises.is_empty() {
+                    out.push_str(&format!(" raises ({})", op.raises.join(", ")));
+                }
+                out.push_str(";\n");
+            }
+            indent(depth, out);
+            out.push_str("};\n");
+        }
+        Definition::Struct(s) => {
+            indent(depth, out);
+            out.push_str(&format!("struct {} {{\n", s.name));
+            for m in &s.members {
+                indent(depth + 1, out);
+                let (base, suffix) = m.ty.declarator();
+                out.push_str(&format!("{} {}{};\n", base.idl(), m.name, suffix));
+            }
+            indent(depth, out);
+            out.push_str("};\n");
+        }
+        Definition::Enum(e) => {
+            indent(depth, out);
+            out.push_str(&format!("enum {} {{ {} }};\n", e.name, e.variants.join(", ")));
+        }
+        Definition::Const(c) => {
+            indent(depth, out);
+            out.push_str(&format!(
+                "const {} {} = {};\n",
+                c.ty.idl(),
+                c.name,
+                c.value.idl()
+            ));
+        }
+        Definition::Exception(x) => {
+            indent(depth, out);
+            out.push_str(&format!("exception {} {{\n", x.name));
+            for m in &x.members {
+                indent(depth + 1, out);
+                let (base, suffix) = m.ty.declarator();
+                out.push_str(&format!("{} {}{};\n", base.idl(), m.name, suffix));
+            }
+            indent(depth, out);
+            out.push_str("};\n");
+        }
+        Definition::Typedef(t) => {
+            indent(depth, out);
+            let (base, suffix) = t.ty.declarator();
+            out.push_str(&format!("typedef {} {}{};\n", base.idl(), t.name, suffix));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repo_id_with_and_without_modules() {
+        let i = Interface {
+            name: "Echo".into(),
+            operations: vec![],
+            pos: Pos { line: 1, col: 1 },
+        };
+        assert_eq!(i.repo_id(&[]), "IDL:Echo:1.0");
+        assert_eq!(
+            i.repo_id(&["zcorba".to_string(), "media".to_string()]),
+            "IDL:zcorba/media/Echo:1.0"
+        );
+    }
+
+    #[test]
+    fn type_idl_rendering() {
+        assert_eq!(Type::ULongLong.idl(), "unsigned long long");
+        assert_eq!(
+            Type::Sequence(Box::new(Type::Named("Frame".into()))).idl(),
+            "sequence<Frame>"
+        );
+        assert_eq!(Type::ZcOctetSeq.idl(), "sequence<zc_octet>");
+    }
+}

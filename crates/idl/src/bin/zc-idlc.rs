@@ -1,0 +1,93 @@
+//! zc-idlc — the zcorba IDL compiler command line.
+//!
+//! ```text
+//! zc-idlc INPUT.idl [-o OUTPUT.rs]     compile to Rust (stdout by default)
+//! zc-idlc --check INPUT.idl            parse + validate only
+//! zc-idlc --pretty INPUT.idl           reformat to canonical IDL
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut mode_check = false;
+    let mut mode_pretty = false;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => match it.next() {
+                Some(o) => output = Some(o),
+                None => return usage("missing argument to -o"),
+            },
+            "--check" => mode_check = true,
+            "--pretty" => mode_pretty = true,
+            "-h" | "--help" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown option {other}"))
+            }
+            other => {
+                if input.replace(other.to_string()).is_some() {
+                    return usage("multiple input files given");
+                }
+            }
+        }
+    }
+    let Some(input) = input else {
+        return usage("no input file");
+    };
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("zc-idlc: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = (|| -> zc_idl::IdlResult<String> {
+        let spec = zc_idl::parse(&source)?;
+        zc_idl::check(&spec)?;
+        if mode_check {
+            Ok(String::new())
+        } else if mode_pretty {
+            Ok(zc_idl::ast::pretty(&spec))
+        } else {
+            Ok(zc_idl::generate(&spec))
+        }
+    })();
+
+    match result {
+        Ok(text) => {
+            if mode_check {
+                eprintln!("{input}: OK");
+                return ExitCode::SUCCESS;
+            }
+            match output {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, text) {
+                        eprintln!("zc-idlc: cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => print!("{text}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{input}:{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: zc-idlc INPUT.idl [-o OUTPUT.rs] [--check] [--pretty]";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("zc-idlc: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

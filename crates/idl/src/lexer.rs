@@ -1,0 +1,429 @@
+//! The IDL lexer.
+
+use crate::{IdlError, IdlResult, Pos};
+
+/// Token kinds produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are resolved by the parser so that
+    /// context-sensitive words like `in` stay usable as identifiers where
+    /// IDL allows).
+    Ident(String),
+    /// Integer literal (enum values, array extents, const values).
+    Int(u64),
+    /// String literal (const values).
+    Str(String),
+    /// `-` (signs on const values)
+    Minus,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `::`
+    Scope,
+    /// `=`
+    Eq,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(n) => write!(f, "integer `{n}`"),
+            TokenKind::Str(s) => write!(f, "string literal {s:?}"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Scope => write!(f, "`::`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it started.
+    pub pos: Pos,
+}
+
+/// A one-pass lexer over IDL source text.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `source`.
+    pub fn new(source: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: source.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> IdlResult<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                // line comment
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                // block comment
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(IdlError::new(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                // preprocessor / pragma lines are skipped wholesale
+                Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Lex the next token.
+    pub fn next_token(&mut self) -> IdlResult<Token> {
+        self.skip_trivia()?;
+        let pos = self.pos();
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
+        };
+        let kind = match c {
+            b'[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'<' => {
+                self.bump();
+                TokenKind::Lt
+            }
+            b'>' => {
+                self.bump();
+                TokenKind::Gt
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
+            }
+            b'=' => {
+                self.bump();
+                TokenKind::Eq
+            }
+            b'-' => {
+                self.bump();
+                TokenKind::Minus
+            }
+            b'"' => {
+                self.bump();
+                let mut out = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'"') => out.push('"'),
+                            _ => return Err(IdlError::new(pos, "bad escape in string literal")),
+                        },
+                        Some(c) => out.push(c as char),
+                        None => {
+                            return Err(IdlError::new(pos, "unterminated string literal"))
+                        }
+                    }
+                }
+                TokenKind::Str(out)
+            }
+            b':' => {
+                self.bump();
+                if self.peek() == Some(b':') {
+                    self.bump();
+                    TokenKind::Scope
+                } else {
+                    return Err(IdlError::new(pos, "expected `::` (single `:` is not IDL)"));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(d) = self.peek() {
+                    if !d.is_ascii_digit() {
+                        break;
+                    }
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add((d - b'0') as u64))
+                        .ok_or_else(|| IdlError::new(pos, "integer literal overflow"))?;
+                    self.bump();
+                }
+                if matches!(self.peek(), Some(c) if c.is_ascii_alphabetic() || c == b'_') {
+                    return Err(IdlError::new(pos, "identifiers may not start with a digit"));
+                }
+                TokenKind::Int(n)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if !(c.is_ascii_alphanumeric() || c == b'_') {
+                        break;
+                    }
+                    s.push(c as char);
+                    self.bump();
+                }
+                TokenKind::Ident(s)
+            }
+            other => {
+                return Err(IdlError::new(
+                    pos,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        Ok(Token { kind, pos })
+    }
+
+    /// Lex the whole input (trailing Eof token included).
+    pub fn tokenize(mut self) -> IdlResult<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let done = t.kind == TokenKind::Eof;
+            out.push(t);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        assert_eq!(
+            kinds("interface X { void f(); };"),
+            vec![
+                TokenKind::Ident("interface".into()),
+                TokenKind::Ident("X".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("void".into()),
+                TokenKind::Ident("f".into()),
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::RBrace,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_pragmas_skipped() {
+        let src = "// line\n/* block\nspanning */ #pragma zc on\nfoo";
+        assert_eq!(
+            kinds(src),
+            vec![TokenKind::Ident("foo".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn scope_token() {
+        assert_eq!(
+            kinds("a::b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Scope,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn sequence_brackets() {
+        assert_eq!(
+            kinds("sequence<octet>"),
+            vec![
+                TokenKind::Ident("sequence".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("octet".into()),
+                TokenKind::Gt,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_and_minus() {
+        assert_eq!(
+            kinds(r#"= -"a\nb""#),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Minus,
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(Lexer::new("\"never closed").tokenize().is_err());
+        assert!(Lexer::new(r#""bad \q escape""#).tokenize().is_err());
+    }
+
+    #[test]
+    fn integers() {
+        assert_eq!(
+            kinds("= 42"),
+            vec![TokenKind::Eq, TokenKind::Int(42), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Lexer::new("@").tokenize().is_err());
+        assert!(Lexer::new("a : b").tokenize().is_err());
+        assert!(Lexer::new("/* never closed").tokenize().is_err());
+        assert!(Lexer::new("1abc").tokenize().is_err());
+        assert!(Lexer::new("99999999999999999999999").tokenize().is_err());
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("  \n\t "), vec![TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,128 @@
+//! zc-idl — an IDL compiler for zcorba.
+//!
+//! The paper's §4.3 modifies MICO's IDL compiler so that it "generates
+//! ZC_Octet stubs and ZC_Octet skeletons … used the same way as the
+//! standard sequence stubs and skeletons". This crate is that compiler for
+//! the Rust ORB: it parses a practical subset of OMG IDL —
+//!
+//! ```idl
+//! module zcorba {
+//!   struct FrameInfo { unsigned long id; long long pts; boolean key; };
+//!   enum Codec { MPEG2, MPEG4 };
+//!   typedef sequence<octet> Payload;
+//!   typedef sequence<zc_octet> ZcPayload;   // the zero-copy extension
+//!
+//!   interface Encoder {
+//!     ZcPayload encode(in FrameInfo info, in ZcPayload raw);
+//!     oneway void flush();
+//!     unsigned long stats(out unsigned long frames);
+//!   };
+//! };
+//! ```
+//!
+//! — and generates Rust: data types with `CdrMarshal` implementations,
+//! a `*Client` stub per interface, and a `*Skeleton` servant adapter that
+//! dispatches onto a user-implemented trait. `sequence<octet>` maps to the
+//! copying [`zc_cdr::OctetSeq`]; `sequence<zc_octet>` maps to the zero-copy
+//! [`zc_cdr::ZcOctetSeq`]; *the generated call sites are otherwise
+//! identical*, which is exactly the isomorphism the paper requires for a
+//! fair comparison.
+//!
+//! The pipeline is classical: [`lexer`] → [`parser`] → [`sema`] →
+//! [`codegen`]. Each stage is independently tested; `compile_str` is the
+//! one-call entry used by build scripts, and the `zc-idlc` binary wraps it
+//! for the command line.
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+
+pub use ast::{
+    Definition, EnumDef, Interface, Member, Module, Operation, Param, ParamDir, Spec, StructDef,
+    Type, Typedef,
+};
+pub use codegen::generate;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::parse;
+pub use sema::check;
+
+/// A source position (1-based line/column) attached to errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line, starting at 1.
+    pub line: u32,
+    /// Column, starting at 1.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Compiler errors, each carrying the position that triggered them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdlError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl IdlError {
+    pub(crate) fn new(pos: Pos, message: impl Into<String>) -> IdlError {
+        IdlError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for IdlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for IdlError {}
+
+/// Result alias for compiler stages.
+pub type IdlResult<T> = Result<T, IdlError>;
+
+/// Compile IDL source text to Rust source text (the full pipeline).
+pub fn compile_str(source: &str) -> IdlResult<String> {
+    let spec = parse(source)?;
+    check(&spec)?;
+    Ok(generate(&spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_compiles_fixture() {
+        let src = r#"
+            module demo {
+              typedef sequence<zc_octet> Blob;
+              interface Echo {
+                Blob echo(in Blob data);
+              };
+            };
+        "#;
+        let rust = compile_str(src).unwrap();
+        assert!(rust.contains("pub struct EchoClient"));
+        assert!(rust.contains("pub trait Echo"));
+        assert!(rust.contains("ZcOctetSeq"));
+    }
+
+    #[test]
+    fn error_carries_position() {
+        let err = compile_str("interface X { void 42bad(); };").unwrap_err();
+        assert!(err.pos.line >= 1);
+        assert!(!err.message.is_empty());
+    }
+}

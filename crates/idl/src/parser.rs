@@ -1,0 +1,729 @@
+//! Recursive-descent parser for the IDL subset.
+
+use crate::ast::*;
+use crate::lexer::{Lexer, Token, TokenKind};
+use crate::{IdlError, IdlResult, Pos};
+
+/// Parse IDL source text into a [`Spec`].
+pub fn parse(source: &str) -> IdlResult<Spec> {
+    let tokens = Lexer::new(source).tokenize()?;
+    let mut p = Parser { tokens, i: 0 };
+    p.spec()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.i.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.i.min(self.tokens.len() - 1)].clone();
+        if self.i < self.tokens.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn pos(&self) -> Pos {
+        self.peek().pos
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> IdlResult<Token> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(IdlError::new(
+                self.pos(),
+                format!("expected {kind}, found {}", self.peek().kind),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> IdlResult<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(IdlError::new(
+                self.pos(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    /// Is the next token the given keyword?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> IdlResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(IdlError::new(
+                self.pos(),
+                format!("expected keyword `{kw}`, found {}", self.peek().kind),
+            ))
+        }
+    }
+
+    /// Optional trailing semicolon after a closing brace.
+    fn eat_semi(&mut self) {
+        while self.peek().kind == TokenKind::Semi {
+            self.bump();
+        }
+    }
+
+    fn spec(&mut self) -> IdlResult<Spec> {
+        let mut definitions = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            definitions.push(self.definition()?);
+        }
+        Ok(Spec { definitions })
+    }
+
+    fn definition(&mut self) -> IdlResult<Definition> {
+        let pos = self.pos();
+        if self.at_kw("module") {
+            self.bump();
+            let name = self.ident()?;
+            self.expect(&TokenKind::LBrace)?;
+            let mut definitions = Vec::new();
+            while self.peek().kind != TokenKind::RBrace {
+                definitions.push(self.definition()?);
+            }
+            self.expect(&TokenKind::RBrace)?;
+            self.eat_semi();
+            Ok(Definition::Module(Module {
+                name,
+                definitions,
+                pos,
+            }))
+        } else if self.at_kw("interface") {
+            Ok(Definition::Interface(self.interface()?))
+        } else if self.at_kw("struct") {
+            Ok(Definition::Struct(self.struct_def()?))
+        } else if self.at_kw("enum") {
+            Ok(Definition::Enum(self.enum_def()?))
+        } else if self.at_kw("typedef") {
+            Ok(Definition::Typedef(self.typedef()?))
+        } else if self.at_kw("exception") {
+            Ok(Definition::Exception(self.exception_def()?))
+        } else if self.at_kw("const") {
+            Ok(Definition::Const(self.const_def()?))
+        } else {
+            Err(IdlError::new(
+                pos,
+                format!(
+                    "expected `module`, `interface`, `struct`, `enum`, `typedef`, `exception` or `const`, found {}",
+                    self.peek().kind
+                ),
+            ))
+        }
+    }
+
+    fn interface(&mut self) -> IdlResult<Interface> {
+        let pos = self.pos();
+        self.expect_kw("interface")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut operations = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.at_kw("readonly") || self.at_kw("attribute") {
+                operations.extend(self.attribute()?);
+            } else {
+                operations.push(self.operation()?);
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.eat_semi();
+        Ok(Interface {
+            name,
+            operations,
+            pos,
+        })
+    }
+
+    /// `["readonly"] attribute type name;` — desugared, per the CORBA
+    /// language mapping, into `_get_name()` (and `_set_name(v)` when
+    /// writable).
+    fn attribute(&mut self) -> IdlResult<Vec<Operation>> {
+        let pos = self.pos();
+        let readonly = self.eat_kw("readonly");
+        self.expect_kw("attribute")?;
+        let ty = self.type_spec(false)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::Semi)?;
+        let mut ops = vec![Operation {
+            name: format!("_get_{name}"),
+            ret: ty.clone(),
+            params: vec![],
+            oneway: false,
+            raises: vec![],
+            pos,
+        }];
+        if !readonly {
+            ops.push(Operation {
+                name: format!("_set_{name}"),
+                ret: Type::Void,
+                params: vec![Param {
+                    dir: ParamDir::In,
+                    ty,
+                    name: "value".to_string(),
+                }],
+                oneway: false,
+                raises: vec![],
+                pos,
+            });
+        }
+        Ok(ops)
+    }
+
+    fn operation(&mut self) -> IdlResult<Operation> {
+        let pos = self.pos();
+        let oneway = self.eat_kw("oneway");
+        let ret = self.type_spec(true)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                params.push(self.param()?);
+                if self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let mut raises = Vec::new();
+        if self.eat_kw("raises") {
+            self.expect(&TokenKind::LParen)?;
+            loop {
+                raises.push(self.scoped_name()?);
+                if self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        self.expect(&TokenKind::Semi)?;
+        if oneway && ret != Type::Void {
+            return Err(IdlError::new(pos, "oneway operations must return void"));
+        }
+        Ok(Operation {
+            name,
+            ret,
+            params,
+            oneway,
+            raises,
+            pos,
+        })
+    }
+
+    fn param(&mut self) -> IdlResult<Param> {
+        let dir = if self.eat_kw("in") {
+            ParamDir::In
+        } else if self.eat_kw("out") {
+            ParamDir::Out
+        } else if self.eat_kw("inout") {
+            ParamDir::InOut
+        } else {
+            ParamDir::In // direction defaults to `in`
+        };
+        let ty = self.type_spec(false)?;
+        let name = self.ident()?;
+        Ok(Param { dir, ty, name })
+    }
+
+    fn struct_def(&mut self) -> IdlResult<StructDef> {
+        let pos = self.pos();
+        self.expect_kw("struct")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut members = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            let ty = self.type_spec(false)?;
+            let name = self.ident()?;
+            let ty = self.array_suffix(ty)?;
+            self.expect(&TokenKind::Semi)?;
+            members.push(Member { ty, name });
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.eat_semi();
+        Ok(StructDef { name, members, pos })
+    }
+
+    fn const_def(&mut self) -> IdlResult<ConstDef> {
+        let pos = self.pos();
+        self.expect_kw("const")?;
+        let ty = self.type_spec(false)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::Eq)?;
+        let vpos = self.pos();
+        let value = match self.bump().kind {
+            TokenKind::Minus => match self.bump().kind {
+                TokenKind::Int(n) => ConstValue::Int(-(n as i128)),
+                other => {
+                    return Err(IdlError::new(
+                        vpos,
+                        format!("expected integer after `-`, found {other}"),
+                    ))
+                }
+            },
+            TokenKind::Int(n) => ConstValue::Int(n as i128),
+            TokenKind::Str(s) => ConstValue::Str(s),
+            TokenKind::Ident(w) if w == "TRUE" => ConstValue::Bool(true),
+            TokenKind::Ident(w) if w == "FALSE" => ConstValue::Bool(false),
+            other => {
+                return Err(IdlError::new(
+                    vpos,
+                    format!("expected a constant value, found {other}"),
+                ))
+            }
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(ConstDef {
+            name,
+            ty,
+            value,
+            pos,
+        })
+    }
+
+    fn exception_def(&mut self) -> IdlResult<ExceptionDef> {
+        let pos = self.pos();
+        self.expect_kw("exception")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut members = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            let ty = self.type_spec(false)?;
+            let name = self.ident()?;
+            let ty = self.array_suffix(ty)?;
+            self.expect(&TokenKind::Semi)?;
+            members.push(Member { ty, name });
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.eat_semi();
+        Ok(ExceptionDef { name, members, pos })
+    }
+
+    fn enum_def(&mut self) -> IdlResult<EnumDef> {
+        let pos = self.pos();
+        self.expect_kw("enum")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut variants = Vec::new();
+        loop {
+            variants.push(self.ident()?);
+            // optional explicit value `= N` (accepted, must be sequential)
+            if self.peek().kind == TokenKind::Eq {
+                self.bump();
+                let pos = self.pos();
+                match self.bump().kind {
+                    TokenKind::Int(n) => {
+                        if n as usize != variants.len() - 1 {
+                            return Err(IdlError::new(
+                                pos,
+                                "only sequential enumerator values are supported",
+                            ));
+                        }
+                    }
+                    other => {
+                        return Err(IdlError::new(
+                            pos,
+                            format!("expected integer enumerator value, found {other}"),
+                        ))
+                    }
+                }
+            }
+            if self.peek().kind == TokenKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.eat_semi();
+        Ok(EnumDef {
+            name,
+            variants,
+            pos,
+        })
+    }
+
+    fn typedef(&mut self) -> IdlResult<Typedef> {
+        let pos = self.pos();
+        self.expect_kw("typedef")?;
+        let ty = self.type_spec(false)?;
+        let name = self.ident()?;
+        let ty = self.array_suffix(ty)?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(Typedef { name, ty, pos })
+    }
+
+    /// Optional `[N]` after a declared name (typedefs and struct members).
+    fn array_suffix(&mut self, base: Type) -> IdlResult<Type> {
+        if self.peek().kind != TokenKind::LBracket {
+            return Ok(base);
+        }
+        let pos = self.pos();
+        self.bump();
+        let n = match self.bump().kind {
+            TokenKind::Int(n) if n > 0 => n,
+            TokenKind::Int(_) => {
+                return Err(IdlError::new(pos, "array extent must be positive"))
+            }
+            other => {
+                return Err(IdlError::new(
+                    pos,
+                    format!("expected array extent, found {other}"),
+                ))
+            }
+        };
+        self.expect(&TokenKind::RBracket)?;
+        // multi-dimensional arrays nest outermost-first
+        let inner = self.array_suffix(base)?;
+        Ok(Type::Array(Box::new(inner), n))
+    }
+
+    fn scoped_name(&mut self) -> IdlResult<String> {
+        let mut name = self.ident()?;
+        while self.peek().kind == TokenKind::Scope {
+            self.bump();
+            // Scoping is flattened: the last segment is the lookup key
+            // (all names in a spec must be unique; sema enforces it).
+            name = self.ident()?;
+        }
+        Ok(name)
+    }
+
+    fn type_spec(&mut self, allow_void: bool) -> IdlResult<Type> {
+        let pos = self.pos();
+        let t = if self.eat_kw("void") {
+            if !allow_void {
+                return Err(IdlError::new(pos, "`void` is only valid as a return type"));
+            }
+            Type::Void
+        } else if self.eat_kw("octet") {
+            Type::Octet
+        } else if self.eat_kw("boolean") {
+            Type::Boolean
+        } else if self.eat_kw("char") {
+            Type::Char
+        } else if self.eat_kw("short") {
+            Type::Short
+        } else if self.eat_kw("float") {
+            Type::Float
+        } else if self.eat_kw("double") {
+            Type::Double
+        } else if self.eat_kw("string") {
+            Type::String_
+        } else if self.eat_kw("long") {
+            if self.eat_kw("long") {
+                Type::LongLong
+            } else {
+                Type::Long
+            }
+        } else if self.eat_kw("unsigned") {
+            if self.eat_kw("short") {
+                Type::UShort
+            } else if self.eat_kw("long") {
+                if self.eat_kw("long") {
+                    Type::ULongLong
+                } else {
+                    Type::ULong
+                }
+            } else {
+                return Err(IdlError::new(
+                    pos,
+                    "`unsigned` must be followed by `short` or `long`",
+                ));
+            }
+        } else if self.eat_kw("sequence") {
+            self.expect(&TokenKind::Lt)?;
+            let el = self.type_spec(false)?;
+            self.expect(&TokenKind::Gt)?;
+            match el {
+                Type::Octet => Type::OctetSeq,
+                Type::Named(n) if n == "zc_octet" || n == "ZC_Octet" => Type::ZcOctetSeq,
+                other => Type::Sequence(Box::new(other)),
+            }
+        } else {
+            Type::Named(self.scoped_name()?)
+        };
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::pretty;
+
+    const FIXTURE: &str = r#"
+        module zcorba {
+          struct FrameInfo {
+            unsigned long id;
+            long long pts;
+            boolean key;
+          };
+          enum Codec { MPEG2, MPEG4 };
+          typedef sequence<octet> Payload;
+          typedef sequence<zc_octet> ZcPayload;
+          typedef sequence<FrameInfo> FrameList;
+
+          interface Encoder {
+            ZcPayload encode(in FrameInfo info, in ZcPayload raw);
+            oneway void flush();
+            unsigned long stats(out unsigned long frames);
+            void configure(in Codec codec, inout double rate) raises (BadCodec);
+          };
+        };
+    "#;
+
+    #[test]
+    fn parses_fixture() {
+        let spec = parse(FIXTURE).unwrap();
+        assert_eq!(spec.definitions.len(), 1);
+        let Definition::Module(m) = &spec.definitions[0] else {
+            panic!("expected module")
+        };
+        assert_eq!(m.name, "zcorba");
+        assert_eq!(m.definitions.len(), 6);
+        let Definition::Interface(i) = &m.definitions[5] else {
+            panic!("expected interface")
+        };
+        assert_eq!(i.name, "Encoder");
+        assert_eq!(i.operations.len(), 4);
+        assert!(i.operations[1].oneway);
+        assert_eq!(i.operations[2].params[0].dir, ParamDir::Out);
+        assert_eq!(i.operations[3].params[1].dir, ParamDir::InOut);
+    }
+
+    #[test]
+    fn zc_octet_sequence_recognized() {
+        let spec = parse("typedef sequence<zc_octet> B;").unwrap();
+        let Definition::Typedef(t) = &spec.definitions[0] else {
+            panic!()
+        };
+        assert_eq!(t.ty, Type::ZcOctetSeq);
+        // alternate spelling
+        let spec = parse("typedef sequence<ZC_Octet> B;").unwrap();
+        let Definition::Typedef(t) = &spec.definitions[0] else {
+            panic!()
+        };
+        assert_eq!(t.ty, Type::ZcOctetSeq);
+    }
+
+    #[test]
+    fn unsigned_variants() {
+        let spec = parse("struct S { unsigned short a; unsigned long b; unsigned long long c; long long d; };").unwrap();
+        let Definition::Struct(s) = &spec.definitions[0] else {
+            panic!()
+        };
+        assert_eq!(s.members[0].ty, Type::UShort);
+        assert_eq!(s.members[1].ty, Type::ULong);
+        assert_eq!(s.members[2].ty, Type::ULongLong);
+        assert_eq!(s.members[3].ty, Type::LongLong);
+    }
+
+    #[test]
+    fn nested_sequences() {
+        let spec = parse("typedef sequence<sequence<long>> Matrix;").unwrap();
+        let Definition::Typedef(t) = &spec.definitions[0] else {
+            panic!()
+        };
+        assert_eq!(
+            t.ty,
+            Type::Sequence(Box::new(Type::Sequence(Box::new(Type::Long))))
+        );
+    }
+
+    #[test]
+    fn default_param_direction_is_in() {
+        let spec = parse("interface I { void f(long x); };").unwrap();
+        let Definition::Interface(i) = &spec.definitions[0] else {
+            panic!()
+        };
+        assert_eq!(i.operations[0].params[0].dir, ParamDir::In);
+    }
+
+    #[test]
+    fn enum_with_sequential_values() {
+        assert!(parse("enum E { A = 0, B = 1 };").is_ok());
+        assert!(parse("enum E { A = 5 };").is_err());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("interface { };").is_err()); // missing name
+        assert!(parse("interface I { void f() };").is_err()); // missing ;
+        assert!(parse("struct S { void v; };").is_err()); // void member
+        assert!(parse("oneway long f();").is_err()); // oneway at top level
+        assert!(parse("interface I { oneway long f(); };").is_err()); // oneway non-void
+        assert!(parse("typedef unsigned float F;").is_err());
+        assert!(parse("garbage").is_err());
+    }
+
+    #[test]
+    fn pretty_print_reparse_fixpoint() {
+        let spec = parse(FIXTURE).unwrap();
+        let printed = pretty(&spec);
+        let reparsed = parse(&printed).unwrap();
+        // `raises` clauses are discarded, so compare the reparse of the
+        // print against itself printed again (canonical fixpoint).
+        assert_eq!(pretty(&reparsed), printed);
+    }
+
+    #[test]
+    fn array_declarators() {
+        let spec = parse("typedef long Vec4[4]; struct M { double cells[2][3]; octet pad[16]; };").unwrap();
+        let Definition::Typedef(t) = &spec.definitions[0] else { panic!() };
+        assert_eq!(t.ty, Type::Array(Box::new(Type::Long), 4));
+        let Definition::Struct(m) = &spec.definitions[1] else { panic!() };
+        assert_eq!(
+            m.members[0].ty,
+            Type::Array(Box::new(Type::Array(Box::new(Type::Double), 3)), 2)
+        );
+        assert_eq!(m.members[1].ty, Type::Array(Box::new(Type::Octet), 16));
+        // zero extent and junk rejected
+        assert!(parse("typedef long Bad[0];").is_err());
+        assert!(parse("typedef long Bad[x];").is_err());
+        assert!(parse("typedef long Bad[4;").is_err());
+        // pretty fixpoint through declarator syntax
+        let printed = crate::ast::pretty(&spec);
+        assert!(printed.contains("typedef long Vec4[4];"));
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(crate::ast::pretty(&reparsed), printed);
+    }
+
+    #[test]
+    fn const_declarations() {
+        let spec = parse(
+            "const long ANSWER = 42;\n\
+             const long long NEG = -7;\n\
+             const string GREETING = \"hi\\n\";\n\
+             const boolean ON = TRUE;\n\
+             const octet B = 255;",
+        )
+        .unwrap();
+        crate::sema::check(&spec).unwrap();
+        let Definition::Const(c) = &spec.definitions[0] else {
+            panic!()
+        };
+        assert_eq!(c.value, ConstValue::Int(42));
+        let Definition::Const(n) = &spec.definitions[1] else {
+            panic!()
+        };
+        assert_eq!(n.value, ConstValue::Int(-7));
+        // range and kind checks
+        assert!(crate::sema::check(&parse("const octet X = 256;").unwrap()).is_err());
+        assert!(crate::sema::check(&parse("const long X = TRUE;").unwrap()).is_err());
+        assert!(crate::sema::check(&parse("const unsigned long X = -1;").unwrap()).is_err());
+        assert!(parse("const long X = ;").is_err());
+        // pretty fixpoint
+        let printed = crate::ast::pretty(&spec);
+        assert!(printed.contains("const long ANSWER = 42;"));
+        assert!(printed.contains("const boolean ON = TRUE;"));
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(crate::ast::pretty(&reparsed), printed);
+        // codegen
+        let rust = crate::codegen::generate(&spec);
+        assert!(rust.contains("pub const ANSWER: i32 = 42;"));
+        assert!(rust.contains("pub const NEG: i64 = -7;"));
+        assert!(rust.contains("pub const GREETING: &str = \"hi\\n\";"));
+        assert!(rust.contains("pub const ON: bool = true;"));
+    }
+
+    #[test]
+    fn exceptions_and_raises() {
+        let spec = parse(
+            "exception Oops { long code; string what; };\n\
+             exception Empty { };\n\
+             interface I { void f() raises (Oops, Empty); long g(); };",
+        )
+        .unwrap();
+        crate::sema::check(&spec).unwrap();
+        let Definition::Exception(x) = &spec.definitions[0] else {
+            panic!()
+        };
+        assert_eq!(x.name, "Oops");
+        assert_eq!(x.members.len(), 2);
+        assert_eq!(x.repo_id(&[]), "IDL:Oops:1.0");
+        let Definition::Interface(i) = &spec.definitions[2] else {
+            panic!()
+        };
+        assert_eq!(i.operations[0].raises, vec!["Oops", "Empty"]);
+        assert!(i.operations[1].raises.is_empty());
+        // pretty fixpoint preserves raises
+        let printed = crate::ast::pretty(&spec);
+        assert!(printed.contains("raises (Oops, Empty)"));
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(crate::ast::pretty(&reparsed), printed);
+        // sema rejects unknown raises and exceptions as data types
+        assert!(crate::sema::check(&parse("interface I { void f() raises (Ghost); };").unwrap()).is_err());
+        assert!(crate::sema::check(&parse("exception E { long x; }; struct S { E e; };").unwrap()).is_err());
+        // generated code has the helpers
+        let rust = crate::codegen::generate(&spec);
+        assert!(rust.contains("pub struct Oops"));
+        assert!(rust.contains("pub const REPO_ID: &'static str = \"IDL:Oops:1.0\""));
+        assert!(rust.contains("pub fn raise(&self)"));
+        assert!(rust.contains("pub fn from_error"));
+    }
+
+    #[test]
+    fn attributes_desugar_to_accessors() {
+        let spec = parse(
+            "interface I { readonly attribute long count; attribute string label; };",
+        )
+        .unwrap();
+        let Definition::Interface(i) = &spec.definitions[0] else {
+            panic!()
+        };
+        let names: Vec<&str> = i.operations.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["_get_count", "_get_label", "_set_label"]);
+        assert_eq!(i.operations[0].ret, Type::Long);
+        assert!(i.operations[0].params.is_empty());
+        assert_eq!(i.operations[2].ret, Type::Void);
+        assert_eq!(i.operations[2].params[0].ty, Type::String_);
+        // generated Rust names are legal identifiers
+        let rust = crate::codegen::generate(&spec);
+        assert!(rust.contains("fn _get_count(&self)"));
+        assert!(rust.contains("fn _set_label(&self, value: String)"));
+    }
+
+    #[test]
+    fn readonly_without_attribute_is_an_error() {
+        assert!(parse("interface I { readonly long x; };").is_err());
+    }
+
+    #[test]
+    fn scoped_names_flatten() {
+        let spec = parse("interface I { void f(in m::Frame x); };").unwrap();
+        let Definition::Interface(i) = &spec.definitions[0] else {
+            panic!()
+        };
+        assert_eq!(i.operations[0].params[0].ty, Type::Named("Frame".into()));
+    }
+}

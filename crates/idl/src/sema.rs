@@ -1,0 +1,388 @@
+//! Semantic analysis: name uniqueness, type resolution, cycle detection.
+//!
+//! The code generator flattens all modules into one Rust namespace (module
+//! paths survive only in repository ids), so sema enforces global name
+//! uniqueness — the property that makes flattening sound.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::{IdlError, IdlResult, Pos};
+
+/// What a name is defined as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Module,
+    Interface,
+    Struct,
+    Enum,
+    Typedef,
+    Exception,
+    Const,
+}
+
+/// Validate a parsed spec. Returns `Ok(())` or the first error found.
+pub fn check(spec: &Spec) -> IdlResult<()> {
+    let mut table: HashMap<String, (Kind, Pos)> = HashMap::new();
+    collect(&spec.definitions, &mut table)?;
+    validate(&spec.definitions, &table)?;
+    detect_typedef_cycles(&spec.definitions, &table)?;
+    Ok(())
+}
+
+fn collect(
+    defs: &[Definition],
+    table: &mut HashMap<String, (Kind, Pos)>,
+) -> IdlResult<()> {
+    for d in defs {
+        let kind = match d {
+            Definition::Module(_) => Kind::Module,
+            Definition::Interface(_) => Kind::Interface,
+            Definition::Struct(_) => Kind::Struct,
+            Definition::Enum(_) => Kind::Enum,
+            Definition::Typedef(_) => Kind::Typedef,
+            Definition::Exception(_) => Kind::Exception,
+            Definition::Const(_) => Kind::Const,
+        };
+        // Modules may repeat (reopening); everything else must be unique.
+        if kind != Kind::Module {
+            if let Some((_, prev)) = table.insert(d.name().to_string(), (kind, d.pos())) {
+                return Err(IdlError::new(
+                    d.pos(),
+                    format!("`{}` is already defined at {prev}", d.name()),
+                ));
+            }
+        }
+        if let Definition::Module(m) = d {
+            collect(&m.definitions, table)?;
+        }
+    }
+    Ok(())
+}
+
+fn type_ok(
+    ty: &Type,
+    pos: Pos,
+    table: &HashMap<String, (Kind, Pos)>,
+) -> IdlResult<()> {
+    match ty {
+        Type::Named(n) => match table.get(n) {
+            Some((Kind::Struct | Kind::Enum | Kind::Typedef, _)) => Ok(()),
+            Some((Kind::Interface, _)) => Err(IdlError::new(
+                pos,
+                format!("object references (`{n}`) are not supported as data types"),
+            )),
+            Some((Kind::Exception, _)) => Err(IdlError::new(
+                pos,
+                format!("exception `{n}` cannot be used as a data type"),
+            )),
+            Some((Kind::Const, _)) => Err(IdlError::new(
+                pos,
+                format!("constant `{n}` cannot be used as a type"),
+            )),
+            Some((Kind::Module, _)) | None => Err(IdlError::new(
+                pos,
+                format!("unknown type `{n}`"),
+            )),
+        },
+        Type::Sequence(el) => {
+            if matches!(**el, Type::Void) {
+                return Err(IdlError::new(pos, "sequence of void is not a type"));
+            }
+            type_ok(el, pos, table)
+        }
+        Type::Array(el, _) => type_ok(el, pos, table),
+        _ => Ok(()),
+    }
+}
+
+fn validate(
+    defs: &[Definition],
+    table: &HashMap<String, (Kind, Pos)>,
+) -> IdlResult<()> {
+    for d in defs {
+        match d {
+            Definition::Module(m) => validate(&m.definitions, table)?,
+            Definition::Struct(s) => {
+                let mut seen = HashSet::new();
+                if s.members.is_empty() {
+                    return Err(IdlError::new(s.pos, format!("struct `{}` has no members", s.name)));
+                }
+                for m in &s.members {
+                    if !seen.insert(m.name.as_str()) {
+                        return Err(IdlError::new(
+                            s.pos,
+                            format!("duplicate member `{}` in struct `{}`", m.name, s.name),
+                        ));
+                    }
+                    type_ok(&m.ty, s.pos, table)?;
+                }
+            }
+            Definition::Enum(e) => {
+                if e.variants.is_empty() {
+                    return Err(IdlError::new(e.pos, format!("enum `{}` has no enumerators", e.name)));
+                }
+                let mut seen = HashSet::new();
+                for v in &e.variants {
+                    if !seen.insert(v.as_str()) {
+                        return Err(IdlError::new(
+                            e.pos,
+                            format!("duplicate enumerator `{v}` in enum `{}`", e.name),
+                        ));
+                    }
+                }
+            }
+            Definition::Typedef(t) => type_ok(&t.ty, t.pos, table)?,
+            Definition::Const(c) => {
+                let ok = matches!(
+                    (&c.ty, &c.value),
+                    (
+                        Type::Short | Type::UShort | Type::Long | Type::ULong
+                            | Type::LongLong | Type::ULongLong | Type::Octet,
+                        ConstValue::Int(_)
+                    ) | (Type::String_, ConstValue::Str(_))
+                        | (Type::Boolean, ConstValue::Bool(_))
+                );
+                if !ok {
+                    return Err(IdlError::new(
+                        c.pos,
+                        format!(
+                            "constant `{}`: value {} does not fit type {}",
+                            c.name,
+                            c.value.idl(),
+                            c.ty.idl()
+                        ),
+                    ));
+                }
+                if let (ty, ConstValue::Int(v)) = (&c.ty, &c.value) {
+                    let (lo, hi): (i128, i128) = match ty {
+                        Type::Octet => (0, u8::MAX as i128),
+                        Type::Short => (i16::MIN as i128, i16::MAX as i128),
+                        Type::UShort => (0, u16::MAX as i128),
+                        Type::Long => (i32::MIN as i128, i32::MAX as i128),
+                        Type::ULong => (0, u32::MAX as i128),
+                        Type::LongLong => (i64::MIN as i128, i64::MAX as i128),
+                        Type::ULongLong => (0, u64::MAX as i128),
+                        _ => (i128::MIN, i128::MAX),
+                    };
+                    if *v < lo || *v > hi {
+                        return Err(IdlError::new(
+                            c.pos,
+                            format!("constant `{}`: {v} out of range for {}", c.name, c.ty.idl()),
+                        ));
+                    }
+                }
+            }
+            Definition::Exception(x) => {
+                let mut seen = HashSet::new();
+                for m in &x.members {
+                    if !seen.insert(m.name.as_str()) {
+                        return Err(IdlError::new(
+                            x.pos,
+                            format!("duplicate member `{}` in exception `{}`", m.name, x.name),
+                        ));
+                    }
+                    type_ok(&m.ty, x.pos, table)?;
+                }
+            }
+            Definition::Interface(i) => {
+                let mut ops = HashSet::new();
+                for op in &i.operations {
+                    if !ops.insert(op.name.as_str()) {
+                        return Err(IdlError::new(
+                            op.pos,
+                            format!("duplicate operation `{}` in interface `{}`", op.name, i.name),
+                        ));
+                    }
+                    if op.ret != Type::Void {
+                        type_ok(&op.ret, op.pos, table)?;
+                    }
+                    if op.oneway {
+                        if let Some(p) = op
+                            .params
+                            .iter()
+                            .find(|p| !matches!(p.dir, ParamDir::In))
+                        {
+                            return Err(IdlError::new(
+                                op.pos,
+                                format!(
+                                    "oneway operation `{}` cannot have out/inout parameter `{}`",
+                                    op.name, p.name
+                                ),
+                            ));
+                        }
+                    }
+                    for r in &op.raises {
+                        match table.get(r) {
+                            Some((Kind::Exception, _)) => {}
+                            _ => {
+                                return Err(IdlError::new(
+                                    op.pos,
+                                    format!("`raises({r})` does not name an exception"),
+                                ))
+                            }
+                        }
+                    }
+                    let mut names = HashSet::new();
+                    for p in &op.params {
+                        if !names.insert(p.name.as_str()) {
+                            return Err(IdlError::new(
+                                op.pos,
+                                format!(
+                                    "duplicate parameter `{}` in operation `{}`",
+                                    p.name, op.name
+                                ),
+                            ));
+                        }
+                        type_ok(&p.ty, op.pos, table)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn collect_typedefs<'a>(defs: &'a [Definition], out: &mut HashMap<&'a str, &'a Typedef>) {
+    for d in defs {
+        match d {
+            Definition::Typedef(t) => {
+                out.insert(t.name.as_str(), t);
+            }
+            Definition::Module(m) => collect_typedefs(&m.definitions, out),
+            _ => {}
+        }
+    }
+}
+
+fn detect_typedef_cycles(
+    defs: &[Definition],
+    _table: &HashMap<String, (Kind, Pos)>,
+) -> IdlResult<()> {
+    let mut typedefs = HashMap::new();
+    collect_typedefs(defs, &mut typedefs);
+    for (start, td) in &typedefs {
+        let mut seen = HashSet::new();
+        seen.insert(*start);
+        let mut cur = &td.ty;
+        loop {
+            // Follow direct aliases and sequence elements.
+            let next_name = match cur {
+                Type::Named(n) => n.as_str(),
+                Type::Sequence(el) => match &**el {
+                    Type::Named(n) => n.as_str(),
+                    _ => break,
+                },
+                _ => break,
+            };
+            match typedefs.get(next_name) {
+                Some(next_td) => {
+                    if !seen.insert(next_name) {
+                        return Err(IdlError::new(
+                            td.pos,
+                            format!("typedef cycle involving `{start}`"),
+                        ));
+                    }
+                    cur = &next_td.ty;
+                }
+                None => break, // struct/enum: cycles through structs would
+                               // be caught by Rust's compiler (no Box), and
+                               // sema rejects unknown names already.
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ok(src: &str) {
+        check(&parse(src).unwrap()).unwrap();
+    }
+
+    fn fails(src: &str, needle: &str) {
+        let err = check(&parse(src).unwrap()).unwrap_err();
+        assert!(
+            err.message.contains(needle),
+            "expected error containing {needle:?}, got {:?}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        ok(r#"
+            module m {
+              struct S { long a; string b; };
+              enum E { X, Y };
+              typedef sequence<S> Ss;
+              interface I {
+                Ss f(in S s, in E e, out long n);
+                oneway void ping(in long x);
+              };
+            };
+        "#);
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        fails("struct S { long a; }; struct S { long b; };", "already defined");
+        fails(
+            "module a { struct S { long x; }; }; module b { enum S { A }; };",
+            "already defined",
+        );
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        fails("struct S { Mystery m; };", "unknown type");
+        fails("interface I { void f(in Nope x); };", "unknown type");
+        fails("typedef sequence<Nothing> T;", "unknown type");
+    }
+
+    #[test]
+    fn interface_as_data_type_rejected() {
+        fails(
+            "interface I { void f(); }; struct S { I ref; };",
+            "not supported as data types",
+        );
+    }
+
+    #[test]
+    fn duplicate_members_and_params() {
+        fails("struct S { long a; long a; };", "duplicate member");
+        fails("enum E { A, A };", "duplicate enumerator");
+        fails("interface I { void f(); void f(); };", "duplicate operation");
+        fails("interface I { void f(in long x, in long x); };", "duplicate parameter");
+    }
+
+    #[test]
+    fn empty_aggregates_rejected() {
+        fails("struct S { };", "no members");
+        // empty enums don't parse (grammar needs ≥1), covered in parser
+    }
+
+    #[test]
+    fn oneway_with_out_rejected() {
+        fails(
+            "interface I { oneway void f(out long x); };",
+            "cannot have out/inout",
+        );
+    }
+
+    #[test]
+    fn typedef_cycles_rejected() {
+        fails("typedef B A; typedef A B;", "typedef cycle");
+        fails("typedef sequence<A> A;", "typedef cycle");
+        // self-alias
+        fails("typedef A A;", "typedef cycle");
+    }
+
+    #[test]
+    fn typedef_chains_allowed() {
+        ok("typedef sequence<octet> A; typedef A B; typedef sequence<B> C;");
+    }
+}

@@ -1,0 +1,212 @@
+//! Property tests for the IDL compiler: the parser never panics on
+//! arbitrary input, and pretty-printing is a parse fixpoint over randomly
+//! generated ASTs.
+
+use proptest::prelude::*;
+
+use zc_idl::ast::{pretty, Definition, EnumDef, Interface, Member, Operation, Param, ParamDir,
+    Spec, StructDef, Type, Typedef};
+use zc_idl::{parse, Pos};
+
+fn ident() -> impl Strategy<Value = String> {
+    // The `t_` prefix guarantees we never collide with an IDL keyword.
+    "[a-z]{1,6}".prop_map(|s| format!("t_{s}"))
+}
+
+fn pos() -> impl Strategy<Value = Pos> {
+    Just(Pos { line: 1, col: 1 })
+}
+
+fn base_type() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        Just(Type::Octet),
+        Just(Type::Boolean),
+        Just(Type::Char),
+        Just(Type::Short),
+        Just(Type::UShort),
+        Just(Type::Long),
+        Just(Type::ULong),
+        Just(Type::LongLong),
+        Just(Type::ULongLong),
+        Just(Type::Float),
+        Just(Type::Double),
+        Just(Type::String_),
+        Just(Type::OctetSeq),
+        Just(Type::ZcOctetSeq),
+        ident().prop_map(Type::Named),
+    ]
+}
+
+fn any_type() -> impl Strategy<Value = Type> {
+    base_type().prop_recursive(2, 8, 3, |inner| {
+        inner.prop_map(|t| match t {
+            // the parser canonicalizes these two; avoid generating the
+            // non-canonical spellings
+            Type::Octet => Type::OctetSeq,
+            other => Type::Sequence(Box::new(other)),
+        })
+    })
+}
+
+fn member() -> impl Strategy<Value = Member> {
+    (any_type(), ident()).prop_map(|(ty, name)| Member { ty, name })
+}
+
+fn unique_names(n: usize) -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::hash_set(ident(), 1..=n)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+}
+
+fn struct_def() -> impl Strategy<Value = StructDef> {
+    (ident(), proptest::collection::vec(member(), 1..5), pos()).prop_map(
+        |(name, mut members, pos)| {
+            // de-duplicate member names so the printed IDL stays parseable
+            // into the identical AST
+            for (i, m) in members.iter_mut().enumerate() {
+                m.name = format!("{}_{i}", m.name);
+            }
+            StructDef { name, members, pos }
+        },
+    )
+}
+
+fn enum_def() -> impl Strategy<Value = EnumDef> {
+    (ident(), unique_names(5), pos()).prop_map(|(name, variants, pos)| EnumDef {
+        name,
+        variants,
+        pos,
+    })
+}
+
+fn typedef() -> impl Strategy<Value = Typedef> {
+    (ident(), any_type(), pos()).prop_map(|(name, ty, pos)| Typedef { name, ty, pos })
+}
+
+fn param() -> impl Strategy<Value = Param> {
+    (
+        prop_oneof![
+            Just(ParamDir::In),
+            Just(ParamDir::Out),
+            Just(ParamDir::InOut)
+        ],
+        any_type(),
+        ident(),
+    )
+        .prop_map(|(dir, ty, name)| Param { dir, ty, name })
+}
+
+fn operation() -> impl Strategy<Value = Operation> {
+    (
+        ident(),
+        prop_oneof![Just(Type::Void), any_type()],
+        proptest::collection::vec(param(), 0..4),
+        any::<bool>(),
+        pos(),
+    )
+        .prop_map(|(name, ret, mut params, oneway_wanted, pos)| {
+            for (i, p) in params.iter_mut().enumerate() {
+                p.name = format!("{}_{i}", p.name);
+            }
+            // oneway is only legal for void + in-only
+            let oneway = oneway_wanted
+                && ret == Type::Void
+                && params.iter().all(|p| p.dir == ParamDir::In);
+            Operation {
+                name,
+                ret,
+                params,
+                oneway,
+                raises: vec![],
+                pos,
+            }
+        })
+}
+
+fn interface() -> impl Strategy<Value = Interface> {
+    (ident(), proptest::collection::vec(operation(), 0..4), pos()).prop_map(
+        |(name, mut operations, pos)| {
+            for (i, op) in operations.iter_mut().enumerate() {
+                op.name = format!("{}_{i}", op.name);
+            }
+            Interface {
+                name,
+                operations,
+                pos,
+            }
+        },
+    )
+}
+
+fn definition() -> impl Strategy<Value = Definition> {
+    prop_oneof![
+        struct_def().prop_map(Definition::Struct),
+        enum_def().prop_map(Definition::Enum),
+        typedef().prop_map(Definition::Typedef),
+        interface().prop_map(Definition::Interface),
+    ]
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    proptest::collection::vec(definition(), 0..5).prop_map(|definitions| Spec { definitions })
+}
+
+/// Positions aren't printed, so normalize them before AST comparison.
+fn strip_pos(spec: &mut Spec) {
+    fn fix(d: &mut Definition) {
+        let p = Pos { line: 1, col: 1 };
+        match d {
+            Definition::Module(m) => {
+                m.pos = p;
+                m.definitions.iter_mut().for_each(fix);
+            }
+            Definition::Interface(i) => {
+                i.pos = p;
+                i.operations.iter_mut().for_each(|o| o.pos = p);
+            }
+            Definition::Struct(s) => s.pos = p,
+            Definition::Enum(e) => e.pos = p,
+            Definition::Typedef(t) => t.pos = p,
+            Definition::Exception(x) => x.pos = p,
+            Definition::Const(c) => c.pos = p,
+        }
+    }
+    spec.definitions.iter_mut().for_each(fix);
+}
+
+proptest! {
+    /// The parser must never panic, whatever the input.
+    #[test]
+    fn prop_parser_never_panics(src in "\\PC{0,300}") {
+        let _ = parse(&src);
+    }
+
+    /// Nor on inputs biased toward IDL-looking fragments.
+    #[test]
+    fn prop_parser_never_panics_idl_like(
+        src in "(module|interface|struct|enum|typedef|sequence|<|>|\\{|\\}|;|,|long|in|out|[a-z]{1,4}| ){0,60}"
+    ) {
+        let _ = parse(&src);
+    }
+
+    /// pretty → parse is the identity on generated ASTs.
+    #[test]
+    fn prop_pretty_parse_roundtrip(generated in spec()) {
+        let printed = pretty(&generated);
+        let mut reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed IDL failed to parse: {e}\n{printed}"));
+        strip_pos(&mut reparsed);
+        let mut expect = generated.clone();
+        strip_pos(&mut expect);
+        prop_assert_eq!(reparsed, expect);
+    }
+
+    /// Valid generated specs also pretty-print to *stable* output
+    /// (printing twice yields identical text).
+    #[test]
+    fn prop_pretty_is_stable(generated in spec()) {
+        let once = pretty(&generated);
+        if let Ok(reparsed) = parse(&once) {
+            prop_assert_eq!(pretty(&reparsed), once);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! 8×8 block transforms: forward/inverse DCT-II, quantization, zigzag.
+//!
+//! The arithmetic core of the block encoder. Implemented as separable
+//! 1-D passes over rows then columns (the classical O(n²)-per-vector
+//! form — clear, exact, and fast enough; a real codec would use a
+//! factorized integer transform, which changes constants, not structure).
+
+/// Block edge length.
+pub const N: usize = 8;
+
+/// An 8×8 coefficient block in row-major order.
+pub type Block = [f32; N * N];
+
+fn basis(k: usize, n: usize) -> f32 {
+    // cos((2n+1) k π / 16)
+    ((2 * n + 1) as f32 * k as f32 * std::f32::consts::PI / 16.0).cos()
+}
+
+fn scale(k: usize) -> f32 {
+    if k == 0 {
+        (1.0f32 / N as f32).sqrt()
+    } else {
+        (2.0f32 / N as f32).sqrt()
+    }
+}
+
+fn dct1d(input: &[f32; N]) -> [f32; N] {
+    let mut out = [0.0f32; N];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (n, &x) in input.iter().enumerate() {
+            acc += x * basis(k, n);
+        }
+        *o = scale(k) * acc;
+    }
+    out
+}
+
+fn idct1d(input: &[f32; N]) -> [f32; N] {
+    let mut out = [0.0f32; N];
+    for (n, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (k, &x) in input.iter().enumerate() {
+            acc += scale(k) * x * basis(k, n);
+        }
+        *o = acc;
+    }
+    out
+}
+
+fn transform(block: &Block, f: impl Fn(&[f32; N]) -> [f32; N]) -> Block {
+    let mut tmp = [0.0f32; N * N];
+    // rows
+    for r in 0..N {
+        let mut row = [0.0f32; N];
+        row.copy_from_slice(&block[r * N..(r + 1) * N]);
+        tmp[r * N..(r + 1) * N].copy_from_slice(&f(&row));
+    }
+    // columns
+    let mut out = [0.0f32; N * N];
+    for c in 0..N {
+        let mut col = [0.0f32; N];
+        for r in 0..N {
+            col[r] = tmp[r * N + c];
+        }
+        let t = f(&col);
+        for r in 0..N {
+            out[r * N + c] = t[r];
+        }
+    }
+    out
+}
+
+/// Forward 2-D DCT-II.
+pub fn fdct(block: &Block) -> Block {
+    transform(block, dct1d)
+}
+
+/// Inverse 2-D DCT-II.
+pub fn idct(block: &Block) -> Block {
+    transform(block, idct1d)
+}
+
+/// The MPEG intra quantization matrix (ISO 13818-2 default).
+pub const INTRA_QUANT: [u16; N * N] = [
+    8, 16, 19, 22, 26, 27, 29, 34, //
+    16, 16, 22, 24, 27, 29, 34, 37, //
+    19, 22, 26, 27, 29, 34, 34, 38, //
+    22, 22, 26, 27, 29, 34, 37, 40, //
+    22, 26, 27, 29, 32, 35, 40, 48, //
+    26, 27, 29, 32, 35, 40, 48, 58, //
+    26, 27, 29, 34, 38, 46, 56, 69, //
+    27, 29, 35, 38, 46, 56, 69, 83,
+];
+
+/// Quantize DCT coefficients to integers (quality `q` scales the matrix;
+/// higher q = coarser = smaller output).
+pub fn quantize(block: &Block, q: u16) -> [i16; N * N] {
+    let mut out = [0i16; N * N];
+    for i in 0..N * N {
+        let step = (INTRA_QUANT[i] as f32 * q as f32 / 16.0).max(1.0);
+        out[i] = (block[i] / step).round().clamp(-2047.0, 2047.0) as i16;
+    }
+    out
+}
+
+/// Invert [`quantize`].
+pub fn dequantize(coeffs: &[i16; N * N], q: u16) -> Block {
+    let mut out = [0.0f32; N * N];
+    for i in 0..N * N {
+        let step = (INTRA_QUANT[i] as f32 * q as f32 / 16.0).max(1.0);
+        out[i] = coeffs[i] as f32 * step;
+    }
+    out
+}
+
+/// The zigzag scan order (low frequencies first, so runs of zeros cluster
+/// at the end for the run-length coder).
+pub const ZIGZAG: [usize; N * N] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Reorder coefficients into zigzag order.
+pub fn zigzag_scan(coeffs: &[i16; N * N]) -> [i16; N * N] {
+    let mut out = [0i16; N * N];
+    for (i, &z) in ZIGZAG.iter().enumerate() {
+        out[i] = coeffs[z];
+    }
+    out
+}
+
+/// Invert [`zigzag_scan`].
+pub fn zigzag_unscan(scanned: &[i16; N * N]) -> [i16; N * N] {
+    let mut out = [0i16; N * N];
+    for (i, &z) in ZIGZAG.iter().enumerate() {
+        out[z] = scanned[i];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> Block {
+        let mut b = [0.0f32; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i * 7) % 255) as f32 - 128.0;
+        }
+        b
+    }
+
+    #[test]
+    fn dct_idct_roundtrip() {
+        let b = sample_block();
+        let back = idct(&fdct(&b));
+        for i in 0..64 {
+            assert!((b[i] - back[i]).abs() < 0.01, "i={i}: {} vs {}", b[i], back[i]);
+        }
+    }
+
+    #[test]
+    fn dct_preserves_energy() {
+        // Parseval: the DCT is orthonormal, so ∑x² = ∑X².
+        let b = sample_block();
+        let t = fdct(&b);
+        let e_in: f32 = b.iter().map(|x| x * x).sum();
+        let e_out: f32 = t.iter().map(|x| x * x).sum();
+        assert!((e_in - e_out).abs() / e_in < 1e-4);
+    }
+
+    #[test]
+    fn flat_block_is_pure_dc() {
+        let b = [100.0f32; 64];
+        let t = fdct(&b);
+        assert!((t[0] - 800.0).abs() < 0.01, "DC = 8 * value");
+        assert!(t[1..].iter().all(|&x| x.abs() < 0.01));
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &z in &ZIGZAG {
+            assert!(!seen[z], "duplicate index {z}");
+            seen[z] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // first entries are the lowest frequencies
+        assert_eq!(&ZIGZAG[..4], &[0, 1, 8, 16]);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        let mut c = [0i16; 64];
+        for (i, v) in c.iter_mut().enumerate() {
+            *v = i as i16 - 32;
+        }
+        assert_eq!(zigzag_unscan(&zigzag_scan(&c)), c);
+    }
+
+    #[test]
+    fn quantize_roundtrip_bounded_error() {
+        let b = sample_block();
+        let t = fdct(&b);
+        for q in [4u16, 16, 31] {
+            let deq = dequantize(&quantize(&t, q), q);
+            let back = idct(&deq);
+            let max_step = INTRA_QUANT.iter().map(|&s| s as f32 * q as f32 / 16.0).fold(0.0f32, f32::max);
+            for i in 0..64 {
+                assert!(
+                    (b[i] - back[i]).abs() <= max_step,
+                    "q={q} i={i}: err {}",
+                    (b[i] - back[i]).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coarser_quantization_zeroes_more() {
+        let t = fdct(&sample_block());
+        let fine = quantize(&t, 2);
+        let coarse = quantize(&t, 31);
+        let nz = |c: &[i16; 64]| c.iter().filter(|&&x| x != 0).count();
+        assert!(nz(&coarse) <= nz(&fine));
+    }
+}

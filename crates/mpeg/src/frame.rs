@@ -1,0 +1,151 @@
+//! Video frames in planar YUV 4:2:0, stored in zero-copy buffers.
+
+use zc_buffers::ZcBytes;
+
+/// A video geometry (luma plane dimensions; chroma is subsampled 2×2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VideoFormat {
+    /// Luma width in pixels (must be a multiple of 16 — MPEG macroblocks).
+    pub width: usize,
+    /// Luma height in pixels (multiple of 16).
+    pub height: usize,
+}
+
+impl VideoFormat {
+    /// Full HDTV, the paper's headline format (≈ 3.1 MB/frame).
+    pub const HDTV_1080: VideoFormat = VideoFormat {
+        width: 1920,
+        height: 1088, // 1080 rounded up to a macroblock multiple
+    };
+
+    /// SD format (DVD-class input).
+    pub const SD_480: VideoFormat = VideoFormat {
+        width: 720,
+        height: 480,
+    };
+
+    /// A small format for fast tests.
+    pub const TINY: VideoFormat = VideoFormat {
+        width: 64,
+        height: 48,
+    };
+
+    /// Construct, checking macroblock alignment.
+    pub fn new(width: usize, height: usize) -> VideoFormat {
+        assert!(
+            width.is_multiple_of(16) && height.is_multiple_of(16) && width > 0 && height > 0,
+            "dimensions must be positive multiples of 16"
+        );
+        VideoFormat { width, height }
+    }
+
+    /// Bytes in the luma plane.
+    pub fn y_bytes(self) -> usize {
+        self.width * self.height
+    }
+
+    /// Bytes in each chroma plane (4:2:0).
+    pub fn c_bytes(self) -> usize {
+        self.y_bytes() / 4
+    }
+
+    /// Total bytes per frame.
+    pub fn frame_bytes(self) -> usize {
+        self.y_bytes() + 2 * self.c_bytes()
+    }
+
+    /// Macroblocks per frame (16×16 luma).
+    pub fn macroblocks(self) -> usize {
+        (self.width / 16) * (self.height / 16)
+    }
+}
+
+/// One video frame: format, presentation timestamp, and the planar
+/// YUV 4:2:0 payload in a page-aligned zero-copy buffer
+/// (layout: Y plane, then U, then V).
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Geometry.
+    pub format: VideoFormat,
+    /// Presentation timestamp in 90 kHz ticks (MPEG convention).
+    pub pts: u64,
+    /// The pixel data.
+    pub data: ZcBytes,
+}
+
+impl Frame {
+    /// Wrap pixel data, validating the length.
+    pub fn new(format: VideoFormat, pts: u64, data: ZcBytes) -> Frame {
+        assert_eq!(
+            data.len(),
+            format.frame_bytes(),
+            "payload does not match format"
+        );
+        Frame { format, pts, data }
+    }
+
+    /// The luma plane.
+    pub fn y(&self) -> &[u8] {
+        &self.data.as_slice()[..self.format.y_bytes()]
+    }
+
+    /// The first chroma plane (U/Cb).
+    pub fn u(&self) -> &[u8] {
+        let y = self.format.y_bytes();
+        &self.data.as_slice()[y..y + self.format.c_bytes()]
+    }
+
+    /// The second chroma plane (V/Cr).
+    pub fn v(&self) -> &[u8] {
+        let y = self.format.y_bytes();
+        let c = self.format.c_bytes();
+        &self.data.as_slice()[y + c..y + 2 * c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdtv_frame_is_about_three_megabytes() {
+        let n = VideoFormat::HDTV_1080.frame_bytes();
+        assert_eq!(n, 1920 * 1088 * 3 / 2);
+        assert!(n > 3_000_000 && n < 3_200_000);
+    }
+
+    #[test]
+    fn plane_slicing() {
+        let fmt = VideoFormat::TINY;
+        let mut buf = zc_buffers::AlignedBuf::zeroed(fmt.frame_bytes());
+        // mark plane starts
+        buf.as_mut_slice()[0] = 1; // Y[0]
+        buf.as_mut_slice()[fmt.y_bytes()] = 2; // U[0]
+        buf.as_mut_slice()[fmt.y_bytes() + fmt.c_bytes()] = 3; // V[0]
+        let f = Frame::new(fmt, 0, ZcBytes::from_aligned(buf));
+        assert_eq!(f.y()[0], 1);
+        assert_eq!(f.u()[0], 2);
+        assert_eq!(f.v()[0], 3);
+        assert_eq!(f.y().len(), fmt.y_bytes());
+        assert_eq!(f.u().len(), fmt.c_bytes());
+        assert_eq!(f.v().len(), fmt.c_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "payload does not match")]
+    fn wrong_length_rejected() {
+        Frame::new(VideoFormat::TINY, 0, ZcBytes::zeroed(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 16")]
+    fn unaligned_format_rejected() {
+        VideoFormat::new(100, 100);
+    }
+
+    #[test]
+    fn macroblock_count() {
+        assert_eq!(VideoFormat::TINY.macroblocks(), 4 * 3);
+        assert_eq!(VideoFormat::HDTV_1080.macroblocks(), 120 * 68);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the codec: round-trip quality under arbitrary
+//! parameters, decoder robustness against arbitrary mutation, GOP chains.
+
+use proptest::prelude::*;
+
+use zc_mpeg::{
+    decode_frame, encode_frame, encode_frame_p, EncoderConfig, FrameSource, GopDecoder,
+    GopEncoder, VideoFormat,
+};
+
+fn tiny_source(seed: u64) -> FrameSource {
+    FrameSource::new(VideoFormat::TINY, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any quality, any frame: intra round trip succeeds with bounded error
+    /// that tightens as the quantizer gets finer.
+    #[test]
+    fn prop_intra_roundtrip(seed in 0u64..1000, index in 0u64..50, quality in 1u16..=31) {
+        let frame = tiny_source(seed).frame_at(index);
+        let bits = encode_frame(&frame, &EncoderConfig { quality });
+        let back = decode_frame(&bits).expect("own bitstream decodes");
+        prop_assert_eq!(back.format, frame.format);
+        prop_assert_eq!(back.pts, frame.pts);
+        let q = zc_mpeg::encoder::psnr(frame.y(), back.y());
+        prop_assert!(q > 20.0, "PSNR {q:.1} at quality {quality}");
+    }
+
+    /// The decoder never panics on arbitrary single-byte corruptions.
+    #[test]
+    fn prop_decoder_survives_mutation(seed in 0u64..100, flip in 0usize..100_000, xor in 1u8..=255) {
+        let frame = tiny_source(seed).frame_at(0);
+        let mut bits = encode_frame(&frame, &EncoderConfig::default());
+        let i = flip % bits.len();
+        bits[i] ^= xor;
+        let _ = decode_frame(&bits); // Some(wrong pixels) or None — no panic
+    }
+
+    /// The P-frame decoder never panics on arbitrary corruption either.
+    #[test]
+    fn prop_p_decoder_survives_mutation(seed in 0u64..100, flip in 0usize..100_000, xor in 1u8..=255) {
+        let cfg = EncoderConfig::default();
+        let f0 = tiny_source(seed).frame_at(0);
+        let recon = decode_frame(&encode_frame(&f0, &cfg)).unwrap();
+        let f1 = tiny_source(seed).frame_at(1);
+        let (mut bits, _) = encode_frame_p(&f1, &recon, &cfg);
+        let i = flip % bits.len();
+        bits[i] ^= xor;
+        let _ = zc_mpeg::decode_frame_p(&bits, &recon);
+    }
+
+    /// GOP chains of arbitrary length and intra period decode with bounded
+    /// drift.
+    #[test]
+    fn prop_gop_chain(seed in 0u64..200, frames in 1usize..12, gop_len in 1usize..6) {
+        let cfg = EncoderConfig { quality: 4 };
+        let mut enc = GopEncoder::new(cfg, gop_len);
+        let mut dec = GopDecoder::new();
+        let source = tiny_source(seed);
+        for i in 0..frames {
+            let frame = source.frame_at(i as u64);
+            let (ty, bits) = enc.encode(&frame);
+            let out = dec.decode(ty, &bits).expect("chain decodes");
+            let q = zc_mpeg::encoder::psnr(frame.y(), out.y());
+            prop_assert!(q > 25.0, "frame {i} ({ty:?}): {q:.1} dB");
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Closed-form pipeline model.
+//!
+//! A transfer of one block streams frames through three resources in
+//! tandem: sender CPU → link → receiver CPU. In steady state the pipeline
+//! runs at the pace of its slowest stage; fixed per-block work (syscalls,
+//! ORB request handling, and — for the synchronous CORBA workloads — the
+//! request/reply round trip) adds a latency term that dominates for small
+//! blocks and amortizes away for large ones. That is precisely the rising,
+//! saturating shape of the paper's Figures 5 and 6.
+
+use crate::{OrbMode, Scenario, SocketMode};
+
+/// The decomposed costs of moving one block in a scenario. All times in
+/// seconds. Exposed so the experiment harnesses can print breakdowns
+/// (the §5.2 instrumentation table).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockCosts {
+    /// Sender CPU time proportional to bytes (copies + marshal + per-frame).
+    pub send_cpu_per_byte: f64,
+    /// Receiver CPU time proportional to bytes.
+    pub recv_cpu_per_byte: f64,
+    /// Wire time per byte (framing overhead included).
+    pub wire_per_byte: f64,
+    /// Fixed sender CPU per block (syscalls, request marshaling).
+    pub send_cpu_fixed: f64,
+    /// Fixed receiver CPU per block (dispatch, allocation).
+    pub recv_cpu_fixed: f64,
+    /// Fixed non-overlappable latency per block (RPC round trip); zero for
+    /// streaming workloads.
+    pub rpc_fixed: f64,
+}
+
+/// How many times each payload byte is copied on the send side.
+pub fn send_copies(socket: SocketMode) -> f64 {
+    match socket {
+        // write() into the socket pool + fragmentation with header insert
+        SocketMode::Copying => 2.0,
+        SocketMode::ZeroCopy => 0.0,
+    }
+}
+
+/// How many times each payload byte is copied on the receive side.
+pub fn recv_copies(socket: SocketMode) -> f64 {
+    match socket {
+        // defragmentation/reassembly + read() into user space
+        SocketMode::Copying => 2.0,
+        SocketMode::ZeroCopy => 0.0,
+    }
+}
+
+/// Decompose a scenario's costs.
+pub fn block_costs(scn: &Scenario) -> BlockCosts {
+    let m = &scn.machine;
+    let l = &scn.link;
+
+    let per_frame_send = m.send_frame_us * 1e-6 / l.mtu_payload as f64;
+    let per_frame_recv = m.recv_frame_us * 1e-6 / l.mtu_payload as f64;
+    let copy = m.copy_s_per_byte();
+
+    let mut send_pb = send_copies(scn.socket) * copy + per_frame_send;
+    let mut recv_pb = recv_copies(scn.socket) * copy + per_frame_recv;
+
+    // The standard ORB marshals with its generic per-byte loop on both
+    // sides — the paper's dominant overhead.
+    if scn.orb == OrbMode::Standard {
+        send_pb += m.marshal_s_per_byte();
+        recv_pb += m.marshal_s_per_byte();
+    }
+
+    let syscall = match scn.socket {
+        SocketMode::Copying => m.syscall_us,
+        SocketMode::ZeroCopy => m.zc_syscall_us,
+    } * 1e-6;
+
+    let (send_fixed, recv_fixed, rpc_fixed) = match scn.orb {
+        // Raw TTCP: one write()/read() pair per block, fully pipelined.
+        OrbMode::None => (syscall, syscall, 0.0),
+        // CORBA: request marshal + control message on the sender, demux +
+        // dispatch on the receiver, plus a synchronous reply before the
+        // next block can start (the RPC semantics of the CORBA TTCP).
+        OrbMode::Standard | OrbMode::ZeroCopyOrb => {
+            let orb = m.orb_request_us * 1e-6;
+            (
+                syscall * 2.0 + orb / 2.0,
+                syscall * 2.0 + orb / 2.0,
+                2.0 * l.latency_us * 1e-6 + orb / 2.0,
+            )
+        }
+    };
+
+    BlockCosts {
+        send_cpu_per_byte: send_pb,
+        recv_cpu_per_byte: recv_pb,
+        wire_per_byte: l.wire_s_per_byte(),
+        send_cpu_fixed: send_fixed,
+        recv_cpu_fixed: recv_fixed,
+        rpc_fixed,
+    }
+}
+
+/// Wall-clock seconds for one block.
+///
+/// * Streaming workloads pipeline blocks back to back: the pace is the
+///   slowest stage (fixed costs fold into that stage's budget).
+/// * RPC workloads serialize: each block pays its fixed costs and the
+///   round trip in full, plus a one-frame pipeline-fill term for the
+///   non-bottleneck stages (a block's last frame must still drain through
+///   the wire and the receiver before the reply can start back).
+pub fn block_seconds(scn: &Scenario) -> f64 {
+    let c = block_costs(scn);
+    let b = scn.block_bytes as f64;
+    if c.rpc_fixed == 0.0 {
+        let send = c.send_cpu_fixed + b * c.send_cpu_per_byte;
+        let recv = c.recv_cpu_fixed + b * c.recv_cpu_per_byte;
+        let wire = b * c.wire_per_byte;
+        send.max(recv).max(wire)
+    } else {
+        let max_pb = c
+            .send_cpu_per_byte
+            .max(c.recv_cpu_per_byte)
+            .max(c.wire_per_byte);
+        let sum_pb = c.send_cpu_per_byte + c.recv_cpu_per_byte + c.wire_per_byte;
+        let fill_bytes = b.min(scn.link.mtu_payload as f64);
+        c.send_cpu_fixed
+            + c.recv_cpu_fixed
+            + c.rpc_fixed
+            + b * max_pb
+            + fill_bytes * (sum_pb - max_pb)
+    }
+}
+
+/// Predicted goodput in Mbit/s.
+pub fn predict(scn: &Scenario) -> f64 {
+    let t = block_seconds(scn);
+    scn.block_bytes as f64 * 8.0 / t / 1e6
+}
+
+/// CPU utilization of (sender, receiver) at the achieved rate: the
+/// fraction of wall-clock time each CPU is busy.
+pub fn cpu_utilization(scn: &Scenario) -> (f64, f64) {
+    let c = block_costs(scn);
+    let b = scn.block_bytes as f64;
+    let wall = block_seconds(scn);
+    let send = c.send_cpu_fixed + b * c.send_cpu_per_byte;
+    let recv = c.recv_cpu_fixed + b * c.recv_cpu_per_byte;
+    ((send / wall).min(1.0), (recv / wall).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinkSpec, MachineSpec};
+
+    fn testbed(socket: SocketMode, orb: OrbMode, block: usize) -> Scenario {
+        Scenario::on_testbed(socket, orb, block)
+    }
+
+    #[test]
+    fn copies_per_mode() {
+        assert_eq!(send_copies(SocketMode::Copying), 2.0);
+        assert_eq!(recv_copies(SocketMode::Copying), 2.0);
+        assert_eq!(send_copies(SocketMode::ZeroCopy), 0.0);
+        assert_eq!(recv_copies(SocketMode::ZeroCopy), 0.0);
+    }
+
+    #[test]
+    fn standard_orb_is_marshal_bound() {
+        let scn = testbed(SocketMode::Copying, OrbMode::Standard, 16 << 20);
+        let c = block_costs(&scn);
+        let m = scn.machine.marshal_s_per_byte();
+        assert!(
+            m / c.recv_cpu_per_byte > 0.7,
+            "marshal dominates the per-byte budget"
+        );
+    }
+
+    #[test]
+    fn zero_copy_orb_has_no_per_byte_orb_cost() {
+        let std = block_costs(&testbed(SocketMode::ZeroCopy, OrbMode::Standard, 1 << 20));
+        let zc = block_costs(&testbed(SocketMode::ZeroCopy, OrbMode::ZeroCopyOrb, 1 << 20));
+        assert!(zc.recv_cpu_per_byte < std.recv_cpu_per_byte / 5.0);
+        assert_eq!(zc.rpc_fixed, std.rpc_fixed, "RPC semantics unchanged");
+    }
+
+    #[test]
+    fn never_exceeds_link_goodput() {
+        for socket in [SocketMode::Copying, SocketMode::ZeroCopy] {
+            for orb in [OrbMode::None, OrbMode::Standard, OrbMode::ZeroCopyOrb] {
+                for block in crate::paper_block_sizes() {
+                    let scn = Scenario {
+                        machine: MachineSpec::modern_2003(),
+                        link: LinkSpec::gigabit_ethernet(),
+                        socket,
+                        orb,
+                        block_bytes: block,
+                    };
+                    assert!(predict(&scn) <= scn.link.max_goodput_mbit() + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_ethernet_aside() {
+        // "The achieved bandwidths [of standard CORBA] would not even use a
+        // Fast Ethernet to its limit."
+        let scn = testbed(SocketMode::Copying, OrbMode::Standard, 16 << 20);
+        assert!(predict(&scn) < LinkSpec::fast_ethernet().max_goodput_mbit());
+    }
+
+    #[test]
+    fn utilization_bounded_and_sensible() {
+        let (s, r) = cpu_utilization(&testbed(SocketMode::Copying, OrbMode::None, 16 << 20));
+        assert!((0.0..=1.0).contains(&s));
+        assert!((0.99..=1.0).contains(&r), "copying receiver is the bottleneck: {r}");
+        let (s2, r2) = cpu_utilization(&testbed(SocketMode::ZeroCopy, OrbMode::None, 16 << 20));
+        assert!(s2 < s);
+        assert!(r2 >= 0.9, "P-II is still CPU-bound even with zero copies: {r2}");
+    }
+}

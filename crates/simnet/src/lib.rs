@@ -1,0 +1,257 @@
+//! zc-simnet — a calibrated performance model of the paper's 2003 testbed.
+//!
+//! The experiments of §5 were run on 400 MHz Pentium-II PCs with GNIC-II
+//! Gigabit Ethernet under Linux 2.2 — hardware we do not have. The
+//! *mechanisms* (which copies happen where, what travels on which channel)
+//! are reproduced operationally by `zc-transport`/`zc-orb`; this crate
+//! reproduces the *absolute numbers* of Figures 5 and 6 from first
+//! principles: a machine is characterized by its memory-copy bandwidth,
+//! per-frame protocol/interrupt cost and syscall costs; a configuration is
+//! characterized by how many times each payload byte is copied and whether
+//! the workload streams (TTCP over raw sockets) or runs synchronous
+//! request/reply rounds (TTCP over CORBA).
+//!
+//! Two evaluators are provided and cross-validated against each other:
+//!
+//! * [`analytic::predict`] — closed-form pipeline-bottleneck model;
+//! * [`des`] — a discrete-event simulation of the sender-CPU → link →
+//!   receiver-CPU tandem queue at frame granularity.
+//!
+//! Calibration (see `machine::pentium_ii_400`) reproduces the paper's
+//! anchors: raw TCP ≈ 330 Mbit/s, standard MICO ≈ 50 Mbit/s, the all
+//! zero-copy combination ≈ 550 Mbit/s, and a ~10× ORB speedup — plus the
+//! §6 claim that a "newer" machine reaches full GbE bandwidth at ~30 % CPU
+//! with the zero-copy stack versus ~100 % with the conventional one.
+
+pub mod analytic;
+pub mod des;
+pub mod link;
+pub mod machine;
+pub mod sweep;
+
+pub use analytic::{block_costs, cpu_utilization, predict, BlockCosts};
+pub use des::simulate;
+pub use link::LinkSpec;
+pub use machine::MachineSpec;
+pub use sweep::{paper_sweep, run_sweep, Sweep, SweepConfig, FIGURE_CONFIGS};
+
+/// Kernel socket layer variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketMode {
+    /// Conventional stack: user/kernel copy + fragmentation copy per side.
+    Copying,
+    /// Zero-copy sockets with speculative defragmentation: no payload
+    /// copies, cheaper syscalls; per-frame protocol work remains.
+    ZeroCopy,
+}
+
+/// Middleware on top of the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrbMode {
+    /// Raw TTCP: no middleware, streaming writes.
+    None,
+    /// Standard CORBA: per-byte marshal/demarshal through MICO's generic
+    /// copy-and-inspect loop, synchronous request/reply per block.
+    Standard,
+    /// The zero-copy ORB: no per-byte work, synchronous request/reply with
+    /// separated control and data transfers.
+    ZeroCopyOrb,
+}
+
+/// One experimental configuration: a machine pair, a link, a stack and a
+/// block size.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Host model (both ends identical, as in the paper's cluster).
+    pub machine: MachineSpec,
+    /// Interconnect model.
+    pub link: LinkSpec,
+    /// Socket layer.
+    pub socket: SocketMode,
+    /// Middleware layer.
+    pub orb: OrbMode,
+    /// TTCP block size in bytes.
+    pub block_bytes: usize,
+}
+
+impl Scenario {
+    /// Convenience constructor on the paper's testbed.
+    pub fn on_testbed(socket: SocketMode, orb: OrbMode, block_bytes: usize) -> Scenario {
+        Scenario {
+            machine: MachineSpec::pentium_ii_400(),
+            link: LinkSpec::gigabit_ethernet(),
+            socket,
+            orb,
+            block_bytes,
+        }
+    }
+
+    /// Short label used by report tables.
+    pub fn label(&self) -> String {
+        let sock = match self.socket {
+            SocketMode::Copying => "tcp",
+            SocketMode::ZeroCopy => "zc-tcp",
+        };
+        match self.orb {
+            OrbMode::None => format!("raw/{sock}"),
+            OrbMode::Standard => format!("orb-std/{sock}"),
+            OrbMode::ZeroCopyOrb => format!("orb-zc/{sock}"),
+        }
+    }
+}
+
+/// The TTCP block sizes of the paper: 4 KiB to 16 MiB, by powers of two
+/// (all 4 KiB aligned, as the zero-copy sockets require).
+pub fn paper_block_sizes() -> Vec<usize> {
+    (12..=24).map(|p| 1usize << p).collect()
+}
+
+#[cfg(test)]
+mod calibration_tests {
+    use super::*;
+
+    fn mbit(socket: SocketMode, orb: OrbMode, block: usize) -> f64 {
+        predict(&Scenario::on_testbed(socket, orb, block))
+    }
+
+    const BIG: usize = 16 << 20;
+
+    #[test]
+    fn anchor_raw_tcp_copying() {
+        let v = mbit(SocketMode::Copying, OrbMode::None, BIG);
+        assert!((280.0..=380.0).contains(&v), "raw/tcp = {v} Mbit/s, paper ≈ 330");
+    }
+
+    #[test]
+    fn anchor_standard_corba() {
+        let v = mbit(SocketMode::Copying, OrbMode::Standard, BIG);
+        assert!((38.0..=62.0).contains(&v), "orb-std/tcp = {v} Mbit/s, paper ≈ 50");
+    }
+
+    #[test]
+    fn anchor_all_zero_copy() {
+        let v = mbit(SocketMode::ZeroCopy, OrbMode::ZeroCopyOrb, BIG);
+        assert!((480.0..=640.0).contains(&v), "orb-zc/zc-tcp = {v} Mbit/s, paper ≈ 550");
+    }
+
+    #[test]
+    fn anchor_tenfold_improvement() {
+        let slow = mbit(SocketMode::Copying, OrbMode::Standard, BIG);
+        let fast = mbit(SocketMode::ZeroCopy, OrbMode::ZeroCopyOrb, BIG);
+        let factor = fast / slow;
+        assert!(
+            (8.0..=14.0).contains(&factor),
+            "improvement factor {factor:.1}, paper ≈ 10×"
+        );
+    }
+
+    #[test]
+    fn zc_orb_nearly_matches_raw_sockets() {
+        // Fig 6 right: "the performance of the optimized zero-copy ORB
+        // nearly matches the raw TCP-socket version of TTCP".
+        for socket in [SocketMode::Copying, SocketMode::ZeroCopy] {
+            let raw = mbit(socket, OrbMode::None, BIG);
+            let orb = mbit(socket, OrbMode::ZeroCopyOrb, BIG);
+            assert!(
+                orb <= raw && orb / raw > 0.85,
+                "{socket:?}: orb-zc {orb:.0} vs raw {raw:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn zc_sockets_good_even_at_one_page() {
+        // Fig 6 left: "very good throughput figures for transfers as small
+        // as a single memory page".
+        let small = mbit(SocketMode::ZeroCopy, OrbMode::None, 4096);
+        let large = mbit(SocketMode::ZeroCopy, OrbMode::None, BIG);
+        assert!(small > 0.6 * large, "4 KiB: {small:.0}, 16 MiB: {large:.0}");
+        let copy_small = mbit(SocketMode::Copying, OrbMode::None, 4096);
+        assert!(small > 1.5 * copy_small, "zc gains most at small blocks");
+    }
+
+    #[test]
+    fn ordering_of_all_six_configurations() {
+        // who-wins ordering at large blocks, per Figures 5 and 6
+        let raw_zc = mbit(SocketMode::ZeroCopy, OrbMode::None, BIG);
+        let orb_zc_zc = mbit(SocketMode::ZeroCopy, OrbMode::ZeroCopyOrb, BIG);
+        let raw_copy = mbit(SocketMode::Copying, OrbMode::None, BIG);
+        let orb_zc_copy = mbit(SocketMode::Copying, OrbMode::ZeroCopyOrb, BIG);
+        let orb_std_copy = mbit(SocketMode::Copying, OrbMode::Standard, BIG);
+        let orb_std_zc = mbit(SocketMode::ZeroCopy, OrbMode::Standard, BIG);
+        assert!(raw_zc >= orb_zc_zc);
+        assert!(orb_zc_zc > raw_copy);
+        assert!(raw_copy >= orb_zc_copy);
+        assert!(orb_zc_copy > orb_std_zc);
+        assert!(orb_std_zc > orb_std_copy * 0.9); // std ORB is marshal-bound either way
+        assert!(orb_std_copy < 65.0);
+    }
+
+    #[test]
+    fn bandwidth_monotone_in_block_size() {
+        for socket in [SocketMode::Copying, SocketMode::ZeroCopy] {
+            for orb in [OrbMode::None, OrbMode::Standard, OrbMode::ZeroCopyOrb] {
+                let mut prev = 0.0;
+                for b in paper_block_sizes() {
+                    let v = mbit(socket, orb, b);
+                    assert!(
+                        v >= prev * 0.999,
+                        "{socket:?}/{orb:?}: {v} < {prev} at block {b}"
+                    );
+                    prev = v;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modern_machine_reaches_wire_speed_at_low_utilization() {
+        // §6: "For newer machines we can achieve the full communication
+        // bandwidth of Gigabit Ethernet with a CPU utilization of just 30%
+        // versus 100% with the original stack."
+        let zc = Scenario {
+            machine: MachineSpec::modern_2003(),
+            link: LinkSpec::gigabit_ethernet(),
+            socket: SocketMode::ZeroCopy,
+            orb: OrbMode::ZeroCopyOrb,
+            block_bytes: BIG,
+        };
+        let v = predict(&zc);
+        assert!(v > 850.0, "modern zc should saturate GbE, got {v:.0}");
+        let (_, recv_util) = cpu_utilization(&zc);
+        assert!(
+            (0.15..=0.45).contains(&recv_util),
+            "zc receiver utilization {recv_util:.2}, paper ≈ 0.3"
+        );
+
+        let copy = Scenario {
+            socket: SocketMode::Copying,
+            orb: OrbMode::None,
+            ..zc
+        };
+        let (_, copy_util) = cpu_utilization(&copy);
+        assert!(
+            copy_util > 0.8,
+            "copying receiver utilization {copy_util:.2}, paper ≈ 1.0"
+        );
+    }
+
+    #[test]
+    fn des_agrees_with_analytic() {
+        for socket in [SocketMode::Copying, SocketMode::ZeroCopy] {
+            for orb in [OrbMode::None, OrbMode::Standard, OrbMode::ZeroCopyOrb] {
+                for block in [4096, 1 << 18, 16 << 20] {
+                    let scn = Scenario::on_testbed(socket, orb, block);
+                    let a = predict(&scn);
+                    let d = simulate(&scn, 24);
+                    let ratio = d / a;
+                    assert!(
+                        (0.85..=1.15).contains(&ratio),
+                        "{}@{block}: des {d:.1} vs analytic {a:.1}",
+                        scn.label()
+                    );
+                }
+            }
+        }
+    }
+}

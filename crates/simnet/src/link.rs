@@ -1,0 +1,91 @@
+//! Interconnect models.
+
+/// A full-duplex point-to-point link (through a store-and-forward switch).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Name for reports.
+    pub name: &'static str,
+    /// Signalling rate in Mbit/s.
+    pub rate_mbit: f64,
+    /// Payload bytes per frame (MTU minus IP/TCP headers).
+    pub mtu_payload: usize,
+    /// Non-payload bytes per frame on the wire: Ethernet header + FCS +
+    /// preamble + inter-frame gap + IP/TCP headers.
+    pub frame_overhead_bytes: usize,
+    /// One-way latency (propagation + switch), µs.
+    pub latency_us: f64,
+}
+
+impl LinkSpec {
+    /// The paper's Gigabit Ethernet (Cabletron SmartSwitch 8600, fiber).
+    pub fn gigabit_ethernet() -> LinkSpec {
+        LinkSpec {
+            name: "GbE",
+            rate_mbit: 1000.0,
+            mtu_payload: 1460,
+            // 14 eth + 4 fcs + 8 preamble + 12 IFG + 20 IP + 20 TCP
+            frame_overhead_bytes: 78,
+            latency_us: 30.0,
+        }
+    }
+
+    /// Classic Fast Ethernet, for the paper's aside that unoptimized CORBA
+    /// "would not even use a Fast Ethernet to its limit".
+    pub fn fast_ethernet() -> LinkSpec {
+        LinkSpec {
+            rate_mbit: 100.0,
+            name: "FE",
+            ..LinkSpec::gigabit_ethernet()
+        }
+    }
+
+    /// Seconds on the wire per *payload* byte, including framing overhead.
+    pub fn wire_s_per_byte(&self) -> f64 {
+        let bytes_per_payload_byte =
+            (self.mtu_payload + self.frame_overhead_bytes) as f64 / self.mtu_payload as f64;
+        bytes_per_payload_byte * 8.0 / (self.rate_mbit * 1e6)
+    }
+
+    /// Frames needed for a block of `bytes`.
+    pub fn frames_for(&self, bytes: usize) -> usize {
+        if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(self.mtu_payload)
+        }
+    }
+
+    /// The maximum goodput of the link in Mbit/s (payload only).
+    pub fn max_goodput_mbit(&self) -> f64 {
+        8.0 / self.wire_s_per_byte() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbe_goodput_below_line_rate() {
+        let l = LinkSpec::gigabit_ethernet();
+        let g = l.max_goodput_mbit();
+        assert!((920.0..960.0).contains(&g), "{g} Mbit/s");
+    }
+
+    #[test]
+    fn frames_for_blocks() {
+        let l = LinkSpec::gigabit_ethernet();
+        assert_eq!(l.frames_for(0), 1);
+        assert_eq!(l.frames_for(1), 1);
+        assert_eq!(l.frames_for(1460), 1);
+        assert_eq!(l.frames_for(1461), 2);
+        assert_eq!(l.frames_for(16 << 20), (16 << 20) / 1460 + 1);
+    }
+
+    #[test]
+    fn fast_ethernet_is_ten_times_slower() {
+        let g = LinkSpec::gigabit_ethernet().max_goodput_mbit();
+        let f = LinkSpec::fast_ethernet().max_goodput_mbit();
+        assert!((g / f - 10.0).abs() < 0.2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Parameter sweeps and CSV export: the figure data as data.
+//!
+//! The harness binaries print human tables; this module produces the same
+//! series programmatically (for plotting, regression tracking, or spread-
+//! sheet import) and renders RFC-4180-style CSV.
+
+use crate::{predict, LinkSpec, MachineSpec, OrbMode, Scenario, SocketMode};
+
+/// One named configuration of a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Column label.
+    pub name: &'static str,
+    /// Socket layer.
+    pub socket: SocketMode,
+    /// Middleware layer.
+    pub orb: OrbMode,
+}
+
+/// The six configurations of Figures 5 and 6 combined.
+pub const FIGURE_CONFIGS: [SweepConfig; 6] = [
+    SweepConfig {
+        name: "raw_tcp",
+        socket: SocketMode::Copying,
+        orb: OrbMode::None,
+    },
+    SweepConfig {
+        name: "zc_tcp",
+        socket: SocketMode::ZeroCopy,
+        orb: OrbMode::None,
+    },
+    SweepConfig {
+        name: "orb_std_tcp",
+        socket: SocketMode::Copying,
+        orb: OrbMode::Standard,
+    },
+    SweepConfig {
+        name: "orb_std_zc_tcp",
+        socket: SocketMode::ZeroCopy,
+        orb: OrbMode::Standard,
+    },
+    SweepConfig {
+        name: "orb_zc_tcp",
+        socket: SocketMode::Copying,
+        orb: OrbMode::ZeroCopyOrb,
+    },
+    SweepConfig {
+        name: "orb_zc_zc_tcp",
+        socket: SocketMode::ZeroCopy,
+        orb: OrbMode::ZeroCopyOrb,
+    },
+];
+
+/// A completed sweep: block sizes × configurations → Mbit/s.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Block sizes (rows).
+    pub block_sizes: Vec<usize>,
+    /// Configurations (columns).
+    pub configs: Vec<SweepConfig>,
+    /// `values[row][col]` in Mbit/s.
+    pub values: Vec<Vec<f64>>,
+}
+
+/// Run the analytic model over `block_sizes × configs` on one machine/link.
+pub fn run_sweep(
+    machine: MachineSpec,
+    link: LinkSpec,
+    block_sizes: &[usize],
+    configs: &[SweepConfig],
+) -> Sweep {
+    let values = block_sizes
+        .iter()
+        .map(|&block_bytes| {
+            configs
+                .iter()
+                .map(|c| {
+                    predict(&Scenario {
+                        machine,
+                        link,
+                        socket: c.socket,
+                        orb: c.orb,
+                        block_bytes,
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    Sweep {
+        block_sizes: block_sizes.to_vec(),
+        configs: configs.to_vec(),
+        values,
+    }
+}
+
+/// The full paper sweep on the calibrated testbed.
+pub fn paper_sweep() -> Sweep {
+    run_sweep(
+        MachineSpec::pentium_ii_400(),
+        LinkSpec::gigabit_ethernet(),
+        &crate::paper_block_sizes(),
+        &FIGURE_CONFIGS,
+    )
+}
+
+impl Sweep {
+    /// Render as CSV: `block_bytes,cfg1,cfg2,…` header then one row per
+    /// block size, values with one decimal.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("block_bytes");
+        for c in &self.configs {
+            out.push(',');
+            out.push_str(c.name);
+        }
+        out.push('\n');
+        for (row, &block) in self.block_sizes.iter().enumerate() {
+            out.push_str(&block.to_string());
+            for v in &self.values[row] {
+                out.push_str(&format!(",{v:.1}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Column index by configuration name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.configs.iter().position(|c| c.name == name)
+    }
+
+    /// The saturation (largest-block) value of a named configuration.
+    pub fn saturation(&self, name: &str) -> Option<f64> {
+        let col = self.column(name)?;
+        self.values.last().map(|row| row[col])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sweep_shape() {
+        let s = paper_sweep();
+        assert_eq!(s.block_sizes.len(), 13);
+        assert_eq!(s.configs.len(), 6);
+        assert_eq!(s.values.len(), 13);
+        assert!(s.values.iter().all(|r| r.len() == 6));
+    }
+
+    #[test]
+    fn saturations_match_anchors() {
+        let s = paper_sweep();
+        let std = s.saturation("orb_std_tcp").unwrap();
+        let zc = s.saturation("orb_zc_zc_tcp").unwrap();
+        let raw = s.saturation("raw_tcp").unwrap();
+        assert!((38.0..62.0).contains(&std));
+        assert!((480.0..640.0).contains(&zc));
+        assert!((280.0..380.0).contains(&raw));
+    }
+
+    #[test]
+    fn csv_well_formed() {
+        let s = paper_sweep();
+        let csv = s.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 7);
+        assert!(header.starts_with("block_bytes,raw_tcp,"));
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(line.split(',').count(), 7, "{line}");
+            let first: usize = line.split(',').next().unwrap().parse().unwrap();
+            assert!(first >= 4096);
+            rows += 1;
+        }
+        assert_eq!(rows, 13);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = paper_sweep();
+        assert_eq!(s.column("raw_tcp"), Some(0));
+        assert_eq!(s.column("nope"), None);
+    }
+}

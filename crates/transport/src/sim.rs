@@ -1,0 +1,800 @@
+//! The in-process simulated network stack.
+//!
+//! [`SimNetwork`] is a process-local "cluster interconnect": listeners bind
+//! ports, connectors dial them, and each connection is a pair of
+//! frame-carrying channels (the wire). What makes it a *simulation of the
+//! paper's kernel stacks* — rather than a mere message queue — is that the
+//! per-layer work of the two stack configurations is **actually performed**
+//! on real memory, through the copy meter:
+//!
+//! * [`StackMode::Copying`] — the conventional path of Figure 1. Sending a
+//!   block really copies it user→kernel ([`CopyLayer::SocketSend`]), really
+//!   fragments it into MTU frames with a header-insertion copy
+//!   ([`CopyLayer::KernelFrag`]); receiving really reassembles fragments
+//!   into a kernel buffer ([`CopyLayer::KernelDefrag`]) and really copies
+//!   kernel→user ([`CopyLayer::SocketRecv`]). Four full traversals of the
+//!   payload, exactly the per-byte overhead the paper attacks.
+//!
+//! * [`StackMode::ZeroCopy`] — the speculative-defragmentation path \[10\].
+//!   Payload pages cross the wire *by reference* (page-granular fragments
+//!   of the sender's buffer). The receiver **speculates** that fragments
+//!   landed in place; with probability `zc_success_prob` the speculation
+//!   holds and the block is rejoined without touching a byte
+//!   ([`zc_buffers::ZcBytes::join_contiguous`]). A miss falls back to the
+//!   conventional copy ([`CopyLayer::DepositFallback`]) — the probabilistic
+//!   fallback of the real driver.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use zc_buffers::{CopyLayer, ZcBytes, PAGE_SIZE};
+
+use crate::frame::{Frame, FramePayload, Lane, MTU_PAYLOAD};
+use crate::stats::{ConnStats, StatsCell};
+use crate::{Acceptor, Connection, TResult, TransportCtx, TransportError};
+
+/// Which kernel stack the simulated network runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackMode {
+    /// Conventional stack: four metered copies per payload traversal.
+    Copying,
+    /// Zero-copy stack with speculative defragmentation.
+    ZeroCopy,
+}
+
+/// Configuration of a simulated network.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Stack mode for every connection on this network.
+    pub mode: StackMode,
+    /// Payload bytes per frame in copying mode (standard Ethernet: 1460).
+    pub mtu_payload: usize,
+    /// Probability that a zero-copy receive speculation succeeds.
+    pub zc_success_prob: f64,
+    /// RNG seed for speculation outcomes (deterministic experiments).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Conventional copying stack at standard MTU.
+    pub fn copying() -> SimConfig {
+        SimConfig {
+            mode: StackMode::Copying,
+            mtu_payload: MTU_PAYLOAD,
+            zc_success_prob: 1.0,
+            seed: 0x5A43_0001,
+        }
+    }
+
+    /// Zero-copy stack with perfectly successful speculation (the
+    /// homogeneous-cluster common case the paper optimizes for).
+    pub fn zero_copy() -> SimConfig {
+        SimConfig {
+            mode: StackMode::ZeroCopy,
+            mtu_payload: MTU_PAYLOAD,
+            zc_success_prob: 1.0,
+            seed: 0x5A43_0002,
+        }
+    }
+
+    /// Zero-copy stack with the given speculation success probability
+    /// (ablation A3).
+    pub fn zero_copy_with_speculation(p: f64) -> SimConfig {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        SimConfig {
+            zc_success_prob: p,
+            ..SimConfig::zero_copy()
+        }
+    }
+}
+
+type PendingConn = Box<SimConn>;
+
+struct NetInner {
+    listeners: Mutex<HashMap<u16, Sender<PendingConn>>>,
+    next_port: AtomicU64,
+    next_conn_id: AtomicU64,
+    config: SimConfig,
+}
+
+/// A process-local simulated network. Clone handles freely; all clones
+/// address the same port space.
+#[derive(Clone)]
+pub struct SimNetwork {
+    inner: Arc<NetInner>,
+}
+
+impl SimNetwork {
+    /// Create a network running the given stack configuration.
+    pub fn new(config: SimConfig) -> SimNetwork {
+        SimNetwork {
+            inner: Arc::new(NetInner {
+                listeners: Mutex::new(HashMap::new()),
+                next_port: AtomicU64::new(40_000),
+                next_conn_id: AtomicU64::new(1),
+                config,
+            }),
+        }
+    }
+
+    /// The network's stack configuration.
+    pub fn config(&self) -> SimConfig {
+        self.inner.config
+    }
+
+    /// Bind a listener. `port == 0` allocates an ephemeral port.
+    pub fn listen(&self, port: u16, ctx: TransportCtx) -> TResult<SimListener> {
+        let port = if port == 0 {
+            self.inner.next_port.fetch_add(1, Ordering::Relaxed) as u16
+        } else {
+            port
+        };
+        let (tx, rx) = unbounded();
+        {
+            let mut map = self.inner.listeners.lock();
+            if map.contains_key(&port) {
+                return Err(TransportError::AddrInUse(format!("sim:{port}")));
+            }
+            map.insert(port, tx);
+        }
+        Ok(SimListener {
+            network: self.clone(),
+            port,
+            rx,
+            ctx,
+        })
+    }
+
+    /// Dial a listener on this network.
+    pub fn connect(&self, port: u16, ctx: TransportCtx) -> TResult<Box<dyn Connection>> {
+        let listener_tx = {
+            let map = self.inner.listeners.lock();
+            map.get(&port).cloned()
+        }
+        .ok_or_else(|| TransportError::ConnectionRefused(format!("sim:{port}")))?;
+
+        let conn_id = self.inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let cfg = self.inner.config;
+        // Two unidirectional frame channels form the full-duplex wire.
+        let (c2s_tx, c2s_rx) = unbounded::<Frame>();
+        let (s2c_tx, s2c_rx) = unbounded::<Frame>();
+
+        let client = SimConn::new(
+            format!("sim:{port}#c{conn_id}"),
+            cfg,
+            ctx,
+            c2s_tx,
+            s2c_rx,
+            conn_id * 2,
+        );
+        // Server side gets its context from the listener at accept time; a
+        // placeholder ctx here would double-count, so the listener injects
+        // its own ctx into the pending half.
+        let server_half = PendingHalf {
+            peer: format!("sim:{port}#s{conn_id}"),
+            cfg,
+            tx: s2c_tx,
+            rx: c2s_rx,
+            seed_salt: conn_id * 2 + 1,
+        };
+        listener_tx
+            .send(Box::new(SimConn::from_half(server_half, TransportCtx::new())))
+            .map_err(|_| TransportError::ConnectionRefused(format!("sim:{port}")))?;
+        // NOTE: from_half above installs a throwaway ctx; the listener
+        // replaces it in accept(). See SimListener::accept.
+        Ok(Box::new(client))
+    }
+
+    fn unlisten(&self, port: u16) {
+        self.inner.listeners.lock().remove(&port);
+    }
+}
+
+impl std::fmt::Debug for SimNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SimNetwork(mode: {:?}, listeners: {})",
+            self.inner.config.mode,
+            self.inner.listeners.lock().len()
+        )
+    }
+}
+
+struct PendingHalf {
+    peer: String,
+    cfg: SimConfig,
+    tx: Sender<Frame>,
+    rx: Receiver<Frame>,
+    seed_salt: u64,
+}
+
+/// A bound simulated listener.
+pub struct SimListener {
+    network: SimNetwork,
+    port: u16,
+    rx: Receiver<PendingConn>,
+    ctx: TransportCtx,
+}
+
+impl Acceptor for SimListener {
+    fn accept(&self) -> TResult<Box<dyn Connection>> {
+        let mut conn = self.rx.recv().map_err(|_| TransportError::Closed)?;
+        // Install the listener's context (meter + pool) into the accepted
+        // half so server-side copies land on the server's meter.
+        conn.ctx = self.ctx.clone();
+        Ok(conn)
+    }
+
+    fn endpoint(&self) -> (String, u16) {
+        ("sim".to_string(), self.port)
+    }
+}
+
+impl Drop for SimListener {
+    fn drop(&mut self) {
+        self.network.unlisten(self.port);
+    }
+}
+
+/// One endpoint of a simulated connection.
+pub struct SimConn {
+    peer: String,
+    cfg: SimConfig,
+    ctx: TransportCtx,
+    tx: Sender<Frame>,
+    rx: Receiver<Frame>,
+    /// Frames received for the other lane while waiting on one lane.
+    pending_control: VecDeque<Frame>,
+    pending_data: VecDeque<Frame>,
+    next_block_id: u64,
+    rng: StdRng,
+    stats: Arc<StatsCell>,
+    recv_timeout: Option<std::time::Duration>,
+}
+
+impl SimConn {
+    fn new(
+        peer: String,
+        cfg: SimConfig,
+        ctx: TransportCtx,
+        tx: Sender<Frame>,
+        rx: Receiver<Frame>,
+        seed_salt: u64,
+    ) -> SimConn {
+        SimConn {
+            peer,
+            cfg,
+            ctx,
+            tx,
+            rx,
+            pending_control: VecDeque::new(),
+            pending_data: VecDeque::new(),
+            next_block_id: 0,
+            rng: StdRng::seed_from_u64(cfg.seed ^ seed_salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            stats: StatsCell::new_shared(),
+            recv_timeout: None,
+        }
+    }
+
+    fn from_half(h: PendingHalf, ctx: TransportCtx) -> SimConn {
+        SimConn::new(h.peer, h.cfg, ctx, h.tx, h.rx, h.seed_salt)
+    }
+
+    fn alloc_block_id(&mut self) -> u64 {
+        let id = self.next_block_id;
+        self.next_block_id += 1;
+        id
+    }
+
+    fn send_frame(&self, frame: Frame) -> TResult<()> {
+        self.stats.add(&self.stats.frames_sent, 1);
+        self.stats
+            .add(&self.stats.wire_bytes_sent, frame.wire_bytes() as u64);
+        self.tx.send(frame).map_err(|_| TransportError::Closed)
+    }
+
+    /// The conventional send path: user→kernel copy, then fragmentation
+    /// with per-frame copies.
+    fn send_bytes_copying(&mut self, lane: Lane, bytes: &[u8]) -> TResult<()> {
+        let meter = Arc::clone(&self.ctx.meter);
+        // write(): cross the user/kernel boundary into the socket page pool.
+        let mut kernel_buf = self.ctx.pool.acquire(bytes.len().max(1));
+        kernel_buf.set_len(bytes.len());
+        meter.copy(CopyLayer::SocketSend, kernel_buf.as_mut_slice(), bytes);
+
+        let block_id = self.alloc_block_id();
+        let total_len = bytes.len() as u64;
+        let mtu = self.cfg.mtu_payload;
+        if bytes.is_empty() {
+            return self.send_frame(Frame {
+                lane,
+                block_id,
+                offset: 0,
+                total_len: 0,
+                payload: FramePayload::Copied(Vec::new()),
+            });
+        }
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let end = (offset + mtu).min(bytes.len());
+            // Driver fragmentation: header insertion forces a copy of the
+            // fragment into the frame.
+            let mut frag = vec![0u8; end - offset];
+            meter.copy(
+                CopyLayer::KernelFrag,
+                &mut frag,
+                &kernel_buf.as_slice()[offset..end],
+            );
+            self.send_frame(Frame {
+                lane,
+                block_id,
+                offset: offset as u64,
+                total_len,
+                payload: FramePayload::Copied(frag),
+            })?;
+            offset = end;
+        }
+        Ok(())
+    }
+
+    /// The zero-copy send path for data blocks: page-granular referenced
+    /// fragments, no byte touched.
+    fn send_block_zero_copy(&mut self, block: &ZcBytes) -> TResult<()> {
+        let block_id = self.alloc_block_id();
+        let total_len = block.len() as u64;
+        if block.is_empty() {
+            return self.send_frame(Frame {
+                lane: Lane::Data,
+                block_id,
+                offset: 0,
+                total_len: 0,
+                payload: FramePayload::Copied(Vec::new()),
+            });
+        }
+        let mut offset = 0u64;
+        for chunk in block.chunks(PAGE_SIZE) {
+            let len = chunk.len() as u64;
+            self.send_frame(Frame {
+                lane: Lane::Data,
+                block_id,
+                offset,
+                total_len,
+                payload: FramePayload::Referenced(chunk),
+            })?;
+            offset += len;
+        }
+        Ok(())
+    }
+
+    /// Pull the next frame belonging to `lane`, buffering frames of the
+    /// other lane (control and data may interleave on the wire).
+    fn next_frame(&mut self, lane: Lane) -> TResult<Frame> {
+        let pending = match lane {
+            Lane::Control => &mut self.pending_control,
+            Lane::Data => &mut self.pending_data,
+        };
+        if let Some(f) = pending.pop_front() {
+            return Ok(f);
+        }
+        loop {
+            let f = match self.recv_timeout {
+                None => self.rx.recv().map_err(|_| TransportError::Closed)?,
+                Some(d) => self.rx.recv_timeout(d).map_err(|e| match e {
+                    crossbeam::channel::RecvTimeoutError::Timeout => TransportError::Timeout,
+                    crossbeam::channel::RecvTimeoutError::Disconnected => TransportError::Closed,
+                })?,
+            };
+            if f.lane == lane {
+                return Ok(f);
+            }
+            match f.lane {
+                Lane::Control => self.pending_control.push_back(f),
+                Lane::Data => self.pending_data.push_back(f),
+            }
+        }
+    }
+
+    /// Collect all fragments of the next block on `lane`.
+    fn recv_block_frames(&mut self, lane: Lane) -> TResult<Vec<Frame>> {
+        let first = self.next_frame(lane)?;
+        let block_id = first.block_id;
+        let total = first.total_len;
+        let mut got = first.payload.len() as u64;
+        let mut frames = vec![first];
+        while got < total {
+            let f = self.next_frame(lane)?;
+            if f.block_id != block_id {
+                return Err(TransportError::Protocol(format!(
+                    "interleaved fragments: expected block {block_id}, got {}",
+                    f.block_id
+                )));
+            }
+            got += f.payload.len() as u64;
+            frames.push(f);
+        }
+        if got != total {
+            return Err(TransportError::Protocol(format!(
+                "fragment overrun: block {block_id} announced {total}, got {got}"
+            )));
+        }
+        Ok(frames)
+    }
+
+    /// The conventional receive path: defragment into a kernel buffer, then
+    /// copy kernel→user.
+    fn reassemble_copying(&mut self, frames: &[Frame]) -> TResult<ZcBytes> {
+        let meter = Arc::clone(&self.ctx.meter);
+        let total = frames[0].total_len as usize;
+        // Defragmentation: fragments are copied off the receive ring into a
+        // contiguous kernel buffer.
+        let mut kernel_buf = vec![0u8; total];
+        for f in frames {
+            let off = f.offset as usize;
+            let payload = f.payload.as_slice();
+            meter.copy(
+                CopyLayer::KernelDefrag,
+                &mut kernel_buf[off..off + payload.len()],
+                payload,
+            );
+        }
+        // read(): kernel→user copy into an aligned application buffer.
+        let mut user_buf = self.ctx.pool.acquire(total.max(1));
+        user_buf.set_len(total);
+        meter.copy(CopyLayer::SocketRecv, user_buf.as_mut_slice(), &kernel_buf);
+        Ok(user_buf.freeze())
+    }
+
+    /// The zero-copy receive path: speculate that fragments landed in place.
+    fn reassemble_zero_copy(&mut self, frames: Vec<Frame>) -> TResult<ZcBytes> {
+        let total = frames[0].total_len as usize;
+        if total == 0 {
+            return Ok(ZcBytes::empty());
+        }
+        let speculation_ok = self.rng.gen::<f64>() < self.cfg.zc_success_prob;
+        if speculation_ok {
+            let parts: Option<Vec<ZcBytes>> = frames
+                .iter()
+                .map(|f| match &f.payload {
+                    FramePayload::Referenced(z) => Some(z.clone()),
+                    FramePayload::Copied(_) => None,
+                })
+                .collect();
+            if let Some(parts) = parts {
+                // The speculative-defragmentation hardware places payload at
+                // page granularity: a block that does not start on a page
+                // boundary can never land in place (paper [10]; ablation A2
+                // exercises exactly this constraint).
+                let aligned = parts.first().is_some_and(|p| p.is_page_aligned());
+                if aligned {
+                    if let Some(joined) = ZcBytes::join_contiguous(&parts) {
+                        self.stats.add(&self.stats.spec_hits, 1);
+                        return Ok(joined);
+                    }
+                }
+            }
+        }
+        // Speculation miss: the driver falls back to copying the fragments
+        // into a fresh page-aligned buffer.
+        self.stats.add(&self.stats.spec_misses, 1);
+        let meter = Arc::clone(&self.ctx.meter);
+        let mut buf = self.ctx.pool.acquire(total);
+        buf.set_len(total);
+        for f in &frames {
+            let off = f.offset as usize;
+            let payload = f.payload.as_slice();
+            meter.copy(
+                CopyLayer::DepositFallback,
+                &mut buf.as_mut_slice()[off..off + payload.len()],
+                payload,
+            );
+        }
+        Ok(buf.freeze())
+    }
+}
+
+impl Connection for SimConn {
+    fn send_control(&mut self, msg: &[u8]) -> TResult<()> {
+        self.stats.add(&self.stats.control_sent, 1);
+        self.stats.add(&self.stats.bytes_sent, msg.len() as u64);
+        match self.cfg.mode {
+            StackMode::Copying => self.send_bytes_copying(Lane::Control, msg),
+            StackMode::ZeroCopy => {
+                // Control messages are small; the zero-copy stack still
+                // moves them through the socket (one metered copy), but
+                // skips the pagepool and fragmentation machinery.
+                let mut framed = vec![0u8; msg.len()];
+                self.ctx.meter.copy(CopyLayer::SocketSend, &mut framed, msg);
+                let block_id = self.alloc_block_id();
+                self.send_frame(Frame {
+                    lane: Lane::Control,
+                    block_id,
+                    offset: 0,
+                    total_len: msg.len() as u64,
+                    payload: FramePayload::Copied(framed),
+                })
+            }
+        }
+    }
+
+    fn recv_control(&mut self) -> TResult<Vec<u8>> {
+        let frames = self.recv_block_frames(Lane::Control)?;
+        self.stats.add(&self.stats.control_recv, 1);
+        let out = match self.cfg.mode {
+            StackMode::Copying => {
+                let z = self.reassemble_copying(&frames)?;
+                z.as_slice().to_vec()
+            }
+            StackMode::ZeroCopy => {
+                let total = frames[0].total_len as usize;
+                let mut out = vec![0u8; total];
+                for f in &frames {
+                    let off = f.offset as usize;
+                    let p = f.payload.as_slice();
+                    self.ctx
+                        .meter
+                        .copy(CopyLayer::SocketRecv, &mut out[off..off + p.len()], p);
+                }
+                out
+            }
+        };
+        self.stats.add(&self.stats.bytes_recv, out.len() as u64);
+        Ok(out)
+    }
+
+    fn send_data(&mut self, block: &ZcBytes) -> TResult<()> {
+        self.stats.add(&self.stats.data_blocks_sent, 1);
+        self.stats.add(&self.stats.bytes_sent, block.len() as u64);
+        match self.cfg.mode {
+            StackMode::Copying => self.send_bytes_copying(Lane::Data, block.as_slice()),
+            StackMode::ZeroCopy => self.send_block_zero_copy(block),
+        }
+    }
+
+    fn recv_data(&mut self, expected_len: usize) -> TResult<ZcBytes> {
+        let frames = self.recv_block_frames(Lane::Data)?;
+        let total = frames[0].total_len as usize;
+        if total != expected_len {
+            return Err(TransportError::Protocol(format!(
+                "data block length {total} does not match announced {expected_len}"
+            )));
+        }
+        let block = match self.cfg.mode {
+            StackMode::Copying => self.reassemble_copying(&frames)?,
+            StackMode::ZeroCopy => self.reassemble_zero_copy(frames)?,
+        };
+        self.stats.add(&self.stats.data_blocks_recv, 1);
+        self.stats.add(&self.stats.bytes_recv, block.len() as u64);
+        Ok(block)
+    }
+
+    fn is_zero_copy(&self) -> bool {
+        self.cfg.mode == StackMode::ZeroCopy
+    }
+
+    fn stats(&self) -> ConnStats {
+        self.stats.snapshot()
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<std::time::Duration>) -> TResult<()> {
+        self.recv_timeout = timeout;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(cfg: SimConfig) -> (Box<dyn Connection>, Box<dyn Connection>, TransportCtx) {
+        let net = SimNetwork::new(cfg);
+        let ctx = TransportCtx::new();
+        let listener = net.listen(0, ctx.clone()).unwrap();
+        let port = listener.endpoint().1;
+        let client = net.connect(port, ctx.clone()).unwrap();
+        let server = listener.accept().unwrap();
+        (client, server, ctx)
+    }
+
+    #[test]
+    fn control_roundtrip_copying() {
+        let (mut c, mut s, _ctx) = pair(SimConfig::copying());
+        c.send_control(b"hello").unwrap();
+        assert_eq!(s.recv_control().unwrap(), b"hello");
+        s.send_control(b"world").unwrap();
+        assert_eq!(c.recv_control().unwrap(), b"world");
+    }
+
+    #[test]
+    fn control_roundtrip_zero_copy() {
+        let (mut c, mut s, _ctx) = pair(SimConfig::zero_copy());
+        c.send_control(b"ping").unwrap();
+        assert_eq!(s.recv_control().unwrap(), b"ping");
+    }
+
+    #[test]
+    fn empty_control_message() {
+        let (mut c, mut s, _ctx) = pair(SimConfig::copying());
+        c.send_control(b"").unwrap();
+        assert_eq!(s.recv_control().unwrap(), b"");
+    }
+
+    #[test]
+    fn data_roundtrip_copying_has_four_copies() {
+        let (mut c, mut s, ctx) = pair(SimConfig::copying());
+        let n = 1 << 20;
+        let block = ZcBytes::zeroed(n);
+        let before = ctx.meter.snapshot();
+        c.send_data(&block).unwrap();
+        let got = s.recv_data(n).unwrap();
+        assert_eq!(got.len(), n);
+        let d = ctx.meter.snapshot().since(&before);
+        assert_eq!(d.bytes(CopyLayer::SocketSend), n as u64);
+        assert_eq!(d.bytes(CopyLayer::KernelFrag), n as u64);
+        assert_eq!(d.bytes(CopyLayer::KernelDefrag), n as u64);
+        assert_eq!(d.bytes(CopyLayer::SocketRecv), n as u64);
+        assert!(!got.ptr_eq(&block), "copying stack must not share storage");
+    }
+
+    #[test]
+    fn data_roundtrip_zero_copy_touches_nothing() {
+        let (mut c, mut s, ctx) = pair(SimConfig::zero_copy());
+        let n = (1 << 20) + 123; // non-page-multiple tail
+        let mut buf = zc_buffers::AlignedBuf::with_capacity(n);
+        let pattern: Vec<u8> = (0..n).map(|i| (i * 7 % 251) as u8).collect();
+        buf.extend_from_slice(&pattern);
+        let block = ZcBytes::from_aligned(buf);
+        let before = ctx.meter.snapshot();
+        c.send_data(&block).unwrap();
+        let got = s.recv_data(n).unwrap();
+        let d = ctx.meter.snapshot().since(&before);
+        assert_eq!(d.overhead_bytes(), 0, "no payload byte copied");
+        assert!(got.ptr_eq(&block), "receiver sees the sender's pages");
+        assert_eq!(got.as_slice(), &pattern[..]);
+        assert_eq!(s.stats().spec_hits, 1);
+        assert_eq!(s.stats().spec_misses, 0);
+    }
+
+    #[test]
+    fn zero_copy_speculation_miss_falls_back() {
+        let (mut c, mut s, ctx) = pair(SimConfig::zero_copy_with_speculation(0.0));
+        let n = 8192;
+        let block = ZcBytes::zeroed(n);
+        c.send_data(&block).unwrap();
+        let got = s.recv_data(n).unwrap();
+        assert!(!got.ptr_eq(&block), "miss forces a private copy");
+        assert_eq!(got.len(), n);
+        assert_eq!(s.stats().spec_misses, 1);
+        assert_eq!(
+            ctx.meter.bytes(CopyLayer::DepositFallback),
+            n as u64,
+            "fallback copy metered"
+        );
+    }
+
+    #[test]
+    fn speculation_rate_statistics() {
+        let (mut c, mut s, _ctx) = pair(SimConfig::zero_copy_with_speculation(0.5));
+        let rounds = 200;
+        for _ in 0..rounds {
+            c.send_data(&ZcBytes::zeroed(PAGE_SIZE)).unwrap();
+            s.recv_data(PAGE_SIZE).unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.spec_hits + st.spec_misses, rounds);
+        // 0.5 ± generous tolerance for 200 deterministic-seed draws
+        assert!(st.spec_hits > 50 && st.spec_hits < 150, "hits={}", st.spec_hits);
+    }
+
+    #[test]
+    fn misaligned_block_forces_fallback_copy() {
+        // Ablation A2: a block that does not start on a page boundary can
+        // never be deposited in place — the driver must copy.
+        let (mut c, mut s, ctx) = pair(SimConfig::zero_copy());
+        let whole = ZcBytes::zeroed(PAGE_SIZE * 2);
+        let misaligned = whole.slice(1..PAGE_SIZE + 1);
+        assert!(!misaligned.is_page_aligned());
+        c.send_data(&misaligned).unwrap();
+        let got = s.recv_data(PAGE_SIZE).unwrap();
+        assert!(!got.ptr_eq(&whole), "misaligned deposit cannot share pages");
+        assert_eq!(s.stats().spec_misses, 1);
+        assert_eq!(ctx.meter.bytes(CopyLayer::DepositFallback), PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn empty_data_block() {
+        let (mut c, mut s, _ctx) = pair(SimConfig::zero_copy());
+        c.send_data(&ZcBytes::empty()).unwrap();
+        assert_eq!(s.recv_data(0).unwrap().len(), 0);
+        let (mut c2, mut s2, _ctx2) = pair(SimConfig::copying());
+        c2.send_data(&ZcBytes::empty()).unwrap();
+        assert_eq!(s2.recv_data(0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn length_mismatch_is_protocol_error() {
+        let (mut c, mut s, _ctx) = pair(SimConfig::copying());
+        c.send_data(&ZcBytes::zeroed(100)).unwrap();
+        assert!(matches!(
+            s.recv_data(200),
+            Err(TransportError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn interleaved_control_and_data() {
+        let (mut c, mut s, _ctx) = pair(SimConfig::zero_copy());
+        // Send data first, then control; receive control first.
+        c.send_data(&ZcBytes::zeroed(PAGE_SIZE * 2)).unwrap();
+        c.send_control(b"after-data").unwrap();
+        assert_eq!(s.recv_control().unwrap(), b"after-data");
+        assert_eq!(s.recv_data(PAGE_SIZE * 2).unwrap().len(), PAGE_SIZE * 2);
+    }
+
+    #[test]
+    fn peer_close_is_detected() {
+        let (c, mut s, _ctx) = pair(SimConfig::copying());
+        drop(c);
+        assert_eq!(s.recv_control().unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn connect_refused_without_listener() {
+        let net = SimNetwork::new(SimConfig::copying());
+        assert!(matches!(
+            net.connect(9, TransportCtx::new()),
+            Err(TransportError::ConnectionRefused(_))
+        ));
+    }
+
+    #[test]
+    fn port_reuse_rejected_then_released() {
+        let net = SimNetwork::new(SimConfig::copying());
+        let l = net.listen(5000, TransportCtx::new()).unwrap();
+        assert!(matches!(
+            net.listen(5000, TransportCtx::new()),
+            Err(TransportError::AddrInUse(_))
+        ));
+        drop(l);
+        assert!(net.listen(5000, TransportCtx::new()).is_ok());
+    }
+
+    #[test]
+    fn multiple_connections_are_independent() {
+        let net = SimNetwork::new(SimConfig::zero_copy());
+        let ctx = TransportCtx::new();
+        let l = net.listen(0, ctx.clone()).unwrap();
+        let port = l.endpoint().1;
+        let mut c1 = net.connect(port, ctx.clone()).unwrap();
+        let mut c2 = net.connect(port, ctx.clone()).unwrap();
+        let mut s1 = l.accept().unwrap();
+        let mut s2 = l.accept().unwrap();
+        c1.send_control(b"one").unwrap();
+        c2.send_control(b"two").unwrap();
+        assert_eq!(s1.recv_control().unwrap(), b"one");
+        assert_eq!(s2.recv_control().unwrap(), b"two");
+    }
+
+    #[test]
+    fn frame_and_wire_accounting() {
+        let (mut c, _s, _ctx) = pair(SimConfig::copying());
+        let n = MTU_PAYLOAD * 3 + 10;
+        c.send_data(&ZcBytes::zeroed(n)).unwrap();
+        let st = c.stats();
+        assert_eq!(st.frames_sent, 4, "3 full frames + 1 tail");
+        assert_eq!(
+            st.wire_bytes_sent,
+            (n + 4 * crate::frame::FRAME_HEADER_BYTES) as u64
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Round-trip latency measurement — the per-request side of the story.
+//!
+//! The paper's bandwidth focus complements earlier per-packet/latency work
+//! ([18]); real-time systems care about both. This module measures
+//! request/response round trips for each TTCP version and reports
+//! percentile statistics.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use zc_buffers::{CopyMeter, ZcBytes};
+use zc_cdr::{OctetSeq, ZcOctetSeq};
+use zc_orb::{ObjectAdapterExt, Orb, OrbResult, Servant, ServerRequest};
+use zc_simnet::{OrbMode, SocketMode};
+use zc_transport::{Acceptor, SimConfig, SimNetwork, TransportCtx};
+
+use crate::TtcpVersion;
+
+/// Percentile summary of round-trip times, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of timed round trips.
+    pub rounds: usize,
+    /// Fastest observed round trip.
+    pub min_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 90th percentile.
+    pub p90_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Slowest observed round trip.
+    pub max_us: f64,
+}
+
+impl LatencyStats {
+    /// Summarize a sample of round-trip durations (µs).
+    pub fn from_samples(mut samples: Vec<f64>) -> LatencyStats {
+        assert!(!samples.is_empty(), "need at least one sample");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pct = |p: f64| -> f64 {
+            let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+            samples[idx]
+        };
+        LatencyStats {
+            rounds: samples.len(),
+            min_us: samples[0],
+            mean_us: samples.iter().sum::<f64>() / samples.len() as f64,
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p99_us: pct(0.99),
+            max_us: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min {:.1} µs  p50 {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}  mean {:.1}",
+            self.rounds, self.min_us, self.p50_us, self.p90_us, self.p99_us, self.max_us, self.mean_us
+        )
+    }
+}
+
+struct EchoSink;
+impl Servant for EchoSink {
+    fn repo_id(&self) -> &'static str {
+        "IDL:zcorba/LatencyEcho:1.0"
+    }
+    fn dispatch(&self, op: &str, req: &mut ServerRequest<'_>) -> OrbResult<()> {
+        match op {
+            "echo_std" => {
+                let d: OctetSeq = req.arg()?;
+                req.result(&d)
+            }
+            "echo_zc" => {
+                let d: ZcOctetSeq = req.arg()?;
+                req.result(&d)
+            }
+            other => req.bad_operation(other),
+        }
+    }
+}
+
+fn sim_config(socket: SocketMode) -> SimConfig {
+    match socket {
+        SocketMode::Copying => SimConfig::copying(),
+        SocketMode::ZeroCopy => SimConfig::zero_copy(),
+    }
+}
+
+/// Measure `rounds` round trips of a `msg_bytes` message over `version`
+/// on the in-process stack (plus `warmup` untimed rounds).
+pub fn run_latency(
+    version: TtcpVersion,
+    msg_bytes: usize,
+    rounds: usize,
+    warmup: usize,
+) -> LatencyStats {
+    let (socket, orb_mode) = version.to_modes();
+    if version.uses_orb() {
+        let zc = orb_mode == OrbMode::ZeroCopyOrb;
+        let meter = CopyMeter::new_shared();
+        let net = SimNetwork::new(sim_config(socket));
+        let server_orb = Orb::builder()
+            .sim(net.clone())
+            .zc(zc)
+            .meter(Arc::clone(&meter))
+            .build();
+        server_orb.adapter().register("lat", Arc::new(EchoSink));
+        let server = server_orb.serve(0).unwrap();
+        let client = Orb::builder().sim(net).zc(zc).meter(meter).build();
+        let obj = client
+            .resolve(&server.ior_for("lat", "IDL:zcorba/LatencyEcho:1.0").unwrap())
+            .unwrap();
+
+        let payload = ZcBytes::zeroed(msg_bytes);
+        let mut samples = Vec::with_capacity(rounds);
+        for i in 0..rounds + warmup {
+            let t0 = Instant::now();
+            if zc {
+                let r: ZcOctetSeq = obj
+                    .request("echo_zc")
+                    .arg(&ZcOctetSeq::from_zc(payload.clone()))
+                    .unwrap()
+                    .invoke()
+                    .unwrap()
+                    .result()
+                    .unwrap();
+                assert_eq!(r.len(), msg_bytes);
+            } else {
+                let r: OctetSeq = obj
+                    .request("echo_std")
+                    .arg(&OctetSeq(payload.as_slice().to_vec()))
+                    .unwrap()
+                    .invoke()
+                    .unwrap()
+                    .result()
+                    .unwrap();
+                assert_eq!(r.len(), msg_bytes);
+            }
+            if i >= warmup {
+                samples.push(t0.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+        let stats = LatencyStats::from_samples(samples);
+        server.shutdown();
+        stats
+    } else {
+        // raw ping-pong on the data channel
+        let net = SimNetwork::new(sim_config(socket));
+        let ctx = TransportCtx::new();
+        let listener = net.listen(0, ctx.clone()).unwrap();
+        let port = listener.endpoint().1;
+        let total = rounds + warmup;
+        let echo_thread = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            for _ in 0..total {
+                let b = conn.recv_data(msg_bytes).unwrap();
+                conn.send_data(&b).unwrap();
+            }
+        });
+        let mut conn = net.connect(port, ctx).unwrap();
+        let payload = ZcBytes::zeroed(msg_bytes);
+        let mut samples = Vec::with_capacity(rounds);
+        for i in 0..total {
+            let t0 = Instant::now();
+            conn.send_data(&payload).unwrap();
+            let back = conn.recv_data(msg_bytes).unwrap();
+            assert_eq!(back.len(), msg_bytes);
+            if i >= warmup {
+                samples.push(t0.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+        echo_thread.join().unwrap();
+        LatencyStats::from_samples(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_math() {
+        let s = LatencyStats::from_samples(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.rounds, 5);
+        assert_eq!(s.min_us, 1.0);
+        assert_eq!(s.max_us, 5.0);
+        assert_eq!(s.p50_us, 3.0);
+        assert_eq!(s.mean_us, 3.0);
+        assert!(s.p90_us >= s.p50_us && s.p99_us >= s.p90_us);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_sample_panics() {
+        LatencyStats::from_samples(vec![]);
+    }
+
+    #[test]
+    fn all_versions_measure() {
+        for v in TtcpVersion::ALL {
+            let s = run_latency(v, 4096, 30, 5);
+            assert_eq!(s.rounds, 30);
+            assert!(s.min_us > 0.0);
+            assert!(s.min_us <= s.p50_us && s.p50_us <= s.max_us);
+        }
+    }
+
+    #[test]
+    fn ordering_is_monotone() {
+        let s = run_latency(TtcpVersion::CorbaZc, 64 << 10, 50, 5);
+        assert!(s.p50_us <= s.p90_us && s.p90_us <= s.p99_us);
+    }
+}

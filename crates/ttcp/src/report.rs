@@ -1,0 +1,94 @@
+//! Tabular reports in the shape of the paper's figures.
+
+/// One data series (a line in a figure): a label plus one value per block
+/// size.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Mbit/s per block size, aligned with the sizes column.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Construct a series.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Series {
+        Series {
+            name: name.into(),
+            values,
+        }
+    }
+}
+
+/// Human-readable size (4K, 64K, 1M, 16M…).
+pub fn human_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+/// Render a figure-style table: block sizes down the rows, one column per
+/// series, Mbit/s in the cells.
+pub fn format_series_table(title: &str, sizes: &[usize], series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    out.push_str(&format!("{:>10}", "block"));
+    for s in series {
+        out.push_str(&format!("  {:>24}", s.name));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(10 + series.len() * 26));
+    out.push('\n');
+    for (row, &size) in sizes.iter().enumerate() {
+        out.push_str(&format!("{:>10}", human_size(size)));
+        for s in series {
+            match s.values.get(row) {
+                Some(v) => out.push_str(&format!("  {:>17.1} Mbit/s", v)),
+                None => out.push_str(&format!("  {:>24}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human_size(4096), "4K");
+        assert_eq!(human_size(1 << 20), "1M");
+        assert_eq!(human_size(16 << 20), "16M");
+        assert_eq!(human_size(1000), "1000");
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let t = format_series_table(
+            "Figure X",
+            &[4096, 8192],
+            &[
+                Series::new("raw TCP", vec![100.0, 200.0]),
+                Series::new("CORBA", vec![10.0, 20.5]),
+            ],
+        );
+        assert!(t.contains("Figure X"));
+        assert!(t.contains("4K"));
+        assert!(t.contains("8K"));
+        assert!(t.contains("200.0 Mbit/s"));
+        assert!(t.contains("20.5 Mbit/s"));
+        assert_eq!(t.lines().count(), 2 + 2 + 2);
+    }
+
+    #[test]
+    fn missing_values_render_dashes() {
+        let t = format_series_table("T", &[1, 2], &[Series::new("s", vec![1.0])]);
+        assert!(t.contains('-'));
+    }
+}

@@ -1,0 +1,67 @@
+//! The TTCP benchmark as a command-line tool — the workhorse of §5.
+//!
+//! ```text
+//! cargo run --release --example ttcp -- [raw|zc-tcp|corba|corba-zc] [block_kib] [total_mib]
+//! cargo run --release --example ttcp -- all
+//! ```
+
+use zcorba::ttcp::{run_measured, run_modeled, TtcpParams, TtcpVersion};
+
+fn parse_version(s: &str) -> Option<TtcpVersion> {
+    Some(match s {
+        "raw" => TtcpVersion::RawTcp,
+        "zc-tcp" => TtcpVersion::ZcTcp,
+        "corba" => TtcpVersion::CorbaStd,
+        "corba-zc" => TtcpVersion::CorbaZc,
+        _ => return None,
+    })
+}
+
+fn run_one(version: TtcpVersion, block: usize, total: usize) {
+    let mut p = TtcpParams::new(version, block, total);
+    p.verify = true;
+    let out = run_measured(&p);
+    println!(
+        "{:<26} block {:>7}  {:>9.0} Mbit/s on this host   ({:>6.1} Mbit/s on the 2003 testbed model)   {:.2} copies/byte",
+        version.label(),
+        format!("{}K", block >> 10),
+        out.mbit_s,
+        run_modeled(version, block),
+        out.overhead_copy_factor,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let block = args
+        .get(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(|k| k << 10)
+        .unwrap_or(1 << 20);
+    let total = args
+        .get(2)
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(|m| m << 20)
+        .unwrap_or(16 << 20);
+
+    match args.first().map(String::as_str) {
+        Some("all") | None => {
+            println!("ttcp: {} MiB in {} KiB blocks, all versions\n", total >> 20, block >> 10);
+            for v in [
+                TtcpVersion::RawTcp,
+                TtcpVersion::ZcTcp,
+                TtcpVersion::CorbaStd,
+                TtcpVersion::CorbaZc,
+            ] {
+                run_one(v, block, total);
+            }
+        }
+        Some(name) => match parse_version(name) {
+            Some(v) => run_one(v, block, total),
+            None => {
+                eprintln!("unknown version {name:?}; use raw | zc-tcp | corba | corba-zc | all");
+                std::process::exit(1);
+            }
+        },
+    }
+}

@@ -1,0 +1,75 @@
+//! # zcorba — Zero-Copy for CORBA
+//!
+//! A Rust reproduction of *“Zero-Copy for CORBA — Efficient Communication
+//! for Distributed Object Middleware”* (Kurmann & Stricker, HPDC 2003):
+//! a CORBA-style distributed-object middleware whose bulk-data path runs
+//! under a **strict zero-copy regime** — payload bytes are touched exactly
+//! once, by the application, on their way from one process's memory to
+//! another's.
+//!
+//! This crate is the umbrella: it re-exports the workspace members so that
+//! `use zcorba::…` reaches everything, and hosts the repository-level
+//! examples and cross-crate integration tests.
+//!
+//! ## The pieces
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`buffers`] | `zc-buffers` | page-aligned buffers, [`buffers::ZcBytes`], pools, the [`buffers::CopyMeter`] |
+//! | [`cdr`] | `zc-cdr` | CDR marshaling, [`cdr::OctetSeq`] / [`cdr::ZcOctetSeq`] |
+//! | [`giop`] | `zc-giop` | GIOP messages, service contexts, deposit manifests, IORs, handshakes |
+//! | [`transport`] | `zc-transport` | separated control/data transports: simulated kernel stacks (copying & zero-copy/speculative) and real loopback TCP |
+//! | [`orb`] | `zc-orb` | the ORB: stubs, skeletons, negotiation, the direct-deposit sender/receiver |
+//! | [`idl`] | `zc-idl` | the IDL compiler (`zc-idlc`): parser → checker → Rust stub/skeleton generator |
+//! | [`simnet`] | `zc-simnet` | calibrated model of the paper's 2003 testbed (figures' absolute numbers) |
+//! | [`ttcp`] | `zc-ttcp` | the TTCP benchmark in all of the paper's versions |
+//! | [`mpeg`] | `zc-mpeg` | the §5.4 application: synthetic HDTV source, block encoder, CORBA transcoding farm |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use zcorba::orb::{Orb, ObjectAdapterExt, Servant, ServerRequest, OrbResult};
+//! use zcorba::cdr::ZcOctetSeq;
+//! use zcorba::transport::{SimConfig, SimNetwork};
+//!
+//! struct Store;
+//! impl Servant for Store {
+//!     fn repo_id(&self) -> &'static str { "IDL:demo/Store:1.0" }
+//!     fn dispatch(&self, op: &str, req: &mut ServerRequest<'_>) -> OrbResult<()> {
+//!         match op {
+//!             "put" => {
+//!                 let blob: ZcOctetSeq = req.arg()?;
+//!                 req.result(&(blob.len() as u64))
+//!             }
+//!             _ => req.bad_operation(op),
+//!         }
+//!     }
+//! }
+//!
+//! let net = SimNetwork::new(SimConfig::zero_copy());
+//! let server_orb = Orb::builder().sim(net.clone()).build();
+//! server_orb.adapter().register("store", Arc::new(Store));
+//! let server = server_orb.serve(0).unwrap();
+//! let ior = server.ior_for("store", "IDL:demo/Store:1.0").unwrap();
+//!
+//! let client = Orb::builder().sim(net).build();
+//! let store = client.resolve(&ior).unwrap();
+//! let blob = ZcOctetSeq::with_length(1 << 20);      // one page-aligned MiB
+//! let n: u64 = store.request("put").arg(&blob).unwrap()
+//!     .invoke().unwrap().result().unwrap();
+//! assert_eq!(n, 1 << 20);                           // …moved with zero copies
+//! ```
+
+pub use zc_buffers as buffers;
+pub use zc_cdr as cdr;
+pub use zc_giop as giop;
+pub use zc_idl as idl;
+pub use zc_mpeg as mpeg;
+pub use zc_orb as orb;
+pub use zc_simnet as simnet;
+pub use zc_transport as transport;
+pub use zc_ttcp as ttcp;
+
+/// Crate version (workspace-wide).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
