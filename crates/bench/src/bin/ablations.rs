@@ -45,7 +45,12 @@ struct Outcome {
     fallback_bytes: u64,
 }
 
-fn run(label: &str, cfg: SimConfig, build: impl Fn(zc_orb::OrbBuilder) -> zc_orb::OrbBuilder, payload: ZcBytes) -> Outcome {
+fn run(
+    label: &str,
+    cfg: SimConfig,
+    build: impl Fn(zc_orb::OrbBuilder) -> zc_orb::OrbBuilder,
+    payload: ZcBytes,
+) -> Outcome {
     let net = SimNetwork::new(cfg);
     let meter = CopyMeter::new_shared();
     let server_orb = build(Orb::builder().sim(net.clone()).meter(Arc::clone(&meter))).build();

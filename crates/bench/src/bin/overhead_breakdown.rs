@@ -45,8 +45,7 @@ fn main() {
     );
     println!(
         "  {:<38} {:>8.1} µs/req (amortized; demux+alloc, minor for bulk)",
-        "per-request ORB work",
-        m.orb_request_us
+        "per-request ORB work", m.orb_request_us
     );
 
     // ---- measured copy accounting on this host ----

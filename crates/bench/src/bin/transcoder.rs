@@ -124,7 +124,11 @@ fn main() {
     println!(
         "  standard ORB moves {std_link:.0} Mbit/s  → {:.1} fps — {}",
         std_link * 1e6 / 8.0 / frame_bytes as f64,
-        if std_link >= need_mbit { "real-time" } else { "NOT real-time" }
+        if std_link >= need_mbit {
+            "real-time"
+        } else {
+            "NOT real-time"
+        }
     );
     let zc_fps = zc_link * 1e6 / 8.0 / frame_bytes as f64;
     println!(

@@ -55,6 +55,7 @@ impl AlignedBuf {
     /// expected to meter it; see [`crate::CopyMeter`]).
     pub fn from_slice(src: &[u8]) -> Self {
         let mut b = Self::with_capacity(src.len());
+        // zc-audit: allow(copy) — single fill into fresh aligned storage; callers meter it (AppFill or Demarshal)
         b.extend_from_slice(src);
         b
     }
@@ -138,11 +139,8 @@ impl AlignedBuf {
         );
         // SAFETY: range `[len, new_len)` is within the allocation.
         unsafe {
-            std::ptr::copy_nonoverlapping(
-                src.as_ptr(),
-                self.ptr.as_ptr().add(self.len),
-                src.len(),
-            );
+            // zc-audit: allow(copy) — the raw fill primitive; every caller meters at its own layer (AppFill, Marshal or Demarshal)
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.as_ptr().add(self.len), src.len());
         }
         self.len = new_len;
     }
@@ -199,6 +197,7 @@ impl Clone for AlignedBuf {
     /// what the zero-copy regime avoids, so hot paths never call this.
     fn clone(&self) -> Self {
         let mut b = Self::with_capacity(self.cap);
+        // zc-audit: allow(copy) — deliberate cold-path deep copy, never on the deposit path; metered uses record AppFill
         b.extend_from_slice(self.as_slice());
         b
     }

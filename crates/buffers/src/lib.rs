@@ -25,6 +25,10 @@
 //! The crate is intentionally free of any networking or CORBA knowledge; it
 //! is the lowest substrate of the workspace.
 
+// This crate owns every raw allocation on the data path; an `unsafe` block
+// inside an `unsafe fn` must still spell out its own proof obligation.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod aligned;
 pub mod meter;
 pub mod pool;

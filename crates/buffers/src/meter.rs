@@ -195,9 +195,7 @@ impl CopySnapshot {
     /// application's own fill). This is the quantity a strict zero-copy
     /// regime drives to zero.
     pub fn overhead_bytes(&self) -> u64 {
-        CopyLayer::overhead_layers()
-            .map(|l| self.bytes(l))
-            .sum()
+        CopyLayer::overhead_layers().map(|l| self.bytes(l)).sum()
     }
 
     /// Total bytes including the application fill.

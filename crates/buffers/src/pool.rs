@@ -73,7 +73,8 @@ impl PoolInner {
                 if list.is_empty() {
                     free.remove(&k);
                 }
-                self.retained.fetch_sub(buf.capacity() as u64, Ordering::Relaxed);
+                self.retained
+                    .fetch_sub(buf.capacity() as u64, Ordering::Relaxed);
                 self.reuses.fetch_add(1, Ordering::Relaxed);
                 return buf;
             }
@@ -260,7 +261,11 @@ mod tests {
         }
         let small = pool.acquire(PAGE_SIZE);
         assert!(small.capacity() >= PAGE_SIZE);
-        assert_eq!(pool.stats().reuses, 1, "8-page buffer should serve a 1-page ask");
+        assert_eq!(
+            pool.stats().reuses,
+            1,
+            "8-page buffer should serve a 1-page ask"
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub(crate) struct Storage {
 
 impl Storage {
     fn buf(&self) -> &AlignedBuf {
-        self.buf.as_ref().expect("storage buffer present until drop")
+        self.buf
+            .as_ref()
+            .expect("storage buffer present until drop")
     }
 }
 

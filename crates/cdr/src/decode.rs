@@ -359,7 +359,10 @@ mod tests {
         let mut bytes = 0x3FFF_FFFFu32.to_be_bytes().to_vec();
         bytes.extend_from_slice(&[0, 0, 0, 0]);
         let mut d = CdrDecoder::new(&bytes, ByteOrder::Big);
-        assert!(matches!(d.read_octet_seq(), Err(CdrError::OutOfBounds { .. })));
+        assert!(matches!(
+            d.read_octet_seq(),
+            Err(CdrError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -417,9 +420,7 @@ mod tests {
         let bytes = outer.finish_stream();
 
         let mut d = CdrDecoder::new(&bytes, ByteOrder::Big);
-        let v = d
-            .read_encapsulation(|inner| inner.read_u32())
-            .unwrap();
+        let v = d.read_encapsulation(|inner| inner.read_u32()).unwrap();
         assert_eq!(v, 0xCAFE_BABE);
     }
 

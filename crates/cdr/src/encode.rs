@@ -117,49 +117,57 @@ impl CdrEncoder {
     /// `short`
     pub fn write_i16(&mut self, v: i16) {
         self.align(2);
-        self.buf.extend_from_slice(&endian::write_i16(self.order, v));
+        self.buf
+            .extend_from_slice(&endian::write_i16(self.order, v));
     }
 
     /// `unsigned short`
     pub fn write_u16(&mut self, v: u16) {
         self.align(2);
-        self.buf.extend_from_slice(&endian::write_u16(self.order, v));
+        self.buf
+            .extend_from_slice(&endian::write_u16(self.order, v));
     }
 
     /// `long`
     pub fn write_i32(&mut self, v: i32) {
         self.align(4);
-        self.buf.extend_from_slice(&endian::write_i32(self.order, v));
+        self.buf
+            .extend_from_slice(&endian::write_i32(self.order, v));
     }
 
     /// `unsigned long`
     pub fn write_u32(&mut self, v: u32) {
         self.align(4);
-        self.buf.extend_from_slice(&endian::write_u32(self.order, v));
+        self.buf
+            .extend_from_slice(&endian::write_u32(self.order, v));
     }
 
     /// `long long`
     pub fn write_i64(&mut self, v: i64) {
         self.align(8);
-        self.buf.extend_from_slice(&endian::write_i64(self.order, v));
+        self.buf
+            .extend_from_slice(&endian::write_i64(self.order, v));
     }
 
     /// `unsigned long long`
     pub fn write_u64(&mut self, v: u64) {
         self.align(8);
-        self.buf.extend_from_slice(&endian::write_u64(self.order, v));
+        self.buf
+            .extend_from_slice(&endian::write_u64(self.order, v));
     }
 
     /// `float`
     pub fn write_f32(&mut self, v: f32) {
         self.align(4);
-        self.buf.extend_from_slice(&endian::write_f32(self.order, v));
+        self.buf
+            .extend_from_slice(&endian::write_f32(self.order, v));
     }
 
     /// `double`
     pub fn write_f64(&mut self, v: f64) {
         self.align(8);
-        self.buf.extend_from_slice(&endian::write_f64(self.order, v));
+        self.buf
+            .extend_from_slice(&endian::write_f64(self.order, v));
     }
 
     /// `string`: ulong length (including the terminating NUL), the UTF-8

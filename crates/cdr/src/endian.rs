@@ -52,8 +52,9 @@ macro_rules! rw_impl {
         /// Read a value of this width in the given order.
         #[inline]
         pub fn $read(order: ByteOrder, bytes: &[u8]) -> $t {
-            let arr: [u8; std::mem::size_of::<$t>()] =
-                bytes[..std::mem::size_of::<$t>()].try_into().expect("width checked");
+            let arr: [u8; std::mem::size_of::<$t>()] = bytes[..std::mem::size_of::<$t>()]
+                .try_into()
+                .expect("width checked");
             match order {
                 ByteOrder::Big => <$t>::from_be_bytes(arr),
                 ByteOrder::Little => <$t>::from_le_bytes(arr),
@@ -126,12 +127,21 @@ mod tests {
     #[test]
     fn f64_roundtrip_both_orders() {
         for order in [ByteOrder::Big, ByteOrder::Little] {
-            for v in [0.0f64, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE] {
+            for v in [
+                0.0f64,
+                -1.5,
+                std::f64::consts::PI,
+                f64::MAX,
+                f64::MIN_POSITIVE,
+            ] {
                 assert_eq!(read_f64(order, &write_f64(order, v)), v);
             }
             // NaN payload preserved bit-exactly
             let nan = f64::from_bits(0x7ff8_dead_beef_0001);
-            assert_eq!(read_f64(order, &write_f64(order, nan)).to_bits(), nan.to_bits());
+            assert_eq!(
+                read_f64(order, &write_f64(order, nan)).to_bits(),
+                nan.to_bits()
+            );
         }
     }
 

@@ -109,6 +109,7 @@ impl ZcOctetSeq {
     /// single permitted touch, metered at [`CopyLayer::AppFill`].
     pub fn copy_from_slice(src: &[u8], meter: &CopyMeter) -> ZcOctetSeq {
         ZcOctetSeq {
+            // zc-audit: allow(copy) — the application's single permitted fill, metered as AppFill
             data: ZcBytes::copy_from_slice(src, meter, CopyLayer::AppFill),
         }
     }
@@ -173,6 +174,7 @@ impl CdrMarshal for ZcOctetSeq {
             // deposit the data is never actually marshaled but just passed
             // further on to the transport layer" (§4.4).
             enc.write_u32(self.len() as u32);
+            // zc-audit: allow(cheap-clone) — ZcBytes clone is a refcount bump; the deposit carries a view, not bytes
             let idx = enc.push_deposit(self.data.clone());
             enc.write_u32(idx);
         } else {
@@ -193,6 +195,7 @@ impl CdrMarshal for ZcOctetSeq {
             // aligned storage (metered as demarshal by read_octet_seq).
             let bytes = dec.read_octet_seq()?;
             let mut buf = zc_buffers::AlignedBuf::with_capacity(bytes.len());
+            // zc-audit: allow(copy) — ZC-incapable peer fallback: inline bytes move into aligned storage, metered upstream as Demarshal
             buf.extend_from_slice(&bytes);
             Ok(ZcOctetSeq {
                 data: ZcBytes::from_aligned(buf),
@@ -266,7 +269,11 @@ mod tests {
             .with_zc(true);
         seq.marshal(&mut e).unwrap();
         let (stream, deposits) = e.finish();
-        assert_eq!(stream.len(), 8, "descriptor is 8 bytes regardless of payload");
+        assert_eq!(
+            stream.len(),
+            8,
+            "descriptor is 8 bytes regardless of payload"
+        );
         assert_eq!(deposits.len(), 1);
 
         let mut d = CdrDecoder::new(&stream, ByteOrder::Little)

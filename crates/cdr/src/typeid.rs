@@ -201,7 +201,11 @@ mod tests {
         assert_eq!(TypeId::ULong.alignment(), 4);
         assert_eq!(TypeId::Double.alignment(), 8);
         assert_eq!(TypeId::LongLong.alignment(), 8);
-        assert_eq!(TypeId::String.alignment(), 4, "string starts with its ulong length");
+        assert_eq!(
+            TypeId::String.alignment(),
+            4,
+            "string starts with its ulong length"
+        );
     }
 
     #[test]

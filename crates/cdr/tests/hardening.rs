@@ -1,0 +1,258 @@
+//! Decode-hardening tests: malformed wire input must surface as `CdrError`,
+//! never as a panic. Covers truncated buffers and sequences, endianness
+//! mismatches (a swapped length field reads as a huge count), misaligned and
+//! truncated encapsulations, and hostile deposit descriptors — plus a
+//! property test that feeds arbitrary bytes through the decode entry points.
+
+use proptest::prelude::*;
+use zc_cdr::{
+    octet::ZcOctetSeq, ByteOrder, CdrDecoder, CdrEncoder, CdrError, CdrMarshal, OctetSeq,
+    MAX_CDR_LENGTH,
+};
+
+fn dec(bytes: &[u8], order: ByteOrder) -> CdrDecoder<'_> {
+    CdrDecoder::new(bytes, order)
+}
+
+// --- truncation -----------------------------------------------------------
+
+#[test]
+fn truncated_primitives_error_cleanly() {
+    for order in [ByteOrder::Big, ByteOrder::Little] {
+        assert!(matches!(
+            dec(&[], order).read_octet(),
+            Err(CdrError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            dec(&[1], order).read_u16(),
+            Err(CdrError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            dec(&[1, 2, 3], order).read_u32(),
+            Err(CdrError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            dec(&[0; 7], order).read_u64(),
+            Err(CdrError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            dec(&[0; 7], order).read_f64(),
+            Err(CdrError::OutOfBounds { .. })
+        ));
+    }
+}
+
+#[test]
+fn truncated_octet_seq_errors_cleanly() {
+    // Announces 100 bytes, supplies 3.
+    let mut e = CdrEncoder::new(ByteOrder::Big);
+    e.write_u32(100);
+    e.write_raw(&[1, 2, 3]);
+    let buf = e.finish_stream();
+    let err = dec(&buf, ByteOrder::Big).read_octet_seq().unwrap_err();
+    assert!(
+        matches!(err, CdrError::OutOfBounds { need: 100, .. }),
+        "{err}"
+    );
+
+    // The borrowed variant takes the same check.
+    let err = dec(&buf, ByteOrder::Big)
+        .read_octet_seq_borrowed()
+        .unwrap_err();
+    assert!(matches!(err, CdrError::OutOfBounds { .. }));
+}
+
+#[test]
+fn length_overflow_rejected_before_allocation() {
+    // A length just past MAX_CDR_LENGTH must be rejected by the limit check
+    // (not by attempting a giant allocation).
+    let mut e = CdrEncoder::new(ByteOrder::Big);
+    e.write_u32((MAX_CDR_LENGTH + 1) as u32);
+    let buf = e.finish_stream();
+    let err = dec(&buf, ByteOrder::Big).read_octet_seq().unwrap_err();
+    assert!(matches!(err, CdrError::LengthOverflow(_)), "{err}");
+}
+
+#[test]
+fn truncated_string_and_missing_nul() {
+    for order in [ByteOrder::Big, ByteOrder::Little] {
+        // Zero length: even "" encodes as length 1 (the NUL).
+        let mut e = CdrEncoder::new(order);
+        e.write_u32(0);
+        assert!(matches!(
+            dec(&e.finish_stream(), order).read_string(),
+            Err(CdrError::InvalidString)
+        ));
+
+        // Length present, terminator not NUL.
+        let mut e = CdrEncoder::new(order);
+        e.write_u32(3);
+        e.write_raw(b"abc"); // no NUL
+        assert!(matches!(
+            dec(&e.finish_stream(), order).read_string(),
+            Err(CdrError::InvalidString)
+        ));
+
+        // Invalid UTF-8 payload.
+        let mut e = CdrEncoder::new(order);
+        e.write_u32(3);
+        e.write_raw(&[0xFF, 0xFE, 0x00]);
+        assert!(matches!(
+            dec(&e.finish_stream(), order).read_string(),
+            Err(CdrError::InvalidString)
+        ));
+    }
+}
+
+// --- endianness mismatch --------------------------------------------------
+
+#[test]
+fn swapped_byte_order_is_an_error_not_a_panic() {
+    // "hello" encoded little-endian: the length field 6 becomes 6 << 24 when
+    // misread as big-endian — a huge count that must be caught by bounds or
+    // limit checks.
+    let mut e = CdrEncoder::new(ByteOrder::Little);
+    e.write_string("hello");
+    let buf = e.finish_stream();
+    let err = dec(&buf, ByteOrder::Big).read_string().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CdrError::OutOfBounds { .. } | CdrError::LengthOverflow(_)
+        ),
+        "{err}"
+    );
+
+    // Same shape for sequences.
+    let mut e = CdrEncoder::new(ByteOrder::Little);
+    e.write_octet_seq(&[9; 16]);
+    let buf = e.finish_stream();
+    let err = dec(&buf, ByteOrder::Big).read_octet_seq().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CdrError::OutOfBounds { .. } | CdrError::LengthOverflow(_)
+        ),
+        "{err}"
+    );
+}
+
+// --- alignment and encapsulations ----------------------------------------
+
+#[test]
+fn alignment_padding_past_end_errors() {
+    // One octet consumed, then a u64 read wants 8-byte alignment + 8 bytes
+    // that are not there.
+    let buf = [1u8, 0, 0];
+    let mut d = dec(&buf, ByteOrder::Big);
+    d.read_octet().unwrap();
+    assert!(matches!(d.read_u64(), Err(CdrError::OutOfBounds { .. })));
+}
+
+#[test]
+fn truncated_encapsulation_errors() {
+    // Announces an 8-byte encapsulation, supplies 2.
+    let mut e = CdrEncoder::new(ByteOrder::Big);
+    e.write_u32(8);
+    e.write_raw(&[0, 1]);
+    let buf = e.finish_stream();
+    let err = dec(&buf, ByteOrder::Big)
+        .read_encapsulation(|d| d.read_u32())
+        .unwrap_err();
+    assert!(matches!(err, CdrError::OutOfBounds { .. }), "{err}");
+}
+
+#[test]
+fn empty_encapsulation_errors() {
+    // Length 0 leaves no room for the byte-order flag octet.
+    let mut e = CdrEncoder::new(ByteOrder::Big);
+    e.write_u32(0);
+    let buf = e.finish_stream();
+    let err = dec(&buf, ByteOrder::Big)
+        .read_encapsulation(|d| d.read_u32())
+        .unwrap_err();
+    assert!(matches!(err, CdrError::OutOfBounds { .. }), "{err}");
+}
+
+#[test]
+fn misaligned_encapsulation_offset_errors() {
+    // An encapsulation whose body stops mid-primitive: inner reads align
+    // relative to the encapsulation origin and must fault at its edge.
+    let mut e = CdrEncoder::new(ByteOrder::Big);
+    e.write_encapsulation(|inner| {
+        inner.write_u16(7); // flag octet + pad + u16 = 4 bytes total
+    });
+    let mut buf = e.finish_stream();
+    let last = buf.len() - 1;
+    buf.truncate(last); // chop one body byte; outer length now lies
+    let err = dec(&buf, ByteOrder::Big)
+        .read_encapsulation(|d| d.read_u16())
+        .unwrap_err();
+    assert!(matches!(err, CdrError::OutOfBounds { .. }), "{err}");
+}
+
+// --- deposit descriptors --------------------------------------------------
+
+#[test]
+fn hostile_deposit_descriptors_error() {
+    use zc_buffers::ZcBytes;
+
+    // Index beyond the deposit table.
+    let mut d = dec(&[], ByteOrder::Big).with_deposits(vec![ZcBytes::zeroed(8)]);
+    assert!(matches!(
+        d.take_deposit(3, 8),
+        Err(CdrError::BadDepositIndex(3))
+    ));
+
+    // Announced length disagrees with the deposited block.
+    assert!(matches!(
+        d.take_deposit(0, 99),
+        Err(CdrError::DepositLengthMismatch { .. })
+    ));
+
+    // Double-take of the same block.
+    assert!(d.take_deposit(0, 8).is_ok());
+    assert!(matches!(
+        d.take_deposit(0, 8),
+        Err(CdrError::BadDepositIndex(0))
+    ));
+}
+
+#[test]
+fn zc_octet_seq_demarshal_rejects_bad_descriptor() {
+    // A ZC-enabled decoder whose descriptor names a missing deposit slot.
+    let mut e = CdrEncoder::new(ByteOrder::Big);
+    e.write_u32(16); // announced payload length
+    e.write_u32(5); // deposit index that does not exist
+    let buf = e.finish_stream();
+    let mut d = dec(&buf, ByteOrder::Big).with_deposits(vec![]);
+    assert!(d.zc_enabled());
+    let err = ZcOctetSeq::demarshal(&mut d).unwrap_err();
+    assert!(matches!(err, CdrError::BadDepositIndex(5)), "{err}");
+}
+
+// --- no-panic property ----------------------------------------------------
+
+proptest! {
+    /// Arbitrary bytes through every decode entry point: any outcome is
+    /// acceptable except a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128), little in any::<bool>()) {
+        let order = ByteOrder::from_flag(little);
+
+        let _ = dec(&bytes, order).read_string();
+        let _ = dec(&bytes, order).read_octet_seq();
+        let _ = dec(&bytes, order).read_encapsulation(|d| d.read_u32());
+        let _ = OctetSeq::demarshal(&mut dec(&bytes, order));
+        let _ = ZcOctetSeq::demarshal(&mut dec(&bytes, order));
+
+        // A mixed-primitive walk exercising alignment from every offset.
+        let mut d = dec(&bytes, order);
+        let _ = d.read_octet();
+        let _ = d.read_u16();
+        let _ = d.read_u32();
+        let _ = d.read_u64();
+        let _ = d.read_f32();
+        let _ = d.read_bool();
+    }
+}

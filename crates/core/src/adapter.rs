@@ -133,19 +133,11 @@ impl ObjectAdapter {
     }
 
     /// Dispatch one request to the servant owning `key`.
-    pub fn dispatch(
-        &self,
-        key: &[u8],
-        op: &str,
-        req: &mut ServerRequest<'_>,
-    ) -> OrbResult<()> {
+    pub fn dispatch(&self, key: &[u8], op: &str, req: &mut ServerRequest<'_>) -> OrbResult<()> {
         match self.find(key) {
             Some(servant) => servant.dispatch(op, req),
             None => {
-                req.raise(SystemException::new(
-                    SystemExceptionKind::ObjectNotExist,
-                    0,
-                ))?;
+                req.raise(SystemException::new(SystemExceptionKind::ObjectNotExist, 0))?;
                 Ok(())
             }
         }
@@ -251,8 +243,7 @@ mod tests {
     fn unknown_operation_raises_bad_operation() {
         let oa = ObjectAdapter::new();
         oa.register("adder", Arc::new(Adder));
-        let err =
-            dispatch_local(&oa, b"adder", "subtract", &[], ByteOrder::native()).unwrap_err();
+        let err = dispatch_local(&oa, b"adder", "subtract", &[], ByteOrder::native()).unwrap_err();
         match err {
             OrbError::System(ex) => assert_eq!(ex.kind, SystemExceptionKind::BadOperation),
             other => panic!("unexpected {other:?}"),

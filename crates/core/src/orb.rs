@@ -136,10 +136,7 @@ impl Orb {
             Some(c) => c,
             None => {
                 let c = Arc::new(Mutex::new(self.establish(&profile.host, profile.port)?));
-                self.inner
-                    .conn_cache
-                    .lock()
-                    .insert(key, Arc::clone(&c));
+                self.inner.conn_cache.lock().insert(key, Arc::clone(&c));
                 c
             }
         };
@@ -161,19 +158,18 @@ impl Orb {
 
     /// Start serving registered objects on `port` (0 = ephemeral).
     pub fn serve(&self, port: u16) -> OrbResult<ServerHandle> {
-        let (acceptor, host, port): (Box<dyn Acceptor>, String, u16) =
-            match &self.inner.transport {
-                TransportSel::Sim(net) => {
-                    let l = net.listen(port, self.inner.ctx.clone())?;
-                    let (h, p) = l.endpoint();
-                    (Box::new(l), h, p)
-                }
-                TransportSel::Tcp => {
-                    let l = TcpTransportListener::bind(port, self.inner.ctx.clone())?;
-                    let (h, p) = l.endpoint();
-                    (Box::new(l), h, p)
-                }
-            };
+        let (acceptor, host, port): (Box<dyn Acceptor>, String, u16) = match &self.inner.transport {
+            TransportSel::Sim(net) => {
+                let l = net.listen(port, self.inner.ctx.clone())?;
+                let (h, p) = l.endpoint();
+                (Box::new(l), h, p)
+            }
+            TransportSel::Tcp => {
+                let l = TcpTransportListener::bind(port, self.inner.ctx.clone())?;
+                let (h, p) = l.endpoint();
+                (Box::new(l), h, p)
+            }
+        };
         let shutdown = Arc::new(AtomicBool::new(false));
         let orb = self.clone();
         let flag = Arc::clone(&shutdown);
@@ -223,8 +219,7 @@ impl Orb {
 
             // Build the argument decoder over the received body, wired to
             // the deposited blocks when the connection is in ZC mode.
-            let mut dec = CdrDecoder::new(&incoming.body, incoming.order)
-                .with_meter(self.meter());
+            let mut dec = CdrDecoder::new(&incoming.body, incoming.order).with_meter(self.meter());
             if incoming.zc {
                 dec = dec.with_deposits(incoming.deposits);
             }
@@ -288,7 +283,6 @@ pub struct OrbBuilder {
     pool: Option<PagePool>,
 }
 
-
 impl OrbBuilder {
     /// Use the in-process simulated network.
     pub fn sim(mut self, net: SimNetwork) -> Self {
@@ -344,7 +338,9 @@ impl OrbBuilder {
     /// # Panics
     /// If no transport was selected.
     pub fn build(self) -> Orb {
-        let transport = self.transport.expect("OrbBuilder: select .sim(net) or .tcp()");
+        let transport = self
+            .transport
+            .expect("OrbBuilder: select .sim(net) or .tcp()");
         let meter = self.meter.unwrap_or_else(CopyMeter::new_shared);
         let pool = self.pool.unwrap_or_else(PagePool::default_for_orb);
         Orb {
@@ -387,7 +383,12 @@ impl ServerHandle {
                 "no servant registered under key {key:?}"
             )));
         }
-        Ok(Ior::new_iiop(type_id, &self.host, self.port, key.as_bytes()))
+        Ok(Ior::new_iiop(
+            type_id,
+            &self.host,
+            self.port,
+            key.as_bytes(),
+        ))
     }
 
     /// Stop accepting new connections and join the acceptor thread.

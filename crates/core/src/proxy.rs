@@ -209,8 +209,7 @@ impl ReplyResults {
         // Rebuild a decoder positioned at the current offset; deposit slots
         // persist across calls so descriptor indices stay stable.
         let slots = std::mem::take(&mut self.slots);
-        let mut dec =
-            CdrDecoder::new(&self.body, self.order).with_meter(Arc::clone(&self.meter));
+        let mut dec = CdrDecoder::new(&self.body, self.order).with_meter(Arc::clone(&self.meter));
         if self.zc {
             dec = dec.with_deposit_slots(slots);
         }

@@ -81,7 +81,9 @@ impl Fixture {
             .zc(server_zc)
             .meter(Arc::clone(&meter))
             .build();
-        server_orb.adapter().register("transfer", Arc::new(Transfer));
+        server_orb
+            .adapter()
+            .register("transfer", Arc::new(Transfer));
         let server = server_orb.serve(0).unwrap();
         let client = Orb::builder()
             .sim(net)
@@ -152,7 +154,12 @@ fn standard_path_copies_at_every_layer() {
     let n = 1 << 20;
     let data = OctetSeq(patterned(n));
     let before = f.meter.snapshot();
-    let reply = obj.request("echo_std").arg(&data).unwrap().invoke().unwrap();
+    let reply = obj
+        .request("echo_std")
+        .arg(&data)
+        .unwrap()
+        .invoke()
+        .unwrap();
     let back: OctetSeq = reply.result().unwrap();
     assert_eq!(back, data);
     let d = f.meter.snapshot().since(&before);
@@ -273,7 +280,9 @@ fn heterogeneous_peer_interop() {
     // order becomes the foreign one.
     let net = SimNetwork::new(SimConfig::copying());
     let server_orb = Orb::builder().sim(net.clone()).zc(true).build();
-    server_orb.adapter().register("transfer", Arc::new(Transfer));
+    server_orb
+        .adapter()
+        .register("transfer", Arc::new(Transfer));
     let server = server_orb.serve(0).unwrap();
     let client = Orb::builder()
         .sim(net)
@@ -314,14 +323,14 @@ fn exceptions_propagate() {
     }
 
     // Unknown object key
-    let ior = zc_giop::Ior::new_iiop(
-        "IDL:zcorba/Transfer:1.0",
-        "sim",
-        f.server.port(),
-        b"ghost",
-    );
+    let ior = zc_giop::Ior::new_iiop("IDL:zcorba/Transfer:1.0", "sim", f.server.port(), b"ghost");
     let ghost = f.client.resolve(&ior).unwrap();
-    let err = ghost.request("echo_std").arg(&OctetSeq(vec![1])).unwrap().invoke().unwrap_err();
+    let err = ghost
+        .request("echo_std")
+        .arg(&OctetSeq(vec![1]))
+        .unwrap()
+        .invoke()
+        .unwrap_err();
     match err {
         OrbError::System(ex) => assert_eq!(ex.kind, SystemExceptionKind::ObjectNotExist),
         other => panic!("unexpected {other:?}"),
@@ -363,7 +372,11 @@ fn locate_request_roundtrip() {
         .unwrap();
     ghost.locate().unwrap();
     assert!(matches!(
-        ghost.request("echo_std").arg(&OctetSeq(vec![1])).unwrap().invoke(),
+        ghost
+            .request("echo_std")
+            .arg(&OctetSeq(vec![1]))
+            .unwrap()
+            .invoke(),
         Err(OrbError::System(_))
     ));
 }
@@ -425,8 +438,16 @@ fn connection_cache_is_shared() {
     let a = f.client.resolve(&ior).unwrap();
     let b = f.client.resolve(&ior).unwrap();
     // Both proxies work over the shared cached connection.
-    a.request("min_max").arg(&vec![1i32]).unwrap().invoke().unwrap();
-    b.request("min_max").arg(&vec![2i32]).unwrap().invoke().unwrap();
+    a.request("min_max")
+        .arg(&vec![1i32])
+        .unwrap()
+        .invoke()
+        .unwrap();
+    b.request("min_max")
+        .arg(&vec![2i32])
+        .unwrap()
+        .invoke()
+        .unwrap();
 }
 
 #[test]
@@ -460,7 +481,9 @@ fn ior_for_unknown_key_errors() {
 fn tcp_transport_end_to_end() {
     let meter = CopyMeter::new_shared();
     let server_orb = Orb::builder().tcp().meter(Arc::clone(&meter)).build();
-    server_orb.adapter().register("transfer", Arc::new(Transfer));
+    server_orb
+        .adapter()
+        .register("transfer", Arc::new(Transfer));
     let server = server_orb.serve(0).unwrap();
     let client = Orb::builder().tcp().meter(Arc::clone(&meter)).build();
     let ior = server
@@ -497,7 +520,9 @@ fn ablation_deposit_disabled_reintroduces_marshal_copies() {
         .meter(Arc::clone(&meter))
         .deposit_enabled(false)
         .build();
-    server_orb.adapter().register("transfer", Arc::new(Transfer));
+    server_orb
+        .adapter()
+        .register("transfer", Arc::new(Transfer));
     let server = server_orb.serve(0).unwrap();
     let client = Orb::builder()
         .sim(net)
@@ -530,7 +555,9 @@ fn ablation_coupled_data_path_still_correct() {
         .meter(Arc::clone(&meter))
         .separate_data(false)
         .build();
-    server_orb.adapter().register("transfer", Arc::new(Transfer));
+    server_orb
+        .adapter()
+        .register("transfer", Arc::new(Transfer));
     let server = server_orb.serve(0).unwrap();
     let client = Orb::builder()
         .sim(net)
@@ -557,11 +584,7 @@ fn ablation_coupled_data_path_still_correct() {
 
 #[test]
 fn speculation_miss_transfers_stay_correct() {
-    let f = Fixture::sim(
-        SimConfig::zero_copy_with_speculation(0.3),
-        true,
-        true,
-    );
+    let f = Fixture::sim(SimConfig::zero_copy_with_speculation(0.3), true, true);
     let obj = f.obj();
     for i in 0..30 {
         let n = 10_000 + i * 777;
@@ -603,7 +626,9 @@ fn oversized_inline_payload_is_fragmented_transparently() {
         .meter(Arc::clone(&meter))
         .separate_data(false)
         .build();
-    server_orb.adapter().register("transfer", Arc::new(Transfer));
+    server_orb
+        .adapter()
+        .register("transfer", Arc::new(Transfer));
     let server = server_orb.serve(0).unwrap();
     let client = Orb::builder()
         .sim(net)
@@ -650,7 +675,9 @@ fn empty_payloads_roundtrip() {
 fn server_shutdown_refuses_new_connections() {
     let net = SimNetwork::new(SimConfig::copying());
     let server_orb = Orb::builder().sim(net.clone()).build();
-    server_orb.adapter().register("transfer", Arc::new(Transfer));
+    server_orb
+        .adapter()
+        .register("transfer", Arc::new(Transfer));
     let server = server_orb.serve(0).unwrap();
     let port = server.port();
     let client = Orb::builder().sim(net.clone()).build();
@@ -659,7 +686,11 @@ fn server_shutdown_refuses_new_connections() {
         .unwrap();
     // connection works before shutdown
     let obj = client.resolve(&ior).unwrap();
-    obj.request("min_max").arg(&vec![1i32]).unwrap().invoke().unwrap();
+    obj.request("min_max")
+        .arg(&vec![1i32])
+        .unwrap()
+        .invoke()
+        .unwrap();
     server.shutdown();
     // a *new* connection must now be refused
     let fresh_client = Orb::builder().sim(net).build();

@@ -67,7 +67,10 @@ impl Servant for FrameSink {
 
 fn fixture(meter: Arc<CopyMeter>) -> (zc_orb::ObjectRef, zc_orb::ServerHandle, Orb, SimNetwork) {
     let net = SimNetwork::new(SimConfig::zero_copy());
-    let server_orb = Orb::builder().sim(net.clone()).meter(Arc::clone(&meter)).build();
+    let server_orb = Orb::builder()
+        .sim(net.clone())
+        .meter(Arc::clone(&meter))
+        .build();
     server_orb.adapter().register("sink", Arc::new(FrameSink));
     let server = server_orb.serve(0).unwrap();
     let client = Orb::builder().sim(net.clone()).meter(meter).build();

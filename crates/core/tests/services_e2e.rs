@@ -127,7 +127,10 @@ fn naming_rejects_malformed_ior_at_bind_time() {
 fn scatter_is_zero_copy_and_complete() {
     let net = SimNetwork::new(SimConfig::zero_copy());
     let meter = CopyMeter::new_shared();
-    let server_orb = Orb::builder().sim(net.clone()).meter(Arc::clone(&meter)).build();
+    let server_orb = Orb::builder()
+        .sim(net.clone())
+        .meter(Arc::clone(&meter))
+        .build();
     server_orb.adapter().register("w", Arc::new(Doubler));
     let server = server_orb.serve(0).unwrap();
     let client_orb = Orb::builder().sim(net).meter(Arc::clone(&meter)).build();

@@ -100,10 +100,10 @@ impl DepositManifest {
         if ctx.id != SVC_CTX_DEPOSIT {
             return Ok(None);
         }
-        let flag = *ctx.data.first().ok_or(zc_cdr::CdrError::OutOfBounds {
-            need: 1,
-            have: 0,
-        })?;
+        let flag = *ctx
+            .data
+            .first()
+            .ok_or(zc_cdr::CdrError::OutOfBounds { need: 1, have: 0 })?;
         let order = zc_cdr::ByteOrder::from_flag(flag & 1 == 1);
         let mut dec = CdrDecoder::new(&ctx.data, order);
         dec.read_octet()?; // flag

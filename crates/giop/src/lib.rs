@@ -30,7 +30,7 @@ pub use context::{DepositManifest, ServiceContext, SVC_CTX_DEPOSIT, SVC_CTX_NEGO
 pub use handshake::{Handshake, Negotiated};
 pub use ior::{IiopProfile, Ior, TaggedProfile};
 pub use msg::{
-    frame as frame_msg, fragment_frames, reassemble, GiopFlags, GiopHeader, GiopVersion,
+    fragment_frames, frame as frame_msg, reassemble, GiopFlags, GiopHeader, GiopVersion,
     MessageType, GIOP_HEADER_LEN, GIOP_MAGIC,
 };
 pub use reply::{ReplyHeader, ReplyStatus, SystemException, SystemExceptionKind};

@@ -150,11 +150,13 @@ impl GiopHeader {
     /// Serialize to the fixed 12 bytes.
     pub fn encode(&self) -> [u8; GIOP_HEADER_LEN] {
         let mut out = [0u8; GIOP_HEADER_LEN];
+        // zc-audit: allow(control-plane) — fixed 12-byte GIOP header, no payload bytes
         out[..4].copy_from_slice(&GIOP_MAGIC);
         out[4] = self.version.major;
         out[5] = self.version.minor;
         out[6] = self.flags.to_octet();
         out[7] = self.msg_type as u8;
+        // zc-audit: allow(control-plane) — header size field, four bytes
         out[8..12].copy_from_slice(&endian::write_u32(self.flags.order, self.msg_size));
         out
     }
@@ -195,7 +197,9 @@ pub fn frame(
 ) -> Vec<u8> {
     let header = GiopHeader::new(version, order, msg_type, body.len() as u32);
     let mut out = Vec::with_capacity(GIOP_HEADER_LEN + body.len());
+    // zc-audit: allow(control-plane) — 12-byte header prefix
     out.extend_from_slice(&header.encode());
+    // zc-audit: allow(copy) — control frames aggregate header+body into one send buffer; accounted as SocketSend
     out.extend_from_slice(body);
     out
 }
@@ -219,11 +223,17 @@ pub fn fragment_frames(
     let chunks: Vec<&[u8]> = body.chunks(max_body).collect();
     let last = chunks.len() - 1;
     for (i, chunk) in chunks.into_iter().enumerate() {
-        let mt = if i == 0 { msg_type } else { MessageType::Fragment };
+        let mt = if i == 0 {
+            msg_type
+        } else {
+            MessageType::Fragment
+        };
         let mut header = GiopHeader::new(version, order, mt, chunk.len() as u32);
         header.flags.more_fragments = i != last;
         let mut f = Vec::with_capacity(GIOP_HEADER_LEN + chunk.len());
+        // zc-audit: allow(control-plane) — per-fragment 12-byte header
         f.extend_from_slice(&header.encode());
+        // zc-audit: allow(copy) — software fragmentation copies each chunk; this models the KernelFrag layer
         f.extend_from_slice(chunk);
         frames.push(f);
     }
@@ -254,6 +264,7 @@ pub fn reassemble(frames: &[Vec<u8>]) -> GiopResult<(MessageType, Vec<u8>)> {
         if f.len() != GIOP_HEADER_LEN + hdr.msg_size as usize {
             return Err(GiopError::MessageTooLarge(hdr.msg_size as u64));
         }
+        // zc-audit: allow(copy) — software reassembly concatenates fragment bodies; this models the KernelDefrag layer
         body.extend_from_slice(&f[GIOP_HEADER_LEN..]);
     }
     Ok((msg_type.ok_or(GiopError::BadHandshake)?, body))
@@ -321,7 +332,12 @@ mod tests {
 
     #[test]
     fn size_follows_flag_order() {
-        let h = GiopHeader::new(GiopVersion::V1_0, ByteOrder::Little, MessageType::Request, 1);
+        let h = GiopHeader::new(
+            GiopVersion::V1_0,
+            ByteOrder::Little,
+            MessageType::Request,
+            1,
+        );
         let bytes = h.encode();
         assert_eq!(bytes[8], 1, "little-endian size starts with LSB");
         let h = GiopHeader::new(GiopVersion::V1_0, ByteOrder::Big, MessageType::Request, 1);

@@ -240,7 +240,10 @@ mod tests {
             let bytes = enc.finish_stream();
             let mut dec = CdrDecoder::new(&bytes, ByteOrder::Little);
             assert_eq!(SystemException::demarshal(&mut dec).unwrap(), e);
-            assert_eq!(SystemExceptionKind::from_repo_id(kind.repo_id()), Some(kind));
+            assert_eq!(
+                SystemExceptionKind::from_repo_id(kind.repo_id()),
+                Some(kind)
+            );
         }
     }
 

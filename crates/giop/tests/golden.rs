@@ -15,7 +15,12 @@ fn hex(bytes: &[u8]) -> String {
 
 #[test]
 fn golden_giop_header_big_endian() {
-    let h = GiopHeader::new(GiopVersion::V1_2, ByteOrder::Big, MessageType::Request, 0x1234);
+    let h = GiopHeader::new(
+        GiopVersion::V1_2,
+        ByteOrder::Big,
+        MessageType::Request,
+        0x1234,
+    );
     // GIOP | 1 2 | flags=0 (BE, no frag) | type=0 | size BE
     assert_eq!(hex(&h.encode()), "47494f500102000000001234");
     assert_eq!(h.encode().len(), GIOP_HEADER_LEN);
@@ -25,7 +30,10 @@ fn golden_giop_header_big_endian() {
 fn golden_giop_header_little_endian() {
     let h = GiopHeader::new(GiopVersion::V1_0, ByteOrder::Little, MessageType::Reply, 7);
     // flags=1 (LE), type=1, size LE
-    assert_eq!(hex(&h.encode()), "47494f50010001010700000000000000"[..24].to_string());
+    assert_eq!(
+        hex(&h.encode()),
+        "47494f50010001010700000000000000"[..24].to_string()
+    );
 }
 
 #[test]
@@ -62,8 +70,16 @@ fn golden_request_header_body() {
 
 #[test]
 fn golden_frame_concatenation() {
-    let f = frame_msg(GiopVersion::V1_0, ByteOrder::Big, MessageType::CloseConnection, &[]);
-    assert_eq!(hex(&f), "47494f50010000050000000000000000"[..24].to_string());
+    let f = frame_msg(
+        GiopVersion::V1_0,
+        ByteOrder::Big,
+        MessageType::CloseConnection,
+        &[],
+    );
+    assert_eq!(
+        hex(&f),
+        "47494f50010000050000000000000000"[..24].to_string()
+    );
 }
 
 #[test]

@@ -181,10 +181,12 @@ fn declared_exception_roundtrip() {
     assert!(ex.reason.contains("rejected"));
     assert_eq!(EncodeFailed::REPO_ID, "IDL:zcorba/media/EncodeFailed:1.0");
     // a different exception type does not falsely match
-    assert!(zc_idl_gentest::generated::EncodeFailed::from_error(
-        &zc_orb::OrbError::Protocol("x".into())
-    )
-    .is_none());
+    assert!(
+        zc_idl_gentest::generated::EncodeFailed::from_error(&zc_orb::OrbError::Protocol(
+            "x".into()
+        ))
+        .is_none()
+    );
     // the connection stays usable
     let good = FrameInfo {
         stream_id: 1,

@@ -382,7 +382,11 @@ fn pretty_def(d: &Definition, depth: usize, out: &mut String) {
         }
         Definition::Enum(e) => {
             indent(depth, out);
-            out.push_str(&format!("enum {} {{ {} }};\n", e.name, e.variants.join(", ")));
+            out.push_str(&format!(
+                "enum {} {{ {} }};\n",
+                e.name,
+                e.variants.join(", ")
+            ));
         }
         Definition::Const(c) => {
             indent(depth, out);

@@ -28,9 +28,7 @@ fn main() -> ExitCode {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other if other.starts_with('-') => {
-                return usage(&format!("unknown option {other}"))
-            }
+            other if other.starts_with('-') => return usage(&format!("unknown option {other}")),
             other => {
                 if input.replace(other.to_string()).is_some() {
                     return usage("multiple input files given");

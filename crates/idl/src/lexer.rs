@@ -245,9 +245,7 @@ impl<'a> Lexer<'a> {
                             _ => return Err(IdlError::new(pos, "bad escape in string literal")),
                         },
                         Some(c) => out.push(c as char),
-                        None => {
-                            return Err(IdlError::new(pos, "unterminated string literal"))
-                        }
+                        None => return Err(IdlError::new(pos, "unterminated string literal")),
                     }
                 }
                 TokenKind::Str(out)

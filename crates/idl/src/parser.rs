@@ -391,9 +391,7 @@ impl Parser {
         self.bump();
         let n = match self.bump().kind {
             TokenKind::Int(n) if n > 0 => n,
-            TokenKind::Int(_) => {
-                return Err(IdlError::new(pos, "array extent must be positive"))
-            }
+            TokenKind::Int(_) => return Err(IdlError::new(pos, "array extent must be positive")),
             other => {
                 return Err(IdlError::new(
                     pos,
@@ -538,7 +536,10 @@ mod tests {
 
     #[test]
     fn unsigned_variants() {
-        let spec = parse("struct S { unsigned short a; unsigned long b; unsigned long long c; long long d; };").unwrap();
+        let spec = parse(
+            "struct S { unsigned short a; unsigned long b; unsigned long long c; long long d; };",
+        )
+        .unwrap();
         let Definition::Struct(s) = &spec.definitions[0] else {
             panic!()
         };
@@ -598,10 +599,15 @@ mod tests {
 
     #[test]
     fn array_declarators() {
-        let spec = parse("typedef long Vec4[4]; struct M { double cells[2][3]; octet pad[16]; };").unwrap();
-        let Definition::Typedef(t) = &spec.definitions[0] else { panic!() };
+        let spec = parse("typedef long Vec4[4]; struct M { double cells[2][3]; octet pad[16]; };")
+            .unwrap();
+        let Definition::Typedef(t) = &spec.definitions[0] else {
+            panic!()
+        };
         assert_eq!(t.ty, Type::Array(Box::new(Type::Long), 4));
-        let Definition::Struct(m) = &spec.definitions[1] else { panic!() };
+        let Definition::Struct(m) = &spec.definitions[1] else {
+            panic!()
+        };
         assert_eq!(
             m.members[0].ty,
             Type::Array(Box::new(Type::Array(Box::new(Type::Double), 3)), 2)
@@ -682,8 +688,14 @@ mod tests {
         let reparsed = parse(&printed).unwrap();
         assert_eq!(crate::ast::pretty(&reparsed), printed);
         // sema rejects unknown raises and exceptions as data types
-        assert!(crate::sema::check(&parse("interface I { void f() raises (Ghost); };").unwrap()).is_err());
-        assert!(crate::sema::check(&parse("exception E { long x; }; struct S { E e; };").unwrap()).is_err());
+        assert!(
+            crate::sema::check(&parse("interface I { void f() raises (Ghost); };").unwrap())
+                .is_err()
+        );
+        assert!(
+            crate::sema::check(&parse("exception E { long x; }; struct S { E e; };").unwrap())
+                .is_err()
+        );
         // generated code has the helpers
         let rust = crate::codegen::generate(&spec);
         assert!(rust.contains("pub struct Oops"));
@@ -694,10 +706,8 @@ mod tests {
 
     #[test]
     fn attributes_desugar_to_accessors() {
-        let spec = parse(
-            "interface I { readonly attribute long count; attribute string label; };",
-        )
-        .unwrap();
+        let spec = parse("interface I { readonly attribute long count; attribute string label; };")
+            .unwrap();
         let Definition::Interface(i) = &spec.definitions[0] else {
             panic!()
         };

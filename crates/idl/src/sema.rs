@@ -30,10 +30,7 @@ pub fn check(spec: &Spec) -> IdlResult<()> {
     Ok(())
 }
 
-fn collect(
-    defs: &[Definition],
-    table: &mut HashMap<String, (Kind, Pos)>,
-) -> IdlResult<()> {
+fn collect(defs: &[Definition], table: &mut HashMap<String, (Kind, Pos)>) -> IdlResult<()> {
     for d in defs {
         let kind = match d {
             Definition::Module(_) => Kind::Module,
@@ -60,11 +57,7 @@ fn collect(
     Ok(())
 }
 
-fn type_ok(
-    ty: &Type,
-    pos: Pos,
-    table: &HashMap<String, (Kind, Pos)>,
-) -> IdlResult<()> {
+fn type_ok(ty: &Type, pos: Pos, table: &HashMap<String, (Kind, Pos)>) -> IdlResult<()> {
     match ty {
         Type::Named(n) => match table.get(n) {
             Some((Kind::Struct | Kind::Enum | Kind::Typedef, _)) => Ok(()),
@@ -80,10 +73,9 @@ fn type_ok(
                 pos,
                 format!("constant `{n}` cannot be used as a type"),
             )),
-            Some((Kind::Module, _)) | None => Err(IdlError::new(
-                pos,
-                format!("unknown type `{n}`"),
-            )),
+            Some((Kind::Module, _)) | None => {
+                Err(IdlError::new(pos, format!("unknown type `{n}`")))
+            }
         },
         Type::Sequence(el) => {
             if matches!(**el, Type::Void) {
@@ -96,17 +88,17 @@ fn type_ok(
     }
 }
 
-fn validate(
-    defs: &[Definition],
-    table: &HashMap<String, (Kind, Pos)>,
-) -> IdlResult<()> {
+fn validate(defs: &[Definition], table: &HashMap<String, (Kind, Pos)>) -> IdlResult<()> {
     for d in defs {
         match d {
             Definition::Module(m) => validate(&m.definitions, table)?,
             Definition::Struct(s) => {
                 let mut seen = HashSet::new();
                 if s.members.is_empty() {
-                    return Err(IdlError::new(s.pos, format!("struct `{}` has no members", s.name)));
+                    return Err(IdlError::new(
+                        s.pos,
+                        format!("struct `{}` has no members", s.name),
+                    ));
                 }
                 for m in &s.members {
                     if !seen.insert(m.name.as_str()) {
@@ -120,7 +112,10 @@ fn validate(
             }
             Definition::Enum(e) => {
                 if e.variants.is_empty() {
-                    return Err(IdlError::new(e.pos, format!("enum `{}` has no enumerators", e.name)));
+                    return Err(IdlError::new(
+                        e.pos,
+                        format!("enum `{}` has no enumerators", e.name),
+                    ));
                 }
                 let mut seen = HashSet::new();
                 for v in &e.variants {
@@ -137,8 +132,13 @@ fn validate(
                 let ok = matches!(
                     (&c.ty, &c.value),
                     (
-                        Type::Short | Type::UShort | Type::Long | Type::ULong
-                            | Type::LongLong | Type::ULongLong | Type::Octet,
+                        Type::Short
+                            | Type::UShort
+                            | Type::Long
+                            | Type::ULong
+                            | Type::LongLong
+                            | Type::ULongLong
+                            | Type::Octet,
                         ConstValue::Int(_)
                     ) | (Type::String_, ConstValue::Str(_))
                         | (Type::Boolean, ConstValue::Bool(_))
@@ -191,18 +191,17 @@ fn validate(
                     if !ops.insert(op.name.as_str()) {
                         return Err(IdlError::new(
                             op.pos,
-                            format!("duplicate operation `{}` in interface `{}`", op.name, i.name),
+                            format!(
+                                "duplicate operation `{}` in interface `{}`",
+                                op.name, i.name
+                            ),
                         ));
                     }
                     if op.ret != Type::Void {
                         type_ok(&op.ret, op.pos, table)?;
                     }
                     if op.oneway {
-                        if let Some(p) = op
-                            .params
-                            .iter()
-                            .find(|p| !matches!(p.dir, ParamDir::In))
-                        {
+                        if let Some(p) = op.params.iter().find(|p| !matches!(p.dir, ParamDir::In)) {
                             return Err(IdlError::new(
                                 op.pos,
                                 format!(
@@ -329,7 +328,10 @@ mod tests {
 
     #[test]
     fn duplicate_definitions_rejected() {
-        fails("struct S { long a; }; struct S { long b; };", "already defined");
+        fails(
+            "struct S { long a; }; struct S { long b; };",
+            "already defined",
+        );
         fails(
             "module a { struct S { long x; }; }; module b { enum S { A }; };",
             "already defined",
@@ -355,8 +357,14 @@ mod tests {
     fn duplicate_members_and_params() {
         fails("struct S { long a; long a; };", "duplicate member");
         fails("enum E { A, A };", "duplicate enumerator");
-        fails("interface I { void f(); void f(); };", "duplicate operation");
-        fails("interface I { void f(in long x, in long x); };", "duplicate parameter");
+        fails(
+            "interface I { void f(); void f(); };",
+            "duplicate operation",
+        );
+        fails(
+            "interface I { void f(in long x, in long x); };",
+            "duplicate parameter",
+        );
     }
 
     #[test]

@@ -4,8 +4,10 @@
 
 use proptest::prelude::*;
 
-use zc_idl::ast::{pretty, Definition, EnumDef, Interface, Member, Operation, Param, ParamDir,
-    Spec, StructDef, Type, Typedef};
+use zc_idl::ast::{
+    pretty, Definition, EnumDef, Interface, Member, Operation, Param, ParamDir, Spec, StructDef,
+    Type, Typedef,
+};
 use zc_idl::{parse, Pos};
 
 fn ident() -> impl Strategy<Value = String> {
@@ -53,8 +55,7 @@ fn member() -> impl Strategy<Value = Member> {
 }
 
 fn unique_names(n: usize) -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::hash_set(ident(), 1..=n)
-        .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+    proptest::collection::hash_set(ident(), 1..=n).prop_map(|s| s.into_iter().collect::<Vec<_>>())
 }
 
 fn struct_def() -> impl Strategy<Value = StructDef> {
@@ -108,9 +109,8 @@ fn operation() -> impl Strategy<Value = Operation> {
                 p.name = format!("{}_{i}", p.name);
             }
             // oneway is only legal for void + in-only
-            let oneway = oneway_wanted
-                && ret == Type::Void
-                && params.iter().all(|p| p.dir == ParamDir::In);
+            let oneway =
+                oneway_wanted && ret == Type::Void && params.iter().all(|p| p.dir == ParamDir::In);
             Operation {
                 name,
                 ret,

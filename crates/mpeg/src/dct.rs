@@ -117,9 +117,9 @@ pub fn dequantize(coeffs: &[i16; N * N], q: u16) -> Block {
 /// The zigzag scan order (low frequencies first, so runs of zeros cluster
 /// at the end for the run-length coder).
 pub const ZIGZAG: [usize; N * N] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Reorder coefficients into zigzag order.
@@ -157,7 +157,12 @@ mod tests {
         let b = sample_block();
         let back = idct(&fdct(&b));
         for i in 0..64 {
-            assert!((b[i] - back[i]).abs() < 0.01, "i={i}: {} vs {}", b[i], back[i]);
+            assert!(
+                (b[i] - back[i]).abs() < 0.01,
+                "i={i}: {} vs {}",
+                b[i],
+                back[i]
+            );
         }
     }
 
@@ -207,7 +212,10 @@ mod tests {
         for q in [4u16, 16, 31] {
             let deq = dequantize(&quantize(&t, q), q);
             let back = idct(&deq);
-            let max_step = INTRA_QUANT.iter().map(|&s| s as f32 * q as f32 / 16.0).fold(0.0f32, f32::max);
+            let max_step = INTRA_QUANT
+                .iter()
+                .map(|&s| s as f32 * q as f32 / 16.0)
+                .fold(0.0f32, f32::max);
             for i in 0..64 {
                 assert!(
                     (b[i] - back[i]).abs() <= max_step,

@@ -142,8 +142,20 @@ pub fn encode_frame(frame: &Frame, cfg: &EncoderConfig) -> Vec<u8> {
     put_u16(&mut out, cfg.quality);
     out.extend_from_slice(&frame.pts.to_le_bytes());
     encode_plane(frame.y(), fmt.width, fmt.height, cfg.quality, &mut out);
-    encode_plane(frame.u(), fmt.width / 2, fmt.height / 2, cfg.quality, &mut out);
-    encode_plane(frame.v(), fmt.width / 2, fmt.height / 2, cfg.quality, &mut out);
+    encode_plane(
+        frame.u(),
+        fmt.width / 2,
+        fmt.height / 2,
+        cfg.quality,
+        &mut out,
+    );
+    encode_plane(
+        frame.v(),
+        fmt.width / 2,
+        fmt.height / 2,
+        cfg.quality,
+        &mut out,
+    );
     out
 }
 

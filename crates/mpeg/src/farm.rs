@@ -118,11 +118,8 @@ impl Servant for EncoderWorker {
                 let h: u32 = req.arg()?;
                 let pts: u64 = req.arg()?;
                 let raw: ZcOctetSeq = req.arg()?;
-                let bits = self.encode(
-                    VideoFormat::new(w as usize, h as usize),
-                    pts,
-                    raw.into_zc(),
-                );
+                let bits =
+                    self.encode(VideoFormat::new(w as usize, h as usize), pts, raw.into_zc());
                 // The bitstream is fresh data created here; wrap it into an
                 // aligned block so the reply rides the deposit path too.
                 let mut buf = zc_buffers::AlignedBuf::with_capacity(bits.len());
@@ -161,8 +158,7 @@ impl Servant for EncoderWorker {
                 let base_pts: u64 = req.arg()?;
                 let frames: Vec<ZcOctetSeq> = req.arg()?;
                 let fmt = VideoFormat::new(w as usize, h as usize);
-                let mut gop_enc =
-                    crate::gop::GopEncoder::new(self.cfg, frames.len().max(1));
+                let mut gop_enc = crate::gop::GopEncoder::new(self.cfg, frames.len().max(1));
                 let mut streams: Vec<OctetSeq> = Vec::with_capacity(frames.len());
                 for (i, raw) in frames.into_iter().enumerate() {
                     let frame = Frame::new(fmt, base_pts + i as u64 * 3600, raw.into_zc());
@@ -429,10 +425,7 @@ mod tests {
         assert_eq!(out.frames, p.frames);
         assert!(out.fps > 0.0);
         assert!(out.bytes_out > 0);
-        assert_eq!(
-            out.bytes_in,
-            (p.frames * p.format.frame_bytes()) as u64
-        );
+        assert_eq!(out.bytes_in, (p.frames * p.format.frame_bytes()) as u64);
     }
 
     #[test]

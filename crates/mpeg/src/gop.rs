@@ -178,7 +178,14 @@ pub fn encode_frame_p(cur: &Frame, prev: &Frame, cfg: &EncoderConfig) -> (Vec<u8
     out.extend_from_slice(&cfg.quality.to_le_bytes());
     out.extend_from_slice(&cur.pts.to_le_bytes());
     let mut skipped = 0;
-    skipped += encode_plane_p(cur.y(), prev.y(), fmt.width, fmt.height, cfg.quality, &mut out);
+    skipped += encode_plane_p(
+        cur.y(),
+        prev.y(),
+        fmt.width,
+        fmt.height,
+        cfg.quality,
+        &mut out,
+    );
     skipped += encode_plane_p(
         cur.u(),
         prev.u(),
@@ -220,7 +227,15 @@ pub fn decode_frame_p(bitstream: &[u8], prev: &Frame) -> Option<Frame> {
         let data = buf.as_mut_slice();
         let (y, chroma) = data.split_at_mut(fmt.y_bytes());
         let (u, v) = chroma.split_at_mut(fmt.c_bytes());
-        decode_plane_p(bitstream, &mut pos, fmt.width, fmt.height, quality, prev.y(), y)?;
+        decode_plane_p(
+            bitstream,
+            &mut pos,
+            fmt.width,
+            fmt.height,
+            quality,
+            prev.y(),
+            y,
+        )?;
         decode_plane_p(
             bitstream,
             &mut pos,
@@ -345,11 +360,13 @@ mod tests {
         let (p_bits, skipped) = encode_frame_p(&recon, &recon, &cfg);
         let total_blocks = {
             let fmt = f.format;
-            (fmt.width / 8) * (fmt.height / 8)
-                + 2 * (fmt.width / 16) * (fmt.height / 16)
+            (fmt.width / 8) * (fmt.height / 8) + 2 * (fmt.width / 16) * (fmt.height / 16)
         };
         assert_eq!(skipped, total_blocks, "every block skipped");
-        assert!(p_bits.len() < total_blocks + 64, "one marker byte per block");
+        assert!(
+            p_bits.len() < total_blocks + 64,
+            "one marker byte per block"
+        );
         // and the P frame of real motion is bigger but still beats intra
         let f_next = src().frame_at(4);
         let (p_motion, _) = encode_frame_p(&f_next, &recon, &cfg);

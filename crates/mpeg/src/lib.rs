@@ -26,12 +26,12 @@
 pub mod dct;
 pub mod encoder;
 pub mod farm;
-pub mod gop;
 pub mod frame;
+pub mod gop;
 pub mod source;
 
 pub use encoder::{decode_frame, encode_frame, EncoderConfig};
 pub use farm::{FarmOutcome, FarmParams, PayloadMode, TranscodeFarm};
-pub use gop::{decode_frame_p, encode_frame_p, FrameType, GopDecoder, GopEncoder};
 pub use frame::{Frame, VideoFormat};
+pub use gop::{decode_frame_p, encode_frame_p, FrameType, GopDecoder, GopEncoder};
 pub use source::FrameSource;

@@ -51,7 +51,9 @@ impl FrameSource {
                 let base = row * fmt.width;
                 for col in 0..fmt.width {
                     let grad = ((row + col + phase) & 0xFF) as u8;
-                    let grid = if (col + phase).is_multiple_of(16) || (row + phase / 2).is_multiple_of(16) {
+                    let grid = if (col + phase).is_multiple_of(16)
+                        || (row + phase / 2).is_multiple_of(16)
+                    {
                         200
                     } else {
                         0

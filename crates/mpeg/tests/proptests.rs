@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use zc_mpeg::{
-    decode_frame, encode_frame, encode_frame_p, EncoderConfig, FrameSource, GopDecoder,
-    GopEncoder, VideoFormat,
+    decode_frame, encode_frame, encode_frame_p, EncoderConfig, FrameSource, GopDecoder, GopEncoder,
+    VideoFormat,
 };
 
 fn tiny_source(seed: u64) -> FrameSource {

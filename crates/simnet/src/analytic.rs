@@ -177,7 +177,11 @@ mod tests {
     #[test]
     fn zero_copy_orb_has_no_per_byte_orb_cost() {
         let std = block_costs(&testbed(SocketMode::ZeroCopy, OrbMode::Standard, 1 << 20));
-        let zc = block_costs(&testbed(SocketMode::ZeroCopy, OrbMode::ZeroCopyOrb, 1 << 20));
+        let zc = block_costs(&testbed(
+            SocketMode::ZeroCopy,
+            OrbMode::ZeroCopyOrb,
+            1 << 20,
+        ));
         assert!(zc.recv_cpu_per_byte < std.recv_cpu_per_byte / 5.0);
         assert_eq!(zc.rpc_fixed, std.rpc_fixed, "RPC semantics unchanged");
     }
@@ -212,9 +216,15 @@ mod tests {
     fn utilization_bounded_and_sensible() {
         let (s, r) = cpu_utilization(&testbed(SocketMode::Copying, OrbMode::None, 16 << 20));
         assert!((0.0..=1.0).contains(&s));
-        assert!((0.99..=1.0).contains(&r), "copying receiver is the bottleneck: {r}");
+        assert!(
+            (0.99..=1.0).contains(&r),
+            "copying receiver is the bottleneck: {r}"
+        );
         let (s2, r2) = cpu_utilization(&testbed(SocketMode::ZeroCopy, OrbMode::None, 16 << 20));
         assert!(s2 < s);
-        assert!(r2 >= 0.9, "P-II is still CPU-bound even with zero copies: {r2}");
+        assert!(
+            r2 >= 0.9,
+            "P-II is still CPU-bound even with zero copies: {r2}"
+        );
     }
 }

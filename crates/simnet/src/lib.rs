@@ -119,19 +119,28 @@ mod calibration_tests {
     #[test]
     fn anchor_raw_tcp_copying() {
         let v = mbit(SocketMode::Copying, OrbMode::None, BIG);
-        assert!((280.0..=380.0).contains(&v), "raw/tcp = {v} Mbit/s, paper ≈ 330");
+        assert!(
+            (280.0..=380.0).contains(&v),
+            "raw/tcp = {v} Mbit/s, paper ≈ 330"
+        );
     }
 
     #[test]
     fn anchor_standard_corba() {
         let v = mbit(SocketMode::Copying, OrbMode::Standard, BIG);
-        assert!((38.0..=62.0).contains(&v), "orb-std/tcp = {v} Mbit/s, paper ≈ 50");
+        assert!(
+            (38.0..=62.0).contains(&v),
+            "orb-std/tcp = {v} Mbit/s, paper ≈ 50"
+        );
     }
 
     #[test]
     fn anchor_all_zero_copy() {
         let v = mbit(SocketMode::ZeroCopy, OrbMode::ZeroCopyOrb, BIG);
-        assert!((480.0..=640.0).contains(&v), "orb-zc/zc-tcp = {v} Mbit/s, paper ≈ 550");
+        assert!(
+            (480.0..=640.0).contains(&v),
+            "orb-zc/zc-tcp = {v} Mbit/s, paper ≈ 550"
+        );
     }
 
     #[test]

@@ -139,11 +139,13 @@ impl SimNetwork {
         {
             let mut map = self.inner.listeners.lock();
             if map.contains_key(&port) {
+                // zc-audit: allow(control-plane) — endpoint name for the error
                 return Err(TransportError::AddrInUse(format!("sim:{port}")));
             }
             map.insert(port, tx);
         }
         Ok(SimListener {
+            // zc-audit: allow(cheap-clone) — SimNet is an Arc handle over shared state
             network: self.clone(),
             port,
             rx,
@@ -157,6 +159,7 @@ impl SimNetwork {
             let map = self.inner.listeners.lock();
             map.get(&port).cloned()
         }
+        // zc-audit: allow(control-plane) — endpoint name for the error
         .ok_or_else(|| TransportError::ConnectionRefused(format!("sim:{port}")))?;
 
         let conn_id = self.inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
@@ -166,6 +169,7 @@ impl SimNetwork {
         let (s2c_tx, s2c_rx) = unbounded::<Frame>();
 
         let client = SimConn::new(
+            // zc-audit: allow(control-plane) — peer name, built once per connection
             format!("sim:{port}#c{conn_id}"),
             cfg,
             ctx,
@@ -177,6 +181,7 @@ impl SimNetwork {
         // placeholder ctx here would double-count, so the listener injects
         // its own ctx into the pending half.
         let server_half = PendingHalf {
+            // zc-audit: allow(control-plane) — peer name, built once per connection
             peer: format!("sim:{port}#s{conn_id}"),
             cfg,
             tx: s2c_tx,
@@ -184,7 +189,11 @@ impl SimNetwork {
             seed_salt: conn_id * 2 + 1,
         };
         listener_tx
-            .send(Box::new(SimConn::from_half(server_half, TransportCtx::new())))
+            .send(Box::new(SimConn::from_half(
+                server_half,
+                TransportCtx::new(),
+            )))
+            // zc-audit: allow(control-plane) — endpoint name for the error
             .map_err(|_| TransportError::ConnectionRefused(format!("sim:{port}")))?;
         // NOTE: from_half above installs a throwaway ctx; the listener
         // replaces it in accept(). See SimListener::accept.
@@ -228,6 +237,7 @@ impl Acceptor for SimListener {
         let mut conn = self.rx.recv().map_err(|_| TransportError::Closed)?;
         // Install the listener's context (meter + pool) into the accepted
         // half so server-side copies land on the server's meter.
+        // zc-audit: allow(cheap-clone) — TransportCtx is a pair of Arc handles (meter + pool)
         conn.ctx = self.ctx.clone();
         Ok(conn)
     }
@@ -411,6 +421,7 @@ impl SimConn {
         while got < total {
             let f = self.next_frame(lane)?;
             if f.block_id != block_id {
+                // zc-audit: allow(control-plane) — protocol error diagnostic
                 return Err(TransportError::Protocol(format!(
                     "interleaved fragments: expected block {block_id}, got {}",
                     f.block_id
@@ -420,6 +431,7 @@ impl SimConn {
             frames.push(f);
         }
         if got != total {
+            // zc-audit: allow(control-plane) — protocol error diagnostic
             return Err(TransportError::Protocol(format!(
                 "fragment overrun: block {block_id} announced {total}, got {got}"
             )));
@@ -462,6 +474,7 @@ impl SimConn {
             let parts: Option<Vec<ZcBytes>> = frames
                 .iter()
                 .map(|f| match &f.payload {
+                    // zc-audit: allow(cheap-clone) — ZcBytes view into the frame, no payload bytes move
                     FramePayload::Referenced(z) => Some(z.clone()),
                     FramePayload::Copied(_) => None,
                 })
@@ -529,6 +542,7 @@ impl Connection for SimConn {
         let out = match self.cfg.mode {
             StackMode::Copying => {
                 let z = self.reassemble_copying(&frames)?;
+                // zc-audit: allow(copy) — copying stack hands the control path an owned buffer; accounted as SocketRecv
                 z.as_slice().to_vec()
             }
             StackMode::ZeroCopy => {
@@ -561,6 +575,7 @@ impl Connection for SimConn {
         let frames = self.recv_block_frames(Lane::Data)?;
         let total = frames[0].total_len as usize;
         if total != expected_len {
+            // zc-audit: allow(control-plane) — protocol error diagnostic
             return Err(TransportError::Protocol(format!(
                 "data block length {total} does not match announced {expected_len}"
             )));
@@ -583,6 +598,7 @@ impl Connection for SimConn {
     }
 
     fn peer(&self) -> String {
+        // zc-audit: allow(control-plane) — short peer-name string for diagnostics
         self.peer.clone()
     }
 
@@ -693,7 +709,11 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.spec_hits + st.spec_misses, rounds);
         // 0.5 ± generous tolerance for 200 deterministic-seed draws
-        assert!(st.spec_hits > 50 && st.spec_hits < 150, "hits={}", st.spec_hits);
+        assert!(
+            st.spec_hits > 50 && st.spec_hits < 150,
+            "hits={}",
+            st.spec_hits
+        );
     }
 
     #[test]
@@ -708,7 +728,10 @@ mod tests {
         let got = s.recv_data(PAGE_SIZE).unwrap();
         assert!(!got.ptr_eq(&whole), "misaligned deposit cannot share pages");
         assert_eq!(s.stats().spec_misses, 1);
-        assert_eq!(ctx.meter.bytes(CopyLayer::DepositFallback), PAGE_SIZE as u64);
+        assert_eq!(
+            ctx.meter.bytes(CopyLayer::DepositFallback),
+            PAGE_SIZE as u64
+        );
     }
 
     #[test]
@@ -725,10 +748,7 @@ mod tests {
     fn length_mismatch_is_protocol_error() {
         let (mut c, mut s, _ctx) = pair(SimConfig::copying());
         c.send_data(&ZcBytes::zeroed(100)).unwrap();
-        assert!(matches!(
-            s.recv_data(200),
-            Err(TransportError::Protocol(_))
-        ));
+        assert!(matches!(s.recv_data(200), Err(TransportError::Protocol(_))));
     }
 
     #[test]

@@ -61,7 +61,13 @@ impl std::fmt::Display for LatencyStats {
         write!(
             f,
             "n={} min {:.1} µs  p50 {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}  mean {:.1}",
-            self.rounds, self.min_us, self.p50_us, self.p90_us, self.p99_us, self.max_us, self.mean_us
+            self.rounds,
+            self.min_us,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.max_us,
+            self.mean_us
         )
     }
 }

@@ -186,7 +186,9 @@ fn run_measured_raw(params: &TtcpParams) -> MeasuredOutcome {
     let before = meter.snapshot();
     let start = Instant::now();
     for i in 0..n_blocks {
-        tx_conn.send_data(block_for(&blocks, i)).expect("send block");
+        tx_conn
+            .send_data(block_for(&blocks, i))
+            .expect("send block");
     }
     rx_handle.join().expect("receiver");
     let wall = start.elapsed();
@@ -271,7 +273,9 @@ fn run_measured_corba(params: &TtcpParams) -> MeasuredOutcome {
         }),
     );
     let server = server_orb.serve(0).unwrap();
-    let ior = server.ior_for("ttcp-sink", "IDL:zcorba/TtcpSink:1.0").unwrap();
+    let ior = server
+        .ior_for("ttcp-sink", "IDL:zcorba/TtcpSink:1.0")
+        .unwrap();
     let obj = client_orb.resolve(&ior).unwrap();
 
     let blocks = make_blocks(params, &meter);

@@ -54,7 +54,11 @@ fn run(label: &str, cfg: SimConfig, zc: bool) {
             .register(&format!("node-{n}"), Arc::new(StorageNode));
     }
     let server = server_orb.serve(0).unwrap();
-    let client_orb = Orb::builder().sim(net).zc(zc).meter(Arc::clone(&meter)).build();
+    let client_orb = Orb::builder()
+        .sim(net)
+        .zc(zc)
+        .meter(Arc::clone(&meter))
+        .build();
 
     // the dataset: one aligned chunk reused per request (TTCP-style)
     let mut buf = AlignedBuf::zeroed(CHUNK);

@@ -74,7 +74,11 @@ fn exercise(label: &str, client_orb: &Orb, ior_string: &str) {
 
     println!(
         "{label:<46} fma ✓  blob ✓   zero-copy deposits: {}",
-        if obj.is_zero_copy() { "ON" } else { "off (fell back to marshaled IIOP)" }
+        if obj.is_zero_copy() {
+            "ON"
+        } else {
+            "off (fell back to marshaled IIOP)"
+        }
     );
 }
 

@@ -89,7 +89,11 @@ fn main() {
         *b = ((i / 4096) % 7) as u8; // page-striped values 0..6
     }
     let data = ZcBytes::from_aligned(buf);
-    println!("scattering {} MiB to {} workers:", data.len() >> 20, group.len());
+    println!(
+        "scattering {} MiB to {} workers:",
+        data.len() >> 20,
+        group.len()
+    );
     let partials: Vec<Vec<u64>> = group.scatter("histogram", &data).expect("scatter");
 
     // reduce on the master

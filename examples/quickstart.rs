@@ -71,7 +71,10 @@ fn main() {
     let ior = server
         .ior_for("store", "IDL:quickstart/BlobStore:1.0")
         .expect("ior");
-    println!("server up; stringified object reference:\n  {}\n", ior.to_ior_string());
+    println!(
+        "server up; stringified object reference:\n  {}\n",
+        ior.to_ior_string()
+    );
 
     // --- client side ---
     let client_orb = Orb::builder().sim(net).meter(Arc::clone(&meter)).build();

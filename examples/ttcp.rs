@@ -46,7 +46,11 @@ fn main() {
 
     match args.first().map(String::as_str) {
         Some("all") | None => {
-            println!("ttcp: {} MiB in {} KiB blocks, all versions\n", total >> 20, block >> 10);
+            println!(
+                "ttcp: {} MiB in {} KiB blocks, all versions\n",
+                total >> 20,
+                block >> 10
+            );
             for v in [
                 TtcpVersion::RawTcp,
                 TtcpVersion::ZcTcp,

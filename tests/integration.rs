@@ -34,7 +34,10 @@ impl Servant for Echo {
 fn sixteen_megabyte_transfer_is_strictly_zero_copy() {
     let meter = CopyMeter::new_shared();
     let net = SimNetwork::new(SimConfig::zero_copy());
-    let server_orb = Orb::builder().sim(net.clone()).meter(Arc::clone(&meter)).build();
+    let server_orb = Orb::builder()
+        .sim(net.clone())
+        .meter(Arc::clone(&meter))
+        .build();
     server_orb.adapter().register("echo", Arc::new(Echo));
     let server = server_orb.serve(0).unwrap();
     let client = Orb::builder().sim(net).meter(Arc::clone(&meter)).build();
@@ -77,7 +80,10 @@ fn sixteen_megabyte_transfer_is_strictly_zero_copy() {
 fn conventional_path_copy_count_is_six_per_direction() {
     let meter = CopyMeter::new_shared();
     let net = SimNetwork::new(SimConfig::copying());
-    let server_orb = Orb::builder().sim(net.clone()).meter(Arc::clone(&meter)).build();
+    let server_orb = Orb::builder()
+        .sim(net.clone())
+        .meter(Arc::clone(&meter))
+        .build();
     server_orb.adapter().register("echo", Arc::new(Echo));
     let server = server_orb.serve(0).unwrap();
     let client = Orb::builder().sim(net).meter(Arc::clone(&meter)).build();
@@ -216,9 +222,7 @@ fn server_death_is_a_clean_client_error() {
     let fresh = Orb::builder()
         .sim(SimNetwork::new(SimConfig::copying()))
         .build();
-    assert!(fresh
-        .resolve_str("IOR:deadbeef")
-        .is_err());
+    assert!(fresh.resolve_str("IOR:deadbeef").is_err());
 }
 
 /// ZcBytes payloads assembled from pool buffers survive end-to-end and

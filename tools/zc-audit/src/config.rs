@@ -1,0 +1,313 @@
+//! Typed view of `zc-audit.toml`.
+
+use crate::toml::{self, Table, Value};
+use std::fmt;
+use std::path::Path;
+
+/// A copy idiom the copy-path rule can flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Idiom {
+    /// `.to_vec()`
+    ToVec,
+    /// `.to_owned()`
+    ToOwned,
+    /// `.clone()` — except `Arc::clone(..)` / `Rc::clone(..)`, which are
+    /// refcount bumps by construction and never flagged.
+    Clone,
+    /// `copy_from_slice(..)` (method or `slice::` form)
+    CopyFromSlice,
+    /// `.extend_from_slice(..)`
+    ExtendFromSlice,
+    /// `Vec::from(..)`
+    VecFrom,
+    /// `ptr::copy` / `ptr::copy_nonoverlapping` / bare `copy_nonoverlapping`
+    PtrCopy,
+    /// `format!(..)` (allocates + copies into a fresh String)
+    Format,
+    /// `.to_string()` / `.into_bytes()` style stringification
+    ToString,
+}
+
+impl Idiom {
+    pub fn parse(s: &str) -> Option<Idiom> {
+        Some(match s {
+            "to_vec" => Idiom::ToVec,
+            "to_owned" => Idiom::ToOwned,
+            "clone" => Idiom::Clone,
+            "copy_from_slice" => Idiom::CopyFromSlice,
+            "extend_from_slice" => Idiom::ExtendFromSlice,
+            "vec_from" => Idiom::VecFrom,
+            "ptr_copy" => Idiom::PtrCopy,
+            "format" => Idiom::Format,
+            "to_string" => Idiom::ToString,
+            _ => return None,
+        })
+    }
+
+    /// Human name used in diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Idiom::ToVec => ".to_vec()",
+            Idiom::ToOwned => ".to_owned()",
+            Idiom::Clone => ".clone()",
+            Idiom::CopyFromSlice => "copy_from_slice()",
+            Idiom::ExtendFromSlice => "extend_from_slice()",
+            Idiom::VecFrom => "Vec::from()",
+            Idiom::PtrCopy => "ptr::copy*()",
+            Idiom::Format => "format!()",
+            Idiom::ToString => ".to_string()",
+        }
+    }
+}
+
+/// One declared zero-copy module: a set of files plus the idioms banned
+/// within them.
+#[derive(Debug, Clone)]
+pub struct CopyPathModule {
+    pub name: String,
+    pub paths: Vec<String>,
+    pub idioms: Vec<Idiom>,
+}
+
+/// Unsafe-audit rule configuration.
+#[derive(Debug, Clone, Default)]
+pub struct UnsafeAudit {
+    /// Files (or directory prefixes ending in `/`) whose `unsafe` tokens
+    /// each require a `// SAFETY:` comment.
+    pub paths: Vec<String>,
+    /// Crate roots that must declare `#![deny(unsafe_op_in_unsafe_fn)]`.
+    pub deny_unsafe_op_roots: Vec<String>,
+}
+
+/// Meter-coverage rule configuration.
+#[derive(Debug, Clone, Default)]
+pub struct MeterCoverage {
+    /// Files (or directory prefixes) where raw byte-copy primitives must sit
+    /// in a function that also touches the copy meter.
+    pub paths: Vec<String>,
+    /// Identifiers whose presence in the enclosing function counts as
+    /// metering (e.g. `meter`, `CopyMeter`, `record`).
+    pub markers: Vec<String>,
+}
+
+/// Full auditor configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path prefixes skipped entirely (relative to workspace root).
+    pub exclude: Vec<String>,
+    /// Valid `CopyLayer` names an `allow(copy)` waiver may cite.
+    pub copy_layers: Vec<String>,
+    pub modules: Vec<CopyPathModule>,
+    pub unsafe_audit: UnsafeAudit,
+    pub meter: MeterCoverage,
+}
+
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zc-audit.toml: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<toml::TomlError> for ConfigError {
+    fn from(e: toml::TomlError) -> Self {
+        ConfigError(e.to_string())
+    }
+}
+
+fn bad(msg: impl Into<String>) -> ConfigError {
+    ConfigError(msg.into())
+}
+
+fn str_array(t: &Table, key: &str, ctx: &str) -> Result<Vec<String>, ConfigError> {
+    match t.get(key) {
+        Some(v) => v
+            .as_str_array()
+            .ok_or_else(|| bad(format!("{ctx}: `{key}` must be an array of strings"))),
+        None => Err(bad(format!("{ctx}: missing `{key}`"))),
+    }
+}
+
+fn opt_str_array(t: &Table, key: &str, ctx: &str) -> Result<Vec<String>, ConfigError> {
+    match t.get(key) {
+        Some(v) => v
+            .as_str_array()
+            .ok_or_else(|| bad(format!("{ctx}: `{key}` must be an array of strings"))),
+        None => Ok(Vec::new()),
+    }
+}
+
+impl Config {
+    pub fn parse(src: &str) -> Result<Config, ConfigError> {
+        let root = toml::parse(src)?;
+
+        let exclude = match root.get("audit") {
+            Some(v) => {
+                let t = v.as_table().ok_or_else(|| bad("`audit` must be a table"))?;
+                opt_str_array(t, "exclude", "[audit]")?
+            }
+            None => Vec::new(),
+        };
+        let copy_layers = match root.get("audit") {
+            Some(Value::Table(t)) => str_array(t, "copy_layers", "[audit]")?,
+            _ => return Err(bad("missing `[audit]` table with `copy_layers`")),
+        };
+
+        let mut modules = Vec::new();
+        if let Some(cp) = root.get("copy_path") {
+            let cp = cp
+                .as_table()
+                .ok_or_else(|| bad("`copy_path` must be a table"))?;
+            let list = cp
+                .get("module")
+                .and_then(Value::as_table_array)
+                .ok_or_else(|| bad("`[[copy_path.module]]` entries required"))?;
+            for (i, m) in list.iter().enumerate() {
+                let ctx = format!("[[copy_path.module]] #{}", i + 1);
+                let name = m
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| bad(format!("{ctx}: missing `name`")))?
+                    .to_string();
+                let paths = str_array(m, "paths", &ctx)?;
+                let idioms = str_array(m, "idioms", &ctx)?
+                    .iter()
+                    .map(|s| {
+                        Idiom::parse(s).ok_or_else(|| bad(format!("{ctx}: unknown idiom `{s}`")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                modules.push(CopyPathModule {
+                    name,
+                    paths,
+                    idioms,
+                });
+            }
+        }
+
+        let unsafe_audit = match root.get("unsafe_audit") {
+            Some(v) => {
+                let t = v
+                    .as_table()
+                    .ok_or_else(|| bad("`unsafe_audit` must be a table"))?;
+                UnsafeAudit {
+                    paths: str_array(t, "paths", "[unsafe_audit]")?,
+                    deny_unsafe_op_roots: opt_str_array(
+                        t,
+                        "deny_unsafe_op_roots",
+                        "[unsafe_audit]",
+                    )?,
+                }
+            }
+            None => UnsafeAudit::default(),
+        };
+
+        let meter = match root.get("meter_coverage") {
+            Some(v) => {
+                let t = v
+                    .as_table()
+                    .ok_or_else(|| bad("`meter_coverage` must be a table"))?;
+                MeterCoverage {
+                    paths: str_array(t, "paths", "[meter_coverage]")?,
+                    markers: str_array(t, "markers", "[meter_coverage]")?,
+                }
+            }
+            None => MeterCoverage::default(),
+        };
+
+        Ok(Config {
+            exclude,
+            copy_layers,
+            modules,
+            unsafe_audit,
+            meter,
+        })
+    }
+
+    pub fn load(path: &Path) -> Result<Config, ConfigError> {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| bad(format!("cannot read {}: {e}", path.display())))?;
+        Config::parse(&src)
+    }
+}
+
+/// Does `rel` (forward-slash relative path) match `pattern`? A pattern
+/// ending in `/` is a directory prefix; anything else is an exact file path.
+pub fn path_matches(rel: &str, pattern: &str) -> bool {
+    if let Some(prefix) = pattern.strip_suffix('/') {
+        rel.strip_prefix(prefix)
+            .is_some_and(|rest| rest.starts_with('/'))
+            || rel.starts_with(pattern)
+    } else {
+        rel == pattern
+    }
+}
+
+/// Does `rel` match any of `patterns`?
+pub fn path_matches_any(rel: &str, patterns: &[String]) -> bool {
+    patterns.iter().any(|p| path_matches(rel, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[audit]
+exclude = ["tools/zc-audit/tests/fixtures/"]
+copy_layers = ["AppFill", "Marshal", "Demarshal"]
+
+[[copy_path.module]]
+name = "buffers-zbytes"
+paths = ["crates/buffers/src/zbytes.rs"]
+idioms = ["to_vec", "clone", "copy_from_slice"]
+
+[unsafe_audit]
+paths = ["crates/buffers/src/"]
+deny_unsafe_op_roots = ["crates/buffers/src/lib.rs"]
+
+[meter_coverage]
+paths = ["crates/buffers/src/aligned.rs"]
+markers = ["meter", "CopyMeter", "record"]
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let c = Config::parse(SAMPLE).unwrap();
+        assert_eq!(c.copy_layers.len(), 3);
+        assert_eq!(c.modules.len(), 1);
+        assert_eq!(c.modules[0].idioms.len(), 3);
+        assert_eq!(c.unsafe_audit.paths, vec!["crates/buffers/src/"]);
+        assert_eq!(c.meter.markers.len(), 3);
+    }
+
+    #[test]
+    fn unknown_idiom_rejected() {
+        let doc = SAMPLE.replace("\"to_vec\"", "\"memmove\"");
+        assert!(Config::parse(&doc).is_err());
+    }
+
+    #[test]
+    fn path_matching() {
+        assert!(path_matches(
+            "crates/buffers/src/zbytes.rs",
+            "crates/buffers/src/zbytes.rs"
+        ));
+        assert!(path_matches(
+            "crates/buffers/src/zbytes.rs",
+            "crates/buffers/src/"
+        ));
+        assert!(path_matches(
+            "crates/buffers/src/deep/x.rs",
+            "crates/buffers/src/"
+        ));
+        assert!(!path_matches("crates/buffers2/src/x.rs", "crates/buffers/"));
+        assert!(!path_matches(
+            "crates/buffers/src/zbytes.rs",
+            "crates/buffers/src/pool.rs"
+        ));
+    }
+}

@@ -1,0 +1,113 @@
+//! zc-audit — static auditor for this workspace's zero-copy invariants.
+//!
+//! The repo reproduces Kurmann & Stricker's zero-copy CORBA transport; its
+//! whole value is that payload bytes cross the stack without being copied.
+//! Nothing in the type system stops a convenient `.to_vec()` from quietly
+//! re-introducing a copy on the data path, so this tool enforces the
+//! discipline structurally. See `zc-audit.toml` for the rule configuration
+//! and `docs/zero-copy-invariants.md` for the underlying invariants.
+//!
+//! Run as `cargo run -p zc-audit` (non-zero exit on violations) or via the
+//! `workspace_is_clean` integration test.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod toml;
+
+pub use config::Config;
+pub use rules::{audit_file, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// Locate the workspace root: walk up from `start` until a directory
+/// containing `zc-audit.toml` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("zc-audit.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Recursively collect workspace-relative paths of `.rs` files under `root`,
+/// skipping VCS/build directories and configured excludes. Paths use `/`
+/// separators regardless of platform.
+pub fn collect_rs_files(root: &Path, exclude: &[String]) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let rel = relative_slash(root, &path);
+            if config::path_matches_any(&rel, exclude)
+                || exclude.iter().any(|e| e.trim_end_matches('/') == rel)
+            {
+                continue;
+            }
+            if path.is_dir() {
+                if name == ".git" || name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn relative_slash(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Audit the whole workspace rooted at `root` with `cfg`. Violations are
+/// sorted by file then line.
+pub fn audit_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for rel in collect_rs_files(root, &cfg.exclude)? {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        out.extend(audit_file(&rel, &src, cfg));
+    }
+    out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_from_manifest_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root with zc-audit.toml");
+        assert!(root.join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn collect_skips_excluded() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).unwrap();
+        let all = collect_rs_files(&root, &[]).unwrap();
+        let filtered =
+            collect_rs_files(&root, &["tools/zc-audit/tests/fixtures/".to_string()]).unwrap();
+        assert!(all.iter().any(|f| f.starts_with("crates/")));
+        assert!(filtered.len() <= all.len());
+        assert!(!filtered
+            .iter()
+            .any(|f| f.starts_with("tools/zc-audit/tests/fixtures/")));
+    }
+}

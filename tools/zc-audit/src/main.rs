@@ -1,0 +1,51 @@
+//! CLI entry point: audit the workspace, print violations, exit non-zero if
+//! any are found.
+//!
+//! Usage: `cargo run -p zc-audit [-- <root>]` — `<root>` defaults to the
+//! nearest ancestor directory containing `zc-audit.toml`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match zc_audit::find_root(&start) {
+                Some(root) => root,
+                None => {
+                    eprintln!("zc-audit: no zc-audit.toml found above {}", start.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let cfg = match zc_audit::Config::load(&root.join("zc-audit.toml")) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("zc-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let violations = match zc_audit::audit_workspace(&root, &cfg) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("zc-audit: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if violations.is_empty() {
+        println!("zc-audit: clean — zero-copy invariants hold");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("zc-audit: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

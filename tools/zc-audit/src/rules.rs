@@ -1,0 +1,710 @@
+//! The three audit rule families.
+//!
+//! 1. **copy-path** — inside declared zero-copy modules, byte-copying idioms
+//!    (`.to_vec()`, `.clone()`, `copy_from_slice`, `extend_from_slice`,
+//!    `Vec::from`, `ptr::copy*`, `format!`) are violations unless the site
+//!    carries a `// zc-audit: allow(...)` waiver. An `allow(copy)` waiver
+//!    must name the `CopyLayer` the copy is metered under; `allow(cheap-clone)`
+//!    marks O(1) refcount/handle clones; `allow(control-plane)` marks small
+//!    fixed-size header/diagnostic work that never touches payload bytes.
+//! 2. **unsafe-audit** — every `unsafe` token in the configured crates must
+//!    have a `// SAFETY:` comment on the same or one of the three preceding
+//!    lines, and configured crate roots must declare
+//!    `#![deny(unsafe_op_in_unsafe_fn)]`.
+//! 3. **meter-coverage** — raw byte-moving primitives (`ptr::copy*`,
+//!    `copy_from_slice`) in configured files must live in a function that
+//!    also touches the copy meter, or carry an `allow(copy)` waiver naming
+//!    the layer under which callers meter them.
+//!
+//! Test code is exempt from copy-path and meter-coverage (tests copy freely
+//! to build expectations): files under `tests/`, `benches/` or `examples/`
+//! and spans of `#[cfg(test)] mod … { … }` are skipped. The unsafe-audit
+//! rule applies everywhere — test `unsafe` needs justification too.
+
+use crate::config::{path_matches_any, Config, CopyPathModule, Idiom};
+use crate::lexer::{scan, Scanned, Tok, TokKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single finding, printable as `file:line: [rule] message`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Waiver kinds recognized in `// zc-audit: allow(<kind>) — <reason>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaiverKind {
+    /// A real payload copy; the reason must name a `CopyLayer`.
+    Copy,
+    /// An O(1) refcount/handle clone (no payload bytes move).
+    CheapClone,
+    /// Control-plane work: headers, errors, logs — bounded and payload-free.
+    ControlPlane,
+}
+
+#[derive(Debug, Clone)]
+struct Waiver {
+    kind: WaiverKind,
+    /// Line of the waiver comment; it covers this line and the next.
+    line: u32,
+    /// Set once a flagged idiom consumes the waiver (stale-waiver check).
+    used: std::cell::Cell<bool>,
+}
+
+/// Audit one file. `rel` is the workspace-relative path with `/` separators.
+pub fn audit_file(rel: &str, src: &str, cfg: &Config) -> Vec<Violation> {
+    let scanned = scan(src);
+    let mut out = Vec::new();
+
+    let in_test_tree = rel
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples" || seg == "fixtures");
+    let test_spans = cfg_test_mod_spans(&scanned.toks);
+    let in_test_code = |tok_idx: usize| {
+        in_test_tree
+            || test_spans
+                .iter()
+                .any(|&(a, b)| tok_idx >= a && tok_idx <= b)
+    };
+
+    let modules: Vec<&CopyPathModule> = cfg
+        .modules
+        .iter()
+        .filter(|m| path_matches_any(rel, &m.paths))
+        .collect();
+    let meter_applies = path_matches_any(rel, &cfg.meter.paths);
+
+    // Waivers only exist (and are only validated) where copy rules run;
+    // elsewhere, prose that happens to mention the syntax is just prose.
+    let waivers = if !modules.is_empty() || meter_applies {
+        collect_waivers(rel, &scanned, cfg, &mut out)
+    } else {
+        BTreeMap::new()
+    };
+    let safety_lines: Vec<u32> = scanned
+        .comments
+        .iter()
+        .filter(|c| c.text.contains("SAFETY:"))
+        .map(|c| c.line)
+        .collect();
+    if !modules.is_empty() {
+        copy_path_rule(
+            rel,
+            &scanned.toks,
+            &modules,
+            &waivers,
+            &in_test_code,
+            &mut out,
+        );
+    }
+
+    if path_matches_any(rel, &cfg.unsafe_audit.paths) {
+        unsafe_rule(rel, &scanned.toks, &safety_lines, &mut out);
+    }
+    if cfg
+        .unsafe_audit
+        .deny_unsafe_op_roots
+        .iter()
+        .any(|p| p == rel)
+        && !scanned
+            .toks
+            .iter()
+            .any(|t| t.text == "unsafe_op_in_unsafe_fn")
+    {
+        out.push(Violation {
+            file: rel.to_string(),
+            line: 1,
+            rule: "unsafe-audit",
+            msg: "crate root must declare #![deny(unsafe_op_in_unsafe_fn)]".into(),
+        });
+    }
+
+    if meter_applies {
+        meter_rule(rel, &scanned.toks, cfg, &waivers, &in_test_code, &mut out);
+    }
+
+    // Stale waivers: a waiver that no flagged site consumed is dead weight
+    // and hides future regressions. Only meaningful where rules ran.
+    if !modules.is_empty() || meter_applies {
+        for w in waivers.values() {
+            if !w.used.get() {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: w.line,
+                    rule: "copy-path",
+                    msg: "stale waiver: no audited copy idiom on this or the next line".into(),
+                });
+            }
+        }
+    }
+
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// Parse `// zc-audit: allow(<kind>) — <reason>` comments, validating them
+/// as they are collected. Returns waivers keyed by comment line.
+fn collect_waivers(
+    rel: &str,
+    scanned: &Scanned,
+    cfg: &Config,
+    out: &mut Vec<Violation>,
+) -> BTreeMap<u32, Waiver> {
+    let mut waivers = BTreeMap::new();
+    for c in &scanned.comments {
+        let Some(pos) = c.text.find("zc-audit:") else {
+            continue;
+        };
+        let body = c.text[pos + "zc-audit:".len()..].trim();
+        let mut push_err = |msg: String| {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: c.line,
+                rule: "copy-path",
+                msg,
+            })
+        };
+        let Some(rest) = body.strip_prefix("allow(") else {
+            push_err(format!("malformed zc-audit comment: `{body}`"));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            push_err("malformed waiver: missing `)`".into());
+            continue;
+        };
+        let kind_str = &rest[..close];
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '—', '-', ':'])
+            .trim();
+        let kind = match kind_str {
+            "copy" => WaiverKind::Copy,
+            "cheap-clone" => WaiverKind::CheapClone,
+            "control-plane" => WaiverKind::ControlPlane,
+            other => {
+                push_err(format!(
+                    "unknown waiver kind `{other}` (expected copy, cheap-clone or control-plane)"
+                ));
+                continue;
+            }
+        };
+        if reason.is_empty() {
+            push_err("waiver must carry a reason after the kind".into());
+            continue;
+        }
+        if kind == WaiverKind::Copy && !cfg.copy_layers.iter().any(|l| reason.contains(l.as_str()))
+        {
+            push_err(format!(
+                "allow(copy) waiver must name a CopyLayer ({})",
+                cfg.copy_layers.join(", ")
+            ));
+            continue;
+        }
+        waivers.insert(
+            c.line,
+            Waiver {
+                kind,
+                line: c.line,
+                used: std::cell::Cell::new(false),
+            },
+        );
+    }
+    waivers
+}
+
+/// Find the waiver covering `line` (trailing comment on the same line, or a
+/// comment on the line directly above) and mark it used.
+fn waiver_for(waivers: &BTreeMap<u32, Waiver>, line: u32) -> Option<WaiverKind> {
+    for l in [line, line.saturating_sub(1)] {
+        if let Some(w) = waivers.get(&l) {
+            w.used.set(true);
+            return Some(w.kind);
+        }
+    }
+    None
+}
+
+/// Token-index spans (inclusive) of `#[cfg(test)] mod … { … }` items.
+fn cfg_test_mod_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Match `# [ cfg ( … test … ) ]` …
+        if toks[i].text == "#"
+            && tok_is(toks, i + 1, "[")
+            && tok_is(toks, i + 2, "cfg")
+            && tok_is(toks, i + 3, "(")
+        {
+            let mut j = i + 4;
+            let mut depth = 1;
+            let mut saw_test = false;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "test" => saw_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // … followed by `]` and (possibly after more attributes) `mod`.
+            if saw_test && tok_is(toks, j, "]") {
+                let mut k = j + 1;
+                while tok_is(toks, k, "#") {
+                    k = skip_attr(toks, k);
+                }
+                if tok_is(toks, k, "mod") {
+                    if let Some((_open, close)) = brace_span(toks, k) {
+                        spans.push((i, close));
+                        i = close + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+fn tok_is(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.text == text)
+}
+
+/// Given `i` at a `#`, return the index just past the closing `]`.
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1;
+    if !tok_is(toks, j, "[") {
+        return i + 1;
+    }
+    let mut depth = 0;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// From a token at/before a block's opening `{`, return (open, close)
+/// token indices of the matched braces.
+fn brace_span(toks: &[Tok], from: usize) -> Option<(usize, usize)> {
+    let mut i = from;
+    while i < toks.len() && toks[i].text != "{" {
+        // A `;` first means no body here (e.g. `mod foo;`, trait fn decl).
+        if toks[i].text == ";" {
+            return None;
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return None;
+    }
+    let open = i;
+    let mut depth = 0;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, i));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// A flagged idiom occurrence.
+struct Site {
+    tok_idx: usize,
+    line: u32,
+    idiom: Idiom,
+}
+
+/// Locate every occurrence of `idioms` in the token stream.
+fn find_idiom_sites(toks: &[Tok], idioms: &[Idiom]) -> Vec<Site> {
+    let mut sites = Vec::new();
+    let prev = |i: usize, n: usize| i.checked_sub(n).map(|j| toks[j].text.as_str());
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `fn copy_from_slice(...)` is a definition, not a call site.
+        if prev(i, 1) == Some("fn") {
+            continue;
+        }
+        let next_is_call = tok_is(toks, i + 1, "(");
+        let next_is_bang = tok_is(toks, i + 1, "!");
+        let method_recv = prev(i, 1) == Some(".");
+        let path_call = prev(i, 1) == Some(":") && prev(i, 2) == Some(":");
+        let idiom = match t.text.as_str() {
+            "to_vec" if method_recv && next_is_call => Some(Idiom::ToVec),
+            "to_owned" if method_recv && next_is_call => Some(Idiom::ToOwned),
+            "clone" if next_is_call && (method_recv || path_call) => {
+                // `Arc::clone(&x)` / `Rc::clone(&x)` are refcount bumps by
+                // construction — the idiomatic *non*-copying spelling.
+                let cheap_path = path_call && matches!(prev(i, 3), Some("Arc") | Some("Rc"));
+                if cheap_path {
+                    None
+                } else {
+                    Some(Idiom::Clone)
+                }
+            }
+            "copy_from_slice" if next_is_call => Some(Idiom::CopyFromSlice),
+            "extend_from_slice" if method_recv && next_is_call => Some(Idiom::ExtendFromSlice),
+            "from" if next_is_call && path_call && prev(i, 3) == Some("Vec") => {
+                Some(Idiom::VecFrom)
+            }
+            "copy" | "copy_nonoverlapping"
+                if next_is_call && path_call && prev(i, 3) == Some("ptr") =>
+            {
+                Some(Idiom::PtrCopy)
+            }
+            "copy_nonoverlapping" if next_is_call && !path_call => Some(Idiom::PtrCopy),
+            "format" if next_is_bang => Some(Idiom::Format),
+            "to_string" if method_recv && next_is_call => Some(Idiom::ToString),
+            _ => None,
+        };
+        if let Some(idiom) = idiom.filter(|id| idioms.contains(id)) {
+            sites.push(Site {
+                tok_idx: i,
+                line: t.line,
+                idiom,
+            });
+        }
+    }
+    sites
+}
+
+fn copy_path_rule(
+    rel: &str,
+    toks: &[Tok],
+    modules: &[&CopyPathModule],
+    waivers: &BTreeMap<u32, Waiver>,
+    in_test_code: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    let mut idioms: Vec<Idiom> = Vec::new();
+    for m in modules {
+        for &i in &m.idioms {
+            if !idioms.contains(&i) {
+                idioms.push(i);
+            }
+        }
+    }
+    let module_names = modules
+        .iter()
+        .map(|m| m.name.as_str())
+        .collect::<Vec<_>>()
+        .join(", ");
+    for site in find_idiom_sites(toks, &idioms) {
+        if in_test_code(site.tok_idx) {
+            continue;
+        }
+        if waiver_for(waivers, site.line).is_some() {
+            continue;
+        }
+        out.push(Violation {
+            file: rel.to_string(),
+            line: site.line,
+            rule: "copy-path",
+            msg: format!(
+                "{} in zero-copy module `{}` needs a `// zc-audit: allow(...)` waiver \
+                 (copy with a CopyLayer, cheap-clone, or control-plane)",
+                site.idiom.describe(),
+                module_names
+            ),
+        });
+    }
+}
+
+fn unsafe_rule(rel: &str, toks: &[Tok], safety_lines: &[u32], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        // `unsafe_op_in_unsafe_fn` etc. are distinct idents; `t.text` is the
+        // whole identifier so no prefix confusion. Skip attribute mentions
+        // like `#![deny(unsafe_code)]` — an `unsafe` keyword is followed by
+        // `{`, `fn`, `impl` or `trait`.
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        if !matches!(
+            next,
+            Some("{") | Some("fn") | Some("impl") | Some("trait") | Some("extern")
+        ) {
+            continue;
+        }
+        let covered = safety_lines.iter().any(|&l| l <= t.line && t.line - l <= 3);
+        if !covered {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: t.line,
+                rule: "unsafe-audit",
+                msg: format!(
+                    "`unsafe {}` without a `// SAFETY:` comment on the same or \
+                     preceding lines",
+                    next.unwrap_or("")
+                ),
+            });
+        }
+    }
+}
+
+fn meter_rule(
+    rel: &str,
+    toks: &[Tok],
+    cfg: &Config,
+    waivers: &BTreeMap<u32, Waiver>,
+    in_test_code: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    let sites: Vec<Site> = find_idiom_sites(toks, &[Idiom::CopyFromSlice, Idiom::PtrCopy]);
+    if sites.is_empty() {
+        return;
+    }
+    let fns = fn_body_spans(toks);
+    for site in sites {
+        if in_test_code(site.tok_idx) {
+            continue;
+        }
+        let Some((name, open, close)) = fns
+            .iter()
+            .find(|&&(_, open, close)| site.tok_idx > open && site.tok_idx < close)
+            .map(|(n, o, c)| (n.clone(), *o, *c))
+        else {
+            continue; // not inside a function body (macro arm, const init)
+        };
+        let metered = toks[open..=close]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && cfg.meter.markers.iter().any(|m| m == &t.text));
+        if metered {
+            // The enclosing function meters; consume any waiver present so
+            // it does not read as stale.
+            waiver_for(waivers, site.line);
+            continue;
+        }
+        if waiver_for(waivers, site.line) == Some(WaiverKind::Copy) {
+            continue; // waiver names the layer under which callers meter it
+        }
+        out.push(Violation {
+            file: rel.to_string(),
+            line: site.line,
+            rule: "meter-coverage",
+            msg: format!(
+                "{} in `fn {name}` which never touches the copy meter \
+                 ({}); meter it or add an allow(copy) waiver naming the layer",
+                site.idiom.describe(),
+                cfg.meter.markers.join("/"),
+            ),
+        });
+    }
+}
+
+/// (name, body_open, body_close) token spans for every `fn` with a body.
+/// Innermost functions appear first so closures/nested fns match before
+/// their enclosing function.
+fn fn_body_spans(toks: &[Tok]) -> Vec<(String, usize, usize)> {
+    let mut spans = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "fn" {
+            let Some(name_tok) = toks.get(i + 1) else {
+                continue;
+            };
+            if name_tok.kind != TokKind::Ident {
+                continue;
+            }
+            if let Some((open, close)) = brace_span(toks, i) {
+                spans.push((name_tok.text.clone(), open, close));
+            }
+        }
+    }
+    // Sort by span length so the tightest enclosing fn wins lookups.
+    spans.sort_by_key(|&(_, open, close)| close - open);
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn test_cfg() -> Config {
+        Config::parse(
+            r#"
+[audit]
+copy_layers = ["Marshal", "Demarshal", "SocketSend"]
+
+[[copy_path.module]]
+name = "demo"
+paths = ["src/demo.rs"]
+idioms = ["to_vec", "clone", "copy_from_slice", "extend_from_slice", "format"]
+
+[unsafe_audit]
+paths = ["src/unsafe_demo.rs"]
+deny_unsafe_op_roots = ["src/unsafe_demo.rs"]
+
+[meter_coverage]
+paths = ["src/meter_demo.rs"]
+markers = ["meter", "CopyMeter", "record"]
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flags_unwaivered_copy() {
+        let v = audit_file(
+            "src/demo.rs",
+            "fn f(a: &[u8]) -> Vec<u8> { a.to_vec() }",
+            &test_cfg(),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "copy-path");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn waiver_with_layer_passes() {
+        let src = "fn f(a: &[u8], b: &mut [u8]) {\n\
+                   // zc-audit: allow(copy) — staged into send ring, metered as SocketSend\n\
+                   b.copy_from_slice(a);\n}\n";
+        let v = audit_file("src/demo.rs", src, &test_cfg());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn copy_waiver_without_layer_rejected() {
+        let src = "fn f(a: &[u8], b: &mut [u8]) {\n\
+                   // zc-audit: allow(copy) — we really need this\n\
+                   b.copy_from_slice(a);\n}\n";
+        let v = audit_file("src/demo.rs", src, &test_cfg());
+        assert_eq!(v.len(), 2, "{v:?}"); // malformed waiver + unwaivered site
+        assert!(v[0].msg.contains("CopyLayer"));
+    }
+
+    #[test]
+    fn cheap_clone_waiver_and_arc_clone() {
+        let src = "fn f(h: &Handle, a: &Arc<u8>) {\n\
+                   let _x = Arc::clone(a);\n\
+                   // zc-audit: allow(cheap-clone) — Handle is a refcounted view\n\
+                   let _y = h.clone();\n}\n";
+        let v = audit_file("src/demo.rs", src, &test_cfg());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn test_mod_and_test_tree_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f(a: &[u8]) { let _ = a.to_vec(); }\n}\n";
+        assert!(audit_file("src/demo.rs", src, &test_cfg()).is_empty());
+        let v = audit_file(
+            "src/tests/demo.rs",
+            "fn g(a: &[u8]) { a.to_vec(); }",
+            &test_cfg(),
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn stale_waiver_flagged() {
+        let src = "// zc-audit: allow(cheap-clone) — nothing here\nfn f() {}\n";
+        let v = audit_file("src/demo.rs", src, &test_cfg());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("stale waiver"));
+    }
+
+    #[test]
+    fn unsafe_without_safety_flagged() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n\
+                   fn f(p: *mut u8) { unsafe { p.write(0) } }\n";
+        let v = audit_file("src/unsafe_demo.rs", src, &test_cfg());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "unsafe-audit");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_with_safety_passes() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n\
+                   fn f(p: *mut u8) {\n\
+                   // SAFETY: p is valid for writes by contract.\n\
+                   unsafe { p.write(0) }\n}\n";
+        let v = audit_file("src/unsafe_demo.rs", src, &test_cfg());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn missing_deny_attr_flagged() {
+        let v = audit_file("src/unsafe_demo.rs", "fn f() {}\n", &test_cfg());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("unsafe_op_in_unsafe_fn"));
+    }
+
+    #[test]
+    fn meter_coverage_flags_unmetered_fn() {
+        let src = "fn fill(dst: &mut [u8], src: &[u8]) { dst.copy_from_slice(src); }\n\
+                   fn metered(dst: &mut [u8], src: &[u8], meter: &M) {\n\
+                       meter.record(src.len());\n\
+                       dst.copy_from_slice(src);\n\
+                   }\n";
+        let v = audit_file("src/meter_demo.rs", src, &test_cfg());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "meter-coverage");
+        assert_eq!(v[0].line, 1);
+        assert!(v[0].msg.contains("fn fill"));
+    }
+
+    #[test]
+    fn meter_coverage_respects_copy_waiver() {
+        let src = "fn raw(dst: &mut [u8], src: &[u8]) {\n\
+                   // zc-audit: allow(copy) — callers meter this as Demarshal\n\
+                   dst.copy_from_slice(src);\n}\n";
+        let v = audit_file("src/meter_demo.rs", src, &test_cfg());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn format_and_vec_from_detected() {
+        let cfg = Config::parse(
+            r#"
+[audit]
+copy_layers = ["Marshal"]
+[[copy_path.module]]
+name = "demo"
+paths = ["src/demo.rs"]
+idioms = ["format", "vec_from", "ptr_copy"]
+"#,
+        )
+        .unwrap();
+        let src = "fn f(a: &[u8]) {\n\
+                   let _s = format!(\"{}\", a.len());\n\
+                   let _v = Vec::from(a);\n\
+                   unsafe { ptr::copy_nonoverlapping(a.as_ptr(), a.as_ptr() as *mut u8, 0) };\n}\n";
+        let v = audit_file("src/demo.rs", src, &cfg);
+        assert_eq!(v.len(), 3, "{v:?}");
+    }
+}

@@ -1,0 +1,13 @@
+// Known-bad fixture for the copy-path rule: four unwaivered copy idioms.
+pub fn leak_copies(payload: &[u8], sink: &mut Vec<u8>) -> Vec<u8> {
+    sink.extend_from_slice(payload);
+    let owned = payload.to_vec();
+    let _label = format!("len={}", owned.len());
+    owned.clone()
+}
+
+// A waiver that cites no CopyLayer is itself a violation.
+pub fn bad_waiver(payload: &[u8]) -> Vec<u8> {
+    // zc-audit: allow(copy) — trust me, this one is fine
+    payload.to_vec()
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture for the meter-coverage rule: a raw byte copy in a
+// function that never touches the copy meter.
+pub fn sneak_fill(dst: &mut [u8], src: &[u8]) {
+    dst.copy_from_slice(src);
+}
+
+pub fn metered_fill(dst: &mut [u8], src: &[u8], meter: &M) {
+    meter.record(src.len());
+    dst.copy_from_slice(src);
+}

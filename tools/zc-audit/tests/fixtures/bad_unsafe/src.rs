@@ -1,0 +1,13 @@
+// Known-bad fixture for the unsafe-audit rule: no deny attribute, and two
+// unsafe sites without SAFETY comments.
+pub fn poke(p: *mut u8) {
+    unsafe {
+        p.write(1);
+    }
+}
+
+pub unsafe fn raw_read(p: *const u8) -> u8 {
+    // SAFETY comment is missing on the fn above; this one is fine though:
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { p.read() }
+}

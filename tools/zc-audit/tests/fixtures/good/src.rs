@@ -1,0 +1,32 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+// Known-good fixture: every copy is waivered with its layer, every unsafe
+// has a SAFETY comment, every raw copy sits next to the meter.
+
+pub fn metered_fill(dst: &mut [u8], src: &[u8], meter: &CopyMeter) {
+    meter.record(src.len());
+    // zc-audit: allow(copy) — staging into the send ring, metered as SocketSend
+    dst.copy_from_slice(src);
+}
+
+pub fn share(view: &Handle) -> Handle {
+    // zc-audit: allow(cheap-clone) — Handle is a refcounted view
+    view.clone()
+}
+
+pub fn describe(id: u32) -> String {
+    // zc-audit: allow(control-plane) — diagnostic label, no payload bytes
+    format!("conn#{id}")
+}
+
+pub fn read_byte(p: *const u8) -> u8 {
+    // SAFETY: caller passes a pointer into a live, initialized buffer.
+    unsafe { p.read() }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code copies freely without waivers.
+    pub fn expected(src: &[u8]) -> Vec<u8> {
+        src.to_vec()
+    }
+}

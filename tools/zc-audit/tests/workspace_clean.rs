@@ -1,0 +1,22 @@
+//! The auditor as a test: the workspace itself must satisfy every zero-copy
+//! invariant. This is what makes `cargo test` equivalent to running
+//! `cargo run -p zc-audit` in CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_satisfies_zero_copy_invariants() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = zc_audit::find_root(here).expect("workspace root with zc-audit.toml");
+    let cfg = zc_audit::Config::load(&root.join("zc-audit.toml")).expect("config parses");
+    let violations = zc_audit::audit_workspace(&root, &cfg).expect("audit runs");
+    assert!(
+        violations.is_empty(),
+        "zero-copy invariant violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

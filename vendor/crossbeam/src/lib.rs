@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::channel` subset the workspace uses: an unbounded
+//! MPMC channel whose `Sender` and `Receiver` are both cloneable and `Send`,
+//! with disconnect-aware `recv`/`recv_timeout`. Implemented over a
+//! `Mutex<VecDeque>` + `Condvar`; correctness over raw speed — the simulated
+//! network it backs meters copies, not channel latency.
+
+pub mod channel;

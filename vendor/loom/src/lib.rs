@@ -1,0 +1,158 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! Real loom exhaustively explores thread interleavings of code written
+//! against its shadow `loom::sync` types. It cannot be vendored into this
+//! air-gapped workspace, so this shim keeps the *API shape* — `loom::model`,
+//! `loom::thread`, `loom::sync` — while implementing a weaker but still
+//! useful discipline: **seeded stochastic interleaving exploration**.
+//!
+//! [`model`] runs the closure many times (`LOOM_ITERS`, default 256) on real
+//! threads. Each execution perturbs the schedule differently: threads
+//! spawned through [`thread::spawn`] interleave yields and short spins at
+//! spawn and at every [`explore`] point, driven by a deterministic
+//! per-execution seed. A failing execution panics with its seed so the run
+//! can be reproduced via `LOOM_SEED`.
+//!
+//! When the real loom becomes available, swap the path dependency for the
+//! registry crate: test code using `loom::model` + `loom::thread` compiles
+//! against both.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Re-exports mirroring `loom::sync`. The shim does not shadow std's
+/// primitives — code under test runs its ordinary implementation, and the
+/// scheduler perturbation comes from [`thread::spawn`]/[`explore`] instead.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Mirror of `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+thread_local! {
+    /// Per-thread schedule-perturbation RNG state (0 = perturbation off).
+    static SCHED_STATE: Cell<u64> = const { Cell::new(0) };
+}
+
+static EXECUTION_SEED: AtomicU64 = AtomicU64::new(0);
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A schedule-perturbation point: in roughly one of three draws the calling
+/// thread yields, and occasionally it burns a short spin, shaking loose
+/// interleavings a plain `cargo test` run would rarely hit. No-op outside
+/// [`model`].
+pub fn explore() {
+    SCHED_STATE.with(|cell| {
+        let mut s = cell.get();
+        if s == 0 {
+            return;
+        }
+        let draw = splitmix64(&mut s);
+        cell.set(s);
+        match draw % 8 {
+            0 | 1 => std::thread::yield_now(),
+            2 => {
+                for _ in 0..(draw >> 32) % 400 {
+                    std::hint::spin_loop();
+                }
+            }
+            _ => {}
+        }
+    });
+}
+
+/// Mirror of `loom::thread`: spawn wraps `std::thread::spawn` and arms the
+/// child with the execution's perturbation seed.
+pub mod thread {
+    pub use std::thread::{yield_now, JoinHandle};
+
+    use super::{splitmix64, SCHED_STATE};
+    use std::sync::atomic::Ordering;
+
+    /// Spawn a thread participating in the current model execution.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let mut seed = super::EXECUTION_SEED.load(Ordering::Relaxed);
+        let child_seed = if seed == 0 { 0 } else { splitmix64(&mut seed) };
+        std::thread::spawn(move || {
+            SCHED_STATE.with(|cell| cell.set(child_seed));
+            super::explore();
+            f()
+        })
+    }
+}
+
+/// Run `f` under stochastic interleaving exploration.
+///
+/// Executes `f` once per iteration (default 256; override with `LOOM_ITERS`)
+/// with a fresh deterministic seed perturbing every [`thread::spawn`] and
+/// [`explore`] point. A panic inside `f` is annotated with the execution
+/// seed; re-run with `LOOM_SEED=<seed>` to replay just that schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let forced: Option<u64> = std::env::var("LOOM_SEED").ok().and_then(|v| v.parse().ok());
+
+    let mut base = 0x10_0a4d_5eedu64;
+    for i in 0..iters {
+        let seed = forced.unwrap_or_else(|| splitmix64(&mut base)).max(1);
+        EXECUTION_SEED.store(seed, Ordering::Relaxed);
+        SCHED_STATE.with(|cell| cell.set(seed));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        SCHED_STATE.with(|cell| cell.set(0));
+        EXECUTION_SEED.store(0, Ordering::Relaxed);
+        if let Err(panic) = outcome {
+            eprintln!("loom-shim: execution {i} failed; replay with LOOM_SEED={seed}");
+            std::panic::resume_unwind(panic);
+        }
+        if forced.is_some() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn model_runs_iterations() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        model(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(count.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn spawned_threads_join_and_return() {
+        model(|| {
+            let h = thread::spawn(|| 7u32);
+            explore();
+            assert_eq!(h.join().unwrap(), 7);
+        });
+    }
+}

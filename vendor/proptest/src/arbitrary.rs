@@ -1,0 +1,102 @@
+//! `any::<T>()` — the default strategy for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Generate a uniform value over the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Arbitrary *bit patterns*, including NaNs and infinities — exactly
+    /// what serialization round-trip tests want to see.
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for char {
+    /// Mostly ASCII printable with occasional multi-byte code points.
+    fn arbitrary(rng: &mut TestRng) -> char {
+        match rng.below(8) {
+            0 => char::from_u32(0x00A1 + rng.below(0x500) as u32).unwrap_or('¿'),
+            _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing uniform values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let s = any::<u32>();
+        let mut rng = TestRng::for_case(1, 0);
+        let a = s.generate(&mut rng);
+        let b = s.generate(&mut rng);
+        let c = s.generate(&mut rng);
+        assert!(a != b || b != c, "three draws should not all collide");
+    }
+
+    #[test]
+    fn any_f64_covers_bit_patterns() {
+        let s = any::<f64>();
+        let mut rng = TestRng::for_case(2, 0);
+        let mut saw_negative = false;
+        for _ in 0..256 {
+            if s.generate(&mut rng).is_sign_negative() {
+                saw_negative = true;
+            }
+        }
+        assert!(saw_negative);
+    }
+}

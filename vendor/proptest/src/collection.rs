@@ -1,0 +1,153 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive size range for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.size_in(self.lo, self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `element` and a length drawn
+/// from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<T>`: draws elements until the target size is
+/// reached, giving up (with whatever was collected, but never below the
+/// range minimum unless the element domain is too small) after a bounded
+/// number of duplicate draws.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        let max_attempts = target * 50 + 100;
+        while out.len() < target && attempts < max_attempts {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(0xc011, 0)
+    }
+
+    #[test]
+    fn vec_length_in_range() {
+        let s = vec(0u8..=255, 3..10);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((3..10).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_exact_size() {
+        let s = vec(Just(7u8), 4usize);
+        assert_eq!(s.generate(&mut rng()), vec![7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn hash_set_reaches_target_when_domain_allows() {
+        let s = hash_set(0u32..1_000_000, 5..=8);
+        let mut r = rng();
+        for _ in 0..50 {
+            let set = s.generate(&mut r);
+            assert!((5..=8).contains(&set.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_small_domain_saturates() {
+        let s = hash_set(0u8..2, 1..=5);
+        let set = s.generate(&mut rng());
+        assert!(!set.is_empty() && set.len() <= 2);
+    }
+}

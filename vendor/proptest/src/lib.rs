@@ -1,0 +1,158 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The real proptest cannot be vendored into this air-gapped workspace, so
+//! this shim re-implements the slice of its API that the workspace's
+//! property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`,
+//!   tuple/range/string-literal strategies and [`strategy::Just`];
+//! * [`arbitrary::any`] for primitives;
+//! * [`collection::vec`] / [`collection::hash_set`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros;
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from real proptest, by design: there is **no shrinking** (a
+//! failing case reports its deterministic seed instead), string strategies
+//! implement a pragmatic regex subset (literals, classes, groups with
+//! alternation, `* + ? {n} {n,m}` quantifiers, `\PC`), and case counts
+//! default to `PROPTEST_CASES` or 48. Failure output names the test, the
+//! case index and the seed, so a failure reproduces exactly by re-running
+//! the same binary.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests. Mirrors real proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_prop(x: u32, s in "[a-z]{1,4}") { prop_assert!(x as usize >= 0); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!(($cfg) (stringify!($name)) $body [] $($params)*);
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters munched: build the tuple strategy and run the cases.
+    (($cfg:expr) ($name:expr) $body:block [$(($pat:pat, $strat:expr))*]) => {{
+        let __config = $cfg;
+        let __strategy = ($($strat,)*);
+        $crate::test_runner::run_cases(&__config, $name, &__strategy, |__vals| {
+            let ($($pat,)*) = __vals;
+            $body
+            ::core::result::Result::Ok(())
+        });
+    }};
+    // `pattern in strategy` parameter.
+    (($cfg:expr) ($name:expr) $body:block [$($acc:tt)*] $pat:pat in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_case!(($cfg) ($name) $body [$($acc)* ($pat, $strat)] $($rest)*)
+    };
+    (($cfg:expr) ($name:expr) $body:block [$($acc:tt)*] $pat:pat in $strat:expr) => {
+        $crate::__proptest_case!(($cfg) ($name) $body [$($acc)* ($pat, $strat)])
+    };
+    // `name: Type` parameter, meaning `any::<Type>()`.
+    (($cfg:expr) ($name:expr) $body:block [$($acc:tt)*] $var:ident: $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_case!(($cfg) ($name) $body
+            [$($acc)* ($var, $crate::arbitrary::any::<$ty>())] $($rest)*)
+    };
+    (($cfg:expr) ($name:expr) $body:block [$($acc:tt)*] $var:ident: $ty:ty) => {
+        $crate::__proptest_case!(($cfg) ($name) $body
+            [$($acc)* ($var, $crate::arbitrary::any::<$ty>())])
+    };
+}

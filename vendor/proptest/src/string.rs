@@ -1,0 +1,332 @@
+//! String strategies from regex-like patterns.
+//!
+//! Real proptest interprets `&str` strategies as full regexes via
+//! `regex-syntax`. This shim implements the subset the workspace's tests
+//! use and panics loudly on anything else, so an unsupported pattern fails
+//! the test instead of silently generating wrong data:
+//!
+//! * literal characters, escaped literals (`\{`, `\.`, …)
+//! * `\PC` — any printable character (ASCII-leaning, occasional unicode)
+//! * character classes `[a-z0-9-]`, including ranges like `[ -~]`
+//! * groups with alternation `(foo|bar|[a-z]{1,4}| )`
+//! * quantifiers `*`, `+`, `?`, `{n}`, `{n,m}` (unbounded reps capped at 8)
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_MAX: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// Inclusive character ranges; a singleton is `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable (non-control) character.
+    Printable,
+    /// Alternation of sequences.
+    Group(Vec<Vec<Term>>),
+}
+
+#[derive(Debug, Clone)]
+struct Term {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Parser<'a> {
+        Parser {
+            pattern,
+            chars: pattern.chars().peekable(),
+        }
+    }
+
+    fn unsupported(&self, what: &str) -> ! {
+        panic!(
+            "proptest shim: unsupported regex construct {what:?} in pattern {:?}; \
+             extend vendor/proptest/src/string.rs",
+            self.pattern
+        );
+    }
+
+    /// Parse a sequence of terms until end of input or a stop char (`|`,
+    /// `)`) which is left unconsumed.
+    fn sequence(&mut self) -> Vec<Term> {
+        let mut out = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let node = self.atom();
+            let (min, max) = self.quantifier();
+            out.push(Term { node, min, max });
+        }
+        out
+    }
+
+    fn atom(&mut self) -> Node {
+        let c = self.chars.next().expect("atom: non-empty");
+        match c {
+            '\\' => match self.chars.next() {
+                Some('P') => {
+                    // Only the `\PC` (non-control) category is supported.
+                    match self.chars.next() {
+                        Some('C') => Node::Printable,
+                        other => self.unsupported(&format!("\\P{other:?}")),
+                    }
+                }
+                Some(
+                    esc @ ('{' | '}' | '(' | ')' | '[' | ']' | '|' | '\\' | '.' | '*' | '+' | '?'
+                    | '-' | '^' | '$'),
+                ) => Node::Lit(esc),
+                Some('n') => Node::Lit('\n'),
+                Some('t') => Node::Lit('\t'),
+                other => self.unsupported(&format!("escape \\{other:?}")),
+            },
+            '[' => self.class(),
+            '(' => self.group(),
+            '.' | '^' | '$' => self.unsupported(&format!("{c}")),
+            _ => Node::Lit(c),
+        }
+    }
+
+    fn class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        if self.chars.peek() == Some(&'^') {
+            self.unsupported("negated class");
+        }
+        loop {
+            let c = match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => self
+                    .chars
+                    .next()
+                    .unwrap_or_else(|| self.unsupported("trailing backslash in class")),
+                Some(c) => c,
+                None => self.unsupported("unterminated class"),
+            };
+            // `c-d` range, unless `-` is last (then it is a literal).
+            if self.chars.peek() == Some(&'-') {
+                let mut ahead = self.chars.clone();
+                ahead.next();
+                if ahead.peek().is_some_and(|&n| n != ']') {
+                    self.chars.next();
+                    let hi = self.chars.next().expect("range upper bound");
+                    assert!(c <= hi, "inverted class range {c}-{hi}");
+                    ranges.push((c, hi));
+                    continue;
+                }
+            }
+            ranges.push((c, c));
+        }
+        assert!(!ranges.is_empty(), "empty character class");
+        Node::Class(ranges)
+    }
+
+    fn group(&mut self) -> Node {
+        let mut alts = vec![self.sequence()];
+        loop {
+            match self.chars.next() {
+                Some('|') => alts.push(self.sequence()),
+                Some(')') => break,
+                _ => self.unsupported("unterminated group"),
+            }
+        }
+        Node::Group(alts)
+    }
+
+    fn quantifier(&mut self) -> (u32, u32) {
+        match self.chars.peek() {
+            Some('*') => {
+                self.chars.next();
+                (0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, UNBOUNDED_MAX)
+            }
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut min = String::new();
+                let mut max = String::new();
+                let mut in_max = false;
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(',') => in_max = true,
+                        Some(d) if d.is_ascii_digit() => {
+                            if in_max { &mut max } else { &mut min }.push(d)
+                        }
+                        other => self.unsupported(&format!("quantifier char {other:?}")),
+                    }
+                }
+                let lo: u32 = min.parse().expect("quantifier lower bound");
+                let hi: u32 = if !in_max {
+                    lo
+                } else if max.is_empty() {
+                    lo + UNBOUNDED_MAX
+                } else {
+                    max.parse().expect("quantifier upper bound")
+                };
+                assert!(lo <= hi, "inverted quantifier {{{lo},{hi}}}");
+                (lo, hi)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+fn emit(terms: &[Term], rng: &mut TestRng, out: &mut String) {
+    for term in terms {
+        let reps = rng.size_in(term.min as usize, term.max as usize);
+        for _ in 0..reps {
+            emit_node(&term.node, rng, out);
+        }
+    }
+}
+
+fn emit_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            let span = hi as u32 - lo as u32 + 1;
+            // Classes in the supported subset never straddle the surrogate
+            // gap, so the arithmetic below always lands on a scalar value.
+            let c = char::from_u32(lo as u32 + rng.below(span as u64) as u32)
+                .expect("class range yields valid scalar");
+            out.push(c);
+        }
+        Node::Printable => {
+            // Mostly ASCII printable; occasionally multi-byte printables so
+            // UTF-8 handling gets exercised.
+            let c = match rng.below(10) {
+                0 => ['é', 'ß', 'λ', 'Ж', '中', '🦀', '√', '…'][rng.below(8) as usize],
+                _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+            };
+            out.push(c);
+        }
+        Node::Group(alts) => {
+            let alt = &alts[rng.below(alts.len() as u64) as usize];
+            emit(alt, rng, out);
+        }
+    }
+}
+
+/// String-literal patterns are strategies generating matching strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut p = Parser::new(self);
+        let terms = p.sequence();
+        if p.chars.peek().is_some() {
+            p.unsupported("top-level `|` or stray `)`");
+        }
+        let mut out = String::new();
+        emit(&terms, rng, &mut out);
+        out
+    }
+}
+
+/// Owned patterns behave identically to `&str` patterns.
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(0x57e1, 0)
+    }
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let mut r = rng();
+        (0..n).map(|_| pattern.generate(&mut r)).collect()
+    }
+
+    #[test]
+    fn literal_and_class() {
+        for s in gen_many("IOR:[0-9a-fA-F]{0,200}", 50) {
+            assert!(s.starts_with("IOR:"));
+            assert!(s[4..].chars().all(|c| c.is_ascii_hexdigit()));
+            assert!(s.len() - 4 <= 200);
+        }
+    }
+
+    #[test]
+    fn class_with_space_to_tilde_range() {
+        for s in gen_many("[ -~]{0,40}", 50) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let all: String = gen_many("[a-z0-9-]{1,20}", 100).concat();
+        assert!(all
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+    }
+
+    #[test]
+    fn printable_has_no_controls() {
+        for s in gen_many("\\PC{0,100}", 50) {
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+            assert!(s.chars().count() <= 100);
+        }
+    }
+
+    #[test]
+    fn group_alternation() {
+        let branches = ["ab", "cd", "x"];
+        for s in gen_many("(ab|cd|x){1,3}", 100) {
+            let mut rest = s.as_str();
+            let mut parts = 0;
+            while !rest.is_empty() {
+                let hit = branches.iter().find(|b| rest.starts_with(**b)).unwrap();
+                rest = &rest[hit.len()..];
+                parts += 1;
+            }
+            assert!((1..=3).contains(&parts));
+        }
+    }
+
+    #[test]
+    fn escaped_braces_in_group() {
+        let ok: &[char] = &['{', '}', ';', 'a'];
+        for s in gen_many("(\\{|\\}|;|a){0,10}", 60) {
+            assert!(s.chars().all(|c| ok.contains(&c)), "bad char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn ident_shape() {
+        for s in gen_many("[a-zA-Z_][a-zA-Z0-9_]{0,30}", 50) {
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_');
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn unsupported_constructs_fail_loud() {
+        "a.*b".generate(&mut rng());
+    }
+}

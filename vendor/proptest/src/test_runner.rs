@@ -1,0 +1,141 @@
+//! Deterministic case runner and RNG for the proptest shim.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::strategy::Strategy;
+
+/// The RNG handed to strategies. Wraps the workspace's deterministic
+/// [`StdRng`] so every case is reproducible from `(test name, case index)`.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for one case, derived from the run seed and the case index.
+    pub fn for_case(run_seed: u64, case: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(run_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn size_in(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+}
+
+/// Failure of a single property case (returned by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+/// Runner configuration. Only `cases` is honored; the other knobs real
+/// proptest exposes have no meaning without shrinking.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(48);
+        ProptestConfig { cases }
+    }
+}
+
+fn run_seed(test_name: &str) -> u64 {
+    if let Ok(v) = std::env::var("PROPTEST_SEED") {
+        if let Ok(s) = v.parse() {
+            return s;
+        }
+    }
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Drive `body` over `config.cases` generated inputs. Panics (failing the
+/// `#[test]`) on the first case whose body returns an error or panics,
+/// reporting the case index and seed for reproduction.
+pub fn run_cases<S, F>(config: &ProptestConfig, test_name: &str, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = run_seed(test_name);
+    for case in 0..config.cases as u64 {
+        let mut rng = TestRng::for_case(seed, case);
+        let value = strategy.generate(&mut rng);
+        match catch_unwind(AssertUnwindSafe(|| body(value))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "proptest {test_name}: case {case}/{} failed (seed {seed:#x}): {}",
+                config.cases,
+                e.message()
+            ),
+            Err(panic) => {
+                eprintln!(
+                    "proptest {test_name}: case {case}/{} panicked (seed {seed:#x})",
+                    config.cases
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
