@@ -4,10 +4,13 @@
 //! Paper anchors: raw TCP saturates ≈ 330 Mbit/s; CORBA saturates
 //! ≈ 50 Mbit/s ("would not even use a Fast Ethernet to its limit").
 
-use zc_bench::{full_flag, measured_block_sizes, measured_series, modeled_series};
+use zc_bench::{
+    full_flag, measured_block_sizes, measured_series_traced, modeled_series, trace_flag,
+};
 use zc_ttcp::{format_series_table, TtcpVersion};
 
 fn main() {
+    let traced = trace_flag();
     let sizes = zc_simnet::paper_block_sizes();
     println!(
         "{}",
@@ -22,16 +25,19 @@ fn main() {
     );
 
     let msizes = measured_block_sizes(full_flag());
+    let (raw, _) = measured_series_traced(TtcpVersion::RawTcp, &msizes, traced);
+    let (std, telemetry) = measured_series_traced(TtcpVersion::CorbaStd, &msizes, traced);
     println!(
         "{}",
         format_series_table(
             "Figure 5 — same configurations executed on this host (real copies)",
             &msizes,
-            &[
-                measured_series(TtcpVersion::RawTcp, &msizes),
-                measured_series(TtcpVersion::CorbaStd, &msizes),
-            ],
+            &[raw, std],
         )
     );
     println!("paper anchors: raw TCP ≈ 330 Mbit/s, CORBA ≈ 50 Mbit/s at saturation");
+    if let Some(t) = telemetry {
+        println!("\ntelemetry of the last measured CORBA run (disable with --no-trace):");
+        print!("{}", t.text_table());
+    }
 }

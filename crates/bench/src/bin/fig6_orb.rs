@@ -7,10 +7,13 @@
 //! combination (zero-copy ORB over zero-copy TCP) reaches ≈ 550 Mbit/s —
 //! ten times the ≈ 50 Mbit/s of the original ORB over the standard stack.
 
-use zc_bench::{full_flag, measured_block_sizes, measured_series, modeled_series};
+use zc_bench::{
+    full_flag, measured_block_sizes, measured_series_traced, modeled_series, trace_flag,
+};
 use zc_ttcp::{format_series_table, run_modeled, TtcpVersion};
 
 fn main() {
+    let traced = trace_flag();
     let sizes = zc_simnet::paper_block_sizes();
     println!(
         "{}",
@@ -35,17 +38,20 @@ fn main() {
     );
 
     let msizes = measured_block_sizes(full_flag());
+    let (s1, _) = measured_series_traced(TtcpVersion::CorbaStd, &msizes, traced);
+    let (s2, _) = measured_series_traced(TtcpVersion::CorbaStdOverZcTcp, &msizes, traced);
+    let (s3, _) = measured_series_traced(TtcpVersion::CorbaZcOverTcp, &msizes, traced);
+    let (s4, telemetry) = measured_series_traced(TtcpVersion::CorbaZc, &msizes, traced);
     println!(
         "{}",
         format_series_table(
             "Figure 6 (right) — same configurations executed on this host",
             &msizes,
-            &[
-                measured_series(TtcpVersion::CorbaStd, &msizes),
-                measured_series(TtcpVersion::CorbaStdOverZcTcp, &msizes),
-                measured_series(TtcpVersion::CorbaZcOverTcp, &msizes),
-                measured_series(TtcpVersion::CorbaZc, &msizes),
-            ],
+            &[s1, s2, s3, s4],
         )
     );
+    if let Some(t) = telemetry {
+        println!("\ntelemetry of the last measured all-zero-copy run (disable with --no-trace):");
+        print!("{}", t.text_table());
+    }
 }

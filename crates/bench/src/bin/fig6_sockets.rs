@@ -6,10 +6,13 @@
 //! "very good throughput figures for transfers as small as a single
 //! memory page".
 
-use zc_bench::{full_flag, measured_block_sizes, measured_series, modeled_series};
+use zc_bench::{
+    full_flag, measured_block_sizes, measured_series_traced, modeled_series, trace_flag,
+};
 use zc_ttcp::{format_series_table, TtcpVersion};
 
 fn main() {
+    let traced = trace_flag();
     let sizes = zc_simnet::paper_block_sizes();
     println!(
         "{}",
@@ -24,15 +27,18 @@ fn main() {
     );
 
     let msizes = measured_block_sizes(full_flag());
+    let (raw, _) = measured_series_traced(TtcpVersion::RawTcp, &msizes, traced);
+    let (zc, telemetry) = measured_series_traced(TtcpVersion::ZcTcp, &msizes, traced);
     println!(
         "{}",
         format_series_table(
             "Figure 6 (left) — same configurations executed on this host",
             &msizes,
-            &[
-                measured_series(TtcpVersion::RawTcp, &msizes),
-                measured_series(TtcpVersion::ZcTcp, &msizes),
-            ],
+            &[raw, zc],
         )
     );
+    if let Some(t) = telemetry {
+        println!("\ntelemetry of the last measured zero-copy run (disable with --no-trace):");
+        print!("{}", t.text_table());
+    }
 }

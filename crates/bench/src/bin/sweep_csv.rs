@@ -1,16 +1,28 @@
-//! Emit the full modeled figure sweep as CSV (for plotting or regression
-//! tracking): all six configurations of Figures 5/6 across the paper's
-//! block sizes on the calibrated P-II/GbE testbed.
+//! Emit the figure sweep as CSV (for plotting or regression tracking).
+//!
+//! Two sections, separated by a blank line and `#` comment headers:
+//!
+//! 1. the **modeled** sweep — all six configurations of Figures 5/6 across
+//!    the paper's block sizes on the calibrated P-II/GbE testbed;
+//! 2. the **measured** sweep — the same configurations really executed on
+//!    this host with telemetry enabled, including speculation hit/miss
+//!    counts, wire-byte totals, per-layer copy-meter bytes and request
+//!    latency quantiles.
 //!
 //! ```text
 //! cargo run -p zc-bench --bin sweep_csv --release > sweep.csv
-//! cargo run -p zc-bench --bin sweep_csv --release -- --modern   # 2003 desktop
+//! cargo run -p zc-bench --bin sweep_csv --release -- --modern        # 2003 desktop
+//! cargo run -p zc-bench --bin sweep_csv --release -- --modeled-only  # skip host runs
 //! ```
 
+use zc_bench::{measured_block_sizes, measured_point};
+use zc_buffers::CopyLayer;
 use zc_simnet::{run_sweep, LinkSpec, MachineSpec, FIGURE_CONFIGS};
+use zc_ttcp::TtcpVersion;
 
 fn main() {
     let modern = std::env::args().any(|a| a == "--modern");
+    let modeled_only = std::env::args().any(|a| a == "--modeled-only");
     let machine = if modern {
         MachineSpec::modern_2003()
     } else {
@@ -22,5 +34,45 @@ fn main() {
         &zc_simnet::paper_block_sizes(),
         &FIGURE_CONFIGS,
     );
+    println!("# modeled (calibrated 2003 testbed)");
     print!("{}", sweep.to_csv());
+    if modeled_only {
+        return;
+    }
+
+    println!();
+    println!("# measured on this host (telemetry-enabled runs)");
+    println!(
+        "version,block_bytes,mbit_s,overhead_copy_factor,spec_hits,spec_misses,\
+         wire_bytes_sent,wire_bytes_recv,marshal_bytes,demarshal_bytes,\
+         socket_send_bytes,socket_recv_bytes,kernel_frag_bytes,kernel_defrag_bytes,\
+         deposit_fallback_bytes,latency_p50_ns,latency_p99_ns"
+    );
+    for version in TtcpVersion::ALL {
+        for &block in &measured_block_sizes(false) {
+            let out = measured_point(version, block, true);
+            let t = out.telemetry.expect("traced run produces telemetry");
+            let lat = t.metrics.request_latency_ns;
+            println!(
+                "{},{},{:.1},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                version.label().replace(',', ";"),
+                block,
+                out.mbit_s,
+                out.overhead_copy_factor,
+                t.transport.spec_hits,
+                t.transport.spec_misses,
+                t.transport.wire_bytes_sent,
+                t.transport.wire_bytes_recv,
+                out.copies.bytes(CopyLayer::Marshal),
+                out.copies.bytes(CopyLayer::Demarshal),
+                out.copies.bytes(CopyLayer::SocketSend),
+                out.copies.bytes(CopyLayer::SocketRecv),
+                out.copies.bytes(CopyLayer::KernelFrag),
+                out.copies.bytes(CopyLayer::KernelDefrag),
+                out.copies.bytes(CopyLayer::DepositFallback),
+                lat.quantile(0.50),
+                lat.quantile(0.99),
+            );
+        }
+    }
 }

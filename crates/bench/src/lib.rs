@@ -10,7 +10,8 @@
 //!    copies are real `memcpy`s; absolute numbers reflect *this* machine,
 //!    but the ordering and the copy accounting must tell the same story.
 
-use zc_ttcp::{run_measured, run_modeled, Series, TtcpParams, TtcpVersion};
+use zc_trace::OrbTelemetry;
+use zc_ttcp::{run_measured, run_modeled, MeasuredOutcome, Series, TtcpParams, TtcpVersion};
 
 /// Block sizes for the measured sweep (a subset of the paper's range keeps
 /// harness runtime reasonable; pass `--full` to binaries for all sizes).
@@ -36,23 +37,52 @@ pub fn modeled_series(version: TtcpVersion, sizes: &[usize]) -> Series {
     )
 }
 
-/// Measured series over the host.
+/// One measured point, optionally with telemetry enabled.
+pub fn measured_point(version: TtcpVersion, block: usize, traced: bool) -> MeasuredOutcome {
+    let mut p = TtcpParams::new(version, block, measured_total(block));
+    p.traced = traced;
+    run_measured(&p)
+}
+
+/// Measured series over the host (telemetry disabled).
 pub fn measured_series(version: TtcpVersion, sizes: &[usize]) -> Series {
-    Series::new(
-        format!("{} (host)", version.label()),
-        sizes
-            .iter()
-            .map(|&b| {
-                let p = TtcpParams::new(version, b, measured_total(b));
-                run_measured(&p).mbit_s
-            })
-            .collect(),
+    measured_series_traced(version, sizes, false).0
+}
+
+/// Measured series over the host; when `traced`, every point runs with
+/// telemetry enabled and the last point's merged [`OrbTelemetry`] snapshot
+/// is returned alongside the throughput series.
+pub fn measured_series_traced(
+    version: TtcpVersion,
+    sizes: &[usize],
+    traced: bool,
+) -> (Series, Option<OrbTelemetry>) {
+    let mut last = None;
+    let values = sizes
+        .iter()
+        .map(|&b| {
+            let out = measured_point(version, b, traced);
+            if out.telemetry.is_some() {
+                last = out.telemetry;
+            }
+            out.mbit_s
+        })
+        .collect();
+    (
+        Series::new(format!("{} (host)", version.label()), values),
+        last,
     )
 }
 
 /// Parse the common harness flags: `--full` widens the measured sweep.
 pub fn full_flag() -> bool {
     std::env::args().any(|a| a == "--full")
+}
+
+/// `--no-trace` turns the measured runs' telemetry off (fig5/fig6 trace by
+/// default to exercise the observability path alongside the benchmark).
+pub fn trace_flag() -> bool {
+    !std::env::args().any(|a| a == "--no-trace")
 }
 
 #[cfg(test)]

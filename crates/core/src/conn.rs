@@ -25,8 +25,9 @@ use zc_buffers::ZcBytes;
 use zc_cdr::{ByteOrder, CdrDecoder, CdrEncoder};
 use zc_giop::{
     fragment_frames, DepositManifest, GiopHeader, GiopVersion, Handshake, MessageType, Negotiated,
-    ReplyHeader, ReplyStatus, RequestHeader, SystemException, GIOP_HEADER_LEN,
+    ReplyHeader, ReplyStatus, RequestHeader, SystemException, TraceContext, GIOP_HEADER_LEN,
 };
+use zc_trace::{EventKind, TraceLayer};
 use zc_transport::{Connection, TransportCtx, TransportError};
 
 /// GIOP bodies above this size are split into `Fragment` continuations.
@@ -75,6 +76,9 @@ pub struct IncomingRequest {
     pub order: ByteOrder,
     /// Whether descriptors (not inline bytes) encode ZC sequences.
     pub zc: bool,
+    /// Trace id propagated by the caller's `ZC_TRACE` service context
+    /// (`0` when the caller sent none, or sent one we could not parse).
+    pub trace_id: u64,
 }
 
 /// An incoming successful reply as surfaced to the client.
@@ -104,6 +108,12 @@ pub struct GiopConn {
     /// so the connection is unusable (CORBA closes such connections; so do
     /// we, on drop).
     poisoned: bool,
+    /// Transport-allocated identifier correlating this connection's trace
+    /// events (`0` when the transport does not participate).
+    conn_id: u64,
+    /// Trace id of the request currently in flight on this connection
+    /// (outbound: the one we stamped; inbound: the one the peer sent).
+    last_trace_id: u64,
 }
 
 impl GiopConn {
@@ -118,6 +128,7 @@ impl GiopConn {
         let remote_bytes = conn.recv_control()?;
         let remote = Handshake::decode(&remote_bytes)?;
         let negotiated = Handshake::negotiate(&local, &remote);
+        let conn_id = conn.trace_conn_id();
         Ok(GiopConn {
             conn,
             negotiated,
@@ -126,6 +137,8 @@ impl GiopConn {
             next_request_id: 1,
             version: GiopVersion::V1_2,
             poisoned: false,
+            conn_id,
+            last_trace_id: 0,
         })
     }
 
@@ -141,6 +154,7 @@ impl GiopConn {
         conn.send_control(&local.encode())?;
         // Client is the `client` argument of negotiate on both sides.
         let negotiated = Handshake::negotiate(&remote, &local);
+        let conn_id = conn.trace_conn_id();
         Ok(GiopConn {
             conn,
             negotiated,
@@ -149,6 +163,8 @@ impl GiopConn {
             next_request_id: 1,
             version: GiopVersion::V1_2,
             poisoned: false,
+            conn_id,
+            last_trace_id: 0,
         })
     }
 
@@ -180,6 +196,28 @@ impl GiopConn {
     /// Peer description.
     pub fn peer(&self) -> String {
         self.conn.peer()
+    }
+
+    /// Transport-allocated trace correlation id for this connection.
+    pub fn trace_conn_id(&self) -> u64 {
+        self.conn_id
+    }
+
+    /// The connection's telemetry handle.
+    pub fn telemetry(&self) -> &std::sync::Arc<zc_trace::Telemetry> {
+        &self.ctx.telemetry
+    }
+
+    /// Trace id of the request most recently sent or received on this
+    /// connection (`0` before the first traced exchange).
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
+    }
+
+    /// Render the last `n` flight-recorder events touching this connection
+    /// (`None` when telemetry is disabled).
+    pub fn post_mortem(&self, n: usize) -> Option<String> {
+        self.ctx.telemetry.post_mortem(self.conn_id, n)
     }
 
     /// An argument/result encoder configured for this connection (meter,
@@ -214,12 +252,33 @@ impl GiopConn {
             // already announced by the manifest in the control message.
             for block in &deposits {
                 self.conn.send_data(block)?;
+                if self.ctx.telemetry.is_enabled() {
+                    self.ctx
+                        .telemetry
+                        .metrics()
+                        .deposit_block_bytes
+                        .record(block.len() as u64);
+                }
+                self.ctx.telemetry.record(
+                    TraceLayer::Giop,
+                    EventKind::DepositSent,
+                    self.conn_id,
+                    self.last_trace_id,
+                    block.len() as u64,
+                );
             }
         } else {
             // Ablation A1: couple data back into the control message.
             // Blocks are *copied* inline (metered as marshal: this is the
             // buffering the separation avoids), before the argument bytes.
             for block in &deposits {
+                if self.ctx.telemetry.is_enabled() {
+                    self.ctx
+                        .telemetry
+                        .metrics()
+                        .deposit_block_bytes
+                        .record(block.len() as u64);
+                }
                 header_enc.align(8);
                 let bytes = block.as_slice();
                 header_enc.write_u32(bytes.len() as u32);
@@ -317,6 +376,13 @@ impl GiopConn {
             let mut blocks = Vec::with_capacity(manifest.block_count());
             for &len in &manifest.block_lengths {
                 blocks.push(self.conn.recv_data(len as usize)?);
+                self.ctx.telemetry.record(
+                    TraceLayer::Giop,
+                    EventKind::DepositReceived,
+                    self.conn_id,
+                    self.last_trace_id,
+                    len,
+                );
             }
             Ok((blocks, align_up(after_header, 8)))
         } else {
@@ -390,6 +456,8 @@ impl GiopConn {
         self.check_poisoned()?;
         let (args, deposits) = args_enc.finish();
         let request_id = self.alloc_request_id();
+        let trace_id = zc_trace::next_trace_id();
+        self.last_trace_id = trace_id;
         // zc-audit: allow(control-plane) — object keys are small identifiers, not payload
         let mut header = RequestHeader::new(request_id, object_key.to_vec(), operation);
         header.response_expected = response_expected;
@@ -401,9 +469,26 @@ impl GiopConn {
                 .to_context(),
             );
         }
+        // Always stamped: the id is cheap to carry, and a receiver with
+        // telemetry enabled can then correlate even when ours is off.
+        header
+            .service_contexts
+            .push(TraceContext { trace_id }.to_context());
+        let dep_bytes: u64 = deposits.iter().map(|b| b.len() as u64).sum();
         let mut enc = CdrEncoder::new(self.wire_order());
         header.marshal(&mut enc)?;
         self.send_message(MessageType::Request, enc, &args, deposits)?;
+        let tele = &self.ctx.telemetry;
+        if tele.is_enabled() {
+            tele.metrics().requests_sent.incr();
+        }
+        tele.record(
+            TraceLayer::Giop,
+            EventKind::RequestSent,
+            self.conn_id,
+            trace_id,
+            dep_bytes,
+        );
         Ok(request_id)
     }
 
@@ -441,6 +526,17 @@ impl GiopConn {
                 let (deposits, results_offset) =
                     self.collect_deposits(manifest, &body, after_header, order)?;
                 let zc = self.zc_active();
+                let tele = &self.ctx.telemetry;
+                if tele.is_enabled() {
+                    tele.metrics().replies_ok.incr();
+                }
+                tele.record(
+                    TraceLayer::Giop,
+                    EventKind::ReplyReceived,
+                    self.conn_id,
+                    self.last_trace_id,
+                    deposits.iter().map(|b| b.len() as u64).sum(),
+                );
                 Ok(IncomingReply {
                     body,
                     results_offset,
@@ -454,6 +550,17 @@ impl GiopConn {
                 ReplyHeader::demarshal(&mut dec)?;
                 dec.align(8)?;
                 let ex = SystemException::demarshal(&mut dec)?;
+                let tele = &self.ctx.telemetry;
+                if tele.is_enabled() {
+                    tele.metrics().replies_exception.incr();
+                }
+                tele.record(
+                    TraceLayer::Giop,
+                    EventKind::Error,
+                    self.conn_id,
+                    self.last_trace_id,
+                    ex.minor as u64,
+                );
                 Err(OrbError::System(ex))
             }
             ReplyStatus::UserException => {
@@ -491,9 +598,32 @@ impl GiopConn {
                     let header = RequestHeader::demarshal(&mut dec)?;
                     let after_header = dec.position();
                     let manifest = DepositManifest::find_in(&header.service_contexts)?;
+                    // A malformed trace context is ignored, not rejected:
+                    // tracing is advisory and must never fail a request.
+                    let trace_id = TraceContext::find_in(&header.service_contexts)
+                        .ok()
+                        .flatten()
+                        .map(|t| t.trace_id)
+                        .unwrap_or(0);
+                    self.last_trace_id = trace_id;
                     let (deposits, args_offset) =
                         self.collect_deposits(manifest, &body, after_header, order)?;
                     let zc = self.zc_active();
+                    let tele = &self.ctx.telemetry;
+                    if tele.is_enabled() {
+                        let m = tele.metrics();
+                        m.requests_received.incr();
+                        if trace_id != 0 {
+                            m.trace_contexts_seen.incr();
+                        }
+                    }
+                    tele.record(
+                        TraceLayer::Giop,
+                        EventKind::RequestReceived,
+                        self.conn_id,
+                        trace_id,
+                        deposits.iter().map(|b| b.len() as u64).sum(),
+                    );
                     return Ok(IncomingRequest {
                         header,
                         body,
@@ -501,6 +631,7 @@ impl GiopConn {
                         deposits,
                         order,
                         zc,
+                        trace_id,
                     });
                 }
                 MessageType::CancelRequest => continue,
@@ -540,9 +671,18 @@ impl GiopConn {
                 .to_context(),
             );
         }
+        let dep_bytes: u64 = deposits.iter().map(|b| b.len() as u64).sum();
         let mut enc = CdrEncoder::new(self.wire_order());
         header.marshal(&mut enc)?;
-        self.send_message(MessageType::Reply, enc, &results, deposits)
+        self.send_message(MessageType::Reply, enc, &results, deposits)?;
+        self.ctx.telemetry.record(
+            TraceLayer::Giop,
+            EventKind::ReplySent,
+            self.conn_id,
+            self.last_trace_id,
+            dep_bytes,
+        );
+        Ok(())
     }
 
     /// Server: send a system-exception reply.
@@ -555,7 +695,15 @@ impl GiopConn {
         let mut body_enc = CdrEncoder::new(self.wire_order());
         ex.marshal(&mut body_enc)?;
         let payload = body_enc.finish_stream();
-        self.send_message(MessageType::Reply, enc, &payload, Vec::new())
+        self.send_message(MessageType::Reply, enc, &payload, Vec::new())?;
+        self.ctx.telemetry.record(
+            TraceLayer::Giop,
+            EventKind::Error,
+            self.conn_id,
+            self.last_trace_id,
+            ex.minor as u64,
+        );
+        Ok(())
     }
 
     /// Server: send a user-exception reply (repo id + encoded members).

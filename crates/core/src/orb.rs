@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 use zc_buffers::{CopyMeter, PagePool};
 use zc_cdr::CdrDecoder;
 use zc_giop::{Handshake, Ior, SystemException, SystemExceptionKind};
+use zc_trace::{EventKind, OrbTelemetry, Telemetry, TraceLayer};
 use zc_transport::{
     Acceptor, Connection, SimNetwork, TcpTransportListener, TransportCtx, TransportError,
 };
@@ -91,6 +92,21 @@ impl Orb {
     /// The ORB's configuration.
     pub fn config(&self) -> &OrbConfig {
         &self.inner.config
+    }
+
+    /// The ORB's telemetry handle (disabled unless installed via
+    /// [`OrbBuilder::telemetry`]).
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.inner.ctx.telemetry)
+    }
+
+    /// One merged observability snapshot: flight-recorder state, copy
+    /// meter, transport totals, pool statistics and ORB metrics.
+    pub fn telemetry_snapshot(&self) -> OrbTelemetry {
+        self.inner
+            .ctx
+            .telemetry
+            .orb_snapshot(self.inner.ctx.meter.snapshot(), self.inner.ctx.pool.stats())
     }
 
     fn local_handshake(&self) -> Handshake {
@@ -208,14 +224,24 @@ impl Orb {
             Ok(gc) => gc,
             Err(_) => return, // failed or garbled handshake: drop quietly
         };
+        let tele = self.telemetry();
         loop {
             let incoming = match gc.recv_request() {
                 Ok(r) => r,
                 Err(OrbError::Transport(TransportError::Closed)) => break,
-                Err(_) => break,
+                Err(e) => {
+                    // Unexpected teardown: dump the connection's recent
+                    // flight-recorder events for post-mortem diagnosis.
+                    if let Some(dump) = gc.post_mortem(16) {
+                        eprintln!("zcorba: connection error: {e}\n{dump}");
+                    }
+                    break;
+                }
             };
             let request_id = incoming.header.request_id;
             let response_expected = incoming.header.response_expected;
+            let trace_id = incoming.trace_id;
+            let dispatch_start = tele.is_enabled().then(std::time::Instant::now);
 
             // Build the argument decoder over the received body, wired to
             // the deposited blocks when the connection is in ZC mode.
@@ -237,6 +263,17 @@ impl Orb {
                     let (enc, ex, _) = sreq.finish();
                     r.map(|()| (enc, ex))
                 });
+            if let Some(start) = dispatch_start {
+                let elapsed = start.elapsed().as_nanos() as u64;
+                tele.metrics().dispatch_ns.record(elapsed);
+                tele.record(
+                    TraceLayer::Orb,
+                    EventKind::Dispatch,
+                    gc.trace_conn_id(),
+                    trace_id,
+                    elapsed,
+                );
+            }
 
             if !response_expected {
                 continue;
@@ -281,6 +318,7 @@ pub struct OrbBuilder {
     config: OrbConfig,
     meter: Option<Arc<CopyMeter>>,
     pool: Option<PagePool>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl OrbBuilder {
@@ -315,6 +353,15 @@ impl OrbBuilder {
         self
     }
 
+    /// Install a telemetry handle (flight recorder + metrics). Share one
+    /// handle between the client and server ORBs of an experiment to get a
+    /// single merged event stream. Omitted: telemetry is disabled and the
+    /// data path pays one boolean check per would-be event.
+    pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Ablation A4: disable out-of-band deposits (marshal bypass only).
     pub fn deposit_enabled(mut self, enabled: bool) -> Self {
         self.config.tuning.deposit_enabled = enabled;
@@ -343,9 +390,14 @@ impl OrbBuilder {
             .expect("OrbBuilder: select .sim(net) or .tcp()");
         let meter = self.meter.unwrap_or_else(CopyMeter::new_shared);
         let pool = self.pool.unwrap_or_else(PagePool::default_for_orb);
+        let telemetry = self.telemetry.unwrap_or_else(Telemetry::disabled);
         Orb {
             inner: Arc::new(OrbInner {
-                ctx: TransportCtx { meter, pool },
+                ctx: TransportCtx {
+                    meter,
+                    pool,
+                    telemetry,
+                },
                 transport,
                 config: self.config,
                 adapter: Arc::new(ObjectAdapter::new()),

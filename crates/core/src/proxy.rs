@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 use zc_buffers::ZcBytes;
 use zc_cdr::{CdrDecoder, CdrEncoder, CdrMarshal};
 use zc_giop::Ior;
+use zc_trace::{EventKind, TraceLayer};
 
 use crate::conn::{GiopConn, IncomingReply};
 use crate::{OrbError, OrbResult};
@@ -124,11 +125,37 @@ impl StaticRequest {
             return Err(e);
         }
         let mut conn = target.conn.lock();
+        let tele = Arc::clone(conn.telemetry());
+        let start = tele.is_enabled().then(std::time::Instant::now);
         let id = conn.send_request(&target.object_key, &operation, true, enc)?;
-        let incoming = match timeout {
-            None => conn.recv_reply(id)?,
-            Some(d) => conn.recv_reply_timeout(id, d)?,
+        let result = match timeout {
+            None => conn.recv_reply(id),
+            Some(d) => conn.recv_reply_timeout(id, d),
         };
+        let incoming = match result {
+            Ok(r) => r,
+            Err(e) => {
+                if matches!(e, OrbError::System(_) | OrbError::Transport(_)) {
+                    // Failed invocation: dump the connection's recent
+                    // events to aid post-mortem diagnosis.
+                    if let Some(dump) = conn.post_mortem(16) {
+                        eprintln!("zcorba: invocation of {operation:?} failed: {e}\n{dump}");
+                    }
+                }
+                return Err(e);
+            }
+        };
+        if let Some(start) = start {
+            let elapsed = start.elapsed().as_nanos() as u64;
+            tele.metrics().request_latency_ns.record(elapsed);
+            tele.record(
+                TraceLayer::Orb,
+                EventKind::Invoke,
+                conn.trace_conn_id(),
+                conn.last_trace_id(),
+                elapsed,
+            );
+        }
         let meter = conn.meter();
         Ok(Reply { incoming, meter })
     }

@@ -10,6 +10,10 @@ pub const SVC_CTX_DEPOSIT: u32 = 0x5A43_0001;
 /// negotiation itself happens in the connection handshake).
 pub const SVC_CTX_NEGOTIATE: u32 = 0x5A43_0002;
 
+/// Service-context id for the zcorba trace context: propagates a request's
+/// trace id so client and server flight-recorder spans can be correlated.
+pub const SVC_CTX_TRACE: u32 = 0x5A43_0003;
+
 /// A single GIOP service context: an id plus opaque encapsulated data.
 ///
 /// Standard CORBA receivers skip contexts they do not understand, which is
@@ -124,6 +128,55 @@ impl DepositManifest {
     }
 }
 
+/// The trace context: a 64-bit trace id stamped on a Request by the caller
+/// and echoed into every event the receiver records while serving it. Like
+/// the deposit manifest it travels as a CDR encapsulation (byte-order flag
+/// octet, then the id), so either endianness interoperates. A peer that
+/// does not understand it skips it, per standard service-context rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// The caller-allocated trace id (`0` conventionally means untraced).
+    pub trace_id: u64,
+}
+
+impl TraceContext {
+    /// Encode into a service context.
+    pub fn to_context(&self) -> ServiceContext {
+        let mut enc = CdrEncoder::native();
+        enc.write_octet(enc.order().flag() as u8); // encapsulation-style flag
+        enc.write_u64(self.trace_id);
+        ServiceContext {
+            id: SVC_CTX_TRACE,
+            data: enc.finish_stream(),
+        }
+    }
+
+    /// Decode from a service context previously produced by
+    /// [`TraceContext::to_context`]. Returns `None` if the id differs.
+    pub fn from_context(ctx: &ServiceContext) -> CdrResult<Option<TraceContext>> {
+        if ctx.id != SVC_CTX_TRACE {
+            return Ok(None);
+        }
+        let flag = *ctx
+            .data
+            .first()
+            .ok_or(zc_cdr::CdrError::OutOfBounds { need: 1, have: 0 })?;
+        let order = zc_cdr::ByteOrder::from_flag(flag & 1 == 1);
+        let mut dec = CdrDecoder::new(&ctx.data, order);
+        dec.read_octet()?; // flag
+        let trace_id = dec.read_u64()?;
+        Ok(Some(TraceContext { trace_id }))
+    }
+
+    /// Scan a context list for a trace context.
+    pub fn find_in(list: &[ServiceContext]) -> CdrResult<Option<TraceContext>> {
+        match ServiceContext::find(list, SVC_CTX_TRACE) {
+            Some(ctx) => TraceContext::from_context(ctx),
+            None => Ok(None),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +258,48 @@ mod tests {
         .to_context();
         ctx.data.truncate(8);
         assert!(DepositManifest::from_context(&ctx).is_err());
+    }
+
+    #[test]
+    fn trace_context_roundtrip() {
+        let t = TraceContext {
+            trace_id: 0xDEAD_BEEF_1234_5678,
+        };
+        let ctx = t.to_context();
+        assert_eq!(ctx.id, SVC_CTX_TRACE);
+        let back = TraceContext::from_context(&ctx).unwrap().unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn trace_context_ignores_foreign_id() {
+        let ctx = ServiceContext {
+            id: SVC_CTX_DEPOSIT,
+            data: vec![0, 1, 2],
+        };
+        assert_eq!(TraceContext::from_context(&ctx).unwrap(), None);
+    }
+
+    #[test]
+    fn trace_context_find_in_mixed_list() {
+        let t = TraceContext { trace_id: 42 };
+        let list = vec![
+            DepositManifest {
+                block_lengths: vec![8],
+            }
+            .to_context(),
+            t.to_context(),
+        ];
+        assert_eq!(TraceContext::find_in(&list).unwrap().unwrap(), t);
+        assert_eq!(TraceContext::find_in(&list[..1]).unwrap(), None);
+        // Both contexts coexist on one request.
+        assert!(DepositManifest::find_in(&list).unwrap().is_some());
+    }
+
+    #[test]
+    fn truncated_trace_context_rejected() {
+        let mut ctx = TraceContext { trace_id: 7 }.to_context();
+        ctx.data.truncate(4);
+        assert!(TraceContext::from_context(&ctx).is_err());
     }
 }

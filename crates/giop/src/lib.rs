@@ -26,7 +26,10 @@ pub mod msg;
 pub mod reply;
 pub mod request;
 
-pub use context::{DepositManifest, ServiceContext, SVC_CTX_DEPOSIT, SVC_CTX_NEGOTIATE};
+pub use context::{
+    DepositManifest, ServiceContext, TraceContext, SVC_CTX_DEPOSIT, SVC_CTX_NEGOTIATE,
+    SVC_CTX_TRACE,
+};
 pub use handshake::{Handshake, Negotiated};
 pub use ior::{IiopProfile, Ior, TaggedProfile};
 pub use msg::{

@@ -1,0 +1,184 @@
+//! The trace event: a tiny `Copy` record of one thing that happened on the
+//! request path.
+//!
+//! Events are deliberately flat — six machine words, no strings, no heap —
+//! so recording one cannot allocate and cannot perturb the zero-copy
+//! numbers the recorder exists to explain. Context that would need a string
+//! (operation names, peers) stays out of the event; the `trace_id` is the
+//! join key back to richer request state.
+
+/// The layer of the stack an event was recorded at. Mirrors the path of a
+/// request through the middleware: application → ORB core → GIOP engine →
+/// transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TraceLayer {
+    /// Application / benchmark harness.
+    App = 0,
+    /// ORB core: proxies, dispatch, object adapter.
+    Orb = 1,
+    /// GIOP engine: request/reply framing, deposit manifests.
+    Giop = 2,
+    /// Transport: frames, speculation, the wire.
+    Transport = 3,
+}
+
+impl TraceLayer {
+    /// All layers, in data-path order.
+    pub const ALL: [TraceLayer; 4] = [
+        TraceLayer::App,
+        TraceLayer::Orb,
+        TraceLayer::Giop,
+        TraceLayer::Transport,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLayer::App => "app",
+            TraceLayer::Orb => "orb",
+            TraceLayer::Giop => "giop",
+            TraceLayer::Transport => "transport",
+        }
+    }
+
+    /// Inverse of `self as u8`.
+    pub fn from_u8(v: u8) -> Option<TraceLayer> {
+        TraceLayer::ALL.into_iter().find(|l| *l as u8 == v)
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A Request left this endpoint (payload: announced deposit bytes).
+    RequestSent = 0,
+    /// A Request arrived (payload: announced deposit bytes).
+    RequestReceived = 1,
+    /// A Reply left this endpoint (payload: result bytes).
+    ReplySent = 2,
+    /// A Reply arrived (payload: body bytes).
+    ReplyReceived = 3,
+    /// One deposit block shipped on the data path (payload: block bytes).
+    DepositSent = 4,
+    /// One deposit block landed (payload: block bytes).
+    DepositReceived = 5,
+    /// A zero-copy receive speculation held (payload: block bytes).
+    SpecHit = 6,
+    /// A speculation missed; the fallback copy ran (payload: block bytes).
+    SpecMiss = 7,
+    /// Client-side invocation completed (payload: latency in ns).
+    Invoke = 8,
+    /// Server-side servant dispatch completed (payload: duration in ns).
+    Dispatch = 9,
+    /// An error surfaced (payload: implementation-defined code).
+    Error = 10,
+}
+
+impl EventKind {
+    /// All kinds.
+    pub const ALL: [EventKind; 11] = [
+        EventKind::RequestSent,
+        EventKind::RequestReceived,
+        EventKind::ReplySent,
+        EventKind::ReplyReceived,
+        EventKind::DepositSent,
+        EventKind::DepositReceived,
+        EventKind::SpecHit,
+        EventKind::SpecMiss,
+        EventKind::Invoke,
+        EventKind::Dispatch,
+        EventKind::Error,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::RequestSent => "request-sent",
+            EventKind::RequestReceived => "request-recv",
+            EventKind::ReplySent => "reply-sent",
+            EventKind::ReplyReceived => "reply-recv",
+            EventKind::DepositSent => "deposit-sent",
+            EventKind::DepositReceived => "deposit-recv",
+            EventKind::SpecHit => "spec-hit",
+            EventKind::SpecMiss => "spec-miss",
+            EventKind::Invoke => "invoke",
+            EventKind::Dispatch => "dispatch",
+            EventKind::Error => "error",
+        }
+    }
+
+    /// Inverse of `self as u8`.
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| *k as u8 == v)
+    }
+}
+
+/// One recorded event. Small and `Copy`: recording moves six words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process trace epoch ([`crate::now_ns`]).
+    pub ts_ns: u64,
+    /// The connection the event belongs to ([`crate::next_conn_id`]).
+    pub conn_id: u64,
+    /// The invocation the event belongs to; `0` when unknown (e.g. a
+    /// request from a peer that does not stamp `ZC_TRACE` contexts).
+    pub trace_id: u64,
+    /// Stack layer.
+    pub layer: TraceLayer,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific scalar (bytes, nanoseconds, error code).
+    pub payload: u64,
+}
+
+impl TraceEvent {
+    /// Pack layer + kind into one word for the recorder's atomic slot.
+    pub(crate) fn meta(&self) -> u64 {
+        ((self.layer as u64) << 8) | self.kind as u64
+    }
+
+    /// Inverse of [`TraceEvent::meta`].
+    pub(crate) fn unpack_meta(meta: u64) -> Option<(TraceLayer, EventKind)> {
+        let layer = TraceLayer::from_u8(((meta >> 8) & 0xFF) as u8)?;
+        let kind = EventKind::from_u8((meta & 0xFF) as u8)?;
+        Some((layer, kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_roundtrip() {
+        for layer in TraceLayer::ALL {
+            for kind in EventKind::ALL {
+                let ev = TraceEvent {
+                    ts_ns: 0,
+                    conn_id: 0,
+                    trace_id: 0,
+                    layer,
+                    kind,
+                    payload: 0,
+                };
+                assert_eq!(TraceEvent::unpack_meta(ev.meta()), Some((layer, kind)));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_meta_rejected() {
+        assert_eq!(TraceEvent::unpack_meta(0xFF00), None);
+        assert_eq!(TraceEvent::unpack_meta(0x00FF), None);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::ALL.len());
+    }
+}

@@ -1,0 +1,90 @@
+//! `zc-trace` — observability for the zero-copy ORB.
+//!
+//! Three cooperating layers, cheapest first:
+//!
+//! 1. **Flight recorder** ([`FlightRecorder`]) — a lock-free, fixed-size
+//!    ring of [`TraceEvent`]s. Recording is allocation-free and never
+//!    blocks; when tracing is disabled it is a no-op after a single plain
+//!    boolean load. This is the per-event view: one Request produces a
+//!    `request-sent` span on the client and a `request-recv` span on the
+//!    server, correlated by the trace id carried in the `ZC_TRACE` GIOP
+//!    service context.
+//! 2. **Metrics registry** ([`MetricsRegistry`]) — atomic counters and
+//!    log2-bucketed [`Histogram`]s (request latency, deposit-block sizes,
+//!    fragment counts), plus [`TransportCounters`]: the ORB-wide mirror
+//!    that merges every connection's `ConnStats` so totals survive
+//!    connection teardown.
+//! 3. **Unified report** ([`OrbTelemetry`]) — one snapshot joining the
+//!    above with the `CopyMeter` and `PagePool` accounting from
+//!    `zc-buffers`, exportable as a text table or JSON lines.
+//!
+//! The paper's claim is an accounting claim (§5: copy cost dominates);
+//! this crate is the ledger.
+
+mod event;
+mod metrics;
+mod recorder;
+mod report;
+mod telemetry;
+
+pub use event::{EventKind, TraceEvent, TraceLayer};
+pub use metrics::{
+    Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, TransportCounters,
+    TransportField, TransportTotals, HISTOGRAM_BUCKETS,
+};
+pub use recorder::FlightRecorder;
+pub use report::OrbTelemetry;
+pub use telemetry::Telemetry;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide trace epoch (first use). Monotonic,
+/// allocation-free; all [`TraceEvent::ts_ns`] values share this clock so
+/// client and server spans of an in-process experiment are comparable.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a process-unique trace id (never 0; 0 means "untraced").
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Allocate a process-unique connection id for trace correlation (never 0).
+pub fn next_conn_id() -> u64 {
+    NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        let c = next_conn_id();
+        let d = next_conn_id();
+        assert_ne!(c, 0);
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let t1 = now_ns();
+        let t2 = now_ns();
+        assert!(t2 >= t1);
+    }
+}

@@ -1,0 +1,511 @@
+//! The metrics registry: atomic counters, log2-bucketed histograms, and the
+//! transport-counter mirror that merges every connection's `ConnStats` into
+//! one ORB-wide total.
+//!
+//! Everything here is a fixed-size group of relaxed atomics — recording a
+//! sample is a handful of `fetch_add`s, never an allocation and never a
+//! lock, so the registry is safe to update from the data path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per power of two a `u64` sample can
+/// reach, plus the zero bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Upper bound of bucket `i` (inclusive): `0`, then `2^i - 1`.
+#[inline]
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples. Bucket `i > 0` holds samples
+/// in `[2^(i-1), 2^i)`; bucket 0 holds zeros.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        #[allow(clippy::declare_interior_mutable_const)] // array-init seed
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Capture the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram(count: {})", self.count())
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate: the inclusive upper bound of the bucket holding
+    /// the `q`-quantile sample. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterate `(bucket_upper_bound, count)` over non-empty buckets.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (bucket_bound(i), c))
+    }
+}
+
+/// The per-connection transport counters, as field indices. One enum shared
+/// by `ConnStats` cells and the ORB-wide mirror keeps both accountings in
+/// lockstep by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum TransportField {
+    /// Control messages sent.
+    ControlSent = 0,
+    /// Control messages received.
+    ControlRecv = 1,
+    /// Data blocks sent.
+    DataBlocksSent = 2,
+    /// Data blocks received.
+    DataBlocksRecv = 3,
+    /// Payload bytes sent (control + data).
+    BytesSent = 4,
+    /// Payload bytes received (control + data).
+    BytesRecv = 5,
+    /// Frames put on the wire.
+    FramesSent = 6,
+    /// Wire bytes (headers + payload) sent.
+    WireBytesSent = 7,
+    /// Wire bytes (headers + payload) received.
+    WireBytesRecv = 8,
+    /// Zero-copy receive speculations that held.
+    SpecHits = 9,
+    /// Speculations that missed (fallback copy).
+    SpecMisses = 10,
+}
+
+impl TransportField {
+    /// Number of fields.
+    pub const COUNT: usize = 11;
+
+    /// All fields, in index order.
+    pub const ALL: [TransportField; TransportField::COUNT] = [
+        TransportField::ControlSent,
+        TransportField::ControlRecv,
+        TransportField::DataBlocksSent,
+        TransportField::DataBlocksRecv,
+        TransportField::BytesSent,
+        TransportField::BytesRecv,
+        TransportField::FramesSent,
+        TransportField::WireBytesSent,
+        TransportField::WireBytesRecv,
+        TransportField::SpecHits,
+        TransportField::SpecMisses,
+    ];
+
+    /// Snake-case name used in reports and CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportField::ControlSent => "control_sent",
+            TransportField::ControlRecv => "control_recv",
+            TransportField::DataBlocksSent => "data_blocks_sent",
+            TransportField::DataBlocksRecv => "data_blocks_recv",
+            TransportField::BytesSent => "bytes_sent",
+            TransportField::BytesRecv => "bytes_recv",
+            TransportField::FramesSent => "frames_sent",
+            TransportField::WireBytesSent => "wire_bytes_sent",
+            TransportField::WireBytesRecv => "wire_bytes_recv",
+            TransportField::SpecHits => "spec_hits",
+            TransportField::SpecMisses => "spec_misses",
+        }
+    }
+}
+
+/// ORB-wide transport totals: every connection's stats cell mirrors its
+/// increments here, so one snapshot covers connections that have already
+/// closed.
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    cells: [AtomicU64; TransportField::COUNT],
+}
+
+impl TransportCounters {
+    /// Add `n` to `field`.
+    #[inline]
+    pub fn add(&self, field: TransportField, n: u64) {
+        self.cells[field as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of `field`.
+    #[inline]
+    pub fn get(&self, field: TransportField) -> u64 {
+        self.cells[field as usize].load(Ordering::Relaxed)
+    }
+
+    /// Capture the current totals.
+    pub fn snapshot(&self) -> TransportTotals {
+        let mut t = TransportTotals::default();
+        for f in TransportField::ALL {
+            t.set(f, self.get(f));
+        }
+        t
+    }
+}
+
+/// Point-in-time transport totals (the merged view of all `ConnStats`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TransportTotals {
+    /// Control messages sent.
+    pub control_sent: u64,
+    /// Control messages received.
+    pub control_recv: u64,
+    /// Data blocks sent.
+    pub data_blocks_sent: u64,
+    /// Data blocks received.
+    pub data_blocks_recv: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
+    /// Frames put on the wire.
+    pub frames_sent: u64,
+    /// Wire bytes sent.
+    pub wire_bytes_sent: u64,
+    /// Wire bytes received.
+    pub wire_bytes_recv: u64,
+    /// Speculations that held.
+    pub spec_hits: u64,
+    /// Speculations that missed.
+    pub spec_misses: u64,
+}
+
+impl TransportTotals {
+    /// Value of `field`.
+    pub fn get(&self, field: TransportField) -> u64 {
+        match field {
+            TransportField::ControlSent => self.control_sent,
+            TransportField::ControlRecv => self.control_recv,
+            TransportField::DataBlocksSent => self.data_blocks_sent,
+            TransportField::DataBlocksRecv => self.data_blocks_recv,
+            TransportField::BytesSent => self.bytes_sent,
+            TransportField::BytesRecv => self.bytes_recv,
+            TransportField::FramesSent => self.frames_sent,
+            TransportField::WireBytesSent => self.wire_bytes_sent,
+            TransportField::WireBytesRecv => self.wire_bytes_recv,
+            TransportField::SpecHits => self.spec_hits,
+            TransportField::SpecMisses => self.spec_misses,
+        }
+    }
+
+    fn set(&mut self, field: TransportField, v: u64) {
+        match field {
+            TransportField::ControlSent => self.control_sent = v,
+            TransportField::ControlRecv => self.control_recv = v,
+            TransportField::DataBlocksSent => self.data_blocks_sent = v,
+            TransportField::DataBlocksRecv => self.data_blocks_recv = v,
+            TransportField::BytesSent => self.bytes_sent = v,
+            TransportField::BytesRecv => self.bytes_recv = v,
+            TransportField::FramesSent => self.frames_sent = v,
+            TransportField::WireBytesSent => self.wire_bytes_sent = v,
+            TransportField::WireBytesRecv => self.wire_bytes_recv = v,
+            TransportField::SpecHits => self.spec_hits = v,
+            TransportField::SpecMisses => self.spec_misses = v,
+        }
+    }
+
+    /// Fraction of receive speculations that held, in `[0, 1]`; `1.0` when
+    /// no speculation ran (nothing missed).
+    pub fn spec_hit_rate(&self) -> f64 {
+        let total = self.spec_hits + self.spec_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.spec_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The fixed set of ORB metrics. Fields are public: call sites update the
+/// counter or histogram they own directly.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Requests sent by this endpoint's client side.
+    pub requests_sent: Counter,
+    /// Requests received by this endpoint's server side.
+    pub requests_received: Counter,
+    /// Successful replies received by the client side.
+    pub replies_ok: Counter,
+    /// Exception replies received by the client side.
+    pub replies_exception: Counter,
+    /// Received requests that carried a `ZC_TRACE` service context.
+    pub trace_contexts_seen: Counter,
+    /// Client-observed request→reply latency, in nanoseconds.
+    pub request_latency_ns: Histogram,
+    /// Server-side servant dispatch duration, in nanoseconds.
+    pub dispatch_ns: Histogram,
+    /// Size of each deposit block sent, in bytes.
+    pub deposit_block_bytes: Histogram,
+    /// Wire fragments per received data block.
+    pub frames_per_block: Histogram,
+}
+
+impl MetricsRegistry {
+    /// Capture the current state of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests_sent: self.requests_sent.get(),
+            requests_received: self.requests_received.get(),
+            replies_ok: self.replies_ok.get(),
+            replies_exception: self.replies_exception.get(),
+            trace_contexts_seen: self.trace_contexts_seen.get(),
+            request_latency_ns: self.request_latency_ns.snapshot(),
+            dispatch_ns: self.dispatch_ns.snapshot(),
+            deposit_block_bytes: self.deposit_block_bytes.snapshot(),
+            frames_per_block: self.frames_per_block.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copy of the [`MetricsRegistry`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MetricsSnapshot {
+    /// Requests sent (client side).
+    pub requests_sent: u64,
+    /// Requests received (server side).
+    pub requests_received: u64,
+    /// Successful replies received.
+    pub replies_ok: u64,
+    /// Exception replies received.
+    pub replies_exception: u64,
+    /// Received requests carrying a `ZC_TRACE` context.
+    pub trace_contexts_seen: u64,
+    /// Request→reply latency histogram.
+    pub request_latency_ns: HistogramSnapshot,
+    /// Dispatch duration histogram.
+    pub dispatch_ns: HistogramSnapshot,
+    /// Deposit block size histogram.
+    pub deposit_block_bytes: HistogramSnapshot,
+    /// Fragments-per-block histogram.
+    pub frames_per_block: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds() {
+        let c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000, 1 << 20] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1 << 20);
+        assert_eq!(s.sum, 10 + 1000 + (1 << 20));
+        // zero bucket, [1,1], [2,3], [4,7], [512,1023]? no: 1000 is in
+        // [512,1023]... bucket bound 1023; 2^20 in [2^19, 2^20).
+        let buckets: Vec<(u64, u64)> = s.nonzero_buckets().collect();
+        assert_eq!(buckets[0], (0, 1));
+        assert_eq!(buckets[1], (1, 1));
+        assert_eq!(buckets[2], (3, 2));
+        assert_eq!(buckets[3], (7, 1));
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1 << 30);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 127, "p50 in the [64,127] bucket");
+        assert_eq!(s.quantile(0.99), 127);
+        assert_eq!(s.quantile(1.0), 1 << 30, "max clamps the last bucket");
+        assert!(s.mean() > 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn transport_counters_snapshot() {
+        let t = TransportCounters::default();
+        t.add(TransportField::SpecHits, 3);
+        t.add(TransportField::SpecMisses, 1);
+        t.add(TransportField::WireBytesRecv, 4096);
+        let s = t.snapshot();
+        assert_eq!(s.spec_hits, 3);
+        assert_eq!(s.spec_misses, 1);
+        assert_eq!(s.wire_bytes_recv, 4096);
+        assert_eq!(s.spec_hit_rate(), 0.75);
+        for f in TransportField::ALL {
+            assert_eq!(s.get(f), t.get(f));
+        }
+    }
+
+    #[test]
+    fn spec_rate_without_speculation_is_one() {
+        assert_eq!(TransportTotals::default().spec_hit_rate(), 1.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! The flight recorder: a lock-free, fixed-capacity ring of trace events.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Recording never blocks and never allocates.** The recorder sits on
+//!    the request path of an ORB whose entire point is to not touch payload
+//!    bytes; instrumentation that takes a lock or calls the allocator would
+//!    perturb exactly the numbers it is meant to explain. A producer that
+//!    loses a race *drops its event* (counted) instead of waiting.
+//! 2. **No event is ever torn.** Readers run concurrently with writers and
+//!    must never observe half of one event spliced with half of another.
+//! 3. **No `unsafe`.** Each slot is a group of plain atomics guarded by a
+//!    seqlock-style sequence word; exclusivity comes from a CAS claim, not
+//!    from raw pointers.
+//!
+//! Protocol: the ring cursor hands every producer a unique ticket
+//! (`fetch_add`). The producer targets slot `ticket % capacity` and tries to
+//! CAS the slot's sequence word from its current *published* (even) value to
+//! this ticket's *writing* (odd) value. Success grants exclusive write
+//! access — every other claimant's CAS must fail because the word changed —
+//! after which the fields are stored and the sequence word is published
+//! (even) with a `Release` store. A claim is refused (event dropped) when
+//! the slot is mid-write or already holds a newer ticket, so a lapped
+//! producer can neither block nor roll the ring backwards. Readers take the
+//! classic seqlock path: read the sequence word, read the fields, re-check
+//! the word; any concurrent writer changes it and the read is discarded.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use crate::event::TraceEvent;
+
+/// One ring slot: a sequence word plus the five event fields, all atomic so
+/// the racing reader/writer access is well-defined without `unsafe`.
+///
+/// Sequence states: `0` = never written; odd = write in progress; even
+/// non-zero = published, encoding the ticket as `(ticket + 1) << 1`.
+struct Slot {
+    seq: AtomicU64,
+    ts: AtomicU64,
+    conn: AtomicU64,
+    trace: AtomicU64,
+    meta: AtomicU64,
+    payload: AtomicU64,
+}
+
+impl Slot {
+    const fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            ts: AtomicU64::new(0),
+            conn: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            payload: AtomicU64::new(0),
+        }
+    }
+}
+
+#[inline]
+fn published_seq(ticket: u64) -> u64 {
+    (ticket + 1) << 1
+}
+
+/// Fixed-capacity, lock-free ring of [`TraceEvent`]s.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    mask: u64,
+    cursor: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding up to `capacity` events (rounded up to a power of
+    /// two). `capacity == 0` builds a slotless recorder whose `record` is a
+    /// no-op — the disabled configuration.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = if capacity == 0 {
+            0
+        } else {
+            capacity.next_power_of_two()
+        };
+        let slots: Box<[Slot]> = (0..cap).map(|_| Slot::new()).collect();
+        FlightRecorder {
+            slots,
+            mask: (cap as u64).wrapping_sub(1),
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots (a power of two, or 0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Record one event. Lock-free and allocation-free; drops the event
+    /// (counted in [`FlightRecorder::dropped`]) rather than ever waiting.
+    pub fn record(&self, ev: TraceEvent) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        let published = published_seq(ticket);
+        let prev = slot.seq.load(Ordering::Relaxed);
+        // Refuse the claim if another producer is mid-write (odd) or the
+        // slot already holds a newer generation (we were lapped while
+        // descheduled). Either way: drop, never block.
+        if prev & 1 == 1 || prev >= published {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if slot
+            .seq
+            .compare_exchange(prev, published | 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // The CAS succeeded from a published (even) state: this producer
+        // owns the slot exclusively until the Release store below.
+        slot.ts.store(ev.ts_ns, Ordering::Relaxed);
+        slot.conn.store(ev.conn_id, Ordering::Relaxed);
+        slot.trace.store(ev.trace_id, Ordering::Relaxed);
+        slot.meta.store(ev.meta(), Ordering::Relaxed);
+        slot.payload.store(ev.payload, Ordering::Relaxed);
+        slot.seq.store(published, Ordering::Release);
+    }
+
+    /// Total record attempts so far (including dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped because a claim was refused (slot mid-write or
+    /// lapped). Always `0` in single-producer use.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Seqlock read of one slot: `(ticket, event)` if the slot holds a
+    /// stable published event, `None` otherwise.
+    fn read_slot(&self, idx: usize) -> Option<(u64, TraceEvent)> {
+        let slot = &self.slots[idx];
+        let s1 = slot.seq.load(Ordering::Acquire);
+        if s1 == 0 || s1 & 1 == 1 {
+            return None;
+        }
+        let ts_ns = slot.ts.load(Ordering::Relaxed);
+        let conn_id = slot.conn.load(Ordering::Relaxed);
+        let trace_id = slot.trace.load(Ordering::Relaxed);
+        let meta = slot.meta.load(Ordering::Relaxed);
+        let payload = slot.payload.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        if slot.seq.load(Ordering::Relaxed) != s1 {
+            return None; // a writer raced us; discard the read
+        }
+        let (layer, kind) = TraceEvent::unpack_meta(meta)?;
+        Some((
+            (s1 >> 1) - 1,
+            TraceEvent {
+                ts_ns,
+                conn_id,
+                trace_id,
+                layer,
+                kind,
+                payload,
+            },
+        ))
+    }
+
+    /// The events currently readable, oldest first (by ring ticket).
+    /// Concurrent-writer slots are skipped, so a snapshot taken during
+    /// recording is a consistent sample, not a barrier.
+    pub fn snapshot(&self) -> Vec<(u64, TraceEvent)> {
+        let mut out: Vec<(u64, TraceEvent)> = (0..self.slots.len())
+            .filter_map(|i| self.read_slot(i))
+            .collect();
+        out.sort_unstable_by_key(|(ticket, _)| *ticket);
+        out
+    }
+
+    /// The events currently readable, oldest first, without tickets.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.snapshot().into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// The last `n` readable events recorded for `conn_id`, oldest first —
+    /// the post-mortem view after a connection error.
+    pub fn recent_for_conn(&self, conn_id: u64, n: usize) -> Vec<TraceEvent> {
+        let mut all = self.snapshot();
+        all.retain(|(_, e)| e.conn_id == conn_id);
+        let skip = all.len().saturating_sub(n);
+        all.into_iter().skip(skip).map(|(_, e)| e).collect()
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TraceLayer};
+
+    fn ev(trace_id: u64, payload: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns: 1,
+            conn_id: 7,
+            trace_id,
+            layer: TraceLayer::Giop,
+            kind: EventKind::RequestSent,
+            payload,
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot_in_order() {
+        let r = FlightRecorder::new(8);
+        for i in 0..5 {
+            r.record(ev(i, i * 10));
+        }
+        let got = r.events();
+        assert_eq!(got.len(), 5);
+        for (i, e) in got.iter().enumerate() {
+            assert_eq!(e.trace_id, i as u64);
+            assert_eq!(e.payload, i as u64 * 10);
+        }
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let r = FlightRecorder::new(4);
+        for i in 0..10 {
+            r.record(ev(i, 0));
+        }
+        let got = r.events();
+        assert_eq!(got.len(), 4);
+        let ids: Vec<u64> = got.iter().map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let r = FlightRecorder::new(0);
+        r.record(ev(1, 2));
+        assert_eq!(r.capacity(), 0);
+        assert_eq!(r.recorded(), 0);
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(FlightRecorder::new(3).capacity(), 4);
+        assert_eq!(FlightRecorder::new(4).capacity(), 4);
+        assert_eq!(FlightRecorder::new(1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn recent_for_conn_filters_and_limits() {
+        let r = FlightRecorder::new(16);
+        for i in 0..6 {
+            let mut e = ev(i, 0);
+            e.conn_id = i % 2;
+            r.record(e);
+        }
+        let recent = r.recent_for_conn(0, 2);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].trace_id, 2);
+        assert_eq!(recent[1].trace_id, 4);
+    }
+}

@@ -1,0 +1,270 @@
+//! The unified telemetry report and its exporters.
+//!
+//! [`OrbTelemetry`] merges the three accounting systems — the copy meter
+//! (`zc-buffers`), the transport totals (mirrored from every connection's
+//! `ConnStats`) and the metrics registry — into one snapshot, exportable as
+//! a human text table or machine-readable JSON lines. This module is the
+//! *rendering* side of the crate: it allocates and formats freely, because
+//! it runs only when a report is asked for, never on the request path.
+
+use std::fmt::Write as _;
+
+use zc_buffers::{CopyLayer, CopySnapshot, PoolStats};
+
+use crate::event::TraceEvent;
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, TransportField, TransportTotals};
+
+/// A point-in-time, ORB-wide telemetry report.
+#[derive(Debug, Clone, Copy)]
+pub struct OrbTelemetry {
+    /// Whether the producing [`crate::Telemetry`] was enabled (a disabled
+    /// instance still snapshots meter/pool state, which is tracked
+    /// unconditionally).
+    pub enabled: bool,
+    /// Per-layer copy accounting.
+    pub copies: CopySnapshot,
+    /// Deposit-buffer pool statistics (recycle hits).
+    pub pool: PoolStats,
+    /// Merged transport totals across all connections.
+    pub transport: TransportTotals,
+    /// ORB metrics (counters + histograms).
+    pub metrics: MetricsSnapshot,
+    /// Flight-recorder record attempts.
+    pub events_recorded: u64,
+    /// Flight-recorder events dropped under contention.
+    pub events_dropped: u64,
+}
+
+impl OrbTelemetry {
+    /// Fraction of receive speculations that held.
+    pub fn spec_hit_rate(&self) -> f64 {
+        self.transport.spec_hit_rate()
+    }
+
+    /// Fraction of pool acquires served from the free list.
+    pub fn pool_recycle_rate(&self) -> f64 {
+        let total = self.pool.fresh_allocations + self.pool.reuses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool.reuses as f64 / total as f64
+        }
+    }
+
+    /// Render as an aligned text table.
+    pub fn text_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== zcorba telemetry ==");
+        let _ = writeln!(
+            out,
+            "recorder            {:>14} events {:>10} dropped",
+            self.events_recorded, self.events_dropped
+        );
+        let _ = writeln!(out, "-- copies (per layer) --");
+        out.push_str(&self.copies.report());
+        let _ = writeln!(
+            out,
+            "overhead-bytes      {:>14}",
+            self.copies.overhead_bytes()
+        );
+        let _ = writeln!(out, "-- transport totals --");
+        for f in TransportField::ALL {
+            let v = self.transport.get(f);
+            if v != 0 {
+                let _ = writeln!(out, "{:<20}{v:>14}", f.name());
+            }
+        }
+        let _ = writeln!(
+            out,
+            "spec_hit_rate       {:>14.3}",
+            self.transport.spec_hit_rate()
+        );
+        let _ = writeln!(out, "-- pool --");
+        let _ = writeln!(
+            out,
+            "fresh/reused        {:>14} {:>10}  (recycle rate {:.3})",
+            self.pool.fresh_allocations,
+            self.pool.reuses,
+            self.pool_recycle_rate()
+        );
+        let _ = writeln!(out, "-- metrics --");
+        for (name, v) in [
+            ("requests_sent", self.metrics.requests_sent),
+            ("requests_received", self.metrics.requests_received),
+            ("replies_ok", self.metrics.replies_ok),
+            ("replies_exception", self.metrics.replies_exception),
+            ("trace_contexts_seen", self.metrics.trace_contexts_seen),
+        ] {
+            if v != 0 {
+                let _ = writeln!(out, "{name:<20}{v:>14}");
+            }
+        }
+        for (name, h) in [
+            ("request_latency_ns", &self.metrics.request_latency_ns),
+            ("dispatch_ns", &self.metrics.dispatch_ns),
+            ("deposit_block_bytes", &self.metrics.deposit_block_bytes),
+            ("frames_per_block", &self.metrics.frames_per_block),
+        ] {
+            if h.count != 0 {
+                let _ = writeln!(
+                    out,
+                    "{name:<20}{:>10} samples  mean {:>12.0}  p50 {:>12}  p99 {:>12}  max {:>12}",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.max
+                );
+            }
+        }
+        out
+    }
+
+    /// Render as JSON lines: one self-describing object per line, keyed by
+    /// a `"section"` field. Hand-rolled (no serde in the workspace); every
+    /// value is numeric or a fixed identifier, so no escaping is needed.
+    pub fn json_lines(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"section\":\"recorder\",\"enabled\":{},\"recorded\":{},\"dropped\":{}}}",
+            self.enabled, self.events_recorded, self.events_dropped
+        );
+        for layer in CopyLayer::ALL {
+            let b = self.copies.bytes(layer);
+            let e = self.copies.events(layer);
+            if b != 0 || e != 0 {
+                let _ = writeln!(
+                    out,
+                    "{{\"section\":\"copies\",\"layer\":\"{}\",\"bytes\":{b},\"events\":{e}}}",
+                    layer.name()
+                );
+            }
+        }
+        let mut t = String::new();
+        for f in TransportField::ALL {
+            let _ = write!(t, ",\"{}\":{}", f.name(), self.transport.get(f));
+        }
+        let _ = writeln!(
+            out,
+            "{{\"section\":\"transport\",\"spec_hit_rate\":{:.6}{t}}}",
+            self.transport.spec_hit_rate()
+        );
+        let _ = writeln!(
+            out,
+            "{{\"section\":\"pool\",\"fresh_allocations\":{},\"reuses\":{},\"returns\":{},\"discards\":{},\"retained_bytes\":{},\"recycle_rate\":{:.6}}}",
+            self.pool.fresh_allocations,
+            self.pool.reuses,
+            self.pool.returns,
+            self.pool.discards,
+            self.pool.retained_bytes,
+            self.pool_recycle_rate()
+        );
+        for (name, v) in [
+            ("requests_sent", self.metrics.requests_sent),
+            ("requests_received", self.metrics.requests_received),
+            ("replies_ok", self.metrics.replies_ok),
+            ("replies_exception", self.metrics.replies_exception),
+            ("trace_contexts_seen", self.metrics.trace_contexts_seen),
+        ] {
+            let _ = writeln!(
+                out,
+                "{{\"section\":\"counter\",\"name\":\"{name}\",\"value\":{v}}}"
+            );
+        }
+        for (name, h) in [
+            ("request_latency_ns", &self.metrics.request_latency_ns),
+            ("dispatch_ns", &self.metrics.dispatch_ns),
+            ("deposit_block_bytes", &self.metrics.deposit_block_bytes),
+            ("frames_per_block", &self.metrics.frames_per_block),
+        ] {
+            out.push_str(&histogram_json_line(name, h));
+        }
+        out
+    }
+}
+
+fn histogram_json_line(name: &str, h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"section\":\"histogram\",\"name\":\"{name}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{}}}\n",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.9),
+        h.quantile(0.99)
+    )
+}
+
+/// Render a connection post-mortem: the last events of one connection, one
+/// line each, oldest first.
+pub(crate) fn render_post_mortem(conn_id: u64, events: &[TraceEvent]) -> String {
+    if events.is_empty() {
+        return format!("conn {conn_id}: no recorded events\n");
+    }
+    let mut out = String::new();
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{:>14}ns conn={} trace={} {:<10} {:<14} payload={}",
+            e.ts_ns,
+            e.conn_id,
+            e.trace_id,
+            e.layer.name(),
+            e.kind.name(),
+            e.payload
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OrbTelemetry {
+        let tele = crate::Telemetry::with_capacity(8);
+        tele.record(
+            crate::TraceLayer::Giop,
+            crate::EventKind::RequestSent,
+            1,
+            2,
+            4096,
+        );
+        tele.metrics().requests_sent.incr();
+        tele.metrics().request_latency_ns.record(150_000);
+        tele.metrics().deposit_block_bytes.record(1 << 16);
+        tele.transport().add(crate::TransportField::SpecHits, 3);
+        tele.transport()
+            .add(crate::TransportField::WireBytesRecv, 9999);
+        tele.orb_snapshot(CopySnapshot::default(), PoolStats::default())
+    }
+
+    #[test]
+    fn text_table_has_sections() {
+        let t = sample().text_table();
+        assert!(t.contains("zcorba telemetry"), "{t}");
+        assert!(t.contains("spec_hit_rate"), "{t}");
+        assert!(t.contains("request_latency_ns"), "{t}");
+        assert!(t.contains("wire_bytes_recv"), "{t}");
+    }
+
+    #[test]
+    fn json_lines_are_balanced_objects() {
+        let j = sample().json_lines();
+        for line in j.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "{line}"
+            );
+            assert!(line.contains("\"section\":"), "{line}");
+        }
+        assert!(j.contains("\"name\":\"request_latency_ns\""), "{j}");
+        assert!(j.contains("\"spec_hit_rate\""), "{j}");
+        assert!(j.contains("\"wire_bytes_recv\":9999"), "{j}");
+    }
+}

@@ -1,0 +1,189 @@
+//! The telemetry handle: one shared object bundling the flight recorder,
+//! the metrics registry and the transport mirror.
+//!
+//! An `Arc<Telemetry>` rides inside `TransportCtx` next to the copy meter,
+//! so every layer that can account a copy can also record an event. The
+//! disabled handle is a real object whose `record` returns after one plain
+//! (non-RMW) boolean load — instrumentation compiles in, costs nothing
+//! measurable, and flips on without rebuilding.
+
+use std::sync::Arc;
+
+use zc_buffers::{CopySnapshot, PoolStats};
+
+use crate::event::{EventKind, TraceEvent, TraceLayer};
+use crate::metrics::{MetricsRegistry, TransportCounters};
+use crate::recorder::FlightRecorder;
+use crate::report::OrbTelemetry;
+
+/// Shared telemetry state for one ORB (or one experiment, when the client
+/// and server ORBs are handed the same instance).
+pub struct Telemetry {
+    enabled: bool,
+    recorder: FlightRecorder,
+    metrics: MetricsRegistry,
+    transport: TransportCounters,
+}
+
+impl Telemetry {
+    /// Flight-recorder capacity used by [`Telemetry::new_shared`].
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// An enabled telemetry instance with the default recorder capacity.
+    pub fn new_shared() -> Arc<Telemetry> {
+        Telemetry::with_capacity(Telemetry::DEFAULT_CAPACITY)
+    }
+
+    /// An enabled telemetry instance whose recorder holds `capacity`
+    /// events. `capacity == 0` is equivalent to [`Telemetry::disabled`].
+    pub fn with_capacity(capacity: usize) -> Arc<Telemetry> {
+        Arc::new(Telemetry {
+            enabled: capacity > 0,
+            recorder: FlightRecorder::new(capacity),
+            metrics: MetricsRegistry::default(),
+            transport: TransportCounters::default(),
+        })
+    }
+
+    /// The disabled instance: recording is a no-op after one plain boolean
+    /// load — no heap allocation, no atomic read-modify-write.
+    pub fn disabled() -> Arc<Telemetry> {
+        Telemetry::with_capacity(0)
+    }
+
+    /// Whether this instance records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event (no-op when disabled). Timestamps the event with
+    /// [`crate::now_ns`].
+    #[inline]
+    pub fn record(
+        &self,
+        layer: TraceLayer,
+        kind: EventKind,
+        conn_id: u64,
+        trace_id: u64,
+        payload: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.recorder.record(TraceEvent {
+            ts_ns: crate::now_ns(),
+            conn_id,
+            trace_id,
+            layer,
+            kind,
+            payload,
+        });
+    }
+
+    /// The flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The metrics registry. Callers must gate updates on
+    /// [`Telemetry::is_enabled`] to preserve the disabled-mode
+    /// zero-overhead guarantee.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The ORB-wide transport totals.
+    pub fn transport(&self) -> &TransportCounters {
+        &self.transport
+    }
+
+    /// `Some(self)` when enabled — the handle a per-connection stats cell
+    /// should mirror into, `None` (mirror nothing, pay nothing) otherwise.
+    pub fn transport_mirror(self: &Arc<Self>) -> Option<Arc<Telemetry>> {
+        if self.enabled {
+            Some(Arc::clone(self))
+        } else {
+            None
+        }
+    }
+
+    /// Render the last `n` events of `conn_id` as a post-mortem, one event
+    /// per line. `None` when disabled.
+    pub fn post_mortem(&self, conn_id: u64, n: usize) -> Option<String> {
+        if !self.enabled {
+            return None;
+        }
+        Some(crate::report::render_post_mortem(
+            conn_id,
+            &self.recorder.recent_for_conn(conn_id, n),
+        ))
+    }
+
+    /// Assemble the unified [`OrbTelemetry`] report from this instance plus
+    /// the copy-meter and pool snapshots the caller owns.
+    pub fn orb_snapshot(&self, copies: CopySnapshot, pool: PoolStats) -> OrbTelemetry {
+        OrbTelemetry {
+            enabled: self.enabled,
+            copies,
+            pool,
+            transport: self.transport.snapshot(),
+            metrics: self.metrics.snapshot(),
+            events_recorded: self.recorder.recorded(),
+            events_dropped: self.recorder.dropped(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled)
+            .field("recorder", &self.recorder)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Telemetry::disabled();
+        t.record(TraceLayer::Giop, EventKind::RequestSent, 1, 2, 3);
+        assert!(!t.is_enabled());
+        assert_eq!(t.recorder().recorded(), 0);
+        assert!(t.transport_mirror().is_none());
+        assert!(t.post_mortem(1, 8).is_none());
+    }
+
+    #[test]
+    fn enabled_records_and_snapshots() {
+        let t = Telemetry::with_capacity(16);
+        t.record(TraceLayer::Giop, EventKind::RequestSent, 1, 42, 100);
+        t.record(TraceLayer::Giop, EventKind::ReplyReceived, 1, 42, 5);
+        t.metrics().requests_sent.incr();
+        t.metrics().request_latency_ns.record(1234);
+        let snap = t.orb_snapshot(CopySnapshot::default(), PoolStats::default());
+        assert!(snap.enabled);
+        assert_eq!(snap.events_recorded, 2);
+        assert_eq!(snap.metrics.requests_sent, 1);
+        assert_eq!(snap.metrics.request_latency_ns.count, 1);
+        let events = t.recorder().events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].trace_id, 42);
+        assert!(events[1].ts_ns >= events[0].ts_ns);
+    }
+
+    #[test]
+    fn post_mortem_mentions_events() {
+        let t = Telemetry::with_capacity(16);
+        t.record(TraceLayer::Transport, EventKind::SpecMiss, 9, 7, 4096);
+        let pm = t.post_mortem(9, 8).unwrap();
+        assert!(pm.contains("spec-miss"), "{pm}");
+        assert!(pm.contains("4096"), "{pm}");
+        let empty = t.post_mortem(12345, 8).unwrap();
+        assert!(empty.contains("no recorded events"), "{empty}");
+    }
+}

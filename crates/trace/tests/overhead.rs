@@ -1,0 +1,82 @@
+//! Disabled-mode zero-overhead guarantees.
+//!
+//! With telemetry disabled the data path must pay exactly one boolean
+//! check per would-be event: no heap allocation, and no atomic
+//! read-modify-write (observable as the recorder cursor and metrics
+//! counters never moving). A counting global allocator proves the
+//! allocation half; the counters prove the RMW half.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use zc_trace::{EventKind, Telemetry, TraceLayer};
+
+#[test]
+fn disabled_record_allocates_nothing_and_moves_no_counter() {
+    let tele = Telemetry::disabled();
+    assert!(!tele.is_enabled());
+
+    // Warm up any lazy state (the clock epoch, test-harness buffers).
+    tele.record(TraceLayer::Orb, EventKind::Invoke, 1, 1, 0);
+
+    let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..100_000u64 {
+        tele.record(TraceLayer::Transport, EventKind::DepositSent, 1, i, 4096);
+    }
+    let allocs_after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "disabled telemetry allocated on the record path"
+    );
+
+    // No atomic RMW reached the recorder or the metrics: every cursor and
+    // counter is exactly where it started.
+    assert_eq!(tele.recorder().recorded(), 0);
+    assert_eq!(tele.recorder().dropped(), 0);
+    assert_eq!(tele.metrics().snapshot().requests_sent, 0);
+    assert_eq!(tele.transport().snapshot().bytes_sent, 0);
+}
+
+#[test]
+fn disabled_telemetry_offers_no_mirror() {
+    let tele = Telemetry::disabled();
+    assert!(
+        tele.transport_mirror().is_none(),
+        "per-connection stats must not mirror into disabled telemetry"
+    );
+    assert!(tele.post_mortem(1, 8).is_none());
+}
+
+#[test]
+fn enabled_record_does_not_allocate_either() {
+    // The ring is pre-allocated at construction: steady-state recording is
+    // allocation-free even when enabled (allocation happens only on
+    // snapshot/export).
+    let tele = Telemetry::with_capacity(1024);
+    tele.record(TraceLayer::Giop, EventKind::RequestSent, 1, 1, 0);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        tele.record(TraceLayer::Giop, EventKind::RequestSent, 1, i, 64);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "steady-state recording allocated");
+    assert_eq!(tele.recorder().recorded(), 10_001);
+}

@@ -33,12 +33,13 @@ pub mod tcp;
 
 pub use frame::{Frame, FramePayload, FRAME_HEADER_BYTES, MTU_PAYLOAD};
 pub use sim::{SimConfig, SimListener, SimNetwork, StackMode};
-pub use stats::ConnStats;
+pub use stats::{ConnStats, TransportField};
 pub use tcp::{TcpConnector, TcpTransportListener};
 
 use std::sync::Arc;
 
 use zc_buffers::{CopyMeter, PagePool, ZcBytes};
+use zc_trace::Telemetry;
 
 /// Errors raised by transports.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,6 +130,13 @@ pub trait Connection: Send {
     /// and `recv_data` fail with [`TransportError::Timeout`] after `d`;
     /// `None` restores indefinite blocking.
     fn set_recv_timeout(&mut self, timeout: Option<std::time::Duration>) -> TResult<()>;
+
+    /// Stable identifier correlating this connection's trace events
+    /// (allocated from [`zc_trace::next_conn_id`]). `0` means the
+    /// transport does not participate in tracing.
+    fn trace_conn_id(&self) -> u64 {
+        0
+    }
 }
 
 /// Something that accepts incoming [`Connection`]s.
@@ -148,30 +156,51 @@ pub trait Connector: Send + Sync {
 }
 
 /// Shared context handed to transports at construction: where to account
-/// copies.
+/// copies and where to record trace events.
 #[derive(Clone)]
 pub struct TransportCtx {
     /// The copy meter all layers record into.
     pub meter: Arc<CopyMeter>,
     /// Pool that receive paths draw page-aligned deposit buffers from.
     pub pool: PagePool,
+    /// Telemetry (flight recorder + metrics). Disabled by default; a
+    /// disabled handle costs one boolean load per would-be event.
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl TransportCtx {
-    /// Context with a fresh meter and a default pool.
+    /// Context with a fresh meter, a default pool and disabled telemetry.
     pub fn new() -> TransportCtx {
         TransportCtx {
             meter: CopyMeter::new_shared(),
             pool: PagePool::default_for_orb(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
-    /// Context with a supplied meter and a default pool.
+    /// Context with a supplied meter, a default pool and disabled
+    /// telemetry.
     pub fn with_meter(meter: Arc<CopyMeter>) -> TransportCtx {
         TransportCtx {
             meter,
             pool: PagePool::default_for_orb(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Context with a supplied meter and telemetry, and a default pool.
+    pub fn with_telemetry(meter: Arc<CopyMeter>, telemetry: Arc<Telemetry>) -> TransportCtx {
+        TransportCtx {
+            meter,
+            pool: PagePool::default_for_orb(),
+            telemetry,
+        }
+    }
+
+    /// The telemetry handle a per-connection stats cell should mirror
+    /// into (`None` when telemetry is disabled).
+    pub fn conn_mirror(&self) -> Option<Arc<Telemetry>> {
+        self.telemetry.transport_mirror()
     }
 }
 

@@ -35,8 +35,10 @@ use rand::{Rng, SeedableRng};
 
 use zc_buffers::{CopyLayer, ZcBytes, PAGE_SIZE};
 
+use zc_trace::{EventKind, TraceLayer};
+
 use crate::frame::{Frame, FramePayload, Lane, MTU_PAYLOAD};
-use crate::stats::{ConnStats, StatsCell};
+use crate::stats::{ConnStats, StatsCell, TransportField};
 use crate::{Acceptor, Connection, TResult, TransportCtx, TransportError};
 
 /// Which kernel stack the simulated network runs.
@@ -235,10 +237,15 @@ pub struct SimListener {
 impl Acceptor for SimListener {
     fn accept(&self) -> TResult<Box<dyn Connection>> {
         let mut conn = self.rx.recv().map_err(|_| TransportError::Closed)?;
-        // Install the listener's context (meter + pool) into the accepted
-        // half so server-side copies land on the server's meter.
-        // zc-audit: allow(cheap-clone) — TransportCtx is a pair of Arc handles (meter + pool)
+        // Install the listener's context (meter + pool + telemetry) into
+        // the accepted half so server-side copies land on the server's
+        // meter.
+        // zc-audit: allow(cheap-clone) — TransportCtx is a trio of Arc handles (meter + pool + telemetry)
         conn.ctx = self.ctx.clone();
+        // The pending half was built with a throwaway ctx, so its stats
+        // cell mirrors nothing; rebind it to the real telemetry. Nothing
+        // has been counted yet (the handshake happens after accept).
+        conn.rebind_telemetry();
         Ok(conn)
     }
 
@@ -267,6 +274,7 @@ pub struct SimConn {
     rng: StdRng,
     stats: Arc<StatsCell>,
     recv_timeout: Option<std::time::Duration>,
+    trace_conn: u64,
 }
 
 impl SimConn {
@@ -278,6 +286,7 @@ impl SimConn {
         rx: Receiver<Frame>,
         seed_salt: u64,
     ) -> SimConn {
+        let stats = StatsCell::with_telemetry(ctx.conn_mirror());
         SimConn {
             peer,
             cfg,
@@ -288,13 +297,20 @@ impl SimConn {
             pending_data: VecDeque::new(),
             next_block_id: 0,
             rng: StdRng::seed_from_u64(cfg.seed ^ seed_salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            stats: StatsCell::new_shared(),
+            stats,
             recv_timeout: None,
+            trace_conn: zc_trace::next_conn_id(),
         }
     }
 
     fn from_half(h: PendingHalf, ctx: TransportCtx) -> SimConn {
         SimConn::new(h.peer, h.cfg, ctx, h.tx, h.rx, h.seed_salt)
+    }
+
+    /// Rebuild the stats cell against the (possibly replaced) context's
+    /// telemetry. Only valid while all counters are still zero.
+    fn rebind_telemetry(&mut self) {
+        self.stats = StatsCell::with_telemetry(self.ctx.conn_mirror());
     }
 
     fn alloc_block_id(&mut self) -> u64 {
@@ -304,9 +320,9 @@ impl SimConn {
     }
 
     fn send_frame(&self, frame: Frame) -> TResult<()> {
-        self.stats.add(&self.stats.frames_sent, 1);
+        self.stats.add(TransportField::FramesSent, 1);
         self.stats
-            .add(&self.stats.wire_bytes_sent, frame.wire_bytes() as u64);
+            .add(TransportField::WireBytesSent, frame.wire_bytes() as u64);
         self.tx.send(frame).map_err(|_| TransportError::Closed)
     }
 
@@ -401,6 +417,10 @@ impl SimConn {
                     crossbeam::channel::RecvTimeoutError::Disconnected => TransportError::Closed,
                 })?,
             };
+            // Wire bytes are accounted as they leave the wire, whichever
+            // lane they belong to.
+            self.stats
+                .add(TransportField::WireBytesRecv, f.wire_bytes() as u64);
             if f.lane == lane {
                 return Ok(f);
             }
@@ -487,7 +507,14 @@ impl SimConn {
                 let aligned = parts.first().is_some_and(|p| p.is_page_aligned());
                 if aligned {
                     if let Some(joined) = ZcBytes::join_contiguous(&parts) {
-                        self.stats.add(&self.stats.spec_hits, 1);
+                        self.stats.add(TransportField::SpecHits, 1);
+                        self.ctx.telemetry.record(
+                            TraceLayer::Transport,
+                            EventKind::SpecHit,
+                            self.trace_conn,
+                            0,
+                            total as u64,
+                        );
                         return Ok(joined);
                     }
                 }
@@ -495,7 +522,14 @@ impl SimConn {
         }
         // Speculation miss: the driver falls back to copying the fragments
         // into a fresh page-aligned buffer.
-        self.stats.add(&self.stats.spec_misses, 1);
+        self.stats.add(TransportField::SpecMisses, 1);
+        self.ctx.telemetry.record(
+            TraceLayer::Transport,
+            EventKind::SpecMiss,
+            self.trace_conn,
+            0,
+            total as u64,
+        );
         let meter = Arc::clone(&self.ctx.meter);
         let mut buf = self.ctx.pool.acquire(total);
         buf.set_len(total);
@@ -514,8 +548,8 @@ impl SimConn {
 
 impl Connection for SimConn {
     fn send_control(&mut self, msg: &[u8]) -> TResult<()> {
-        self.stats.add(&self.stats.control_sent, 1);
-        self.stats.add(&self.stats.bytes_sent, msg.len() as u64);
+        self.stats.add(TransportField::ControlSent, 1);
+        self.stats.add(TransportField::BytesSent, msg.len() as u64);
         match self.cfg.mode {
             StackMode::Copying => self.send_bytes_copying(Lane::Control, msg),
             StackMode::ZeroCopy => {
@@ -538,7 +572,7 @@ impl Connection for SimConn {
 
     fn recv_control(&mut self) -> TResult<Vec<u8>> {
         let frames = self.recv_block_frames(Lane::Control)?;
-        self.stats.add(&self.stats.control_recv, 1);
+        self.stats.add(TransportField::ControlRecv, 1);
         let out = match self.cfg.mode {
             StackMode::Copying => {
                 let z = self.reassemble_copying(&frames)?;
@@ -558,13 +592,14 @@ impl Connection for SimConn {
                 out
             }
         };
-        self.stats.add(&self.stats.bytes_recv, out.len() as u64);
+        self.stats.add(TransportField::BytesRecv, out.len() as u64);
         Ok(out)
     }
 
     fn send_data(&mut self, block: &ZcBytes) -> TResult<()> {
-        self.stats.add(&self.stats.data_blocks_sent, 1);
-        self.stats.add(&self.stats.bytes_sent, block.len() as u64);
+        self.stats.add(TransportField::DataBlocksSent, 1);
+        self.stats
+            .add(TransportField::BytesSent, block.len() as u64);
         match self.cfg.mode {
             StackMode::Copying => self.send_bytes_copying(Lane::Data, block.as_slice()),
             StackMode::ZeroCopy => self.send_block_zero_copy(block),
@@ -580,12 +615,20 @@ impl Connection for SimConn {
                 "data block length {total} does not match announced {expected_len}"
             )));
         }
+        if self.ctx.telemetry.is_enabled() {
+            self.ctx
+                .telemetry
+                .metrics()
+                .frames_per_block
+                .record(frames.len() as u64);
+        }
         let block = match self.cfg.mode {
             StackMode::Copying => self.reassemble_copying(&frames)?,
             StackMode::ZeroCopy => self.reassemble_zero_copy(frames)?,
         };
-        self.stats.add(&self.stats.data_blocks_recv, 1);
-        self.stats.add(&self.stats.bytes_recv, block.len() as u64);
+        self.stats.add(TransportField::DataBlocksRecv, 1);
+        self.stats
+            .add(TransportField::BytesRecv, block.len() as u64);
         Ok(block)
     }
 
@@ -605,6 +648,10 @@ impl Connection for SimConn {
     fn set_recv_timeout(&mut self, timeout: Option<std::time::Duration>) -> TResult<()> {
         self.recv_timeout = timeout;
         Ok(())
+    }
+
+    fn trace_conn_id(&self) -> u64 {
+        self.trace_conn
     }
 }
 

@@ -1,7 +1,18 @@
 //! Per-connection transport statistics.
+//!
+//! Counters are indexed by [`TransportField`] (defined in `zc-trace`, so
+//! the per-connection cells and the ORB-wide telemetry mirror share one
+//! field vocabulary). When the owning context carries enabled telemetry,
+//! every increment is mirrored into its [`zc_trace::TransportCounters`] in
+//! the same call — totals then survive connection teardown and merge across
+//! connections. With telemetry disabled the mirror is `None` and the cost
+//! is exactly one relaxed `fetch_add`, as before.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use zc_trace::Telemetry;
+pub use zc_trace::TransportField;
 
 /// Point-in-time statistics snapshot for one connection endpoint.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +33,8 @@ pub struct ConnStats {
     pub frames_sent: u64,
     /// Wire bytes (headers + payload) put on the wire by this endpoint.
     pub wire_bytes_sent: u64,
+    /// Wire bytes (headers + payload) taken off the wire by this endpoint.
+    pub wire_bytes_recv: u64,
     /// Zero-copy receive speculations that landed (block reassembled in
     /// place, no copy).
     pub spec_hits: u64,
@@ -29,44 +42,68 @@ pub struct ConnStats {
     pub spec_misses: u64,
 }
 
+impl From<ConnStats> for zc_trace::TransportTotals {
+    fn from(s: ConnStats) -> zc_trace::TransportTotals {
+        zc_trace::TransportTotals {
+            control_sent: s.control_sent,
+            control_recv: s.control_recv,
+            data_blocks_sent: s.data_blocks_sent,
+            data_blocks_recv: s.data_blocks_recv,
+            bytes_sent: s.bytes_sent,
+            bytes_recv: s.bytes_recv,
+            frames_sent: s.frames_sent,
+            wire_bytes_sent: s.wire_bytes_sent,
+            wire_bytes_recv: s.wire_bytes_recv,
+            spec_hits: s.spec_hits,
+            spec_misses: s.spec_misses,
+        }
+    }
+}
+
 /// Shared mutable counters behind a [`ConnStats`] snapshot.
 #[derive(Debug, Default)]
 pub struct StatsCell {
-    pub(crate) control_sent: AtomicU64,
-    pub(crate) control_recv: AtomicU64,
-    pub(crate) data_blocks_sent: AtomicU64,
-    pub(crate) data_blocks_recv: AtomicU64,
-    pub(crate) bytes_sent: AtomicU64,
-    pub(crate) bytes_recv: AtomicU64,
-    pub(crate) frames_sent: AtomicU64,
-    pub(crate) wire_bytes_sent: AtomicU64,
-    pub(crate) spec_hits: AtomicU64,
-    pub(crate) spec_misses: AtomicU64,
+    cells: [AtomicU64; TransportField::COUNT],
+    mirror: Option<Arc<Telemetry>>,
 }
 
 impl StatsCell {
-    /// Fresh shared counters.
+    /// Fresh shared counters without a telemetry mirror.
     pub fn new_shared() -> Arc<StatsCell> {
-        Arc::new(StatsCell::default())
+        StatsCell::with_telemetry(None)
     }
 
-    pub(crate) fn add(&self, field: &AtomicU64, n: u64) {
-        field.fetch_add(n, Ordering::Relaxed);
+    /// Fresh shared counters, mirroring into `mirror`'s transport totals
+    /// when `Some`.
+    pub fn with_telemetry(mirror: Option<Arc<Telemetry>>) -> Arc<StatsCell> {
+        Arc::new(StatsCell {
+            cells: Default::default(),
+            mirror,
+        })
+    }
+
+    pub(crate) fn add(&self, field: TransportField, n: u64) {
+        self.cells[field as usize].fetch_add(n, Ordering::Relaxed);
+        if let Some(t) = &self.mirror {
+            t.transport().add(field, n);
+        }
     }
 
     /// Capture a snapshot.
     pub fn snapshot(&self) -> ConnStats {
+        let get = |f: TransportField| self.cells[f as usize].load(Ordering::Relaxed);
         ConnStats {
-            control_sent: self.control_sent.load(Ordering::Relaxed),
-            control_recv: self.control_recv.load(Ordering::Relaxed),
-            data_blocks_sent: self.data_blocks_sent.load(Ordering::Relaxed),
-            data_blocks_recv: self.data_blocks_recv.load(Ordering::Relaxed),
-            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
-            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
-            frames_sent: self.frames_sent.load(Ordering::Relaxed),
-            wire_bytes_sent: self.wire_bytes_sent.load(Ordering::Relaxed),
-            spec_hits: self.spec_hits.load(Ordering::Relaxed),
-            spec_misses: self.spec_misses.load(Ordering::Relaxed),
+            control_sent: get(TransportField::ControlSent),
+            control_recv: get(TransportField::ControlRecv),
+            data_blocks_sent: get(TransportField::DataBlocksSent),
+            data_blocks_recv: get(TransportField::DataBlocksRecv),
+            bytes_sent: get(TransportField::BytesSent),
+            bytes_recv: get(TransportField::BytesRecv),
+            frames_sent: get(TransportField::FramesSent),
+            wire_bytes_sent: get(TransportField::WireBytesSent),
+            wire_bytes_recv: get(TransportField::WireBytesRecv),
+            spec_hits: get(TransportField::SpecHits),
+            spec_misses: get(TransportField::SpecMisses),
         }
     }
 }
@@ -78,13 +115,47 @@ mod tests {
     #[test]
     fn snapshot_reflects_adds() {
         let c = StatsCell::new_shared();
-        c.add(&c.control_sent, 2);
-        c.add(&c.bytes_sent, 100);
-        c.add(&c.spec_hits, 1);
+        c.add(TransportField::ControlSent, 2);
+        c.add(TransportField::BytesSent, 100);
+        c.add(TransportField::SpecHits, 1);
+        c.add(TransportField::WireBytesRecv, 77);
         let s = c.snapshot();
         assert_eq!(s.control_sent, 2);
         assert_eq!(s.bytes_sent, 100);
         assert_eq!(s.spec_hits, 1);
         assert_eq!(s.spec_misses, 0);
+        assert_eq!(s.wire_bytes_recv, 77);
+    }
+
+    #[test]
+    fn mirror_receives_increments() {
+        let tele = Telemetry::with_capacity(8);
+        let c = StatsCell::with_telemetry(tele.transport_mirror());
+        c.add(TransportField::WireBytesSent, 500);
+        c.add(TransportField::SpecMisses, 2);
+        let totals = tele.transport().snapshot();
+        assert_eq!(totals.wire_bytes_sent, 500);
+        assert_eq!(totals.spec_misses, 2);
+        // The local cell counts too.
+        assert_eq!(c.snapshot().wire_bytes_sent, 500);
+    }
+
+    #[test]
+    fn disabled_telemetry_installs_no_mirror() {
+        let tele = Telemetry::disabled();
+        let c = StatsCell::with_telemetry(tele.transport_mirror());
+        c.add(TransportField::FramesSent, 3);
+        assert_eq!(tele.transport().snapshot().frames_sent, 0);
+        assert_eq!(c.snapshot().frames_sent, 3);
+    }
+
+    #[test]
+    fn conn_stats_convert_to_totals() {
+        let c = StatsCell::new_shared();
+        c.add(TransportField::DataBlocksRecv, 4);
+        c.add(TransportField::WireBytesRecv, 4096);
+        let t: zc_trace::TransportTotals = c.snapshot().into();
+        assert_eq!(t.data_blocks_recv, 4);
+        assert_eq!(t.wire_bytes_recv, 4096);
     }
 }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use zc_buffers::{CopyLayer, ZcBytes};
 
-use crate::stats::{ConnStats, StatsCell};
+use crate::stats::{ConnStats, StatsCell, TransportField};
 use crate::{Acceptor, Connection, Connector, TResult, TransportCtx, TransportError};
 
 const LANE_CONTROL: u8 = 0;
@@ -32,6 +32,7 @@ pub struct TcpConn {
     pending_control: std::collections::VecDeque<Vec<u8>>,
     pending_data: std::collections::VecDeque<ZcBytes>,
     stats: Arc<StatsCell>,
+    trace_conn: u64,
 }
 
 impl TcpConn {
@@ -41,13 +42,15 @@ impl TcpConn {
             .peer_addr()
             .map(|a| a.to_string())
             .unwrap_or_else(|_| "tcp:?".to_string());
+        let stats = StatsCell::with_telemetry(ctx.conn_mirror());
         Ok(TcpConn {
             stream,
             ctx,
             peer,
             pending_control: Default::default(),
             pending_data: Default::default(),
-            stats: StatsCell::new_shared(),
+            stats,
+            trace_conn: zc_trace::next_conn_id(),
         })
     }
 
@@ -60,9 +63,9 @@ impl TcpConn {
         // The kernel copies the payload out of user space here.
         self.ctx.meter.record(CopyLayer::SocketSend, payload.len());
         self.stream.write_all(payload)?;
-        self.stats.add(&self.stats.frames_sent, 1);
+        self.stats.add(TransportField::FramesSent, 1);
         self.stats
-            .add(&self.stats.wire_bytes_sent, (payload.len() + 9) as u64);
+            .add(TransportField::WireBytesSent, (payload.len() + 9) as u64);
         Ok(())
     }
 
@@ -90,6 +93,8 @@ impl TcpConn {
         self.read_exact(buf.as_mut_slice())?;
         // Account the kernel→user copy `read` just performed.
         self.ctx.meter.record(CopyLayer::SocketRecv, len);
+        self.stats
+            .add(TransportField::WireBytesRecv, (len + 9) as u64);
         Ok((lane, buf.freeze()))
     }
 
@@ -130,22 +135,23 @@ impl TcpConn {
 
 impl Connection for TcpConn {
     fn send_control(&mut self, msg: &[u8]) -> TResult<()> {
-        self.stats.add(&self.stats.control_sent, 1);
-        self.stats.add(&self.stats.bytes_sent, msg.len() as u64);
+        self.stats.add(TransportField::ControlSent, 1);
+        self.stats.add(TransportField::BytesSent, msg.len() as u64);
         self.write_frame(LANE_CONTROL, msg)
     }
 
     fn recv_control(&mut self) -> TResult<Vec<u8>> {
         let z = self.next_on_lane(LANE_CONTROL)?;
-        self.stats.add(&self.stats.control_recv, 1);
-        self.stats.add(&self.stats.bytes_recv, z.len() as u64);
+        self.stats.add(TransportField::ControlRecv, 1);
+        self.stats.add(TransportField::BytesRecv, z.len() as u64);
         // zc-audit: allow(copy) — control path hands out owned bytes; accounted as SocketRecv
         Ok(z.as_slice().to_vec())
     }
 
     fn send_data(&mut self, block: &ZcBytes) -> TResult<()> {
-        self.stats.add(&self.stats.data_blocks_sent, 1);
-        self.stats.add(&self.stats.bytes_sent, block.len() as u64);
+        self.stats.add(TransportField::DataBlocksSent, 1);
+        self.stats
+            .add(TransportField::BytesSent, block.len() as u64);
         self.write_frame(LANE_DATA, block.as_slice())
     }
 
@@ -158,8 +164,12 @@ impl Connection for TcpConn {
                 z.len()
             )));
         }
-        self.stats.add(&self.stats.data_blocks_recv, 1);
-        self.stats.add(&self.stats.bytes_recv, z.len() as u64);
+        self.stats.add(TransportField::DataBlocksRecv, 1);
+        self.stats.add(TransportField::BytesRecv, z.len() as u64);
+        if self.ctx.telemetry.is_enabled() {
+            // A TCP data block always arrives as one frame.
+            self.ctx.telemetry.metrics().frames_per_block.record(1);
+        }
         Ok(z)
     }
 
@@ -179,6 +189,10 @@ impl Connection for TcpConn {
     fn set_recv_timeout(&mut self, timeout: Option<std::time::Duration>) -> TResult<()> {
         self.stream.set_read_timeout(timeout)?;
         Ok(())
+    }
+
+    fn trace_conn_id(&self) -> u64 {
+        self.trace_conn
     }
 }
 
@@ -205,7 +219,7 @@ impl TcpTransportListener {
 impl Acceptor for TcpTransportListener {
     fn accept(&self) -> TResult<Box<dyn Connection>> {
         let (stream, _) = self.listener.accept()?;
-        // zc-audit: allow(cheap-clone) — TransportCtx is a pair of Arc handles (meter + pool)
+        // zc-audit: allow(cheap-clone) — TransportCtx is a trio of Arc handles (meter + pool + telemetry)
         Ok(Box::new(TcpConn::new(stream, self.ctx.clone())?))
     }
 
@@ -223,7 +237,7 @@ pub struct TcpConnector {
 impl Connector for TcpConnector {
     fn connect(&self, host: &str, port: u16) -> TResult<Box<dyn Connection>> {
         let stream = TcpStream::connect((host, port))?;
-        // zc-audit: allow(cheap-clone) — TransportCtx is a pair of Arc handles (meter + pool)
+        // zc-audit: allow(cheap-clone) — TransportCtx is a trio of Arc handles (meter + pool + telemetry)
         Ok(Box::new(TcpConn::new(stream, self.ctx.clone())?))
     }
 }

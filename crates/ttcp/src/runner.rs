@@ -7,6 +7,7 @@ use zc_buffers::{AlignedBuf, CopyMeter, CopySnapshot, ZcBytes};
 use zc_cdr::{OctetSeq, ZcOctetSeq};
 use zc_orb::{ObjectAdapterExt, Orb, OrbResult, Servant, ServerRequest};
 use zc_simnet::{predict, OrbMode, Scenario, SocketMode};
+use zc_trace::{OrbTelemetry, Telemetry};
 use zc_transport::{Acceptor, SimConfig, SimNetwork, TransportCtx};
 
 use crate::workload::{fill_pattern, verify_pattern};
@@ -39,6 +40,9 @@ pub struct TtcpParams {
     pub verify: bool,
     /// Workload seed.
     pub seed: u64,
+    /// Run with telemetry enabled (flight recorder + metrics); the merged
+    /// snapshot lands in [`MeasuredOutcome::telemetry`].
+    pub traced: bool,
 }
 
 impl TtcpParams {
@@ -52,6 +56,15 @@ impl TtcpParams {
             transport: TtcpTransport::Sim,
             verify: false,
             seed: 0x7C_7C,
+            traced: false,
+        }
+    }
+
+    fn telemetry(&self) -> Arc<Telemetry> {
+        if self.traced {
+            Telemetry::new_shared()
+        } else {
+            Telemetry::disabled()
         }
     }
 
@@ -74,6 +87,8 @@ pub struct MeasuredOutcome {
     /// Overhead bytes copied per payload byte moved (0.0 on a perfect
     /// zero-copy path, ≥ 4.0 on the conventional one).
     pub overhead_copy_factor: f64,
+    /// Merged telemetry snapshot (`Some` when the run was traced).
+    pub telemetry: Option<OrbTelemetry>,
 }
 
 /// Evaluate the configuration on the calibrated 2003 testbed model;
@@ -137,7 +152,8 @@ pub fn run_measured(params: &TtcpParams) -> MeasuredOutcome {
 fn run_measured_raw(params: &TtcpParams) -> MeasuredOutcome {
     let (socket, _) = params.version.to_modes();
     let meter = CopyMeter::new_shared();
-    let ctx = TransportCtx::with_meter(Arc::clone(&meter));
+    let telemetry = params.telemetry();
+    let ctx = TransportCtx::with_telemetry(Arc::clone(&meter), Arc::clone(&telemetry));
     let blocks = make_blocks(params, &meter);
     let n_blocks = params.blocks();
     let block_bytes = params.block_bytes;
@@ -192,7 +208,10 @@ fn run_measured_raw(params: &TtcpParams) -> MeasuredOutcome {
     }
     rx_handle.join().expect("receiver");
     let wall = start.elapsed();
-    finish(params, meter.snapshot().since(&before), wall)
+    let snap = params
+        .traced
+        .then(|| telemetry.orb_snapshot(meter.snapshot(), ctx.pool.stats()));
+    finish(params, meter.snapshot().since(&before), wall, snap)
 }
 
 /// The TTCP sink servant: `push_std(sequence<octet>)` and
@@ -233,6 +252,9 @@ impl Servant for TtcpSink {
 fn run_measured_corba(params: &TtcpParams) -> MeasuredOutcome {
     let (socket, orb_mode) = params.version.to_modes();
     let meter = CopyMeter::new_shared();
+    // One telemetry handle shared by both ORBs: client and server spans
+    // land in a single merged event stream.
+    let telemetry = params.telemetry();
     let zc_orb_enabled = orb_mode == OrbMode::ZeroCopyOrb;
 
     let (server_orb, client_orb) = match params.transport {
@@ -243,11 +265,13 @@ fn run_measured_corba(params: &TtcpParams) -> MeasuredOutcome {
                     .sim(net.clone())
                     .zc(zc_orb_enabled)
                     .meter(Arc::clone(&meter))
+                    .telemetry(Arc::clone(&telemetry))
                     .build(),
                 Orb::builder()
                     .sim(net)
                     .zc(zc_orb_enabled)
                     .meter(Arc::clone(&meter))
+                    .telemetry(Arc::clone(&telemetry))
                     .build(),
             )
         }
@@ -256,11 +280,13 @@ fn run_measured_corba(params: &TtcpParams) -> MeasuredOutcome {
                 .tcp()
                 .zc(zc_orb_enabled)
                 .meter(Arc::clone(&meter))
+                .telemetry(Arc::clone(&telemetry))
                 .build(),
             Orb::builder()
                 .tcp()
                 .zc(zc_orb_enabled)
                 .meter(Arc::clone(&meter))
+                .telemetry(Arc::clone(&telemetry))
                 .build(),
         ),
     };
@@ -332,12 +358,18 @@ fn run_measured_corba(params: &TtcpParams) -> MeasuredOutcome {
         assert_eq!(ack as usize, params.block_bytes, "sink acked wrong length");
     }
     let wall = start.elapsed();
-    let outcome = finish(params, meter.snapshot().since(&before), wall);
+    let snap = params.traced.then(|| client_orb.telemetry_snapshot());
+    let outcome = finish(params, meter.snapshot().since(&before), wall, snap);
     server.shutdown();
     outcome
 }
 
-fn finish(params: &TtcpParams, copies: CopySnapshot, wall: Duration) -> MeasuredOutcome {
+fn finish(
+    params: &TtcpParams,
+    copies: CopySnapshot,
+    wall: Duration,
+    telemetry: Option<OrbTelemetry>,
+) -> MeasuredOutcome {
     let payload = (params.blocks() * params.block_bytes) as f64;
     let mbit_s = payload * 8.0 / wall.as_secs_f64() / 1e6;
     MeasuredOutcome {
@@ -346,6 +378,7 @@ fn finish(params: &TtcpParams, copies: CopySnapshot, wall: Duration) -> Measured
         wall,
         copies,
         overhead_copy_factor: copies.overhead_bytes() as f64 / payload.max(1.0),
+        telemetry,
     }
 }
 

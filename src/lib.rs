@@ -18,6 +18,7 @@
 //! | [`buffers`] | `zc-buffers` | page-aligned buffers, [`buffers::ZcBytes`], pools, the [`buffers::CopyMeter`] |
 //! | [`cdr`] | `zc-cdr` | CDR marshaling, [`cdr::OctetSeq`] / [`cdr::ZcOctetSeq`] |
 //! | [`giop`] | `zc-giop` | GIOP messages, service contexts, deposit manifests, IORs, handshakes |
+//! | [`trace`] | `zc-trace` | observability: lock-free flight recorder, metrics registry, the merged [`trace::OrbTelemetry`] snapshot |
 //! | [`transport`] | `zc-transport` | separated control/data transports: simulated kernel stacks (copying & zero-copy/speculative) and real loopback TCP |
 //! | [`orb`] | `zc-orb` | the ORB: stubs, skeletons, negotiation, the direct-deposit sender/receiver |
 //! | [`idl`] | `zc-idl` | the IDL compiler (`zc-idlc`): parser → checker → Rust stub/skeleton generator |
@@ -68,6 +69,7 @@ pub use zc_idl as idl;
 pub use zc_mpeg as mpeg;
 pub use zc_orb as orb;
 pub use zc_simnet as simnet;
+pub use zc_trace as trace;
 pub use zc_transport as transport;
 pub use zc_ttcp as ttcp;
 
