@@ -1,21 +1,25 @@
 //! Emit the figure sweep as CSV (for plotting or regression tracking).
 //!
-//! Two sections, separated by a blank line and `#` comment headers:
+//! Three sections, separated by blank lines and `#` comment headers:
 //!
 //! 1. the **modeled** sweep — all six configurations of Figures 5/6 across
 //!    the paper's block sizes on the calibrated P-II/GbE testbed;
 //! 2. the **measured** sweep — the same configurations really executed on
 //!    this host with telemetry enabled, including speculation hit/miss
 //!    counts, wire-byte totals, per-layer copy-meter bytes and request
-//!    latency quantiles.
+//!    latency quantiles;
+//! 3. the **fault** sweep — per-frame drop probability vs goodput through
+//!    the self-healing ORB (retries + reconnects per point, so recovery
+//!    cost is visible, not just failure counts). See docs/fault-model.md.
 //!
 //! ```text
 //! cargo run -p zc-bench --bin sweep_csv --release > sweep.csv
 //! cargo run -p zc-bench --bin sweep_csv --release -- --modern        # 2003 desktop
 //! cargo run -p zc-bench --bin sweep_csv --release -- --modeled-only  # skip host runs
+//! cargo run -p zc-bench --bin sweep_csv --release -- --fault-only    # only section 3
 //! ```
 
-use zc_bench::{measured_block_sizes, measured_point};
+use zc_bench::{fault_sweep_csv_header, fault_sweep_point, measured_block_sizes, measured_point};
 use zc_buffers::CopyLayer;
 use zc_simnet::{run_sweep, LinkSpec, MachineSpec, FIGURE_CONFIGS};
 use zc_ttcp::TtcpVersion;
@@ -23,23 +27,35 @@ use zc_ttcp::TtcpVersion;
 fn main() {
     let modern = std::env::args().any(|a| a == "--modern");
     let modeled_only = std::env::args().any(|a| a == "--modeled-only");
-    let machine = if modern {
-        MachineSpec::modern_2003()
-    } else {
-        MachineSpec::pentium_ii_400()
-    };
-    let sweep = run_sweep(
-        machine,
-        LinkSpec::gigabit_ethernet(),
-        &zc_simnet::paper_block_sizes(),
-        &FIGURE_CONFIGS,
-    );
-    println!("# modeled (calibrated 2003 testbed)");
-    print!("{}", sweep.to_csv());
-    if modeled_only {
-        return;
+    let fault_only = std::env::args().any(|a| a == "--fault-only");
+    if !fault_only {
+        let machine = if modern {
+            MachineSpec::modern_2003()
+        } else {
+            MachineSpec::pentium_ii_400()
+        };
+        let sweep = run_sweep(
+            machine,
+            LinkSpec::gigabit_ethernet(),
+            &zc_simnet::paper_block_sizes(),
+            &FIGURE_CONFIGS,
+        );
+        println!("# modeled (calibrated 2003 testbed)");
+        print!("{}", sweep.to_csv());
+        if modeled_only {
+            return;
+        }
+        measured_section();
+        println!();
     }
+    println!("# fault sweep: per-frame drop probability vs goodput through the self-healing ORB");
+    println!("{}", fault_sweep_csv_header());
+    for &p in &[0.0, 0.0005, 0.001, 0.002, 0.005, 0.01] {
+        println!("{}", fault_sweep_point(p, 400, 64 << 10).to_csv_row());
+    }
+}
 
+fn measured_section() {
     println!();
     println!("# measured on this host (telemetry-enabled runs)");
     println!(

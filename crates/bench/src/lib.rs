@@ -85,6 +85,150 @@ pub fn trace_flag() -> bool {
     !std::env::args().any(|a| a == "--no-trace")
 }
 
+// ---------------------------------------------------------------------------
+// Fault sweep: goodput through the self-healing ORB under injected frame
+// loss.
+// ---------------------------------------------------------------------------
+
+/// Outcome of one fault-sweep point: `calls` idempotent zero-copy echoes of
+/// `block_bytes` payloads over a [`SimNetwork`] whose frames are dropped
+/// (modeled as wire cuts) with probability `drop_prob`, driven through the
+/// retrying, reconnecting ORB client.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSweepPoint {
+    /// Per-frame drop probability injected into the simulated network.
+    pub drop_prob: f64,
+    /// Payload bytes per call.
+    pub block_bytes: usize,
+    /// Invocations attempted.
+    pub calls: u32,
+    /// Invocations that ultimately succeeded (possibly after retries).
+    pub ok: u32,
+    /// Invocations that exhausted the retry budget.
+    pub failed: u32,
+    /// Retry attempts recorded by the ORB.
+    pub retries: u64,
+    /// Replacement connections established.
+    pub reconnects: u64,
+    /// Application goodput: successfully echoed payload bytes per second
+    /// of wall clock, in Mbit/s. Retries and reconnect stalls are paid for
+    /// here — this is what frame loss costs the application.
+    pub goodput_mbit_s: f64,
+}
+
+impl FaultSweepPoint {
+    /// CSV row matching [`fault_sweep_csv_header`].
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{:.4},{},{},{},{},{},{},{:.2}",
+            self.drop_prob,
+            self.block_bytes,
+            self.calls,
+            self.ok,
+            self.failed,
+            self.retries,
+            self.reconnects,
+            self.goodput_mbit_s
+        )
+    }
+}
+
+/// Header for the fault-sweep CSV section.
+pub fn fault_sweep_csv_header() -> &'static str {
+    "drop_prob,block_bytes,calls,ok,failed,retries,reconnects,goodput_mbit_s"
+}
+
+struct ByteSum;
+
+impl zc_orb::Servant for ByteSum {
+    fn repo_id(&self) -> &'static str {
+        "IDL:zcorba/bench/ByteSum:1.0"
+    }
+    fn dispatch(&self, op: &str, req: &mut zc_orb::ServerRequest<'_>) -> zc_orb::OrbResult<()> {
+        match op {
+            "sum" => {
+                let data: zc_cdr::ZcOctetSeq = req.arg()?;
+                let sum: u64 = data.iter().map(|&b| b as u64).sum();
+                req.result(&sum)
+            }
+            other => req.bad_operation(other),
+        }
+    }
+}
+
+/// Run one fault-sweep point: a fresh simulated network with per-frame
+/// drop probability `drop_prob` on both sides, a zero-copy server, and a
+/// client whose retry policy has fast backoffs and no circuit breaker (the
+/// sweep measures recovery throughput, not fail-fast behaviour).
+pub fn fault_sweep_point(drop_prob: f64, calls: u32, block_bytes: usize) -> FaultSweepPoint {
+    use std::sync::Arc;
+    use zc_orb::ObjectAdapterExt;
+
+    let net = zc_transport::SimNetwork::new(zc_transport::SimConfig::zero_copy());
+    let telemetry = zc_trace::Telemetry::with_capacity(1024);
+    let server_orb = zc_orb::Orb::builder().sim(net.clone()).build();
+    server_orb.adapter().register("bytesum", Arc::new(ByteSum));
+    let server = server_orb.serve(0).expect("serve");
+    let retry = zc_orb::RetryPolicy {
+        max_attempts: 6,
+        base_backoff: std::time::Duration::from_micros(100),
+        max_backoff: std::time::Duration::from_millis(2),
+        breaker_threshold: u32::MAX,
+        ..zc_orb::RetryPolicy::default()
+    };
+    let client = zc_orb::Orb::builder()
+        .sim(net.clone())
+        .retry(retry)
+        .telemetry(Arc::clone(&telemetry))
+        .build();
+    let obj = client
+        .resolve(
+            &server
+                .ior_for("bytesum", "IDL:zcorba/bench/ByteSum:1.0")
+                .expect("ior"),
+        )
+        .expect("resolve");
+
+    let payload = zc_cdr::ZcOctetSeq::with_length(block_bytes);
+    let expected: u64 = payload.iter().map(|&b| b as u64).sum();
+
+    net.inject_faults(zc_transport::FaultPlan::drop(drop_prob).on(zc_transport::FaultSide::Both));
+
+    let mut ok = 0u32;
+    let mut failed = 0u32;
+    let start = std::time::Instant::now();
+    for _ in 0..calls {
+        let outcome = obj
+            .request("sum")
+            .idempotent()
+            .arg(&payload)
+            .expect("marshal")
+            .invoke();
+        match outcome {
+            Ok(reply) => {
+                let sum: u64 = reply.result().expect("result");
+                assert_eq!(sum, expected, "payload corrupted in flight");
+                ok += 1;
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    net.clear_faults();
+
+    let metrics = telemetry.metrics();
+    FaultSweepPoint {
+        drop_prob,
+        block_bytes,
+        calls,
+        ok,
+        failed,
+        retries: metrics.retries.get(),
+        reconnects: metrics.reconnects.get(),
+        goodput_mbit_s: (ok as f64 * block_bytes as f64 * 8.0) / elapsed / 1e6,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +239,23 @@ mod tests {
         assert_eq!(measured_block_sizes(true).len(), 13);
         assert!(measured_total(4096) >= 8 << 20);
         assert!(measured_total(16 << 20) <= 64 << 20);
+    }
+
+    #[test]
+    fn fault_sweep_point_lossless_baseline() {
+        let pt = fault_sweep_point(0.0, 8, 4 << 10);
+        assert_eq!(pt.ok, 8);
+        assert_eq!(pt.failed, 0);
+        assert_eq!(pt.retries, 0);
+        assert!(pt.goodput_mbit_s > 0.0);
+    }
+
+    #[test]
+    fn fault_sweep_point_recovers_under_loss() {
+        let pt = fault_sweep_point(0.05, 24, 4 << 10);
+        // Heavy loss must show recovery work, and most calls still land.
+        assert!(pt.retries + pt.reconnects > 0);
+        assert!(pt.ok > pt.calls / 2);
     }
 
     #[test]

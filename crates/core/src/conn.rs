@@ -25,7 +25,8 @@ use zc_buffers::ZcBytes;
 use zc_cdr::{ByteOrder, CdrDecoder, CdrEncoder};
 use zc_giop::{
     fragment_frames, DepositManifest, GiopHeader, GiopVersion, Handshake, MessageType, Negotiated,
-    ReplyHeader, ReplyStatus, RequestHeader, SystemException, TraceContext, GIOP_HEADER_LEN,
+    ReplyHeader, ReplyStatus, RequestHeader, SystemException, TraceContext, ZcHealthContext,
+    GIOP_HEADER_LEN,
 };
 use zc_trace::{EventKind, TraceLayer};
 use zc_transport::{Connection, TransportCtx, TransportError};
@@ -50,6 +51,15 @@ pub struct ConnTuning {
     /// are embedded in the control message (coupled synchronization + data),
     /// which forces buffering copies at both ends.
     pub separate_data: bool,
+    /// Peer-reported speculation samples to accumulate before judging the
+    /// connection's zero-copy health (one tumbling window).
+    pub degrade_window: u64,
+    /// Miss rate within a window at or above which the send path degrades
+    /// from zero-copy descriptors to inline marshaling.
+    pub degrade_threshold: f64,
+    /// While degraded, every Nth outgoing message is a zero-copy *probe*;
+    /// a probe whose deposits land cleanly re-upgrades the connection.
+    pub probe_interval: u64,
 }
 
 impl Default for ConnTuning {
@@ -57,8 +67,38 @@ impl Default for ConnTuning {
         ConnTuning {
             deposit_enabled: true,
             separate_data: true,
+            degrade_window: 8,
+            degrade_threshold: 0.5,
+            probe_interval: 16,
         }
     }
+}
+
+/// Per-connection ZC→copy degradation state, driven by the peer's
+/// [`ZcHealthContext`] reports (its cumulative receive-side speculation
+/// counters). The *deposit sender* owns this machine: only the receiver
+/// knows whether speculative deposits actually land in place, so the
+/// sender degrades on the receiver's say-so.
+///
+/// States: **healthy** (descriptors + deposits) → when the windowed miss
+/// rate crosses `degrade_threshold`: **degraded** (inline marshaling —
+/// slower but immune to speculation) → every `probe_interval` messages one
+/// zero-copy **probe**; a probe answered with hits and no misses returns
+/// the connection to healthy.
+#[derive(Debug, Default)]
+struct DegradeState {
+    /// Peer's cumulative counters at the last report (for deltas).
+    peer_hits: u64,
+    peer_misses: u64,
+    /// Current tumbling window.
+    window_hits: u64,
+    window_misses: u64,
+    /// Whether the send path is currently degraded to inline marshaling.
+    degraded: bool,
+    /// Messages sent since the last probe while degraded.
+    msgs_since_probe: u64,
+    /// Probes sent while degraded (payload of the Upgrade event).
+    probes: u64,
 }
 
 /// An incoming request as surfaced to the server loop.
@@ -114,6 +154,8 @@ pub struct GiopConn {
     /// Trace id of the request currently in flight on this connection
     /// (outbound: the one we stamped; inbound: the one the peer sent).
     last_trace_id: u64,
+    /// Zero-copy send-path health (graceful degradation).
+    degrade: DegradeState,
 }
 
 impl GiopConn {
@@ -139,6 +181,7 @@ impl GiopConn {
             poisoned: false,
             conn_id,
             last_trace_id: 0,
+            degrade: DegradeState::default(),
         })
     }
 
@@ -165,6 +208,7 @@ impl GiopConn {
             poisoned: false,
             conn_id,
             last_trace_id: 0,
+            degrade: DegradeState::default(),
         })
     }
 
@@ -173,9 +217,124 @@ impl GiopConn {
         self.negotiated
     }
 
-    /// Whether `ZcOctetSeq` takes the deposit path on this connection.
+    /// Whether `ZcOctetSeq` *can* take the deposit path on this connection
+    /// (negotiation + tuning; ignores transient degradation).
     pub fn zc_active(&self) -> bool {
         self.negotiated.zero_copy && self.tuning.deposit_enabled
+    }
+
+    /// Whether the send path is currently degraded to inline marshaling.
+    pub fn is_degraded(&self) -> bool {
+        self.degrade.degraded
+    }
+
+    /// Decide the zero-copy flag for the *next* outgoing message. Healthy
+    /// connections always use descriptors; degraded ones marshal inline,
+    /// except for the periodic probe that tests whether the peer's
+    /// speculation has recovered.
+    fn zc_send_active(&mut self) -> bool {
+        if !self.zc_active() {
+            return false;
+        }
+        if !self.degrade.degraded {
+            return true;
+        }
+        self.degrade.msgs_since_probe += 1;
+        if self.degrade.msgs_since_probe >= self.tuning.probe_interval.max(1) {
+            self.degrade.msgs_since_probe = 0;
+            self.degrade.probes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Our receive-side speculation counters, piggybacked for the peer's
+    /// degradation decision (only meaningful on zero-copy connections).
+    fn zc_health_context(&self) -> Option<zc_giop::ServiceContext> {
+        if !self.negotiated.zero_copy {
+            return None;
+        }
+        let st = self.conn.stats();
+        Some(
+            ZcHealthContext {
+                spec_hits: st.spec_hits,
+                spec_misses: st.spec_misses,
+            }
+            .to_context(),
+        )
+    }
+
+    /// Digest a peer health report: compute the delta since the last one
+    /// and drive the degrade/probe/upgrade state machine.
+    fn note_peer_health(&mut self, h: ZcHealthContext) {
+        if !self.zc_active() {
+            return;
+        }
+        let dh = h.spec_hits.saturating_sub(self.degrade.peer_hits);
+        let dm = h.spec_misses.saturating_sub(self.degrade.peer_misses);
+        self.degrade.peer_hits = h.spec_hits;
+        self.degrade.peer_misses = h.spec_misses;
+        if dh == 0 && dm == 0 {
+            // Nothing speculated since the last report (e.g. we are
+            // degraded and sent no deposits): no new evidence.
+            return;
+        }
+        if self.degrade.degraded {
+            if dm == 0 {
+                // A probe's deposits landed cleanly: re-upgrade.
+                self.degrade.degraded = false;
+                self.degrade.window_hits = 0;
+                self.degrade.window_misses = 0;
+                let tele = &self.ctx.telemetry;
+                if tele.is_enabled() {
+                    tele.metrics().upgrades.incr();
+                }
+                tele.record(
+                    TraceLayer::Giop,
+                    EventKind::Upgrade,
+                    self.conn_id,
+                    self.last_trace_id,
+                    self.degrade.probes,
+                );
+                self.degrade.probes = 0;
+            }
+            return;
+        }
+        self.degrade.window_hits += dh;
+        self.degrade.window_misses += dm;
+        let total = self.degrade.window_hits + self.degrade.window_misses;
+        if total >= self.tuning.degrade_window.max(1) {
+            let miss_rate = self.degrade.window_misses as f64 / total as f64;
+            if miss_rate >= self.tuning.degrade_threshold {
+                self.degrade.degraded = true;
+                self.degrade.msgs_since_probe = 0;
+                self.degrade.probes = 0;
+                let tele = &self.ctx.telemetry;
+                if tele.is_enabled() {
+                    tele.metrics().degradations.incr();
+                }
+                tele.record(
+                    TraceLayer::Giop,
+                    EventKind::Degrade,
+                    self.conn_id,
+                    self.last_trace_id,
+                    self.degrade.window_misses,
+                );
+            }
+            self.degrade.window_hits = 0;
+            self.degrade.window_misses = 0;
+        }
+    }
+
+    /// Scan a service-context list for a peer health report and feed it to
+    /// the degradation state machine. Malformed reports are ignored, like
+    /// malformed trace contexts: health is advisory and must never fail a
+    /// message.
+    fn note_peer_health_in(&mut self, contexts: &[zc_giop::ServiceContext]) {
+        if let Ok(Some(h)) = ZcHealthContext::find_in(contexts) {
+            self.note_peer_health(h);
+        }
     }
 
     /// Byte order of all GIOP messages on this connection.
@@ -221,11 +380,14 @@ impl GiopConn {
     }
 
     /// An argument/result encoder configured for this connection (meter,
-    /// byte order, ZC mode).
-    pub fn body_encoder(&self) -> CdrEncoder {
+    /// byte order, ZC mode). Takes `&mut self` because the degradation
+    /// state machine decides per message whether this encoder uses
+    /// descriptors or marshals inline (and counts probe scheduling).
+    pub fn body_encoder(&mut self) -> CdrEncoder {
+        let zc = self.zc_send_active();
         CdrEncoder::new(self.wire_order())
             .with_meter(std::sync::Arc::clone(&self.ctx.meter))
-            .with_zc(self.zc_active())
+            .with_zc(zc)
     }
 
     fn alloc_request_id(&mut self) -> u32 {
@@ -453,8 +615,24 @@ impl GiopConn {
         response_expected: bool,
         args_enc: CdrEncoder,
     ) -> OrbResult<u32> {
-        self.check_poisoned()?;
         let (args, deposits) = args_enc.finish();
+        self.send_request_raw(object_key, operation, response_expected, &args, deposits)
+    }
+
+    /// Client: send a request from already-finished argument bytes and
+    /// deposit blocks. This is the retry-friendly entry point: the proxy
+    /// finishes its encoder once and can resend the same bytes (deposits
+    /// are reference-counted, so cloning them is cheap) on a replacement
+    /// connection. Returns the request id.
+    pub fn send_request_raw(
+        &mut self,
+        object_key: &[u8],
+        operation: &str,
+        response_expected: bool,
+        args: &[u8],
+        deposits: Vec<ZcBytes>,
+    ) -> OrbResult<u32> {
+        self.check_poisoned()?;
         let request_id = self.alloc_request_id();
         let trace_id = zc_trace::next_trace_id();
         self.last_trace_id = trace_id;
@@ -474,10 +652,15 @@ impl GiopConn {
         header
             .service_contexts
             .push(TraceContext { trace_id }.to_context());
+        // Piggyback our receive-side speculation counters so the peer's
+        // deposit sender can degrade/upgrade its zero-copy path.
+        if let Some(health) = self.zc_health_context() {
+            header.service_contexts.push(health);
+        }
         let dep_bytes: u64 = deposits.iter().map(|b| b.len() as u64).sum();
         let mut enc = CdrEncoder::new(self.wire_order());
         header.marshal(&mut enc)?;
-        self.send_message(MessageType::Request, enc, &args, deposits)?;
+        self.send_message(MessageType::Request, enc, args, deposits)?;
         let tele = &self.ctx.telemetry;
         if tele.is_enabled() {
             tele.metrics().requests_sent.incr();
@@ -521,11 +704,16 @@ impl GiopConn {
             )));
         }
         let manifest = DepositManifest::find_in(&header.service_contexts)?;
+        self.note_peer_health_in(&header.service_contexts);
         match header.status {
             ReplyStatus::NoException => {
+                // The zc flag is self-describing per message: every
+                // descriptor pushes a deposit (even length 0), so a
+                // manifest is present iff descriptors were used. This is
+                // what lets a degraded peer marshal inline unilaterally.
+                let zc = manifest.is_some();
                 let (deposits, results_offset) =
                     self.collect_deposits(manifest, &body, after_header, order)?;
-                let zc = self.zc_active();
                 let tele = &self.ctx.telemetry;
                 if tele.is_enabled() {
                     tele.metrics().replies_ok.incr();
@@ -606,9 +794,12 @@ impl GiopConn {
                         .map(|t| t.trace_id)
                         .unwrap_or(0);
                     self.last_trace_id = trace_id;
+                    self.note_peer_health_in(&header.service_contexts);
+                    // Self-describing per message: manifest present iff the
+                    // sender used descriptors (see `recv_reply`).
+                    let zc = manifest.is_some();
                     let (deposits, args_offset) =
                         self.collect_deposits(manifest, &body, after_header, order)?;
-                    let zc = self.zc_active();
                     let tele = &self.ctx.telemetry;
                     if tele.is_enabled() {
                         let m = tele.metrics();
@@ -671,6 +862,9 @@ impl GiopConn {
                 .to_context(),
             );
         }
+        if let Some(health) = self.zc_health_context() {
+            header.service_contexts.push(health);
+        }
         let dep_bytes: u64 = deposits.iter().map(|b| b.len() as u64).sum();
         let mut enc = CdrEncoder::new(self.wire_order());
         header.marshal(&mut enc)?;
@@ -689,6 +883,9 @@ impl GiopConn {
     pub fn send_reply_exception(&mut self, request_id: u32, ex: &SystemException) -> OrbResult<()> {
         let mut header = ReplyHeader::ok(request_id);
         header.status = ReplyStatus::SystemException;
+        if let Some(health) = self.zc_health_context() {
+            header.service_contexts.push(health);
+        }
         let mut enc = CdrEncoder::new(self.wire_order());
         header.marshal(&mut enc)?;
         enc.align(8);
@@ -730,6 +927,12 @@ impl GiopConn {
     /// Either side: orderly shutdown notification (best effort).
     pub fn send_close(&mut self) {
         let _ = self.send_framed(MessageType::CloseConnection, &[]);
+    }
+
+    /// Either side: report an unparseable/oversized message (best effort).
+    /// GIOP's answer when there is no request id to attach an exception to.
+    pub fn send_message_error(&mut self) {
+        let _ = self.send_framed(MessageType::MessageError, &[]);
     }
 
     /// Client: ask whether the peer hosts `object_key` (GIOP

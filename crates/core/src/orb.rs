@@ -18,6 +18,7 @@ use zc_transport::{
 use crate::adapter::{ObjectAdapter, ServerRequest};
 use crate::conn::{ConnTuning, GiopConn};
 use crate::proxy::ObjectRef;
+use crate::retry::{FailureVerdict, HealthRegistry, RetryPolicy};
 use crate::{OrbError, OrbResult};
 
 /// Which transport an ORB instance uses.
@@ -39,6 +40,8 @@ pub struct OrbConfig {
     /// Pretend to be a foreign architecture in handshakes — forces the
     /// conventional, fully-marshaled path (heterogeneity experiments).
     pub pretend_foreign: bool,
+    /// Client-side retry/backoff/circuit-breaker policy.
+    pub retry: RetryPolicy,
 }
 
 impl Default for OrbConfig {
@@ -47,6 +50,7 @@ impl Default for OrbConfig {
             zc_enabled: true,
             tuning: ConnTuning::default(),
             pretend_foreign: false,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -60,6 +64,7 @@ struct OrbInner {
     config: OrbConfig,
     adapter: Arc<ObjectAdapter>,
     conn_cache: Mutex<HashMap<(String, u16), SharedConn>>,
+    endpoint_health: HealthRegistry,
 }
 
 /// The Object Request Broker. Cheap to clone; all clones share state.
@@ -139,6 +144,96 @@ impl Orb {
         )
     }
 
+    /// The ORB's retry/breaker policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.inner.config.retry
+    }
+
+    /// Fail fast with `TRANSIENT` while `endpoint`'s circuit breaker is
+    /// open (an elapsed cooldown admits one half-open trial).
+    pub(crate) fn breaker_check(&self, endpoint: &(String, u16)) -> OrbResult<()> {
+        match self.inner.endpoint_health.check(endpoint) {
+            Ok(()) => Ok(()),
+            Err(_remaining) => Err(OrbError::System(SystemException {
+                kind: SystemExceptionKind::Transient,
+                minor: 1,
+                completed: 1, // COMPLETED_NO: the call was never attempted
+            })),
+        }
+    }
+
+    /// Record a failed attempt against `endpoint`; opens the breaker (with
+    /// a telemetry event) at the policy threshold.
+    pub(crate) fn note_endpoint_failure(&self, endpoint: &(String, u16)) {
+        if let FailureVerdict::JustOpened(failures) = self
+            .inner
+            .endpoint_health
+            .on_failure(endpoint, &self.inner.config.retry)
+        {
+            let tele = &self.inner.ctx.telemetry;
+            if tele.is_enabled() {
+                tele.metrics().breaker_opens.incr();
+            }
+            tele.record(
+                TraceLayer::Orb,
+                EventKind::BreakerOpen,
+                0,
+                0,
+                failures as u64,
+            );
+        }
+    }
+
+    /// Record a successful call: `endpoint` is healthy, breaker resets.
+    pub(crate) fn note_endpoint_success(&self, endpoint: &(String, u16)) {
+        self.inner.endpoint_health.on_success(endpoint);
+    }
+
+    /// Replace the connection inside `shared` with a freshly established
+    /// one — the swap heals every `ObjectRef` clone sharing the `Arc` as
+    /// well as the connection cache entry.
+    pub(crate) fn reconnect_shared(
+        &self,
+        endpoint: &(String, u16),
+        shared: &SharedConn,
+        update_cache: bool,
+    ) -> OrbResult<()> {
+        self.breaker_check(endpoint)?;
+        let fresh = match self.establish(&endpoint.0, endpoint.1) {
+            Ok(c) => c,
+            Err(e) => {
+                self.note_endpoint_failure(endpoint);
+                return Err(e);
+            }
+        };
+        let conn_id = fresh.trace_conn_id();
+        *shared.lock() = fresh;
+        if update_cache {
+            self.inner
+                .conn_cache
+                .lock()
+                .insert(endpoint.clone(), Arc::clone(shared));
+        }
+        let tele = &self.inner.ctx.telemetry;
+        if tele.is_enabled() {
+            tele.metrics().reconnects.incr();
+        }
+        tele.record(TraceLayer::Orb, EventKind::Reconnect, conn_id, 0, conn_id);
+        Ok(())
+    }
+
+    /// Drop `shared` from the connection cache (if it is still the cached
+    /// entry for `endpoint`), so the next resolve dials fresh. Used after
+    /// a reply timeout poisons the connection.
+    pub(crate) fn quarantine(&self, endpoint: &(String, u16), shared: &SharedConn) {
+        let mut cache = self.inner.conn_cache.lock();
+        if let Some(cached) = cache.get(endpoint) {
+            if Arc::ptr_eq(cached, shared) {
+                cache.remove(endpoint);
+            }
+        }
+    }
+
     /// Resolve an IOR to an object reference, reusing a cached connection
     /// to the same endpoint when one exists.
     pub fn resolve(&self, ior: &Ior) -> OrbResult<ObjectRef> {
@@ -151,20 +246,40 @@ impl Orb {
         let conn = match conn {
             Some(c) => c,
             None => {
-                let c = Arc::new(Mutex::new(self.establish(&profile.host, profile.port)?));
-                self.inner.conn_cache.lock().insert(key, Arc::clone(&c));
+                self.breaker_check(&key)?;
+                let c = match self.establish(&profile.host, profile.port) {
+                    Ok(c) => Arc::new(Mutex::new(c)),
+                    Err(e) => {
+                        self.note_endpoint_failure(&key);
+                        return Err(e);
+                    }
+                };
+                self.inner
+                    .conn_cache
+                    .lock()
+                    .insert(key.clone(), Arc::clone(&c));
                 c
             }
         };
-        ObjectRef::new(ior.clone(), conn)
+        Ok(ObjectRef::new(ior.clone(), conn)?.with_recovery(self.clone(), key))
     }
 
     /// Resolve over a *fresh private* connection (needed for concurrent
     /// clients, since requests on one connection are serialized).
     pub fn resolve_private(&self, ior: &Ior) -> OrbResult<ObjectRef> {
         let profile = ior.iiop_profile()?;
-        let conn = Arc::new(Mutex::new(self.establish(&profile.host, profile.port)?));
-        ObjectRef::new(ior.clone(), conn)
+        let key = (profile.host.clone(), profile.port);
+        self.breaker_check(&key)?;
+        let conn = match self.establish(&profile.host, profile.port) {
+            Ok(c) => Arc::new(Mutex::new(c)),
+            Err(e) => {
+                self.note_endpoint_failure(&key);
+                return Err(e);
+            }
+        };
+        // Private references recover too, but their replacement connection
+        // is never inserted into the shared cache.
+        Ok(ObjectRef::new(ior.clone(), conn)?.with_recovery_private(self.clone(), key))
     }
 
     /// Resolve an `IOR:…` string.
@@ -229,6 +344,14 @@ impl Orb {
             let incoming = match gc.recv_request() {
                 Ok(r) => r,
                 Err(OrbError::Transport(TransportError::Closed)) => break,
+                Err(OrbError::Giop(zc_giop::GiopError::MessageTooLarge(_))) => {
+                    // The announced size exceeded the hard cap: no huge
+                    // allocation happened and there is no request id to
+                    // attach a MARSHAL exception to — answer MessageError
+                    // and drop the connection, per GIOP.
+                    gc.send_message_error();
+                    break;
+                }
                 Err(e) => {
                     // Unexpected teardown: dump the connection's recent
                     // flight-recorder events for post-mortem diagnosis.
@@ -374,9 +497,24 @@ impl OrbBuilder {
         self
     }
 
+    /// Replace the whole connection tuning (degradation windows, probe
+    /// cadence, ablation switches) in one call.
+    pub fn tuning(mut self, tuning: ConnTuning) -> Self {
+        self.config.tuning = tuning;
+        self
+    }
+
     /// Pretend to be a foreign architecture (forces conventional IIOP).
     pub fn pretend_foreign(mut self, foreign: bool) -> Self {
         self.config.pretend_foreign = foreign;
+        self
+    }
+
+    /// Install a client-side retry/breaker policy (default:
+    /// [`RetryPolicy::default`] — up to 3 attempts with exponential
+    /// backoff; use [`RetryPolicy::none`] to disable recovery).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry = policy;
         self
     }
 
@@ -402,6 +540,7 @@ impl OrbBuilder {
                 config: self.config,
                 adapter: Arc::new(ObjectAdapter::new()),
                 conn_cache: Mutex::new(HashMap::new()),
+                endpoint_health: HealthRegistry::default(),
             }),
         }
     }

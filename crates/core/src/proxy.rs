@@ -12,11 +12,27 @@ use parking_lot::Mutex;
 
 use zc_buffers::ZcBytes;
 use zc_cdr::{CdrDecoder, CdrEncoder, CdrMarshal};
-use zc_giop::Ior;
+use zc_giop::{GiopError, Ior, SystemException, SystemExceptionKind};
 use zc_trace::{EventKind, TraceLayer};
+use zc_transport::TransportError;
 
 use crate::conn::{GiopConn, IncomingReply};
+use crate::retry::{endpoint_salt, RetryPolicy};
 use crate::{OrbError, OrbResult};
+
+/// CORBA completion codes (`completed` field of a system exception).
+const COMPLETED_MAYBE: u32 = 2;
+
+/// What an `ObjectRef` needs to heal itself: the owning ORB (to dial a
+/// replacement connection and consult the breaker) and the endpoint.
+#[derive(Clone)]
+struct Recovery {
+    orb: crate::Orb,
+    endpoint: (String, u16),
+    /// Whether replacement connections also repair the ORB's shared
+    /// connection cache (false for private references).
+    cached: bool,
+}
 
 /// A client-side reference to a remote object: the IOR plus a (shared)
 /// negotiated connection to its server.
@@ -25,18 +41,45 @@ pub struct ObjectRef {
     ior: Ior,
     object_key: Vec<u8>,
     conn: Arc<Mutex<GiopConn>>,
+    recovery: Option<Recovery>,
 }
 
 impl ObjectRef {
     /// Wrap an established connection. Normally obtained from
-    /// [`crate::Orb::resolve`].
+    /// [`crate::Orb::resolve`]. References built directly (without an
+    /// owning ORB) cannot self-heal: failures surface immediately.
     pub fn new(ior: Ior, conn: Arc<Mutex<GiopConn>>) -> OrbResult<ObjectRef> {
         let object_key = ior.iiop_profile()?.object_key.clone();
         Ok(ObjectRef {
             ior,
             object_key,
             conn,
+            recovery: None,
         })
+    }
+
+    /// Attach recovery state (reconnects repair the shared cache).
+    pub(crate) fn with_recovery(mut self, orb: crate::Orb, endpoint: (String, u16)) -> ObjectRef {
+        self.recovery = Some(Recovery {
+            orb,
+            endpoint,
+            cached: true,
+        });
+        self
+    }
+
+    /// Attach recovery state for a private (uncached) connection.
+    pub(crate) fn with_recovery_private(
+        mut self,
+        orb: crate::Orb,
+        endpoint: (String, u16),
+    ) -> ObjectRef {
+        self.recovery = Some(Recovery {
+            orb,
+            endpoint,
+            cached: false,
+        });
+        self
     }
 
     /// The reference's IOR.
@@ -57,6 +100,7 @@ impl ObjectRef {
             operation: operation.to_string(),
             enc,
             err: None,
+            idempotent: false,
         }
     }
 
@@ -88,6 +132,7 @@ pub struct StaticRequest {
     operation: String,
     enc: CdrEncoder,
     err: Option<OrbError>,
+    idempotent: bool,
 }
 
 impl StaticRequest {
@@ -100,6 +145,15 @@ impl StaticRequest {
             }
         }
         Ok(self)
+    }
+
+    /// Declare the operation idempotent: executing it twice is as good as
+    /// once. Under CORBA's at-most-once rule, only idempotent operations
+    /// may be retried after the request was (possibly) dispatched — a
+    /// send-side failure is provably undispatched and retries regardless.
+    pub fn idempotent(mut self) -> StaticRequest {
+        self.idempotent = true;
+        self
     }
 
     /// Send the request and wait for its reply.
@@ -120,44 +174,154 @@ impl StaticRequest {
             operation,
             enc,
             err,
+            idempotent,
         } = self;
         if let Some(e) = err {
             return Err(e);
         }
-        let mut conn = target.conn.lock();
-        let tele = Arc::clone(conn.telemetry());
-        let start = tele.is_enabled().then(std::time::Instant::now);
-        let id = conn.send_request(&target.object_key, &operation, true, enc)?;
-        let result = match timeout {
-            None => conn.recv_reply(id),
-            Some(d) => conn.recv_reply_timeout(id, d),
+        // Marshal exactly once: retries resend the same finished bytes
+        // (deposit blocks are reference-counted, so re-sending is cheap
+        // and bit-identical — no double marshaling cost, no divergence).
+        let (args, deposits) = enc.finish();
+        let policy = match &target.recovery {
+            Some(r) => *r.orb.retry_policy(),
+            None => RetryPolicy::none(),
         };
-        let incoming = match result {
-            Ok(r) => r,
-            Err(e) => {
-                if matches!(e, OrbError::System(_) | OrbError::Transport(_)) {
-                    // Failed invocation: dump the connection's recent
-                    // events to aid post-mortem diagnosis.
+        let salt = target
+            .recovery
+            .as_ref()
+            .map(|r| endpoint_salt(&r.endpoint))
+            .unwrap_or(0);
+        let expected_order = target.conn.lock().wire_order();
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            if let Some(r) = &target.recovery {
+                r.orb.breaker_check(&r.endpoint)?;
+            }
+            let mut conn = target.conn.lock();
+            // A replacement connection must accept the already-marshaled
+            // bytes verbatim: same byte order, and descriptor-marshaled
+            // deposits need a zero-copy connection. A mismatched renegotiation
+            // cannot be healed transparently.
+            if conn.wire_order() != expected_order || (!deposits.is_empty() && !conn.zc_active()) {
+                return Err(comm_failure_maybe(3));
+            }
+            let tele = Arc::clone(conn.telemetry());
+            let start = tele.is_enabled().then(std::time::Instant::now);
+            let id = match conn.send_request_raw(
+                &target.object_key,
+                &operation,
+                true,
+                &args,
+                deposits.clone(),
+            ) {
+                Ok(id) => id,
+                Err(e @ OrbError::Transport(TransportError::Closed)) => {
+                    // The send itself failed: the request provably never
+                    // reached a dispatcher, so *any* operation (idempotent
+                    // or not) may retry on a fresh connection.
+                    drop(conn);
+                    if try_recover(&target, &policy, salt, attempt, &tele) {
+                        continue;
+                    }
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            };
+            let result = match timeout {
+                None => conn.recv_reply(id),
+                Some(d) => conn.recv_reply_timeout(id, d),
+            };
+            match result {
+                Ok(incoming) => {
+                    if let Some(start) = start {
+                        let elapsed = start.elapsed().as_nanos() as u64;
+                        tele.metrics().request_latency_ns.record(elapsed);
+                        tele.record(
+                            TraceLayer::Orb,
+                            EventKind::Invoke,
+                            conn.trace_conn_id(),
+                            conn.last_trace_id(),
+                            elapsed,
+                        );
+                    }
+                    let meter = conn.meter();
+                    drop(conn);
+                    if let Some(r) = &target.recovery {
+                        r.orb.note_endpoint_success(&r.endpoint);
+                    }
+                    return Ok(Reply { incoming, meter });
+                }
+                Err(e @ OrbError::Transport(TransportError::Timeout)) => {
+                    // Timed out: the connection is poisoned (a stale reply
+                    // may still arrive) and a CancelRequest was sent.
+                    // NEVER retried — the request may be executing right
+                    // now. Quarantine the connection so the next resolve
+                    // dials fresh.
+                    drop(conn);
+                    if let Some(r) = &target.recovery {
+                        r.orb.note_endpoint_failure(&r.endpoint);
+                        r.orb.quarantine(&r.endpoint, &target.conn);
+                    }
+                    return Err(e);
+                }
+                Err(e) => {
+                    let conn_dead = matches!(
+                        e,
+                        OrbError::Transport(_)
+                            | OrbError::Protocol(_)
+                            | OrbError::Giop(_)
+                            | OrbError::Cdr(_)
+                    );
+                    if !conn_dead {
+                        // A System/User exception *is* a reply: the wire
+                        // worked, the endpoint is healthy.
+                        if matches!(e, OrbError::System(_)) {
+                            if let Some(dump) = conn.post_mortem(16) {
+                                eprintln!(
+                                    "zcorba: invocation of {operation:?} failed: {e}\n{dump}"
+                                );
+                            }
+                        }
+                        drop(conn);
+                        if let Some(r) = &target.recovery {
+                            r.orb.note_endpoint_success(&r.endpoint);
+                        }
+                        return Err(e);
+                    }
+                    // The connection died (or was garbled) after the
+                    // request went out: it may or may not have executed.
                     if let Some(dump) = conn.post_mortem(16) {
                         eprintln!("zcorba: invocation of {operation:?} failed: {e}\n{dump}");
                     }
+                    drop(conn);
+                    // At-most-once: only caller-declared idempotent
+                    // operations may run twice.
+                    if idempotent && try_recover(&target, &policy, salt, attempt, &tele) {
+                        continue;
+                    }
+                    if !idempotent {
+                        if let Some(r) = &target.recovery {
+                            r.orb.note_endpoint_failure(&r.endpoint);
+                        }
+                    }
+                    // An oversized reply is a marshaling failure, not a
+                    // communication one; everything else is COMM_FAILURE
+                    // with completion status MAYBE.
+                    return Err(match e {
+                        OrbError::Giop(GiopError::MessageTooLarge(_)) => {
+                            OrbError::System(SystemException {
+                                kind: SystemExceptionKind::Marshal,
+                                minor: 2,
+                                completed: COMPLETED_MAYBE,
+                            })
+                        }
+                        _ => comm_failure_maybe(1),
+                    });
                 }
-                return Err(e);
             }
-        };
-        if let Some(start) = start {
-            let elapsed = start.elapsed().as_nanos() as u64;
-            tele.metrics().request_latency_ns.record(elapsed);
-            tele.record(
-                TraceLayer::Orb,
-                EventKind::Invoke,
-                conn.trace_conn_id(),
-                conn.last_trace_id(),
-                elapsed,
-            );
         }
-        let meter = conn.meter();
-        Ok(Reply { incoming, meter })
     }
 
     /// Send the request without expecting a reply (IDL `oneway`).
@@ -167,6 +331,7 @@ impl StaticRequest {
             operation,
             enc,
             err,
+            idempotent: _,
         } = self;
         if let Some(e) = err {
             return Err(e);
@@ -175,6 +340,55 @@ impl StaticRequest {
         conn.send_request(&target.object_key, &operation, false, enc)?;
         Ok(())
     }
+}
+
+/// `COMM_FAILURE` with completion status MAYBE: the request may or may not
+/// have executed — the CORBA answer when at-most-once forbids a retry.
+fn comm_failure_maybe(minor: u32) -> OrbError {
+    OrbError::System(SystemException {
+        kind: SystemExceptionKind::CommFailure,
+        minor,
+        completed: COMPLETED_MAYBE,
+    })
+}
+
+/// Attempt one recovery step for `target`: record the failure, back off,
+/// and swap a freshly dialed connection into the shared slot. Returns
+/// `true` when the caller should retry.
+fn try_recover(
+    target: &ObjectRef,
+    policy: &RetryPolicy,
+    salt: u64,
+    attempt: u32,
+    tele: &Arc<zc_trace::Telemetry>,
+) -> bool {
+    let Some(r) = &target.recovery else {
+        return false;
+    };
+    // Note: a failed send on a stale cached connection is not breaker
+    // evidence — the dial below tells the truth about the endpoint
+    // (reconnect_shared records its own failures).
+    if attempt >= policy.max_attempts {
+        return false;
+    }
+    std::thread::sleep(policy.backoff(attempt, salt));
+    if r.orb
+        .reconnect_shared(&r.endpoint, &target.conn, r.cached)
+        .is_err()
+    {
+        return false;
+    }
+    if tele.is_enabled() {
+        tele.metrics().retries.incr();
+    }
+    tele.record(
+        TraceLayer::Orb,
+        EventKind::Retry,
+        target.conn.lock().trace_conn_id(),
+        0,
+        attempt as u64,
+    );
+    true
 }
 
 /// A successful reply; demarshal results in declaration order.

@@ -1,0 +1,262 @@
+//! Client-side recovery: retry policy, backoff, and the per-endpoint
+//! circuit breaker.
+//!
+//! CORBA invocations carry **at-most-once** semantics, so the retry rules
+//! are strict:
+//!
+//! * a request whose *send* failed was provably never dispatched — any
+//!   operation may be retried on a replacement connection;
+//! * a request that was sent but whose *reply* never came back may or may
+//!   not have executed — only operations the caller marked
+//!   [`idempotent`](crate::StaticRequest::idempotent) retry; everything
+//!   else surfaces `COMM_FAILURE` with `completed = MAYBE`;
+//! * a *timed-out* request never retries: the connection is poisoned (a
+//!   stale reply may still arrive) and quarantined from the cache.
+//!
+//! The circuit breaker guards against retry storms: after
+//! `breaker_threshold` consecutive failures to one endpoint, calls fail
+//! fast with `TRANSIENT` until `breaker_cooldown` elapses, after which one
+//! half-open trial is admitted.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// When and how the ORB retries failed invocations.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per invocation, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on the exponential backoff.
+    pub max_backoff: Duration,
+    /// Fraction of the backoff randomized away (0.0–1.0). Jitter is
+    /// derived from a hash of the endpoint and attempt number, so retry
+    /// schedules are deterministic per call site but decorrelated between
+    /// endpoints.
+    pub jitter: f64,
+    /// Consecutive failures to one endpoint that open its circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects calls before admitting a
+    /// half-open trial.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.5,
+            breaker_threshold: 4,
+            breaker_cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never opens the breaker.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            breaker_threshold: u32::MAX,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Whether any retry is possible under this policy.
+    pub fn retries_enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Backoff before retry number `attempt` (1-based: the delay between
+    /// the first failure and the second attempt is `backoff(1, ..)`).
+    /// Exponential with a cap, minus up to `jitter` of itself, derived
+    /// deterministically from `(salt, attempt)`.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 || raw.is_zero() {
+            return raw;
+        }
+        // Hash-based jitter: no RNG dependency on the data path, and a
+        // given (endpoint, attempt) pair always waits the same time —
+        // reproducible tests, decorrelated endpoints.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        salt.hash(&mut h);
+        attempt.hash(&mut h);
+        let unit = (h.finish() % 1024) as f64 / 1024.0; // [0, 1)
+        let scale = 1.0 - jitter * unit;
+        Duration::from_nanos((raw.as_nanos() as f64 * scale) as u64)
+    }
+}
+
+/// A stable jitter salt for an endpoint.
+pub(crate) fn endpoint_salt(endpoint: &(String, u16)) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    endpoint.hash(&mut h);
+    h.finish()
+}
+
+/// Breaker state for one endpoint.
+#[derive(Debug, Default)]
+struct EndpointHealth {
+    /// Consecutive failed attempts since the last success.
+    consecutive_failures: u32,
+    /// While `Some`, the breaker is open and calls fail fast.
+    open_until: Option<Instant>,
+}
+
+/// Per-endpoint failure tracking shared by every clone of an ORB.
+#[derive(Debug, Default)]
+pub(crate) struct HealthRegistry {
+    map: Mutex<HashMap<(String, u16), EndpointHealth>>,
+}
+
+/// Outcome of recording a failure.
+pub(crate) enum FailureVerdict {
+    /// Breaker still closed; retrying is allowed.
+    Closed,
+    /// This failure opened the breaker (carries the consecutive-failure
+    /// count, for telemetry).
+    JustOpened(u32),
+}
+
+impl HealthRegistry {
+    /// Fail fast when `endpoint`'s breaker is open. An elapsed cooldown
+    /// admits one half-open trial: the breaker closes, but the failure
+    /// count stays at the threshold so a single new failure re-opens it.
+    pub(crate) fn check(&self, endpoint: &(String, u16)) -> Result<(), Duration> {
+        let mut map = self.map.lock();
+        let Some(health) = map.get_mut(endpoint) else {
+            return Ok(());
+        };
+        if let Some(until) = health.open_until {
+            let now = Instant::now();
+            if now < until {
+                return Err(until - now);
+            }
+            // Half-open: admit this attempt; leave the failure count one
+            // below the threshold so one failure re-opens immediately.
+            health.open_until = None;
+            health.consecutive_failures = health.consecutive_failures.saturating_sub(1);
+        }
+        Ok(())
+    }
+
+    /// Record a failed attempt; opens the breaker at the threshold.
+    pub(crate) fn on_failure(
+        &self,
+        endpoint: &(String, u16),
+        policy: &RetryPolicy,
+    ) -> FailureVerdict {
+        let mut map = self.map.lock();
+        // zc-audit: allow(cheap-clone) — endpoint key (host string + port) for the health map, not payload
+        let health = map.entry(endpoint.clone()).or_default();
+        health.consecutive_failures = health.consecutive_failures.saturating_add(1);
+        if health.open_until.is_none() && health.consecutive_failures >= policy.breaker_threshold {
+            health.open_until = Some(Instant::now() + policy.breaker_cooldown);
+            FailureVerdict::JustOpened(health.consecutive_failures)
+        } else {
+            FailureVerdict::Closed
+        }
+    }
+
+    /// Record a success: the endpoint is healthy again.
+    pub(crate) fn on_success(&self, endpoint: &(String, u16)) {
+        let mut map = self.map.lock();
+        if let Some(health) = map.get_mut(endpoint) {
+            health.consecutive_failures = 0;
+            health.open_until = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep() -> (String, u16) {
+        ("sim".to_string(), 9)
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_deterministic() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(1, 0), Duration::from_millis(2));
+        assert_eq!(p.backoff(2, 0), Duration::from_millis(4));
+        assert_eq!(p.backoff(3, 0), Duration::from_millis(8));
+        // capped
+        assert_eq!(p.backoff(40, 0), p.max_backoff);
+        // jitter shrinks but never below (1 - jitter) and is reproducible
+        let pj = RetryPolicy::default();
+        let a = pj.backoff(2, 7);
+        let b = pj.backoff(2, 7);
+        assert_eq!(a, b);
+        assert!(a <= Duration::from_millis(4));
+        assert!(a >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn breaker_opens_at_threshold_and_half_opens_after_cooldown() {
+        let p = RetryPolicy {
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        };
+        let reg = HealthRegistry::default();
+        assert!(reg.check(&ep()).is_ok());
+        assert!(matches!(reg.on_failure(&ep(), &p), FailureVerdict::Closed));
+        assert!(reg.check(&ep()).is_ok());
+        assert!(matches!(
+            reg.on_failure(&ep(), &p),
+            FailureVerdict::JustOpened(2)
+        ));
+        // open: fail fast
+        assert!(reg.check(&ep()).is_err());
+        std::thread::sleep(Duration::from_millis(8));
+        // half-open: one trial admitted …
+        assert!(reg.check(&ep()).is_ok());
+        // … and a single failure re-opens immediately
+        assert!(matches!(
+            reg.on_failure(&ep(), &p),
+            FailureVerdict::JustOpened(2)
+        ));
+        assert!(reg.check(&ep()).is_err());
+    }
+
+    #[test]
+    fn success_resets_the_breaker() {
+        let p = RetryPolicy {
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_secs(60),
+            ..RetryPolicy::default()
+        };
+        let reg = HealthRegistry::default();
+        assert!(matches!(
+            reg.on_failure(&ep(), &p),
+            FailureVerdict::JustOpened(1)
+        ));
+        assert!(reg.check(&ep()).is_err());
+        reg.on_success(&ep());
+        assert!(reg.check(&ep()).is_ok());
+    }
+
+    #[test]
+    fn none_policy_disables_retry() {
+        let p = RetryPolicy::none();
+        assert!(!p.retries_enabled());
+        assert_eq!(p.max_attempts, 1);
+    }
+}

@@ -124,4 +124,72 @@ proptest! {
             .unwrap();
         prop_assert_eq!(reply.results().next::<Vec<i32>>().unwrap(), vec![1i32]);
     }
+
+    /// Near-valid GIOP: a correctly handshaken connection sending *real*
+    /// request frames with random byte flips or a truncation never panics
+    /// the server loop — corruption lands deep in the header/body decoders,
+    /// not just at the magic check.
+    #[test]
+    fn prop_server_survives_mutated_request_streams(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        flips in proptest::collection::vec((any::<usize>(), 1u8..=255u8), 1..8),
+        cut in any::<usize>(),
+        do_truncate: bool,
+    ) {
+        use zc_cdr::{ByteOrder, CdrEncoder};
+        use zc_giop::{GiopVersion, Handshake, MessageType, RequestHeader};
+
+        let (obj, server, _client, net) = fixture(SimConfig::zero_copy(), true);
+        {
+            let mut raw = net.connect(server.port(), TransportCtx::new()).unwrap();
+            // Complete a genuine handshake so the mutated frames reach the
+            // GIOP decoders rather than dying at the handshake gate.
+            if raw.send_control(&Handshake::local(true).encode()).is_ok()
+                && raw.recv_control().is_ok()
+            {
+                let order = ByteOrder::native();
+                let mut enc = CdrEncoder::new(order);
+                let hdr = RequestHeader::new(1, b"mirror".to_vec(), "mirror");
+                hdr.marshal(&mut enc).unwrap();
+                enc.align(8);
+                enc.write_raw(&payload);
+                let body = enc.finish_stream();
+                let mut frames = zc_giop::fragment_frames(
+                    GiopVersion::V1_2, order, MessageType::Request, &body, 256);
+                let total: usize = frames.iter().map(Vec::len).sum();
+                for &(idx, xor) in &flips {
+                    if total == 0 { break; }
+                    let mut pos = idx % total;
+                    for f in frames.iter_mut() {
+                        if pos < f.len() {
+                            f[pos] ^= xor;
+                            break;
+                        }
+                        pos -= f.len();
+                    }
+                }
+                if do_truncate && !frames.is_empty() {
+                    let fi = cut % frames.len();
+                    let keep = cut % frames[fi].len().max(1);
+                    frames[fi].truncate(keep);
+                }
+                for f in &frames {
+                    if raw.send_control(f).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        // the healthy connection still works
+        let reply = obj
+            .request("mirror")
+            .arg(&vec![7i32]).unwrap()
+            .arg(&ZcOctetSeq::with_length(8)).unwrap()
+            .arg(&"still up".to_string()).unwrap()
+            .arg(&OctetSeq(vec![9])).unwrap()
+            .arg(&true).unwrap()
+            .invoke()
+            .unwrap();
+        prop_assert_eq!(reply.results().next::<Vec<i32>>().unwrap(), vec![7i32]);
+    }
 }

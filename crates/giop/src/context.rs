@@ -14,6 +14,11 @@ pub const SVC_CTX_NEGOTIATE: u32 = 0x5A43_0002;
 /// trace id so client and server flight-recorder spans can be correlated.
 pub const SVC_CTX_TRACE: u32 = 0x5A43_0003;
 
+/// Service-context id for the zcorba zero-copy health report: each endpoint
+/// piggybacks its cumulative receive-side speculation statistics so the
+/// peer can decide to degrade its send path from zero-copy to copying.
+pub const SVC_CTX_ZC_HEALTH: u32 = 0x5A43_0004;
+
 /// A single GIOP service context: an id plus opaque encapsulated data.
 ///
 /// Standard CORBA receivers skip contexts they do not understand, which is
@@ -177,6 +182,64 @@ impl TraceContext {
     }
 }
 
+/// The zero-copy health context: one endpoint's cumulative receive-side
+/// speculation counters, piggybacked on Requests and Replies. The *sender*
+/// of deposits reads the peer's report to learn whether its speculative
+/// deposits actually land in place — the feedback signal behind per-
+/// connection ZC→copy graceful degradation. Same encapsulation convention
+/// as the other zcorba contexts (byte-order flag octet first); unknown to
+/// foreign peers, who skip it per standard service-context rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ZcHealthContext {
+    /// Receive speculations that held, since connection start.
+    pub spec_hits: u64,
+    /// Receive speculations that missed (fallback copies ran).
+    pub spec_misses: u64,
+}
+
+impl ZcHealthContext {
+    /// Encode into a service context.
+    pub fn to_context(&self) -> ServiceContext {
+        let mut enc = CdrEncoder::native();
+        enc.write_octet(enc.order().flag() as u8); // encapsulation-style flag
+        enc.write_u64(self.spec_hits);
+        enc.write_u64(self.spec_misses);
+        ServiceContext {
+            id: SVC_CTX_ZC_HEALTH,
+            data: enc.finish_stream(),
+        }
+    }
+
+    /// Decode from a service context previously produced by
+    /// [`ZcHealthContext::to_context`]. Returns `None` if the id differs.
+    pub fn from_context(ctx: &ServiceContext) -> CdrResult<Option<ZcHealthContext>> {
+        if ctx.id != SVC_CTX_ZC_HEALTH {
+            return Ok(None);
+        }
+        let flag = *ctx
+            .data
+            .first()
+            .ok_or(zc_cdr::CdrError::OutOfBounds { need: 1, have: 0 })?;
+        let order = zc_cdr::ByteOrder::from_flag(flag & 1 == 1);
+        let mut dec = CdrDecoder::new(&ctx.data, order);
+        dec.read_octet()?; // flag
+        let spec_hits = dec.read_u64()?;
+        let spec_misses = dec.read_u64()?;
+        Ok(Some(ZcHealthContext {
+            spec_hits,
+            spec_misses,
+        }))
+    }
+
+    /// Scan a context list for a health report.
+    pub fn find_in(list: &[ServiceContext]) -> CdrResult<Option<ZcHealthContext>> {
+        match ServiceContext::find(list, SVC_CTX_ZC_HEALTH) {
+            Some(ctx) => ZcHealthContext::from_context(ctx),
+            None => Ok(None),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,5 +364,44 @@ mod tests {
         let mut ctx = TraceContext { trace_id: 7 }.to_context();
         ctx.data.truncate(4);
         assert!(TraceContext::from_context(&ctx).is_err());
+    }
+
+    #[test]
+    fn zc_health_roundtrip() {
+        let h = ZcHealthContext {
+            spec_hits: 1_000_000,
+            spec_misses: 37,
+        };
+        let ctx = h.to_context();
+        assert_eq!(ctx.id, SVC_CTX_ZC_HEALTH);
+        let back = ZcHealthContext::from_context(&ctx).unwrap().unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn zc_health_ignores_foreign_id_and_rejects_truncation() {
+        let foreign = ServiceContext {
+            id: SVC_CTX_TRACE,
+            data: vec![0, 1],
+        };
+        assert_eq!(ZcHealthContext::from_context(&foreign).unwrap(), None);
+        let mut ctx = ZcHealthContext {
+            spec_hits: 1,
+            spec_misses: 2,
+        }
+        .to_context();
+        ctx.data.truncate(9);
+        assert!(ZcHealthContext::from_context(&ctx).is_err());
+    }
+
+    #[test]
+    fn zc_health_find_in_mixed_list() {
+        let h = ZcHealthContext {
+            spec_hits: 5,
+            spec_misses: 1,
+        };
+        let list = vec![TraceContext { trace_id: 9 }.to_context(), h.to_context()];
+        assert_eq!(ZcHealthContext::find_in(&list).unwrap().unwrap(), h);
+        assert_eq!(ZcHealthContext::find_in(&list[..1]).unwrap(), None);
     }
 }

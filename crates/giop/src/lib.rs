@@ -27,8 +27,8 @@ pub mod reply;
 pub mod request;
 
 pub use context::{
-    DepositManifest, ServiceContext, TraceContext, SVC_CTX_DEPOSIT, SVC_CTX_NEGOTIATE,
-    SVC_CTX_TRACE,
+    DepositManifest, ServiceContext, TraceContext, ZcHealthContext, SVC_CTX_DEPOSIT,
+    SVC_CTX_NEGOTIATE, SVC_CTX_TRACE, SVC_CTX_ZC_HEALTH,
 };
 pub use handshake::{Handshake, Negotiated};
 pub use ior::{IiopProfile, Ior, TaggedProfile};

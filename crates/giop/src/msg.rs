@@ -331,6 +331,34 @@ mod tests {
     }
 
     #[test]
+    fn crafted_header_with_huge_length_rejected_before_allocation() {
+        // A hand-built wire header claiming a ~4 GiB body, as a corrupted
+        // or hostile peer would send it. Decode must fail with
+        // MessageTooLarge (surfaced as a MARSHAL system exception by the
+        // ORB) — the length field must never size an allocation.
+        let mut bytes = [0u8; GIOP_HEADER_LEN];
+        bytes[..4].copy_from_slice(b"GIOP");
+        bytes[4] = 1; // major
+        bytes[5] = 2; // minor
+        bytes[6] = 1; // flags: little-endian
+        bytes[7] = 0; // Request
+        bytes[8..12].copy_from_slice(&0xFFFF_FFF0u32.to_le_bytes());
+        assert_eq!(
+            GiopHeader::decode(&bytes),
+            Err(GiopError::MessageTooLarge(0xFFFF_FFF0))
+        );
+        // One byte above the limit is already too much…
+        bytes[8..12].copy_from_slice(&((MAX_GIOP_MESSAGE as u32) + 1).to_le_bytes());
+        assert!(matches!(
+            GiopHeader::decode(&bytes),
+            Err(GiopError::MessageTooLarge(_))
+        ));
+        // …while the limit itself still decodes.
+        bytes[8..12].copy_from_slice(&(MAX_GIOP_MESSAGE as u32).to_le_bytes());
+        assert!(GiopHeader::decode(&bytes).is_ok());
+    }
+
+    #[test]
     fn size_follows_flag_order() {
         let h = GiopHeader::new(
             GiopVersion::V1_0,

@@ -135,6 +135,51 @@ proptest! {
         prop_assert_eq!(n1.homogeneous, n2.homogeneous);
         prop_assert_eq!(n1.zero_copy, n2.zero_copy);
     }
+
+    /// A valid framed GIOP stream with random byte flips and/or a
+    /// truncation never panics header decoding or reassembly — every
+    /// corruption lands as `Err`, never as a crash or a huge allocation.
+    #[test]
+    fn prop_mutated_stream_never_panics_decode(
+        body in proptest::collection::vec(any::<u8>(), 0..4096),
+        max_body in 32usize..512,
+        order in orders(),
+        flips in proptest::collection::vec((any::<usize>(), 1u8..=255u8), 0..8),
+        cut in any::<usize>(),
+        do_truncate: bool,
+    ) {
+        let mut frames = zc_giop::msg::fragment_frames(
+            GiopVersion::V1_2, order, MessageType::Request, &body, max_body);
+        // Flip bytes anywhere in the concatenated stream (headers and
+        // bodies alike — size fields, flags, magic, everything).
+        let total: usize = frames.iter().map(Vec::len).sum();
+        for &(idx, xor) in &flips {
+            if total == 0 {
+                break;
+            }
+            let mut pos = idx % total;
+            for f in frames.iter_mut() {
+                if pos < f.len() {
+                    f[pos] ^= xor;
+                    break;
+                }
+                pos -= f.len();
+            }
+        }
+        if do_truncate && !frames.is_empty() {
+            let fi = cut % frames.len();
+            let keep = cut % frames[fi].len().max(1);
+            frames[fi].truncate(keep);
+        }
+        for f in &frames {
+            if f.len() >= GIOP_HEADER_LEN {
+                let arr: [u8; GIOP_HEADER_LEN] =
+                    f[..GIOP_HEADER_LEN].try_into().unwrap();
+                let _ = GiopHeader::decode(&arr);
+            }
+        }
+        let _ = zc_giop::msg::reassemble(&frames);
+    }
 }
 
 #[test]

@@ -74,11 +74,22 @@ pub enum EventKind {
     Dispatch = 9,
     /// An error surfaced (payload: implementation-defined code).
     Error = 10,
+    /// A failed invocation is being retried (payload: attempt number).
+    Retry = 11,
+    /// A dead connection was replaced by a fresh one (payload: new conn id).
+    Reconnect = 12,
+    /// An endpoint circuit breaker opened (payload: consecutive failures).
+    BreakerOpen = 13,
+    /// A connection degraded from zero-copy to the copying path
+    /// (payload: recent speculation misses).
+    Degrade = 14,
+    /// A degraded connection re-upgraded to zero-copy (payload: probes run).
+    Upgrade = 15,
 }
 
 impl EventKind {
     /// All kinds.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::RequestSent,
         EventKind::RequestReceived,
         EventKind::ReplySent,
@@ -90,6 +101,11 @@ impl EventKind {
         EventKind::Invoke,
         EventKind::Dispatch,
         EventKind::Error,
+        EventKind::Retry,
+        EventKind::Reconnect,
+        EventKind::BreakerOpen,
+        EventKind::Degrade,
+        EventKind::Upgrade,
     ];
 
     /// Short name used in reports.
@@ -106,6 +122,11 @@ impl EventKind {
             EventKind::Invoke => "invoke",
             EventKind::Dispatch => "dispatch",
             EventKind::Error => "error",
+            EventKind::Retry => "retry",
+            EventKind::Reconnect => "reconnect",
+            EventKind::BreakerOpen => "breaker-open",
+            EventKind::Degrade => "degrade",
+            EventKind::Upgrade => "upgrade",
         }
     }
 

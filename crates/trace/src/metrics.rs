@@ -382,6 +382,16 @@ pub struct MetricsRegistry {
     pub replies_exception: Counter,
     /// Received requests that carried a `ZC_TRACE` service context.
     pub trace_contexts_seen: Counter,
+    /// Invocation attempts re-sent after a transport failure.
+    pub retries: Counter,
+    /// Dead connections transparently replaced by fresh ones.
+    pub reconnects: Counter,
+    /// Per-endpoint circuit breakers opened.
+    pub breaker_opens: Counter,
+    /// Connections that degraded from zero-copy to the copying path.
+    pub degradations: Counter,
+    /// Degraded connections that re-upgraded to zero-copy.
+    pub upgrades: Counter,
     /// Client-observed request→reply latency, in nanoseconds.
     pub request_latency_ns: Histogram,
     /// Server-side servant dispatch duration, in nanoseconds.
@@ -401,6 +411,11 @@ impl MetricsRegistry {
             replies_ok: self.replies_ok.get(),
             replies_exception: self.replies_exception.get(),
             trace_contexts_seen: self.trace_contexts_seen.get(),
+            retries: self.retries.get(),
+            reconnects: self.reconnects.get(),
+            breaker_opens: self.breaker_opens.get(),
+            degradations: self.degradations.get(),
+            upgrades: self.upgrades.get(),
             request_latency_ns: self.request_latency_ns.snapshot(),
             dispatch_ns: self.dispatch_ns.snapshot(),
             deposit_block_bytes: self.deposit_block_bytes.snapshot(),
@@ -422,6 +437,16 @@ pub struct MetricsSnapshot {
     pub replies_exception: u64,
     /// Received requests carrying a `ZC_TRACE` context.
     pub trace_contexts_seen: u64,
+    /// Invocation attempts re-sent after a transport failure.
+    pub retries: u64,
+    /// Dead connections transparently replaced.
+    pub reconnects: u64,
+    /// Circuit breakers opened.
+    pub breaker_opens: u64,
+    /// ZC→copy degradations.
+    pub degradations: u64,
+    /// Copy→ZC re-upgrades.
+    pub upgrades: u64,
     /// Request→reply latency histogram.
     pub request_latency_ns: HistogramSnapshot,
     /// Dispatch duration histogram.

@@ -94,6 +94,11 @@ impl OrbTelemetry {
             ("replies_ok", self.metrics.replies_ok),
             ("replies_exception", self.metrics.replies_exception),
             ("trace_contexts_seen", self.metrics.trace_contexts_seen),
+            ("retries", self.metrics.retries),
+            ("reconnects", self.metrics.reconnects),
+            ("breaker_opens", self.metrics.breaker_opens),
+            ("degradations", self.metrics.degradations),
+            ("upgrades", self.metrics.upgrades),
         ] {
             if v != 0 {
                 let _ = writeln!(out, "{name:<20}{v:>14}");
@@ -166,6 +171,11 @@ impl OrbTelemetry {
             ("replies_ok", self.metrics.replies_ok),
             ("replies_exception", self.metrics.replies_exception),
             ("trace_contexts_seen", self.metrics.trace_contexts_seen),
+            ("retries", self.metrics.retries),
+            ("reconnects", self.metrics.reconnects),
+            ("breaker_opens", self.metrics.breaker_opens),
+            ("degradations", self.metrics.degradations),
+            ("upgrades", self.metrics.upgrades),
         ] {
             let _ = writeln!(
                 out,

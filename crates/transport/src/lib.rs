@@ -32,7 +32,7 @@ pub mod stats;
 pub mod tcp;
 
 pub use frame::{Frame, FramePayload, FRAME_HEADER_BYTES, MTU_PAYLOAD};
-pub use sim::{SimConfig, SimListener, SimNetwork, StackMode};
+pub use sim::{FaultPlan, FaultSide, SimConfig, SimListener, SimNetwork, StackMode};
 pub use stats::{ConnStats, TransportField};
 pub use tcp::{TcpConnector, TcpTransportListener};
 

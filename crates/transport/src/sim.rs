@@ -96,6 +96,136 @@ impl SimConfig {
     }
 }
 
+/// Which endpoints of the network a [`FaultPlan`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultSide {
+    /// Every endpoint, connecting or accepting.
+    #[default]
+    Both,
+    /// Only endpoints created by [`SimNetwork::connect`] (client halves).
+    Client,
+    /// Only endpoints handed out by accept (server halves).
+    Server,
+}
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// Installed network-wide with [`SimNetwork::inject_faults`]; live
+/// connections pick the new plan up at their next send or receive. Frame
+/// indices (`cut_after_frames`, `corrupt_frame`, …) count *per connection*
+/// from the moment that connection first sees the plan, so "cut after 0
+/// frames" means "the very next frame this endpoint sends".
+///
+/// The deterministic single-frame faults (cut / corrupt / truncate /
+/// delay) share a network-wide budget of [`FaultPlan::max_trips`] firings
+/// per injected plan — so a plan that kills one connection does not also
+/// kill the replacement connection a recovering client dials. The
+/// probabilistic faults (`drop_prob`, `spec_miss_prob`) and
+/// `refuse_connects` stay live until the plan is replaced.
+///
+/// A frame drop is modeled as the wire dying (the sender's channel closes
+/// and the peer observes [`TransportError::Closed`] after draining): a
+/// silently missing fragment would leave the peer blocked forever inside a
+/// block, which is exactly what a real TCP connection turns into a reset
+/// once retransmission gives up.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Which endpoints the plan applies to.
+    pub side: FaultSide,
+    /// Sever the wire once an endpoint has sent this many further frames.
+    pub cut_after_frames: Option<u64>,
+    /// Flip bits in the payload of the Nth frame sent.
+    pub corrupt_frame: Option<u64>,
+    /// Truncate the payload of the Nth frame sent (announced block length
+    /// is left intact, so the receiver sees a short fragment stream).
+    pub truncate_frame: Option<u64>,
+    /// Hold the Nth frame and deliver it after its successor (reordering).
+    pub delay_frame: Option<u64>,
+    /// Probability that any sent frame kills the connection instead.
+    pub drop_prob: f64,
+    /// Probability that a zero-copy receive speculation is forced to miss.
+    pub spec_miss_prob: f64,
+    /// Refuse new [`SimNetwork::connect`] attempts.
+    pub refuse_connects: bool,
+    /// Budget for the deterministic single-frame faults above.
+    pub max_trips: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            side: FaultSide::Both,
+            cut_after_frames: None,
+            corrupt_frame: None,
+            truncate_frame: None,
+            delay_frame: None,
+            drop_prob: 0.0,
+            spec_miss_prob: 0.0,
+            refuse_connects: false,
+            max_trips: 1,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Plan that severs the wire after `n` further frames.
+    pub fn cut_after(n: u64) -> FaultPlan {
+        FaultPlan {
+            cut_after_frames: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Plan that forces every zero-copy receive speculation to miss with
+    /// probability `p`.
+    pub fn spec_miss(p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        FaultPlan {
+            spec_miss_prob: p,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Plan that kills connections with per-frame probability `p`.
+    pub fn drop(p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        FaultPlan {
+            drop_prob: p,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Plan that refuses all new connection attempts.
+    pub fn refuse() -> FaultPlan {
+        FaultPlan {
+            refuse_connects: true,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Restrict the plan to one side of the network.
+    pub fn on(mut self, side: FaultSide) -> FaultPlan {
+        self.side = side;
+        self
+    }
+
+    fn applies_to(&self, is_client: bool) -> bool {
+        match self.side {
+            FaultSide::Both => true,
+            FaultSide::Client => is_client,
+            FaultSide::Server => !is_client,
+        }
+    }
+}
+
+/// Live fault state shared by every connection of one [`SimNetwork`].
+#[derive(Default)]
+struct FaultState {
+    plan: Mutex<FaultPlan>,
+    generation: AtomicU64,
+    trips: AtomicU64,
+}
+
 type PendingConn = Box<SimConn>;
 
 struct NetInner {
@@ -103,6 +233,7 @@ struct NetInner {
     next_port: AtomicU64,
     next_conn_id: AtomicU64,
     config: SimConfig,
+    faults: Arc<FaultState>,
 }
 
 /// A process-local simulated network. Clone handles freely; all clones
@@ -121,6 +252,7 @@ impl SimNetwork {
                 next_port: AtomicU64::new(40_000),
                 next_conn_id: AtomicU64::new(1),
                 config,
+                faults: Arc::new(FaultState::default()),
             }),
         }
     }
@@ -128,6 +260,32 @@ impl SimNetwork {
     /// The network's stack configuration.
     pub fn config(&self) -> SimConfig {
         self.inner.config
+    }
+
+    /// Install `plan` as the network's live fault plan. Takes effect for
+    /// in-flight connections at their next send or receive; the
+    /// deterministic single-frame faults get a fresh trip budget.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        let f = &self.inner.faults;
+        *f.plan.lock() = plan;
+        f.trips.store(0, Ordering::Release);
+        f.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Remove every injected fault (equivalent to injecting the default
+    /// all-quiet plan).
+    pub fn clear_faults(&self) {
+        self.inject_faults(FaultPlan::default());
+    }
+
+    /// How many deterministic single-frame faults the current plan has
+    /// fired so far.
+    pub fn faults_tripped(&self) -> u64 {
+        self.inner
+            .faults
+            .trips
+            .load(Ordering::Acquire)
+            .min(self.inner.faults.plan.lock().max_trips as u64)
     }
 
     /// Bind a listener. `port == 0` allocates an ephemeral port.
@@ -157,6 +315,15 @@ impl SimNetwork {
 
     /// Dial a listener on this network.
     pub fn connect(&self, port: u16, ctx: TransportCtx) -> TResult<Box<dyn Connection>> {
+        {
+            let plan = *self.inner.faults.plan.lock();
+            if plan.refuse_connects && plan.applies_to(true) {
+                // zc-audit: allow(control-plane) — endpoint name for the error
+                return Err(TransportError::ConnectionRefused(format!(
+                    "sim:{port} (injected fault: refusing connects)"
+                )));
+            }
+        }
         let listener_tx = {
             let map = self.inner.listeners.lock();
             map.get(&port).cloned()
@@ -178,6 +345,8 @@ impl SimNetwork {
             c2s_tx,
             s2c_rx,
             conn_id * 2,
+            true,
+            Arc::clone(&self.inner.faults),
         );
         // Server side gets its context from the listener at accept time; a
         // placeholder ctx here would double-count, so the listener injects
@@ -189,6 +358,7 @@ impl SimNetwork {
             tx: s2c_tx,
             rx: c2s_rx,
             seed_salt: conn_id * 2 + 1,
+            faults: Arc::clone(&self.inner.faults),
         };
         listener_tx
             .send(Box::new(SimConn::from_half(
@@ -224,6 +394,7 @@ struct PendingHalf {
     tx: Sender<Frame>,
     rx: Receiver<Frame>,
     seed_salt: u64,
+    faults: Arc<FaultState>,
 }
 
 /// A bound simulated listener.
@@ -260,12 +431,17 @@ impl Drop for SimListener {
     }
 }
 
+/// Hard cap on the announced length of one simulated block: a corrupt
+/// total must error out, never size an allocation.
+pub const MAX_SIM_BLOCK_BYTES: u64 = 1 << 30;
+
 /// One endpoint of a simulated connection.
 pub struct SimConn {
     peer: String,
     cfg: SimConfig,
     ctx: TransportCtx,
-    tx: Sender<Frame>,
+    /// `None` once the outgoing wire was severed by a fault.
+    tx: Option<Sender<Frame>>,
     rx: Receiver<Frame>,
     /// Frames received for the other lane while waiting on one lane.
     pending_control: VecDeque<Frame>,
@@ -275,9 +451,23 @@ pub struct SimConn {
     stats: Arc<StatsCell>,
     recv_timeout: Option<std::time::Duration>,
     trace_conn: u64,
+    is_client: bool,
+    faults: Arc<FaultState>,
+    active_plan: FaultPlan,
+    fault_gen: u64,
+    /// Frames sent since this endpoint picked up the current plan.
+    frames_since_fault: u64,
+    wire_cut: bool,
+    /// A frame held back by `FaultPlan::delay_frame`, delivered after its
+    /// successor.
+    delayed: Option<Frame>,
+    /// Separate RNG stream for fault draws so injecting faults never
+    /// perturbs the speculation outcomes of `rng`.
+    fault_rng: StdRng,
 }
 
 impl SimConn {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         peer: String,
         cfg: SimConfig,
@@ -285,13 +475,17 @@ impl SimConn {
         tx: Sender<Frame>,
         rx: Receiver<Frame>,
         seed_salt: u64,
+        is_client: bool,
+        faults: Arc<FaultState>,
     ) -> SimConn {
         let stats = StatsCell::with_telemetry(ctx.conn_mirror());
+        let fault_gen = faults.generation.load(Ordering::Acquire);
+        let active_plan = *faults.plan.lock();
         SimConn {
             peer,
             cfg,
             ctx,
-            tx,
+            tx: Some(tx),
             rx,
             pending_control: VecDeque::new(),
             pending_data: VecDeque::new(),
@@ -300,11 +494,45 @@ impl SimConn {
             stats,
             recv_timeout: None,
             trace_conn: zc_trace::next_conn_id(),
+            is_client,
+            faults,
+            active_plan,
+            fault_gen,
+            frames_since_fault: 0,
+            wire_cut: false,
+            delayed: None,
+            fault_rng: StdRng::seed_from_u64(
+                cfg.seed ^ seed_salt.rotate_left(17) ^ 0xFA17_FA17_FA17_FA17,
+            ),
         }
     }
 
     fn from_half(h: PendingHalf, ctx: TransportCtx) -> SimConn {
-        SimConn::new(h.peer, h.cfg, ctx, h.tx, h.rx, h.seed_salt)
+        SimConn::new(h.peer, h.cfg, ctx, h.tx, h.rx, h.seed_salt, false, h.faults)
+    }
+
+    /// Pick up a newly injected plan; frame counting restarts with it.
+    fn refresh_fault_plan(&mut self) {
+        let gen = self.faults.generation.load(Ordering::Acquire);
+        if gen != self.fault_gen {
+            self.fault_gen = gen;
+            self.active_plan = *self.faults.plan.lock();
+            self.frames_since_fault = 0;
+        }
+    }
+
+    /// Consume one shot of the plan's deterministic-fault budget.
+    fn take_trip(&self) -> bool {
+        let max = self.active_plan.max_trips as u64;
+        self.faults.trips.fetch_add(1, Ordering::AcqRel) < max
+    }
+
+    /// Sever this endpoint's outgoing wire: the peer drains what was
+    /// already delivered, then observes [`TransportError::Closed`].
+    fn cut(&mut self) {
+        self.wire_cut = true;
+        self.tx = None;
+        self.delayed = None;
     }
 
     /// Rebuild the stats cell against the (possibly replaced) context's
@@ -319,11 +547,83 @@ impl SimConn {
         id
     }
 
-    fn send_frame(&self, frame: Frame) -> TResult<()> {
+    /// Put one frame on the wire, running it through the live fault plan
+    /// first.
+    fn send_frame(&mut self, frame: Frame) -> TResult<()> {
+        if self.wire_cut {
+            return Err(TransportError::Closed);
+        }
+        self.refresh_fault_plan();
+        let plan = self.active_plan;
+        if plan.applies_to(self.is_client) {
+            let n = self.frames_since_fault;
+            self.frames_since_fault += 1;
+            if (plan.cut_after_frames.is_some_and(|k| n >= k) && self.take_trip())
+                || (plan.drop_prob > 0.0 && self.fault_rng.gen::<f64>() < plan.drop_prob)
+            {
+                self.cut();
+                return Err(TransportError::Closed);
+            }
+            let mut frame = frame;
+            if plan.corrupt_frame == Some(n) && self.take_trip() {
+                Self::corrupt_payload(&mut frame);
+            }
+            if plan.truncate_frame == Some(n) && self.take_trip() {
+                Self::truncate_payload(&mut frame);
+            }
+            if plan.delay_frame == Some(n) && self.take_trip() {
+                self.delayed = Some(frame);
+                return Ok(());
+            }
+            self.put_on_wire(frame)?;
+        } else {
+            self.put_on_wire(frame)?;
+        }
+        if let Some(held) = self.delayed.take() {
+            self.put_on_wire(held)?;
+        }
+        Ok(())
+    }
+
+    fn put_on_wire(&mut self, frame: Frame) -> TResult<()> {
         self.stats.add(TransportField::FramesSent, 1);
         self.stats
             .add(TransportField::WireBytesSent, frame.wire_bytes() as u64);
-        self.tx.send(frame).map_err(|_| TransportError::Closed)
+        match &self.tx {
+            Some(tx) => tx.send(frame).map_err(|_| TransportError::Closed),
+            None => Err(TransportError::Closed),
+        }
+    }
+
+    /// Flip bits in the frame payload. The payload may reference the
+    /// sender's live pages, so corruption first detaches the frame into a
+    /// private buffer — the injector must never scribble on application
+    /// memory.
+    fn corrupt_payload(frame: &mut Frame) {
+        // zc-audit: allow(copy) — fault injector detaches the frame before flipping bits; wire damage on the KernelFrag-sized fragment, not a data-path copy
+        let mut bytes = frame.payload.as_slice().to_vec();
+        if let Some(b) = bytes.first_mut() {
+            *b ^= 0xFF;
+        }
+        for b in bytes.iter_mut().skip(1).step_by(97) {
+            *b ^= 0xA5;
+        }
+        frame.payload = FramePayload::Copied(bytes);
+    }
+
+    /// Shorten the frame payload without touching the announced block
+    /// length: downstream sees a fragment stream that can never complete.
+    fn truncate_payload(frame: &mut Frame) {
+        let len = frame.payload.len();
+        if len == 0 {
+            return;
+        }
+        let keep = len / 2;
+        frame.payload = match &frame.payload {
+            FramePayload::Referenced(z) => FramePayload::Referenced(z.slice(0..keep)),
+            // zc-audit: allow(copy) — injected wire truncation rebuilds the shortened KernelFrag-sized fragment, fault path only
+            FramePayload::Copied(v) => FramePayload::Copied(v[..keep].to_vec()),
+        };
     }
 
     /// The conventional send path: user→kernel copy, then fragmentation
@@ -436,6 +736,12 @@ impl SimConn {
         let first = self.next_frame(lane)?;
         let block_id = first.block_id;
         let total = first.total_len;
+        if total > MAX_SIM_BLOCK_BYTES {
+            // zc-audit: allow(control-plane) — protocol error diagnostic
+            return Err(TransportError::Protocol(format!(
+                "block {block_id} announces {total} bytes, above the {MAX_SIM_BLOCK_BYTES} byte cap"
+            )));
+        }
         let mut got = first.payload.len() as u64;
         let mut frames = vec![first];
         while got < total {
@@ -489,7 +795,19 @@ impl SimConn {
         if total == 0 {
             return Ok(ZcBytes::empty());
         }
-        let speculation_ok = self.rng.gen::<f64>() < self.cfg.zc_success_prob;
+        self.refresh_fault_plan();
+        let plan = self.active_plan;
+        // The speculation draw always happens (keeps `rng`'s stream, and
+        // therefore every fault-free experiment, unchanged); an injected
+        // miss only overrides a draw that would have succeeded.
+        let mut speculation_ok = self.rng.gen::<f64>() < self.cfg.zc_success_prob;
+        if speculation_ok
+            && plan.spec_miss_prob > 0.0
+            && plan.applies_to(self.is_client)
+            && self.fault_rng.gen::<f64>() < plan.spec_miss_prob
+        {
+            speculation_ok = false;
+        }
         if speculation_ok {
             let parts: Option<Vec<ZcBytes>> = frames
                 .iter()
@@ -850,6 +1168,206 @@ mod tests {
         c2.send_control(b"two").unwrap();
         assert_eq!(s1.recv_control().unwrap(), b"one");
         assert_eq!(s2.recv_control().unwrap(), b"two");
+    }
+
+    fn faulty_pair(
+        cfg: SimConfig,
+    ) -> (
+        SimNetwork,
+        Box<dyn Connection>,
+        Box<dyn Connection>,
+        TransportCtx,
+    ) {
+        let net = SimNetwork::new(cfg);
+        let ctx = TransportCtx::new();
+        let listener = net.listen(0, ctx.clone()).unwrap();
+        let port = listener.endpoint().1;
+        let client = net.connect(port, ctx.clone()).unwrap();
+        let server = listener.accept().unwrap();
+        (net, client, server, ctx)
+    }
+
+    #[test]
+    fn fault_cut_kills_sender_then_peer_and_spares_replacements() {
+        let net = SimNetwork::new(SimConfig::copying());
+        let ctx = TransportCtx::new();
+        let l = net.listen(0, ctx.clone()).unwrap();
+        let port = l.endpoint().1;
+        let mut c = net.connect(port, ctx.clone()).unwrap();
+        let mut s = l.accept().unwrap();
+        c.send_control(b"ok").unwrap();
+        assert_eq!(s.recv_control().unwrap(), b"ok");
+
+        net.inject_faults(FaultPlan::cut_after(0).on(FaultSide::Client));
+        assert_eq!(c.send_control(b"dead").unwrap_err(), TransportError::Closed);
+        assert_eq!(
+            c.send_control(b"still dead").unwrap_err(),
+            TransportError::Closed,
+            "a cut wire stays cut"
+        );
+        assert_eq!(s.recv_control().unwrap_err(), TransportError::Closed);
+        assert_eq!(net.faults_tripped(), 1);
+
+        // The trip budget is spent: a replacement connection sails through.
+        let mut c2 = net.connect(port, ctx.clone()).unwrap();
+        let mut s2 = l.accept().unwrap();
+        c2.send_control(b"again").unwrap();
+        assert_eq!(s2.recv_control().unwrap(), b"again");
+    }
+
+    #[test]
+    fn fault_drop_prob_one_kills_immediately() {
+        let (net, mut c, _s, _ctx) = faulty_pair(SimConfig::copying());
+        net.inject_faults(FaultPlan::drop(1.0));
+        assert_eq!(c.send_control(b"x").unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn fault_corrupt_frame_delivers_damaged_bytes() {
+        let (net, mut c, mut s, _ctx) = faulty_pair(SimConfig::copying());
+        net.inject_faults(FaultPlan {
+            corrupt_frame: Some(0),
+            ..FaultPlan::default()
+        });
+        let original = b"hello fault injector".to_vec();
+        c.send_control(&original).unwrap();
+        let got = s.recv_control().unwrap();
+        assert_eq!(got.len(), original.len());
+        assert_ne!(got, original, "payload must arrive damaged");
+    }
+
+    #[test]
+    fn fault_corrupt_never_touches_sender_pages() {
+        let (net, mut c, mut s, _ctx) = faulty_pair(SimConfig::zero_copy());
+        net.inject_faults(FaultPlan {
+            corrupt_frame: Some(0),
+            ..FaultPlan::default()
+        });
+        let block = ZcBytes::zeroed(PAGE_SIZE);
+        c.send_data(&block).unwrap();
+        let got = s.recv_data(PAGE_SIZE).unwrap();
+        assert!(
+            block.as_slice().iter().all(|&b| b == 0),
+            "sender buffer intact"
+        );
+        assert_ne!(got.as_slice(), block.as_slice(), "receiver sees damage");
+        assert_eq!(s.stats().spec_misses, 1, "detached frame cannot join");
+    }
+
+    #[test]
+    fn fault_truncate_surfaces_as_protocol_error() {
+        let (net, mut c, mut s, _ctx) = faulty_pair(SimConfig::copying());
+        net.inject_faults(FaultPlan {
+            truncate_frame: Some(0),
+            ..FaultPlan::default()
+        });
+        c.send_control(b"0123456789").unwrap();
+        // The truncated block can never complete; the next block's frames
+        // expose the mismatch deterministically.
+        c.send_control(b"next").unwrap();
+        assert!(matches!(s.recv_control(), Err(TransportError::Protocol(_))));
+    }
+
+    #[test]
+    fn fault_delay_reorders_but_bytes_survive() {
+        let (net, mut c, mut s, _ctx) = faulty_pair(SimConfig::zero_copy());
+        net.inject_faults(FaultPlan {
+            delay_frame: Some(0),
+            ..FaultPlan::default()
+        });
+        let n = PAGE_SIZE * 2;
+        let mut buf = zc_buffers::AlignedBuf::with_capacity(n);
+        let pattern: Vec<u8> = (0..n).map(|i| (i * 13 % 251) as u8).collect();
+        buf.extend_from_slice(&pattern);
+        let block = ZcBytes::from_aligned(buf);
+        c.send_data(&block).unwrap();
+        let got = s.recv_data(n).unwrap();
+        assert_eq!(got.as_slice(), &pattern[..], "reassembly is offset-based");
+        assert_eq!(
+            s.stats().spec_misses,
+            1,
+            "reordered fragments cannot join in place"
+        );
+    }
+
+    #[test]
+    fn fault_spec_miss_forces_fallback_with_intact_payload() {
+        let (net, mut c, mut s, ctx) = faulty_pair(SimConfig::zero_copy());
+        net.inject_faults(FaultPlan::spec_miss(1.0));
+        let block = ZcBytes::zeroed(PAGE_SIZE);
+        c.send_data(&block).unwrap();
+        let got = s.recv_data(PAGE_SIZE).unwrap();
+        assert!(!got.ptr_eq(&block), "forced miss copies");
+        assert_eq!(got.as_slice(), block.as_slice());
+        assert_eq!(s.stats().spec_misses, 1);
+        assert_eq!(
+            ctx.meter.bytes(CopyLayer::DepositFallback),
+            PAGE_SIZE as u64
+        );
+
+        // Clearing the plan restores in-place deposits.
+        net.clear_faults();
+        c.send_data(&block).unwrap();
+        let again = s.recv_data(PAGE_SIZE).unwrap();
+        assert!(again.ptr_eq(&block));
+    }
+
+    #[test]
+    fn fault_refuse_connects_then_clear() {
+        let net = SimNetwork::new(SimConfig::copying());
+        let ctx = TransportCtx::new();
+        let l = net.listen(0, ctx.clone()).unwrap();
+        let port = l.endpoint().1;
+        net.inject_faults(FaultPlan::refuse());
+        assert!(matches!(
+            net.connect(port, ctx.clone()),
+            Err(TransportError::ConnectionRefused(_))
+        ));
+        net.clear_faults();
+        assert!(net.connect(port, ctx.clone()).is_ok());
+    }
+
+    #[test]
+    fn fault_side_filter_leaves_other_side_alone() {
+        let (net, mut c, mut s, _ctx) = faulty_pair(SimConfig::copying());
+        net.inject_faults(FaultPlan::cut_after(0).on(FaultSide::Server));
+        // Client sending is unaffected…
+        c.send_control(b"client fine").unwrap();
+        assert_eq!(s.recv_control().unwrap(), b"client fine");
+        // …but the server's first send dies.
+        assert_eq!(s.send_control(b"x").unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn oversized_block_announcement_rejected() {
+        let faults = Arc::new(FaultState::default());
+        let (wire_tx, wire_rx) = unbounded();
+        let (tx_unused, _rx_unused) = unbounded();
+        let mut conn = SimConn::new(
+            "sim:test#cap".to_string(),
+            SimConfig::copying(),
+            TransportCtx::new(),
+            tx_unused,
+            wire_rx,
+            7,
+            false,
+            faults,
+        );
+        wire_tx
+            .send(Frame {
+                lane: Lane::Control,
+                block_id: 0,
+                offset: 0,
+                total_len: MAX_SIM_BLOCK_BYTES + 1,
+                payload: FramePayload::Copied(vec![0u8; 16]),
+            })
+            .unwrap();
+        match conn.recv_control() {
+            Err(TransportError::Protocol(msg)) => {
+                assert!(msg.contains("cap"), "{msg}");
+            }
+            other => panic!("expected protocol error, got {other:?}"),
+        }
     }
 
     #[test]
