@@ -1,10 +1,13 @@
 //! Experiment E6 — the §6 claim: "For newer machines we can achieve the
 //! full communication bandwidth of Gigabit Ethernet with a CPU utilization
 //! of just 30% versus 100% with the original stack."
+//!
+//! `--json` emits one JSON object per row in the shared format.
 
+use zc_bench::{json_flag, report::json_escape};
 use zc_simnet::{cpu_utilization, predict, LinkSpec, MachineSpec, OrbMode, Scenario, SocketMode};
 
-fn row(machine: MachineSpec, socket: SocketMode, orb: OrbMode) {
+fn row(machine: MachineSpec, socket: SocketMode, orb: OrbMode, json: bool) {
     let scn = Scenario {
         machine,
         link: LinkSpec::gigabit_ethernet(),
@@ -14,27 +17,48 @@ fn row(machine: MachineSpec, socket: SocketMode, orb: OrbMode) {
     };
     let mbit = predict(&scn);
     let (s, r) = cpu_utilization(&scn);
-    println!(
-        "  {:<22} {:>8.0} Mbit/s   sender {:>5.1} %   receiver {:>5.1} %",
-        scn.label(),
-        mbit,
-        s * 100.0,
-        r * 100.0
-    );
+    if json {
+        println!(
+            "{{\"machine\":\"{}\",\"config\":\"{}\",\"modeled_mbit_s\":{:.1},\
+             \"sender_cpu\":{:.3},\"receiver_cpu\":{:.3}}}",
+            json_escape(machine.name),
+            json_escape(&scn.label()),
+            mbit,
+            s,
+            r
+        );
+    } else {
+        println!(
+            "  {:<22} {:>8.0} Mbit/s   sender {:>5.1} %   receiver {:>5.1} %",
+            scn.label(),
+            mbit,
+            s * 100.0,
+            r * 100.0
+        );
+    }
 }
 
 fn main() {
-    println!("## E6 — CPU utilization at 16 MiB blocks over GbE\n");
-    for machine in [MachineSpec::pentium_ii_400(), MachineSpec::modern_2003()] {
-        println!("{}:", machine.name);
-        row(machine, SocketMode::Copying, OrbMode::None);
-        row(machine, SocketMode::ZeroCopy, OrbMode::None);
-        row(machine, SocketMode::Copying, OrbMode::Standard);
-        row(machine, SocketMode::ZeroCopy, OrbMode::ZeroCopyOrb);
-        println!();
+    let json = json_flag();
+    if !json {
+        println!("## E6 — CPU utilization at 16 MiB blocks over GbE\n");
     }
-    println!(
-        "paper claim: on the newer machine the zero-copy stack reaches full GbE\n\
-         bandwidth at ≈ 30 % CPU; the conventional stack needs ≈ 100 %."
-    );
+    for machine in [MachineSpec::pentium_ii_400(), MachineSpec::modern_2003()] {
+        if !json {
+            println!("{}:", machine.name);
+        }
+        row(machine, SocketMode::Copying, OrbMode::None, json);
+        row(machine, SocketMode::ZeroCopy, OrbMode::None, json);
+        row(machine, SocketMode::Copying, OrbMode::Standard, json);
+        row(machine, SocketMode::ZeroCopy, OrbMode::ZeroCopyOrb, json);
+        if !json {
+            println!();
+        }
+    }
+    if !json {
+        println!(
+            "paper claim: on the newer machine the zero-copy stack reaches full GbE\n\
+             bandwidth at ≈ 30 % CPU; the conventional stack needs ≈ 100 %."
+        );
+    }
 }

@@ -3,41 +3,46 @@
 //!
 //! Paper anchors: raw TCP saturates ≈ 330 Mbit/s; CORBA saturates
 //! ≈ 50 Mbit/s ("would not even use a Fast Ethernet to its limit").
+//!
+//! `--json` switches every section to the shared JSON format.
 
+use zc_bench::report::series_json;
 use zc_bench::{
-    full_flag, measured_block_sizes, measured_series_traced, modeled_series, trace_flag,
+    full_flag, json_flag, measured_block_sizes, measured_series_traced, modeled_series,
+    print_telemetry, trace_flag,
 };
 use zc_ttcp::{format_series_table, TtcpVersion};
 
 fn main() {
     let traced = trace_flag();
+    let json = json_flag();
     let sizes = zc_simnet::paper_block_sizes();
-    println!(
-        "{}",
-        format_series_table(
-            "Figure 5 — unoptimized sockets vs unoptimized CORBA (modeled, P-II 400 / GbE)",
-            &sizes,
-            &[
-                modeled_series(TtcpVersion::RawTcp, &sizes),
-                modeled_series(TtcpVersion::CorbaStd, &sizes),
-            ],
-        )
-    );
+    let modeled = [
+        modeled_series(TtcpVersion::RawTcp, &sizes),
+        modeled_series(TtcpVersion::CorbaStd, &sizes),
+    ];
+    let title_m = "Figure 5 — unoptimized sockets vs unoptimized CORBA (modeled, P-II 400 / GbE)";
+    if json {
+        println!("{}", series_json(title_m, &sizes, &modeled));
+    } else {
+        println!("{}", format_series_table(title_m, &sizes, &modeled));
+    }
 
     let msizes = measured_block_sizes(full_flag());
     let (raw, _) = measured_series_traced(TtcpVersion::RawTcp, &msizes, traced);
     let (std, telemetry) = measured_series_traced(TtcpVersion::CorbaStd, &msizes, traced);
-    println!(
-        "{}",
-        format_series_table(
-            "Figure 5 — same configurations executed on this host (real copies)",
-            &msizes,
-            &[raw, std],
-        )
-    );
-    println!("paper anchors: raw TCP ≈ 330 Mbit/s, CORBA ≈ 50 Mbit/s at saturation");
+    let title_h = "Figure 5 — same configurations executed on this host (real copies)";
+    if json {
+        println!("{}", series_json(title_h, &msizes, &[raw, std]));
+    } else {
+        println!("{}", format_series_table(title_h, &msizes, &[raw, std]));
+        println!("paper anchors: raw TCP ≈ 330 Mbit/s, CORBA ≈ 50 Mbit/s at saturation");
+    }
     if let Some(t) = telemetry {
-        println!("\ntelemetry of the last measured CORBA run (disable with --no-trace):");
-        print!("{}", t.text_table());
+        print_telemetry(
+            "telemetry of the last measured CORBA run (disable with --no-trace)",
+            &t,
+            json,
+        );
     }
 }

@@ -6,52 +6,59 @@
 //! zero-copy ORB nearly matches the raw TCP-socket version"; the winning
 //! combination (zero-copy ORB over zero-copy TCP) reaches ≈ 550 Mbit/s —
 //! ten times the ≈ 50 Mbit/s of the original ORB over the standard stack.
+//!
+//! `--json` switches every section to the shared JSON format.
 
+use zc_bench::report::series_json;
 use zc_bench::{
-    full_flag, measured_block_sizes, measured_series_traced, modeled_series, trace_flag,
+    full_flag, json_flag, measured_block_sizes, measured_series_traced, modeled_series,
+    print_telemetry, trace_flag,
 };
 use zc_ttcp::{format_series_table, run_modeled, TtcpVersion};
 
 fn main() {
     let traced = trace_flag();
+    let json = json_flag();
     let sizes = zc_simnet::paper_block_sizes();
-    println!(
-        "{}",
-        format_series_table(
-            "Figure 6 (right) — ORB variants over both stacks (modeled, P-II 400 / GbE)",
-            &sizes,
-            &[
-                modeled_series(TtcpVersion::CorbaStd, &sizes),
-                modeled_series(TtcpVersion::CorbaStdOverZcTcp, &sizes),
-                modeled_series(TtcpVersion::CorbaZcOverTcp, &sizes),
-                modeled_series(TtcpVersion::CorbaZc, &sizes),
-            ],
-        )
-    );
-
-    let big = 16 << 20;
-    let slow = run_modeled(TtcpVersion::CorbaStd, big);
-    let fast = run_modeled(TtcpVersion::CorbaZc, big);
-    println!(
-        "modeled improvement at 16M blocks: {slow:.0} → {fast:.0} Mbit/s ({:.1}×; paper: 50 → 550, 10×)\n",
-        fast / slow
-    );
+    let modeled = [
+        modeled_series(TtcpVersion::CorbaStd, &sizes),
+        modeled_series(TtcpVersion::CorbaStdOverZcTcp, &sizes),
+        modeled_series(TtcpVersion::CorbaZcOverTcp, &sizes),
+        modeled_series(TtcpVersion::CorbaZc, &sizes),
+    ];
+    let title_m = "Figure 6 (right) — ORB variants over both stacks (modeled, P-II 400 / GbE)";
+    if json {
+        println!("{}", series_json(title_m, &sizes, &modeled));
+    } else {
+        println!("{}", format_series_table(title_m, &sizes, &modeled));
+        let big = 16 << 20;
+        let slow = run_modeled(TtcpVersion::CorbaStd, big);
+        let fast = run_modeled(TtcpVersion::CorbaZc, big);
+        println!(
+            "modeled improvement at 16M blocks: {slow:.0} → {fast:.0} Mbit/s ({:.1}×; paper: 50 → 550, 10×)\n",
+            fast / slow
+        );
+    }
 
     let msizes = measured_block_sizes(full_flag());
     let (s1, _) = measured_series_traced(TtcpVersion::CorbaStd, &msizes, traced);
     let (s2, _) = measured_series_traced(TtcpVersion::CorbaStdOverZcTcp, &msizes, traced);
     let (s3, _) = measured_series_traced(TtcpVersion::CorbaZcOverTcp, &msizes, traced);
     let (s4, telemetry) = measured_series_traced(TtcpVersion::CorbaZc, &msizes, traced);
-    println!(
-        "{}",
-        format_series_table(
-            "Figure 6 (right) — same configurations executed on this host",
-            &msizes,
-            &[s1, s2, s3, s4],
-        )
-    );
+    let title_h = "Figure 6 (right) — same configurations executed on this host";
+    if json {
+        println!("{}", series_json(title_h, &msizes, &[s1, s2, s3, s4]));
+    } else {
+        println!(
+            "{}",
+            format_series_table(title_h, &msizes, &[s1, s2, s3, s4])
+        );
+    }
     if let Some(t) = telemetry {
-        println!("\ntelemetry of the last measured all-zero-copy run (disable with --no-trace):");
-        print!("{}", t.text_table());
+        print_telemetry(
+            "telemetry of the last measured all-zero-copy run (disable with --no-trace)",
+            &t,
+            json,
+        );
     }
 }

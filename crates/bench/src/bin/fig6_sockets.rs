@@ -5,40 +5,46 @@
 //! large small-message gain from the cheaper read()/write() calls and
 //! "very good throughput figures for transfers as small as a single
 //! memory page".
+//!
+//! `--json` switches every section to the shared JSON format.
 
+use zc_bench::report::series_json;
 use zc_bench::{
-    full_flag, measured_block_sizes, measured_series_traced, modeled_series, trace_flag,
+    full_flag, json_flag, measured_block_sizes, measured_series_traced, modeled_series,
+    print_telemetry, trace_flag,
 };
 use zc_ttcp::{format_series_table, TtcpVersion};
 
 fn main() {
     let traced = trace_flag();
+    let json = json_flag();
     let sizes = zc_simnet::paper_block_sizes();
-    println!(
-        "{}",
-        format_series_table(
-            "Figure 6 (left) — raw TCP: copying vs zero-copy sockets (modeled, P-II 400 / GbE)",
-            &sizes,
-            &[
-                modeled_series(TtcpVersion::RawTcp, &sizes),
-                modeled_series(TtcpVersion::ZcTcp, &sizes),
-            ],
-        )
-    );
+    let modeled = [
+        modeled_series(TtcpVersion::RawTcp, &sizes),
+        modeled_series(TtcpVersion::ZcTcp, &sizes),
+    ];
+    let title_m =
+        "Figure 6 (left) — raw TCP: copying vs zero-copy sockets (modeled, P-II 400 / GbE)";
+    if json {
+        println!("{}", series_json(title_m, &sizes, &modeled));
+    } else {
+        println!("{}", format_series_table(title_m, &sizes, &modeled));
+    }
 
     let msizes = measured_block_sizes(full_flag());
     let (raw, _) = measured_series_traced(TtcpVersion::RawTcp, &msizes, traced);
     let (zc, telemetry) = measured_series_traced(TtcpVersion::ZcTcp, &msizes, traced);
-    println!(
-        "{}",
-        format_series_table(
-            "Figure 6 (left) — same configurations executed on this host",
-            &msizes,
-            &[raw, zc],
-        )
-    );
+    let title_h = "Figure 6 (left) — same configurations executed on this host";
+    if json {
+        println!("{}", series_json(title_h, &msizes, &[raw, zc]));
+    } else {
+        println!("{}", format_series_table(title_h, &msizes, &[raw, zc]));
+    }
     if let Some(t) = telemetry {
-        println!("\ntelemetry of the last measured zero-copy run (disable with --no-trace):");
-        print!("{}", t.text_table());
+        print_telemetry(
+            "telemetry of the last measured zero-copy run (disable with --no-trace)",
+            &t,
+            json,
+        );
     }
 }

@@ -3,9 +3,11 @@
 //! measured exactly this for contemporary ORBs).
 //!
 //! ```text
-//! cargo run -p zc-bench --bin latency --release [-- --rounds N]
+//! cargo run -p zc-bench --bin latency --release [-- --rounds N] [--json]
 //! ```
 
+use zc_bench::json_flag;
+use zc_bench::report::latency_json;
 use zc_ttcp::{run_latency, TtcpVersion};
 
 fn main() {
@@ -14,10 +16,15 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
+    let json = json_flag();
 
-    println!("## round-trip latency on this host ({rounds} rounds per cell)\n");
+    if !json {
+        println!("## round-trip latency on this host ({rounds} rounds per cell)\n");
+    }
     for &size in &[0usize, 4 << 10, 64 << 10, 1 << 20] {
-        println!("message size {} bytes:", size);
+        if !json {
+            println!("message size {} bytes:", size);
+        }
         for v in [
             TtcpVersion::RawTcp,
             TtcpVersion::ZcTcp,
@@ -25,13 +32,21 @@ fn main() {
             TtcpVersion::CorbaZc,
         ] {
             let s = run_latency(v, size, rounds, rounds / 10 + 1);
-            println!("  {:<26} {}", v.label(), s);
+            if json {
+                println!("{}", latency_json(v, size, &s));
+            } else {
+                println!("  {:<26} {}", v.label(), s);
+            }
         }
-        println!();
+        if !json {
+            println!();
+        }
     }
-    println!(
-        "expected shape: zero-copy variants win by a margin that grows with\n\
-         message size (per-byte copies sit on the round-trip critical path);\n\
-         at size 0 the gap reflects per-request costs only."
-    );
+    if !json {
+        println!(
+            "expected shape: zero-copy variants win by a margin that grows with\n\
+             message size (per-byte copies sit on the round-trip critical path);\n\
+             at size 0 the gap reflects per-request costs only."
+        );
+    }
 }

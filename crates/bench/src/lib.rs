@@ -10,6 +10,17 @@
 //!    copies are real `memcpy`s; absolute numbers reflect *this* machine,
 //!    but the ordering and the copy accounting must tell the same story.
 
+pub mod report;
+pub mod trajectory;
+
+pub use report::{
+    json_flag, print_telemetry, render_breakdown_json, render_breakdown_text, run_breakdown,
+    Breakdown, BreakdownColumn, BREAKDOWN_CONFIGS,
+};
+pub use trajectory::{
+    compare, find_baseline, parse_json, Json, TrajectorySnapshot, Verdict, SCHEMA,
+};
+
 use zc_trace::OrbTelemetry;
 use zc_ttcp::{run_measured, run_modeled, MeasuredOutcome, Series, TtcpParams, TtcpVersion};
 

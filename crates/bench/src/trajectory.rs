@@ -1,0 +1,698 @@
+//! The continuous benchmark trajectory: schema-versioned `BENCH_*.json`
+//! snapshots plus regression gates against the newest prior snapshot.
+//!
+//! Every PR appends one point to the trajectory (e.g. `BENCH_PR4.json` at
+//! the repo root, archived under `docs/results/`). The `bench_json` binary
+//! regenerates the current point, discovers the newest prior `BENCH_*.json`
+//! as a baseline and prints a verdict:
+//!
+//! * a **measured goodput** drop of more than 10 % on any matching
+//!   (version, transport, block size) point fails the gate;
+//! * a **p99 stage latency** growth of more than 25 % on any matching
+//!   (config, stage) cell of the §5.2 breakdown fails the gate.
+//!
+//! The workspace deliberately carries no serde; the schema is flat enough
+//! that a small recursive-descent JSON reader (below) covers everything the
+//! comparison needs.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::report::{breakdown_column_json, json_escape, latency_json, Breakdown};
+use zc_ttcp::{LatencyStats, TtcpVersion};
+
+/// Schema identifier written into (and required from) every snapshot.
+pub const SCHEMA: &str = "zcorba-bench/v1";
+
+/// Goodput gate: fail when measured Mbit/s drops below `1 - 0.10` of the
+/// baseline on any matching point.
+pub const GOODPUT_DROP_GATE: f64 = 0.10;
+
+/// Stage-latency gate: fail when p99 grows past `1 + 0.25` of baseline.
+pub const STAGE_P99_GROWTH_GATE: f64 = 0.25;
+
+/// Absolute slack under the stage gate: a cell only fails when the p99
+/// also grew by more than this many nanoseconds. Sub-100µs stages on a
+/// shared host flap by multiples of themselves between identical runs;
+/// the relative gate alone would cry wolf on scheduling noise.
+pub const STAGE_P99_ABS_SLACK_NS: f64 = 50_000.0;
+
+/// Stage cells with fewer samples than this on either side are skipped by
+/// the gate (smoke runs are noisy at the tail).
+pub const MIN_STAGE_SAMPLES: u64 = 8;
+
+// ---------------------------------------------------------------------------
+// Snapshot assembly and emission
+// ---------------------------------------------------------------------------
+
+/// One goodput point of the sweep.
+#[derive(Debug, Clone)]
+pub struct GoodputPoint {
+    /// TTCP version label.
+    pub version: TtcpVersion,
+    /// Substrate name (`sim` / `tcp`).
+    pub transport: &'static str,
+    /// Payload bytes per block.
+    pub block_bytes: usize,
+    /// Calibrated-testbed prediction, Mbit/s.
+    pub modeled_mbit_s: f64,
+    /// Measured on this host, Mbit/s.
+    pub measured_mbit_s: f64,
+    /// Overhead bytes copied per payload byte.
+    pub overhead_copy_factor: f64,
+    /// Receive-speculation hit rate.
+    pub spec_hit_rate: f64,
+}
+
+/// One latency measurement.
+#[derive(Debug, Clone)]
+pub struct LatencyPoint {
+    /// TTCP version label.
+    pub version: TtcpVersion,
+    /// Message bytes per round trip.
+    pub msg_bytes: usize,
+    /// Percentile summary.
+    pub stats: LatencyStats,
+}
+
+/// Everything one trajectory point records.
+#[derive(Debug, Clone)]
+pub struct TrajectorySnapshot {
+    /// Short label of the point (e.g. `PR4`).
+    pub label: String,
+    /// Whether this was a `--smoke` (reduced) run.
+    pub smoke: bool,
+    /// Unix time of generation, milliseconds.
+    pub generated_unix_ms: u128,
+    /// Goodput sweep.
+    pub goodput: Vec<GoodputPoint>,
+    /// Latency points.
+    pub latency: Vec<LatencyPoint>,
+    /// The §5.2 breakdown (three configs over one block size).
+    pub breakdown: Breakdown,
+}
+
+impl TrajectorySnapshot {
+    /// Serialize to the `zcorba-bench/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"label\": \"{}\",\n  \"smoke\": {},\n  \
+             \"generated_unix_ms\": {},\n  \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},\n",
+            json_escape(&self.label),
+            self.smoke,
+            self.generated_unix_ms,
+            std::env::consts::OS,
+            std::env::consts::ARCH,
+            std::thread::available_parallelism().map_or(0, |n| n.get()),
+        );
+        out.push_str("  \"goodput\": [\n");
+        for (i, g) in self.goodput.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {}{}",
+                goodput_json(g),
+                if i + 1 == self.goodput.len() { "" } else { "," }
+            );
+        }
+        out.push_str("  ],\n  \"latency\": [\n");
+        for (i, l) in self.latency.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {}{}",
+                latency_json(l.version, l.msg_bytes, &l.stats),
+                if i + 1 == self.latency.len() { "" } else { "," }
+            );
+        }
+        let _ = write!(
+            out,
+            "  ],\n  \"breakdown\": {{\"block_bytes\": {}, \"total_bytes\": {}, \"columns\": [\n",
+            self.breakdown.block_bytes, self.breakdown.total_bytes
+        );
+        for (i, c) in self.breakdown.columns.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {}{}",
+                breakdown_column_json(c, self.breakdown.total_bytes),
+                if i + 1 == self.breakdown.columns.len() {
+                    ""
+                } else {
+                    ","
+                }
+            );
+        }
+        out.push_str("  ]}\n}\n");
+        out
+    }
+}
+
+/// Render one goodput point as a JSON object (shared by the trajectory
+/// document and the `--json` sweep view).
+pub fn goodput_json(g: &GoodputPoint) -> String {
+    format!(
+        "{{\"version\": \"{}\", \"transport\": \"{}\", \"block_bytes\": {}, \
+         \"modeled_mbit_s\": {:.3}, \"measured_mbit_s\": {:.3}, \
+         \"overhead_copy_factor\": {:.4}, \"spec_hit_rate\": {:.4}}}",
+        json_escape(g.version.label()),
+        g.transport,
+        g.block_bytes,
+        g.modeled_mbit_s,
+        g.measured_mbit_s,
+        g.overhead_copy_factor,
+        g.spec_hit_rate,
+    )
+}
+
+/// Milliseconds since the Unix epoch (0 when the clock is unavailable).
+pub fn unix_ms() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (baseline side)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Only what the baseline comparison needs: no escape
+/// decoding beyond the common sequences, numbers as `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry a byte offset.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", ch as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Copy one UTF-8 scalar.
+                let s = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
+                let ch = s.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        members.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline discovery and the regression gates
+// ---------------------------------------------------------------------------
+
+/// Find the newest prior `BENCH_*.json` in `dir`, excluding `exclude`
+/// (the file about to be written). "Newest" is the highest numeric suffix
+/// (`BENCH_PR10.json` beats `BENCH_PR4.json`); ties and unnumbered names
+/// fall back to lexicographic order.
+pub fn find_baseline(dir: &Path, exclude: &Path) -> Option<PathBuf> {
+    let mut best: Option<(u64, String, PathBuf)> = None;
+    let entries = std::fs::read_dir(dir).ok()?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        if path.file_name() == exclude.file_name() {
+            continue;
+        }
+        let num = name
+            .chars()
+            .filter(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse::<u64>()
+            .unwrap_or(0);
+        let candidate = (num, name, path);
+        best = match best {
+            None => Some(candidate),
+            Some(b) if (candidate.0, &candidate.1) > (b.0, &b.1) => Some(candidate),
+            some => some,
+        };
+    }
+    best.map(|(_, _, p)| p)
+}
+
+/// One regression found by the gates.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Which gate fired (`goodput` / `stage-p99`).
+    pub gate: &'static str,
+    /// The point that regressed, human readable.
+    pub what: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+}
+
+/// The verdict of comparing a current snapshot (as JSON) to a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Verdict {
+    /// Points compared by the goodput gate.
+    pub goodput_points: usize,
+    /// Cells compared by the stage gate.
+    pub stage_cells: usize,
+    /// Every gate violation.
+    pub regressions: Vec<Regression>,
+    /// Non-fatal notes (schema mismatch, missing sections…).
+    pub notes: Vec<String>,
+}
+
+impl Verdict {
+    /// Whether all gates passed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "regression gates: {} goodput points, {} stage cells compared",
+            self.goodput_points, self.stage_cells
+        );
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        for r in &self.regressions {
+            let _ = writeln!(
+                out,
+                "  FAIL [{}] {}: baseline {:.1} -> current {:.1}",
+                r.gate, r.what, r.baseline, r.current
+            );
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+fn goodput_key(point: &Json) -> Option<(String, String, u64)> {
+    Some((
+        point.get("version")?.as_str()?.to_string(),
+        point.get("transport")?.as_str()?.to_string(),
+        point.get("block_bytes")?.as_f64()? as u64,
+    ))
+}
+
+/// Compare two parsed `zcorba-bench/v1` documents and apply the gates.
+pub fn compare(current: &Json, baseline: &Json) -> Verdict {
+    let mut v = Verdict::default();
+    for (doc, side) in [(current, "current"), (baseline, "baseline")] {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            other => v.notes.push(format!(
+                "{side} schema is {other:?}, expected {SCHEMA:?}; comparing best-effort"
+            )),
+        }
+    }
+    if current.get("smoke") != baseline.get("smoke") {
+        v.notes.push(
+            "smoke flag differs between current and baseline; absolute numbers may shift"
+                .to_string(),
+        );
+    }
+
+    // Gate 1: measured goodput per (version, transport, block) point.
+    let cur_points = current.get("goodput").and_then(Json::as_arr).unwrap_or(&[]);
+    let base_points = baseline
+        .get("goodput")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    for cp in cur_points {
+        let Some(key) = goodput_key(cp) else { continue };
+        let Some(bp) = base_points
+            .iter()
+            .find(|p| goodput_key(p).as_ref() == Some(&key))
+        else {
+            continue;
+        };
+        let (Some(cur), Some(base)) = (
+            cp.get("measured_mbit_s").and_then(Json::as_f64),
+            bp.get("measured_mbit_s").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        v.goodput_points += 1;
+        if base > 0.0 && cur < base * (1.0 - GOODPUT_DROP_GATE) {
+            v.regressions.push(Regression {
+                gate: "goodput",
+                what: format!("{} / {} / {} B", key.0, key.1, key.2),
+                baseline: base,
+                current: cur,
+            });
+        }
+    }
+
+    // Gate 2: p99 stage latency per (config, stage) breakdown cell.
+    fn columns(doc: &Json) -> &[Json] {
+        doc.get("breakdown")
+            .and_then(|b| b.get("columns"))
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+    }
+    fn stages(col: &Json) -> &[Json] {
+        col.get("stages").and_then(Json::as_arr).unwrap_or(&[])
+    }
+    for cc in columns(current) {
+        let Some(config) = cc.get("config").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(bc) = columns(baseline)
+            .iter()
+            .find(|c| c.get("config").and_then(Json::as_str) == Some(config))
+        else {
+            continue;
+        };
+        for cs in stages(cc) {
+            let Some(stage) = cs.get("stage").and_then(Json::as_str) else {
+                continue;
+            };
+            let Some(bs) = stages(bc)
+                .iter()
+                .find(|s| s.get("stage").and_then(Json::as_str) == Some(stage))
+            else {
+                continue;
+            };
+            let counts_ok = [cs, bs].iter().all(|s| {
+                s.get("count")
+                    .and_then(Json::as_f64)
+                    .is_some_and(|c| c as u64 >= MIN_STAGE_SAMPLES)
+            });
+            if !counts_ok {
+                continue;
+            }
+            let (Some(cur), Some(base)) = (
+                cs.get("p99_ns").and_then(Json::as_f64),
+                bs.get("p99_ns").and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            v.stage_cells += 1;
+            if base > 0.0
+                && cur > base * (1.0 + STAGE_P99_GROWTH_GATE)
+                && cur - base > STAGE_P99_ABS_SLACK_NS
+            {
+                v.regressions.push(Regression {
+                    gate: "stage-p99",
+                    what: format!("{config} / {stage}"),
+                    baseline: base,
+                    current: cur,
+                });
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_roundtrips_the_shapes_we_emit() {
+        let doc = r#"{"schema": "zcorba-bench/v1", "smoke": true,
+            "goodput": [{"version": "raw TCP", "transport": "sim",
+                         "block_bytes": 65536, "measured_mbit_s": 120.5}],
+            "breakdown": {"columns": [
+              {"config": "standard",
+               "stages": [{"stage": "marshal", "count": 16, "p99_ns": 1000}]}]},
+            "esc": "a\"b\\cA"}"#;
+        let j = parse_json(doc).unwrap();
+        assert_eq!(j.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(j.get("smoke"), Some(&Json::Bool(true)));
+        let g = &j.get("goodput").unwrap().as_arr().unwrap()[0];
+        assert_eq!(g.get("block_bytes").unwrap().as_f64(), Some(65536.0));
+        assert_eq!(j.get("esc").unwrap().as_str(), Some("a\"b\\cA"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2] trailing").is_err());
+        assert!(parse_json("\"open").is_err());
+    }
+
+    fn doc(goodput: f64, p99: f64) -> Json {
+        let text = format!(
+            r#"{{"schema": "zcorba-bench/v1", "smoke": false,
+                "goodput": [{{"version": "CORBA std", "transport": "sim",
+                              "block_bytes": 65536, "measured_mbit_s": {goodput}}}],
+                "breakdown": {{"columns": [
+                  {{"config": "standard",
+                    "stages": [{{"stage": "marshal", "count": 100, "p99_ns": {p99}}}]}}]}}}}"#
+        );
+        parse_json(&text).unwrap()
+    }
+
+    #[test]
+    fn gates_pass_within_tolerance() {
+        let v = compare(&doc(95.0, 1100000.0), &doc(100.0, 1000000.0));
+        assert_eq!(v.goodput_points, 1);
+        assert_eq!(v.stage_cells, 1);
+        assert!(v.passed(), "{}", v.render());
+    }
+
+    #[test]
+    fn goodput_gate_fires_past_ten_percent() {
+        let v = compare(&doc(89.0, 1000000.0), &doc(100.0, 1000000.0));
+        assert!(!v.passed());
+        assert_eq!(v.regressions[0].gate, "goodput");
+    }
+
+    #[test]
+    fn stage_gate_fires_past_twentyfive_percent() {
+        let v = compare(&doc(100.0, 1300000.0), &doc(100.0, 1000000.0));
+        assert!(!v.passed());
+        assert_eq!(v.regressions[0].gate, "stage-p99");
+        assert!(v.render().contains("FAIL [stage-p99] standard / marshal"));
+    }
+
+    #[test]
+    fn low_sample_cells_are_skipped() {
+        let a = parse_json(
+            r#"{"schema": "zcorba-bench/v1", "smoke": false, "goodput": [],
+                "breakdown": {"columns": [{"config": "standard",
+                  "stages": [{"stage": "marshal", "count": 2, "p99_ns": 9000}]}]}}"#,
+        )
+        .unwrap();
+        let v = compare(&a, &doc(100.0, 1000000.0));
+        assert_eq!(v.stage_cells, 0);
+        assert!(v.passed());
+    }
+
+    #[test]
+    fn baseline_discovery_prefers_highest_number() {
+        let dir = std::env::temp_dir().join("zc-bench-traj-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["BENCH_PR4.json", "BENCH_PR10.json", "BENCH_PR7.json"] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        std::fs::write(dir.join("not-a-bench.json"), "{}").unwrap();
+        let found = find_baseline(&dir, &dir.join("BENCH_PR11.json")).unwrap();
+        assert_eq!(
+            found.file_name().unwrap().to_str().unwrap(),
+            "BENCH_PR10.json"
+        );
+        // The file being written never baselines itself.
+        let found = find_baseline(&dir, &dir.join("BENCH_PR10.json")).unwrap();
+        assert_eq!(
+            found.file_name().unwrap().to_str().unwrap(),
+            "BENCH_PR7.json"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

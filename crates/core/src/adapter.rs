@@ -37,6 +37,9 @@ pub struct ServerRequest<'a> {
     enc: CdrEncoder,
     exception: Option<SystemException>,
     result_written: bool,
+    /// Stage clocks for this request's server-side legs: demarshal time
+    /// accumulates across `arg` calls, reply-marshal across `result`/`out`.
+    span: zc_trace::RequestSpan,
 }
 
 impl<'a> ServerRequest<'a> {
@@ -48,26 +51,42 @@ impl<'a> ServerRequest<'a> {
             enc,
             exception: None,
             result_written: false,
+            span: zc_trace::RequestSpan::disabled(),
         }
+    }
+
+    /// Attach an enabled span (connection layer only).
+    pub(crate) fn with_span(mut self, span: zc_trace::RequestSpan) -> ServerRequest<'a> {
+        self.span = span;
+        self
     }
 
     /// Demarshal the next `in` parameter.
     pub fn arg<T: CdrMarshal>(&mut self) -> OrbResult<T> {
-        Ok(T::demarshal(&mut self.dec)?)
+        let t0 = self.span.begin();
+        let v = T::demarshal(&mut self.dec);
+        self.span.end(zc_trace::Stage::ServerDemarshal, t0);
+        Ok(v?)
     }
 
     /// Marshal the operation result (call once; for multiple out-values use
     /// a struct or call [`ServerRequest::out`] repeatedly instead).
     pub fn result<T: CdrMarshal>(&mut self, v: &T) -> OrbResult<()> {
         self.result_written = true;
-        v.marshal(&mut self.enc)?;
+        let t0 = self.span.begin();
+        let r = v.marshal(&mut self.enc);
+        self.span.end(zc_trace::Stage::ServerReplyMarshal, t0);
+        r?;
         Ok(())
     }
 
     /// Marshal an additional out-value after the result.
     pub fn out<T: CdrMarshal>(&mut self, v: &T) -> OrbResult<()> {
         self.result_written = true;
-        v.marshal(&mut self.enc)?;
+        let t0 = self.span.begin();
+        let r = v.marshal(&mut self.enc);
+        self.span.end(zc_trace::Stage::ServerReplyMarshal, t0);
+        r?;
         Ok(())
     }
 
@@ -89,8 +108,15 @@ impl<'a> ServerRequest<'a> {
         self.enc.zc_enabled()
     }
 
-    pub(crate) fn finish(self) -> (CdrEncoder, Option<SystemException>, bool) {
-        (self.enc, self.exception, self.result_written)
+    pub(crate) fn finish(
+        self,
+    ) -> (
+        CdrEncoder,
+        Option<SystemException>,
+        bool,
+        zc_trace::RequestSpan,
+    ) {
+        (self.enc, self.exception, self.result_written, self.span)
     }
 }
 
@@ -176,7 +202,7 @@ pub fn dispatch_local(
     let enc = CdrEncoder::new(order);
     let mut req = ServerRequest::new(dec, enc);
     adapter.dispatch(key, op, &mut req)?;
-    let (enc, ex, _) = req.finish();
+    let (enc, ex, _, _) = req.finish();
     match ex {
         Some(ex) => Err(OrbError::System(ex)),
         None => Ok(enc.finish_stream()),

@@ -633,6 +633,10 @@ impl GiopConn {
         deposits: Vec<ZcBytes>,
     ) -> OrbResult<u32> {
         self.check_poisoned()?;
+        let enabled = self.ctx.telemetry.is_enabled();
+        // Span: header/manifest/context assembly is the paper's "deposit
+        // registration" control work; timed from here to the send stamp.
+        let reg_t0 = if enabled { zc_trace::now_ns() } else { 0 };
         let request_id = self.alloc_request_id();
         let trace_id = zc_trace::next_trace_id();
         self.last_trace_id = trace_id;
@@ -647,11 +651,17 @@ impl GiopConn {
                 .to_context(),
             );
         }
-        // Always stamped: the id is cheap to carry, and a receiver with
-        // telemetry enabled can then correlate even when ours is off.
-        header
-            .service_contexts
-            .push(TraceContext { trace_id }.to_context());
+        // Always stamped: the id and send timestamp are cheap to carry, and
+        // a receiver with telemetry enabled can then correlate (and derive
+        // the wire stage) even when ours is off.
+        let sent_at_ns = zc_trace::now_ns();
+        header.service_contexts.push(
+            TraceContext {
+                trace_id,
+                sent_at_ns,
+            }
+            .to_context(),
+        );
         // Piggyback our receive-side speculation counters so the peer's
         // deposit sender can degrade/upgrade its zero-copy path.
         if let Some(health) = self.zc_health_context() {
@@ -662,8 +672,23 @@ impl GiopConn {
         header.marshal(&mut enc)?;
         self.send_message(MessageType::Request, enc, args, deposits)?;
         let tele = &self.ctx.telemetry;
-        if tele.is_enabled() {
+        if enabled {
             tele.metrics().requests_sent.incr();
+            let sent_done = zc_trace::now_ns();
+            tele.record_stage(
+                zc_trace::Stage::ClientDepositRegister,
+                self.conn_id,
+                trace_id,
+                sent_at_ns.saturating_sub(reg_t0),
+            );
+            // ClientSend is a sub-interval of the receiver-derived Wire
+            // stage: the local half (header marshal + socket hand-off).
+            tele.record_stage(
+                zc_trace::Stage::ClientSend,
+                self.conn_id,
+                trace_id,
+                sent_done.saturating_sub(sent_at_ns),
+            );
         }
         tele.record(
             TraceLayer::Giop,
@@ -678,6 +703,11 @@ impl GiopConn {
     /// Client: receive the reply to `expect_id`.
     pub fn recv_reply(&mut self, expect_id: u32) -> OrbResult<IncomingReply> {
         let (msg_type, body, order) = self.recv_message()?;
+        let arrival_ns = if self.ctx.telemetry.is_enabled() {
+            zc_trace::now_ns()
+        } else {
+            0
+        };
         match msg_type {
             MessageType::Reply => {}
             MessageType::CloseConnection => {
@@ -717,6 +747,32 @@ impl GiopConn {
                 let tele = &self.ctx.telemetry;
                 if tele.is_enabled() {
                     tele.metrics().replies_ok.incr();
+                    // Reply wire stage: the server's send stamp (echoed in
+                    // the reply's trace context) → our arrival, on the
+                    // shared in-process trace clock. Unstamped replies
+                    // (foreign peers, old format) skip the stage.
+                    let reply_sent_at = TraceContext::find_in(&header.service_contexts)
+                        .ok()
+                        .flatten()
+                        .map(|t| t.sent_at_ns)
+                        .unwrap_or(0);
+                    if reply_sent_at != 0 && arrival_ns >= reply_sent_at {
+                        tele.record_stage(
+                            zc_trace::Stage::ClientReplyWire,
+                            self.conn_id,
+                            self.last_trace_id,
+                            arrival_ns - reply_sent_at,
+                        );
+                    }
+                    // Everything after arrival: header demarshal + deposit
+                    // collection (result-value demarshal happens in the
+                    // proxy and is not on this connection's clock).
+                    tele.record_stage(
+                        zc_trace::Stage::ClientReplyDemarshal,
+                        self.conn_id,
+                        self.last_trace_id,
+                        zc_trace::now_ns().saturating_sub(arrival_ns),
+                    );
                 }
                 tele.record(
                     TraceLayer::Giop,
@@ -782,17 +838,22 @@ impl GiopConn {
             let (msg_type, body, order) = self.recv_message()?;
             match msg_type {
                 MessageType::Request => {
+                    let arrival_ns = if self.ctx.telemetry.is_enabled() {
+                        zc_trace::now_ns()
+                    } else {
+                        0
+                    };
                     let mut dec = CdrDecoder::new(&body, order);
                     let header = RequestHeader::demarshal(&mut dec)?;
                     let after_header = dec.position();
                     let manifest = DepositManifest::find_in(&header.service_contexts)?;
                     // A malformed trace context is ignored, not rejected:
                     // tracing is advisory and must never fail a request.
-                    let trace_id = TraceContext::find_in(&header.service_contexts)
+                    let tctx = TraceContext::find_in(&header.service_contexts)
                         .ok()
                         .flatten()
-                        .map(|t| t.trace_id)
-                        .unwrap_or(0);
+                        .unwrap_or_default();
+                    let trace_id = tctx.trace_id;
                     self.last_trace_id = trace_id;
                     self.note_peer_health_in(&header.service_contexts);
                     // Self-describing per message: manifest present iff the
@@ -807,6 +868,24 @@ impl GiopConn {
                         if trace_id != 0 {
                             m.trace_contexts_seen.incr();
                         }
+                        // Wire stage: the client's send stamp → our arrival,
+                        // valid on the shared in-process trace clock.
+                        if tctx.sent_at_ns != 0 && arrival_ns >= tctx.sent_at_ns {
+                            tele.record_stage(
+                                zc_trace::Stage::Wire,
+                                self.conn_id,
+                                trace_id,
+                                arrival_ns - tctx.sent_at_ns,
+                            );
+                        }
+                        // Receive stage: header demarshal + manifest parse +
+                        // pulling every announced deposit off the data path.
+                        tele.record_stage(
+                            zc_trace::Stage::ServerRecv,
+                            self.conn_id,
+                            trace_id,
+                            zc_trace::now_ns().saturating_sub(arrival_ns),
+                        );
                     }
                     tele.record(
                         TraceLayer::Giop,
@@ -865,6 +944,15 @@ impl GiopConn {
         if let Some(health) = self.zc_health_context() {
             header.service_contexts.push(health);
         }
+        // Echo the request's trace id with our send stamp so the client can
+        // derive the reply-wire stage (symmetric to `send_request_raw`).
+        header.service_contexts.push(
+            TraceContext {
+                trace_id: self.last_trace_id,
+                sent_at_ns: zc_trace::now_ns(),
+            }
+            .to_context(),
+        );
         let dep_bytes: u64 = deposits.iter().map(|b| b.len() as u64).sum();
         let mut enc = CdrEncoder::new(self.wire_order());
         header.marshal(&mut enc)?;

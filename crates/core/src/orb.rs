@@ -372,18 +372,20 @@ impl Orb {
             if incoming.zc {
                 dec = dec.with_deposits(incoming.deposits);
             }
+            let mut served_span = zc_trace::RequestSpan::disabled();
             let dispatch_outcome = dec
                 .skip(incoming.args_offset)
                 .map_err(OrbError::from)
                 .and_then(|()| {
                     let enc = gc.body_encoder();
-                    let mut sreq = ServerRequest::new(dec, enc);
+                    let mut sreq = ServerRequest::new(dec, enc).with_span(tele.request_span());
                     let r = self.inner.adapter.dispatch(
                         &incoming.header.object_key,
                         &incoming.header.operation,
                         &mut sreq,
                     );
-                    let (enc, ex, _) = sreq.finish();
+                    let (enc, ex, _, span) = sreq.finish();
+                    served_span = span;
                     r.map(|()| (enc, ex))
                 });
             if let Some(start) = dispatch_start {
@@ -396,6 +398,15 @@ impl Orb {
                     trace_id,
                     elapsed,
                 );
+                // Servant time exclusive of the measured (de)marshal legs:
+                // the three stages partition the dispatch window.
+                let marshal_ns = served_span.get(zc_trace::Stage::ServerDemarshal)
+                    + served_span.get(zc_trace::Stage::ServerReplyMarshal);
+                served_span.add(
+                    zc_trace::Stage::ServerDispatch,
+                    elapsed.saturating_sub(marshal_ns),
+                );
+                served_span.commit(&tele, gc.trace_conn_id(), trace_id);
             }
 
             if !response_expected {

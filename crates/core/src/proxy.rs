@@ -94,13 +94,17 @@ impl ObjectRef {
 
     /// Begin a static invocation of `operation`.
     pub fn request(&self, operation: &str) -> StaticRequest {
-        let enc = self.conn.lock().body_encoder();
+        let mut conn = self.conn.lock();
+        let span = conn.telemetry().request_span();
+        let enc = conn.body_encoder();
+        drop(conn);
         StaticRequest {
             target: self.clone(),
             operation: operation.to_string(),
             enc,
             err: None,
             idempotent: false,
+            span,
         }
     }
 
@@ -133,6 +137,9 @@ pub struct StaticRequest {
     enc: CdrEncoder,
     err: Option<OrbError>,
     idempotent: bool,
+    /// Per-request stage clocks; accumulates marshal time across `arg`
+    /// calls and commits once the trace id exists (after the send).
+    span: zc_trace::RequestSpan,
 }
 
 impl StaticRequest {
@@ -140,9 +147,11 @@ impl StaticRequest {
     /// [`StaticRequest::invoke`] so calls chain fluently.
     pub fn arg<T: CdrMarshal>(mut self, v: &T) -> OrbResult<StaticRequest> {
         if self.err.is_none() {
+            let t0 = self.span.begin();
             if let Err(e) = v.marshal(&mut self.enc) {
                 self.err = Some(e.into());
             }
+            self.span.end(zc_trace::Stage::ClientMarshal, t0);
         }
         Ok(self)
     }
@@ -175,6 +184,7 @@ impl StaticRequest {
             enc,
             err,
             idempotent,
+            mut span,
         } = self;
         if let Some(e) = err {
             return Err(e);
@@ -182,7 +192,9 @@ impl StaticRequest {
         // Marshal exactly once: retries resend the same finished bytes
         // (deposit blocks are reference-counted, so re-sending is cheap
         // and bit-identical — no double marshaling cost, no divergence).
+        let finish_t0 = span.begin();
         let (args, deposits) = enc.finish();
+        span.end(zc_trace::Stage::ClientMarshal, finish_t0);
         let policy = match &target.recovery {
             Some(r) => *r.orb.retry_policy(),
             None => RetryPolicy::none(),
@@ -216,7 +228,13 @@ impl StaticRequest {
                 &args,
                 deposits.clone(),
             ) {
-                Ok(id) => id,
+                Ok(id) => {
+                    // The trace id now exists: commit the client-side
+                    // marshal leg (commit clears its marks, so a retried
+                    // attempt does not double-record it).
+                    span.commit(&tele, conn.trace_conn_id(), conn.last_trace_id());
+                    id
+                }
                 Err(e @ OrbError::Transport(TransportError::Closed)) => {
                     // The send itself failed: the request provably never
                     // reached a dispatcher, so *any* operation (idempotent
@@ -332,6 +350,7 @@ impl StaticRequest {
             enc,
             err,
             idempotent: _,
+            span: _,
         } = self;
         if let Some(e) = err {
             return Err(e);

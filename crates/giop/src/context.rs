@@ -134,14 +134,21 @@ impl DepositManifest {
 }
 
 /// The trace context: a 64-bit trace id stamped on a Request by the caller
-/// and echoed into every event the receiver records while serving it. Like
-/// the deposit manifest it travels as a CDR encapsulation (byte-order flag
-/// octet, then the id), so either endianness interoperates. A peer that
-/// does not understand it skips it, per standard service-context rules.
+/// and echoed into every event the receiver records while serving it, plus
+/// the sender's send timestamp for wire-stage attribution. Like the deposit
+/// manifest it travels as a CDR encapsulation (byte-order flag octet, then
+/// the fields), so either endianness interoperates. A peer that does not
+/// understand it skips it, per standard service-context rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TraceContext {
     /// The caller-allocated trace id (`0` conventionally means untraced).
     pub trace_id: u64,
+    /// The sender's trace-clock timestamp when the message was assembled
+    /// (`zc_trace::now_ns`); `0` means unstamped. The receiver derives the
+    /// wire stage (`arrival − sent_at_ns`), which is only meaningful when
+    /// both endpoints share the trace clock — always true for the
+    /// in-process Sim and loopback-TCP experiments this repo runs.
+    pub sent_at_ns: u64,
 }
 
 impl TraceContext {
@@ -150,6 +157,7 @@ impl TraceContext {
         let mut enc = CdrEncoder::native();
         enc.write_octet(enc.order().flag() as u8); // encapsulation-style flag
         enc.write_u64(self.trace_id);
+        enc.write_u64(self.sent_at_ns);
         ServiceContext {
             id: SVC_CTX_TRACE,
             data: enc.finish_stream(),
@@ -158,6 +166,9 @@ impl TraceContext {
 
     /// Decode from a service context previously produced by
     /// [`TraceContext::to_context`]. Returns `None` if the id differs.
+    /// A context truncated before the trace id is an error; one that ends
+    /// after the trace id (the pre-span wire format) decodes with
+    /// `sent_at_ns == 0`.
     pub fn from_context(ctx: &ServiceContext) -> CdrResult<Option<TraceContext>> {
         if ctx.id != SVC_CTX_TRACE {
             return Ok(None);
@@ -170,7 +181,11 @@ impl TraceContext {
         let mut dec = CdrDecoder::new(&ctx.data, order);
         dec.read_octet()?; // flag
         let trace_id = dec.read_u64()?;
-        Ok(Some(TraceContext { trace_id }))
+        let sent_at_ns = dec.read_u64().unwrap_or_default();
+        Ok(Some(TraceContext {
+            trace_id,
+            sent_at_ns,
+        }))
     }
 
     /// Scan a context list for a trace context.
@@ -327,11 +342,27 @@ mod tests {
     fn trace_context_roundtrip() {
         let t = TraceContext {
             trace_id: 0xDEAD_BEEF_1234_5678,
+            sent_at_ns: 987_654_321,
         };
         let ctx = t.to_context();
         assert_eq!(ctx.id, SVC_CTX_TRACE);
         let back = TraceContext::from_context(&ctx).unwrap().unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn trace_context_without_timestamp_decodes_unstamped() {
+        // The pre-span wire format ended after the trace id; it must still
+        // decode, with sent_at_ns reading as 0 (unstamped).
+        let mut ctx = TraceContext {
+            trace_id: 77,
+            sent_at_ns: 999,
+        }
+        .to_context();
+        ctx.data.truncate(16); // flag + alignment pad + trace_id only
+        let back = TraceContext::from_context(&ctx).unwrap().unwrap();
+        assert_eq!(back.trace_id, 77);
+        assert_eq!(back.sent_at_ns, 0);
     }
 
     #[test]
@@ -345,7 +376,10 @@ mod tests {
 
     #[test]
     fn trace_context_find_in_mixed_list() {
-        let t = TraceContext { trace_id: 42 };
+        let t = TraceContext {
+            trace_id: 42,
+            sent_at_ns: 0,
+        };
         let list = vec![
             DepositManifest {
                 block_lengths: vec![8],
@@ -361,7 +395,11 @@ mod tests {
 
     #[test]
     fn truncated_trace_context_rejected() {
-        let mut ctx = TraceContext { trace_id: 7 }.to_context();
+        let mut ctx = TraceContext {
+            trace_id: 7,
+            sent_at_ns: 0,
+        }
+        .to_context();
         ctx.data.truncate(4);
         assert!(TraceContext::from_context(&ctx).is_err());
     }
@@ -400,7 +438,14 @@ mod tests {
             spec_hits: 5,
             spec_misses: 1,
         };
-        let list = vec![TraceContext { trace_id: 9 }.to_context(), h.to_context()];
+        let list = vec![
+            TraceContext {
+                trace_id: 9,
+                sent_at_ns: 0,
+            }
+            .to_context(),
+            h.to_context(),
+        ];
         assert_eq!(ZcHealthContext::find_in(&list).unwrap().unwrap(), h);
         assert_eq!(ZcHealthContext::find_in(&list[..1]).unwrap(), None);
     }

@@ -98,6 +98,72 @@ pub fn block_costs(scn: &Scenario) -> BlockCosts {
     }
 }
 
+/// Modeled per-stage seconds for one block: the analytic counterpart of
+/// the measured §5.2 breakdown table, in the request's causal order.
+///
+/// Note that [`StageBudget::total`] is *not* [`block_seconds`]: the
+/// pipeline overlaps stages, so the serial sum here is the work that
+/// exists to be overlapped, not the wall clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageBudget {
+    /// CDR marshal on the sender (per-byte loop of the standard ORB;
+    /// zero when the ORB hands pages through untouched).
+    pub marshal_s: f64,
+    /// Send-side socket copies (user→kernel write plus driver
+    /// fragmentation) and per-frame driver work.
+    pub send_copy_s: f64,
+    /// Bytes on the wire, framing overhead included.
+    pub wire_s: f64,
+    /// Receive-side socket copies (defragmentation plus kernel→user read)
+    /// and per-frame driver work.
+    pub recv_copy_s: f64,
+    /// CDR demarshal on the receiver (standard ORB only).
+    pub demarshal_s: f64,
+    /// Fixed per-block work: syscalls, ORB request handling, and the
+    /// synchronous RPC round trip where the workload has one.
+    pub fixed_s: f64,
+}
+
+impl StageBudget {
+    /// Serial sum of every stage (the "total overhead" column of the
+    /// breakdown table).
+    pub fn total(&self) -> f64 {
+        self.marshal_s
+            + self.send_copy_s
+            + self.wire_s
+            + self.recv_copy_s
+            + self.demarshal_s
+            + self.fixed_s
+    }
+}
+
+/// Decompose a scenario into modeled per-stage seconds for one block.
+pub fn stage_budget(scn: &Scenario) -> StageBudget {
+    let m = &scn.machine;
+    let l = &scn.link;
+    let b = scn.block_bytes as f64;
+    let c = block_costs(scn);
+
+    let copy = m.copy_s_per_byte();
+    let per_frame_send = m.send_frame_us * 1e-6 / l.mtu_payload as f64;
+    let per_frame_recv = m.recv_frame_us * 1e-6 / l.mtu_payload as f64;
+
+    let marshal_pb = if scn.orb == OrbMode::Standard {
+        m.marshal_s_per_byte()
+    } else {
+        0.0
+    };
+
+    StageBudget {
+        marshal_s: b * marshal_pb,
+        send_copy_s: b * (send_copies(scn.socket) * copy + per_frame_send),
+        wire_s: b * c.wire_per_byte,
+        recv_copy_s: b * (recv_copies(scn.socket) * copy + per_frame_recv),
+        demarshal_s: b * marshal_pb,
+        fixed_s: c.send_cpu_fixed + c.recv_cpu_fixed + c.rpc_fixed,
+    }
+}
+
 /// Wall-clock seconds for one block.
 ///
 /// * Streaming workloads pipeline blocks back to back: the pace is the
@@ -184,6 +250,39 @@ mod tests {
         ));
         assert!(zc.recv_cpu_per_byte < std.recv_cpu_per_byte / 5.0);
         assert_eq!(zc.rpc_fixed, std.rpc_fixed, "RPC semantics unchanged");
+    }
+
+    #[test]
+    fn stage_budget_accounts_for_per_byte_work() {
+        let std = stage_budget(&testbed(SocketMode::Copying, OrbMode::Standard, 1 << 20));
+        assert!(std.marshal_s > 0.0);
+        assert!(std.send_copy_s > 0.0);
+        assert!(std.recv_copy_s > 0.0);
+        assert!(std.demarshal_s > 0.0);
+        assert!(std.fixed_s > 0.0);
+        // The breakdown is consistent with the pipeline model's per-byte sums.
+        let c = block_costs(&testbed(SocketMode::Copying, OrbMode::Standard, 1 << 20));
+        let b = (1u64 << 20) as f64;
+        let cpu_sum = std.marshal_s + std.send_copy_s + std.recv_copy_s + std.demarshal_s;
+        let model_sum = b * (c.send_cpu_per_byte + c.recv_cpu_per_byte);
+        assert!((cpu_sum - model_sum).abs() < 1e-9 * model_sum.max(1.0));
+    }
+
+    #[test]
+    fn all_zc_stage_budget_collapses_copy_stages() {
+        let zc = stage_budget(&testbed(
+            SocketMode::ZeroCopy,
+            OrbMode::ZeroCopyOrb,
+            1 << 20,
+        ));
+        assert_eq!(zc.marshal_s, 0.0, "ZC ORB marshals by reference");
+        assert_eq!(zc.demarshal_s, 0.0);
+        let std = stage_budget(&testbed(SocketMode::Copying, OrbMode::ZeroCopyOrb, 1 << 20));
+        assert!(
+            zc.send_copy_s < std.send_copy_s / 2.0,
+            "socket copies gone, only per-frame driver work remains"
+        );
+        assert_eq!(zc.wire_s, std.wire_s, "the wire itself is unchanged");
     }
 
     #[test]

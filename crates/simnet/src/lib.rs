@@ -29,7 +29,7 @@ pub mod link;
 pub mod machine;
 pub mod sweep;
 
-pub use analytic::{block_costs, cpu_utilization, predict, BlockCosts};
+pub use analytic::{block_costs, cpu_utilization, predict, stage_budget, BlockCosts, StageBudget};
 pub use des::simulate;
 pub use link::LinkSpec;
 pub use machine::MachineSpec;

@@ -85,11 +85,15 @@ pub enum EventKind {
     Degrade = 14,
     /// A degraded connection re-upgraded to zero-copy (payload: probes run).
     Upgrade = 15,
+    /// One request-span stage completed (payload: stage discriminant in the
+    /// top byte, duration in ns in the low 56 bits — see
+    /// [`crate::pack_stage`]).
+    Stage = 16,
 }
 
 impl EventKind {
     /// All kinds.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::RequestSent,
         EventKind::RequestReceived,
         EventKind::ReplySent,
@@ -106,6 +110,7 @@ impl EventKind {
         EventKind::BreakerOpen,
         EventKind::Degrade,
         EventKind::Upgrade,
+        EventKind::Stage,
     ];
 
     /// Short name used in reports.
@@ -127,6 +132,7 @@ impl EventKind {
             EventKind::BreakerOpen => "breaker-open",
             EventKind::Degrade => "degrade",
             EventKind::Upgrade => "upgrade",
+            EventKind::Stage => "stage",
         }
     }
 

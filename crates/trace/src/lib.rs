@@ -25,15 +25,20 @@ mod event;
 mod metrics;
 mod recorder;
 mod report;
+mod span;
 mod telemetry;
 
 pub use event::{EventKind, TraceEvent, TraceLayer};
 pub use metrics::{
-    Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, TransportCounters,
-    TransportField, TransportTotals, HISTOGRAM_BUCKETS,
+    Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, StageHistograms,
+    StageSnapshots, TransportCounters, TransportField, TransportTotals, HISTOGRAM_BUCKETS,
 };
 pub use recorder::FlightRecorder;
 pub use report::OrbTelemetry;
+pub use span::{
+    pack_stage, span_timelines, unpack_stage, RequestSpan, SpanTimeline, Stage, StageSample,
+    STAGE_DUR_MASK,
+};
 pub use telemetry::Telemetry;
 
 use std::sync::atomic::{AtomicU64, Ordering};

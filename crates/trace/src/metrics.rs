@@ -8,6 +8,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::span::Stage;
+
 /// A monotonic atomic counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
@@ -194,6 +196,87 @@ impl HistogramSnapshot {
             .enumerate()
             .filter(|(_, &c)| c != 0)
             .map(|(i, &c)| (bucket_bound(i), c))
+    }
+}
+
+/// One histogram per request-span [`Stage`]. Same recording discipline as
+/// a single [`Histogram`]: relaxed atomics, no allocation, no lock.
+pub struct StageHistograms {
+    cells: [Histogram; Stage::COUNT],
+}
+
+impl StageHistograms {
+    /// Empty histograms for every stage.
+    pub const fn new() -> StageHistograms {
+        #[allow(clippy::declare_interior_mutable_const)] // array-init seed
+        const EMPTY: Histogram = Histogram::new();
+        StageHistograms {
+            cells: [EMPTY; Stage::COUNT],
+        }
+    }
+
+    /// The histogram for `stage`.
+    #[inline]
+    pub fn get(&self, stage: Stage) -> &Histogram {
+        &self.cells[stage as usize]
+    }
+
+    /// Record one duration sample for `stage`.
+    #[inline]
+    pub fn record(&self, stage: Stage, dur_ns: u64) {
+        self.cells[stage as usize].record(dur_ns);
+    }
+
+    /// Capture the current state of every stage histogram.
+    pub fn snapshot(&self) -> StageSnapshots {
+        let mut s = StageSnapshots::default();
+        for stage in Stage::ALL {
+            s.cells[stage as usize] = self.cells[stage as usize].snapshot();
+        }
+        s
+    }
+}
+
+impl Default for StageHistograms {
+    fn default() -> Self {
+        StageHistograms::new()
+    }
+}
+
+impl std::fmt::Debug for StageHistograms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StageHistograms({} stages)", Stage::COUNT)
+    }
+}
+
+/// Point-in-time copy of [`StageHistograms`].
+#[derive(Debug, Clone, Copy)]
+pub struct StageSnapshots {
+    cells: [HistogramSnapshot; Stage::COUNT],
+}
+
+impl Default for StageSnapshots {
+    fn default() -> Self {
+        StageSnapshots {
+            cells: [HistogramSnapshot::default(); Stage::COUNT],
+        }
+    }
+}
+
+impl StageSnapshots {
+    /// The snapshot for `stage`.
+    pub fn get(&self, stage: Stage) -> &HistogramSnapshot {
+        &self.cells[stage as usize]
+    }
+
+    /// Iterate `(stage, snapshot)` in causal data-path order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stage, &HistogramSnapshot)> + '_ {
+        Stage::ALL.into_iter().map(|s| (s, self.get(s)))
+    }
+
+    /// Total samples recorded across all stages.
+    pub fn total_count(&self) -> u64 {
+        self.cells.iter().map(|c| c.count).sum()
     }
 }
 
@@ -400,6 +483,12 @@ pub struct MetricsRegistry {
     pub deposit_block_bytes: Histogram,
     /// Wire fragments per received data block.
     pub frames_per_block: Histogram,
+    /// Per-stage request-span durations, in nanoseconds.
+    pub stage_ns: StageHistograms,
+    /// Data-block wire flight time (frame stamped at send → block
+    /// reassembled at receive), in nanoseconds. Kept separate from
+    /// `stage_ns[Wire]`, which times the request control path.
+    pub data_wire_ns: Histogram,
 }
 
 impl MetricsRegistry {
@@ -420,6 +509,8 @@ impl MetricsRegistry {
             dispatch_ns: self.dispatch_ns.snapshot(),
             deposit_block_bytes: self.deposit_block_bytes.snapshot(),
             frames_per_block: self.frames_per_block.snapshot(),
+            stage_ns: self.stage_ns.snapshot(),
+            data_wire_ns: self.data_wire_ns.snapshot(),
         }
     }
 }
@@ -455,6 +546,10 @@ pub struct MetricsSnapshot {
     pub deposit_block_bytes: HistogramSnapshot,
     /// Fragments-per-block histogram.
     pub frames_per_block: HistogramSnapshot,
+    /// Per-stage request-span duration histograms.
+    pub stage_ns: StageSnapshots,
+    /// Data-block wire flight time histogram.
+    pub data_wire_ns: HistogramSnapshot,
 }
 
 #[cfg(test)]
@@ -532,5 +627,20 @@ mod tests {
     #[test]
     fn spec_rate_without_speculation_is_one() {
         assert_eq!(TransportTotals::default().spec_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn stage_histograms_record_per_stage() {
+        let sh = StageHistograms::new();
+        sh.record(Stage::ClientMarshal, 100);
+        sh.record(Stage::ClientMarshal, 300);
+        sh.record(Stage::Wire, 5000);
+        let s = sh.snapshot();
+        assert_eq!(s.get(Stage::ClientMarshal).count, 2);
+        assert_eq!(s.get(Stage::ClientMarshal).sum, 400);
+        assert_eq!(s.get(Stage::Wire).count, 1);
+        assert_eq!(s.get(Stage::ServerDispatch).count, 0);
+        assert_eq!(s.total_count(), 3);
+        assert_eq!(s.iter().count(), Stage::COUNT);
     }
 }

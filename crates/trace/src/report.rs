@@ -109,6 +109,7 @@ impl OrbTelemetry {
             ("dispatch_ns", &self.metrics.dispatch_ns),
             ("deposit_block_bytes", &self.metrics.deposit_block_bytes),
             ("frames_per_block", &self.metrics.frames_per_block),
+            ("data_wire_ns", &self.metrics.data_wire_ns),
         ] {
             if h.count != 0 {
                 let _ = writeln!(
@@ -120,6 +121,23 @@ impl OrbTelemetry {
                     h.quantile(0.99),
                     h.max
                 );
+            }
+        }
+        if self.metrics.stage_ns.total_count() != 0 {
+            let _ = writeln!(out, "-- request-span stages (ns) --");
+            for (stage, h) in self.metrics.stage_ns.iter() {
+                if h.count != 0 {
+                    let _ = writeln!(
+                        out,
+                        "{:<20}{:>10} samples  mean {:>12.0}  p50 {:>12}  p99 {:>12}  max {:>12}",
+                        stage.name(),
+                        h.count,
+                        h.mean(),
+                        h.quantile(0.5),
+                        h.quantile(0.99),
+                        h.max
+                    );
+                }
             }
         }
         out
@@ -187,11 +205,32 @@ impl OrbTelemetry {
             ("dispatch_ns", &self.metrics.dispatch_ns),
             ("deposit_block_bytes", &self.metrics.deposit_block_bytes),
             ("frames_per_block", &self.metrics.frames_per_block),
+            ("data_wire_ns", &self.metrics.data_wire_ns),
         ] {
             out.push_str(&histogram_json_line(name, h));
         }
+        for (stage, h) in self.metrics.stage_ns.iter() {
+            if h.count != 0 {
+                out.push_str(&stage_json_line(stage, h));
+            }
+        }
         out
     }
+}
+
+fn stage_json_line(stage: crate::Stage, h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"section\":\"stage\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{}}}\n",
+        stage.name(),
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.9),
+        h.quantile(0.99)
+    )
 }
 
 fn histogram_json_line(name: &str, h: &HistogramSnapshot) -> String {
@@ -216,6 +255,22 @@ pub(crate) fn render_post_mortem(conn_id: u64, events: &[TraceEvent]) -> String 
     }
     let mut out = String::new();
     for e in events {
+        // stage payloads pack (stage, duration); decode them for the reader
+        if e.kind == crate::EventKind::Stage {
+            if let Some((stage, dur_ns)) = crate::unpack_stage(e.payload) {
+                let _ = writeln!(
+                    out,
+                    "{:>14}ns conn={} trace={} {:<10} {:<14} stage={} dur_ns={dur_ns}",
+                    e.ts_ns,
+                    e.conn_id,
+                    e.trace_id,
+                    e.layer.name(),
+                    e.kind.name(),
+                    stage.name()
+                );
+                continue;
+            }
+        }
         let _ = writeln!(
             out,
             "{:>14}ns conn={} trace={} {:<10} {:<14} payload={}",
@@ -249,6 +304,8 @@ mod tests {
         tele.transport().add(crate::TransportField::SpecHits, 3);
         tele.transport()
             .add(crate::TransportField::WireBytesRecv, 9999);
+        tele.record_stage(crate::Stage::ClientMarshal, 1, 2, 777);
+        tele.record_stage(crate::Stage::Wire, 1, 2, 12_000);
         tele.orb_snapshot(CopySnapshot::default(), PoolStats::default())
     }
 
@@ -259,6 +316,8 @@ mod tests {
         assert!(t.contains("spec_hit_rate"), "{t}");
         assert!(t.contains("request_latency_ns"), "{t}");
         assert!(t.contains("wire_bytes_recv"), "{t}");
+        assert!(t.contains("request-span stages"), "{t}");
+        assert!(t.contains("marshal"), "{t}");
     }
 
     #[test]
@@ -276,5 +335,16 @@ mod tests {
         assert!(j.contains("\"name\":\"request_latency_ns\""), "{j}");
         assert!(j.contains("\"spec_hit_rate\""), "{j}");
         assert!(j.contains("\"wire_bytes_recv\":9999"), "{j}");
+        assert!(j.contains("\"section\":\"stage\""), "{j}");
+        assert!(j.contains("\"name\":\"wire\""), "{j}");
+    }
+
+    #[test]
+    fn post_mortem_decodes_stage_events() {
+        let tele = crate::Telemetry::with_capacity(8);
+        tele.record_stage(crate::Stage::ServerDispatch, 5, 9, 4321);
+        let pm = tele.post_mortem(5, 8).unwrap();
+        assert!(pm.contains("stage=dispatch"), "{pm}");
+        assert!(pm.contains("dur_ns=4321"), "{pm}");
     }
 }

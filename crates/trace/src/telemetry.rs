@@ -15,6 +15,7 @@ use crate::event::{EventKind, TraceEvent, TraceLayer};
 use crate::metrics::{MetricsRegistry, TransportCounters};
 use crate::recorder::FlightRecorder;
 use crate::report::OrbTelemetry;
+use crate::span::{pack_stage, RequestSpan, Stage};
 
 /// Shared telemetry state for one ORB (or one experiment, when the client
 /// and server ORBs are handed the same instance).
@@ -79,6 +80,33 @@ impl Telemetry {
             kind,
             payload,
         });
+    }
+
+    /// Record one request-span stage (no-op when disabled): a sample in the
+    /// stage's duration histogram plus a [`EventKind::Stage`] flight-recorder
+    /// event whose payload packs stage + duration ([`pack_stage`]).
+    #[inline]
+    pub fn record_stage(&self, stage: Stage, conn_id: u64, trace_id: u64, dur_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.stage_ns.record(stage, dur_ns);
+        self.recorder.record(TraceEvent {
+            ts_ns: crate::now_ns(),
+            conn_id,
+            trace_id,
+            layer: stage.layer(),
+            kind: EventKind::Stage,
+            payload: pack_stage(stage, dur_ns),
+        });
+    }
+
+    /// A [`RequestSpan`] that accumulates exactly when this instance is
+    /// enabled. The one-boolean construction keeps the disabled path free
+    /// of clock reads and atomics.
+    #[inline]
+    pub fn request_span(&self) -> RequestSpan {
+        RequestSpan::new(self.enabled)
     }
 
     /// The flight recorder.

@@ -26,7 +26,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-use zc_trace::{EventKind, Telemetry, TraceLayer};
+use zc_trace::{EventKind, Stage, Telemetry, TraceLayer};
 
 #[test]
 fn disabled_record_allocates_nothing_and_moves_no_counter() {
@@ -53,6 +53,61 @@ fn disabled_record_allocates_nothing_and_moves_no_counter() {
     assert_eq!(tele.recorder().dropped(), 0);
     assert_eq!(tele.metrics().snapshot().requests_sent, 0);
     assert_eq!(tele.transport().snapshot().bytes_sent, 0);
+}
+
+#[test]
+fn disabled_span_allocates_nothing_and_moves_no_counter() {
+    let tele = Telemetry::disabled();
+
+    // Warm up lazy state before counting.
+    tele.record_stage(Stage::ClientMarshal, 1, 1, 0);
+    let mut warm = tele.request_span();
+    warm.commit(&tele, 1, 1);
+
+    let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..100_000u64 {
+        let mut span = tele.request_span();
+        // begin() must not even read the clock when disabled
+        let t0 = span.begin();
+        assert!(t0.is_none());
+        span.end(Stage::ClientMarshal, t0);
+        span.add(Stage::ServerDispatch, i);
+        span.commit(&tele, 1, i);
+        tele.record_stage(Stage::Wire, 1, i, 100);
+    }
+    let allocs_after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "disabled span path allocated"
+    );
+    assert_eq!(tele.recorder().recorded(), 0);
+    assert_eq!(tele.recorder().dropped(), 0);
+    assert_eq!(
+        tele.metrics().snapshot().stage_ns.total_count(),
+        0,
+        "disabled span path moved a stage histogram"
+    );
+}
+
+#[test]
+fn enabled_span_recording_does_not_allocate() {
+    let tele = Telemetry::with_capacity(1024);
+    tele.record_stage(Stage::ClientMarshal, 1, 1, 0);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        let mut span = tele.request_span();
+        let t0 = span.begin();
+        span.end(Stage::ClientMarshal, t0);
+        span.add(Stage::Wire, 42);
+        span.commit(&tele, 1, i);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "enabled span recording allocated");
+    assert_eq!(
+        tele.metrics().snapshot().stage_ns.get(Stage::Wire).count,
+        10_000
+    );
 }
 
 #[test]

@@ -69,6 +69,10 @@ pub struct Frame {
     /// Total length of the block, repeated in every fragment so the
     /// receiver can allocate on first arrival.
     pub total_len: u64,
+    /// Trace-clock stamp (`zc_trace::now_ns`) taken when the frame was put
+    /// on the wire; `0` when the sender's telemetry was disabled. The
+    /// receiver derives data-path flight time from the first fragment.
+    pub sent_ns: u64,
     /// The fragment payload.
     pub payload: FramePayload,
 }
@@ -96,6 +100,7 @@ mod tests {
             block_id: 1,
             offset: 1460,
             total_len: 2920,
+            sent_ns: 0,
             payload: FramePayload::Copied(vec![0; 1460]),
         };
         assert!(f.is_last());
@@ -113,6 +118,7 @@ mod tests {
             block_id: 0,
             offset: 0,
             total_len: 10,
+            sent_ns: 0,
             payload: FramePayload::Copied(vec![0; 10]),
         };
         assert_eq!(f.wire_bytes(), FRAME_HEADER_BYTES + 10);

@@ -626,6 +626,16 @@ impl SimConn {
         };
     }
 
+    /// Trace-clock stamp for frames about to go on the wire; `0` (untraced)
+    /// when telemetry is disabled so the hot path never reads the clock.
+    fn wire_stamp(&self) -> u64 {
+        if self.ctx.telemetry.is_enabled() {
+            zc_trace::now_ns()
+        } else {
+            0
+        }
+    }
+
     /// The conventional send path: user→kernel copy, then fragmentation
     /// with per-frame copies.
     fn send_bytes_copying(&mut self, lane: Lane, bytes: &[u8]) -> TResult<()> {
@@ -638,12 +648,14 @@ impl SimConn {
         let block_id = self.alloc_block_id();
         let total_len = bytes.len() as u64;
         let mtu = self.cfg.mtu_payload;
+        let sent_ns = self.wire_stamp();
         if bytes.is_empty() {
             return self.send_frame(Frame {
                 lane,
                 block_id,
                 offset: 0,
                 total_len: 0,
+                sent_ns,
                 payload: FramePayload::Copied(Vec::new()),
             });
         }
@@ -663,6 +675,7 @@ impl SimConn {
                 block_id,
                 offset: offset as u64,
                 total_len,
+                sent_ns,
                 payload: FramePayload::Copied(frag),
             })?;
             offset = end;
@@ -675,12 +688,14 @@ impl SimConn {
     fn send_block_zero_copy(&mut self, block: &ZcBytes) -> TResult<()> {
         let block_id = self.alloc_block_id();
         let total_len = block.len() as u64;
+        let sent_ns = self.wire_stamp();
         if block.is_empty() {
             return self.send_frame(Frame {
                 lane: Lane::Data,
                 block_id,
                 offset: 0,
                 total_len: 0,
+                sent_ns,
                 payload: FramePayload::Copied(Vec::new()),
             });
         }
@@ -692,6 +707,7 @@ impl SimConn {
                 block_id,
                 offset,
                 total_len,
+                sent_ns,
                 payload: FramePayload::Referenced(chunk),
             })?;
             offset += len;
@@ -877,11 +893,13 @@ impl Connection for SimConn {
                 let mut framed = vec![0u8; msg.len()];
                 self.ctx.meter.copy(CopyLayer::SocketSend, &mut framed, msg);
                 let block_id = self.alloc_block_id();
+                let sent_ns = self.wire_stamp();
                 self.send_frame(Frame {
                     lane: Lane::Control,
                     block_id,
                     offset: 0,
                     total_len: msg.len() as u64,
+                    sent_ns,
                     payload: FramePayload::Copied(framed),
                 })
             }
@@ -939,6 +957,19 @@ impl Connection for SimConn {
                 .metrics()
                 .frames_per_block
                 .record(frames.len() as u64);
+            // Data-path flight time, derived from the first fragment's
+            // put-on-wire stamp (both ends share the process trace clock).
+            let sent_ns = frames[0].sent_ns;
+            if sent_ns != 0 {
+                let now = zc_trace::now_ns();
+                if now >= sent_ns {
+                    self.ctx
+                        .telemetry
+                        .metrics()
+                        .data_wire_ns
+                        .record(now - sent_ns);
+                }
+            }
         }
         let block = match self.cfg.mode {
             StackMode::Copying => self.reassemble_copying(&frames)?,
@@ -1359,6 +1390,7 @@ mod tests {
                 block_id: 0,
                 offset: 0,
                 total_len: MAX_SIM_BLOCK_BYTES + 1,
+                sent_ns: 0,
                 payload: FramePayload::Copied(vec![0u8; 16]),
             })
             .unwrap();

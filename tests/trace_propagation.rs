@@ -179,9 +179,13 @@ fn unknown_service_context_is_ignored_not_rejected() {
         id: 0x4646_0001, // not a zcorba context id
         data: vec![0xDE, 0xAD, 0xBE, 0xEF],
     });
-    header
-        .service_contexts
-        .push(TraceContext { trace_id: 777 }.to_context());
+    header.service_contexts.push(
+        TraceContext {
+            trace_id: 777,
+            sent_at_ns: 0,
+        }
+        .to_context(),
+    );
     let mut enc = CdrEncoder::new(order);
     header.marshal(&mut enc).unwrap();
     enc.align(8);
