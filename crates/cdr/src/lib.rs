@@ -31,6 +31,7 @@ pub mod endian;
 pub mod octet;
 pub mod typeid;
 pub mod types;
+pub mod wire;
 
 pub use decode::CdrDecoder;
 pub use encode::CdrEncoder;

@@ -9,6 +9,7 @@
 //! self-describing encodings such as `Any`-lite used by the dynamic request
 //! path and in deposit descriptors.
 
+use crate::wire::ZC_TAG;
 use crate::CdrError;
 
 /// Integer type identifiers. Values below 0x100 follow the ordering of the
@@ -54,7 +55,8 @@ pub enum TypeId {
     /// The standard `sequence<octet>` fast-path TID.
     OctetSeq = 0x100,
     /// The zero-copy octet stream: `sequence<ZC_Octet>` (MICO_TID_ZC_OCTET).
-    ZcOctetSeq = 0x5A43,
+    /// The discriminant is the shared [`ZC_TAG`] wire constant.
+    ZcOctetSeq = ZC_TAG,
 }
 
 impl TypeId {
@@ -79,7 +81,7 @@ impl TypeId {
             23 => TypeId::LongLong,
             24 => TypeId::ULongLong,
             0x100 => TypeId::OctetSeq,
-            0x5A43 => TypeId::ZcOctetSeq,
+            ZC_TAG => TypeId::ZcOctetSeq,
             other => return Err(CdrError::BadTypeId(other)),
         })
     }

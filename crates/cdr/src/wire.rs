@@ -1,0 +1,37 @@
+//! Single source of truth for the zcorba wire-constant family.
+//!
+//! Every protocol literal derived from the ASCII "ZC" tag lives here (or is
+//! derived from here): the CDR `TypeId::ZcOctetSeq` discriminant, the GIOP
+//! service-context ids, and exception minor codes. The `wire-consts` audit
+//! pass (`tools/zc-audit`) enforces that the `0x5A43` prefix is never
+//! re-spelled as a literal outside this module, so encode and decode sides
+//! cannot drift apart.
+
+/// The 16-bit zcorba tag: ASCII `"ZC"` big-endian. Doubles as the CDR
+/// `TypeId::ZcOctetSeq` discriminant and the high half of every vendor id.
+pub const ZC_TAG: u32 = 0x5A43;
+
+/// A 32-bit id in the zcorba vendor space: `ZC_TAG` in the high half, `n`
+/// in the low half. Used for GIOP service-context ids and exception minor
+/// codes, keeping us inside the OMG "vendor" id convention.
+pub const fn zc_vendor_id(n: u16) -> u32 {
+    (ZC_TAG << 16) | n as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_is_ascii_zc() {
+        assert_eq!(ZC_TAG, u16::from_be_bytes(*b"ZC") as u32);
+        assert_eq!(ZC_TAG, 0x5A43);
+    }
+
+    #[test]
+    fn vendor_ids_concatenate_tag_and_index() {
+        assert_eq!(zc_vendor_id(0x0001), 0x5A43_0001);
+        assert_eq!(zc_vendor_id(0x0010), 0x5A43_0010);
+        assert_eq!(zc_vendor_id(0xFFFF), 0x5A43_FFFF);
+    }
+}

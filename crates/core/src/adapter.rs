@@ -135,6 +135,7 @@ impl ObjectAdapter {
     /// Register a servant under a key. Replaces any previous registration
     /// (CORBA's POA would call this activation).
     pub fn register_key(&self, key: &[u8], servant: Arc<dyn Servant>) {
+        // zc-audit: allow(control-plane) — object key owned by the registry, not payload
         self.servants.write().insert(key.to_vec(), servant);
     }
 

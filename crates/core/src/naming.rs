@@ -25,8 +25,9 @@ pub const NAME_SERVICE_KEY: &str = "NameService";
 /// Repository id of the naming context interface.
 pub const NAMING_REPO_ID: &str = "IDL:zcorba/NamingContext:1.0";
 
-/// Minor code used on `OBJECT_NOT_EXIST` when a name is unbound.
-pub const MINOR_UNBOUND_NAME: u32 = 0x5A43_0010;
+/// Minor code used on `OBJECT_NOT_EXIST` when a name is unbound (in the
+/// zcorba vendor space, clear of the service-context ids).
+pub const MINOR_UNBOUND_NAME: u32 = zc_cdr::wire::zc_vendor_id(0x10);
 
 /// The name-service servant: a flat `name → IOR` table.
 ///

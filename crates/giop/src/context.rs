@@ -1,23 +1,24 @@
 //! GIOP service contexts, including the zcorba deposit manifest.
 
+use zc_cdr::wire::zc_vendor_id;
 use zc_cdr::{CdrDecoder, CdrEncoder, CdrResult};
 
-/// Service-context id for the zcorba deposit manifest. High bit pattern
-/// `0x5A43….` ("ZC") keeps us inside the OMG "vendor" id space.
-pub const SVC_CTX_DEPOSIT: u32 = 0x5A43_0001;
+/// Service-context id for the zcorba deposit manifest. Built from the
+/// shared `ZC_TAG` ("ZC") so we stay inside the OMG "vendor" id space.
+pub const SVC_CTX_DEPOSIT: u32 = zc_vendor_id(1);
 
 /// Service-context id for negotiation echoes (diagnostics; the binding
 /// negotiation itself happens in the connection handshake).
-pub const SVC_CTX_NEGOTIATE: u32 = 0x5A43_0002;
+pub const SVC_CTX_NEGOTIATE: u32 = zc_vendor_id(2);
 
 /// Service-context id for the zcorba trace context: propagates a request's
 /// trace id so client and server flight-recorder spans can be correlated.
-pub const SVC_CTX_TRACE: u32 = 0x5A43_0003;
+pub const SVC_CTX_TRACE: u32 = zc_vendor_id(3);
 
 /// Service-context id for the zcorba zero-copy health report: each endpoint
 /// piggybacks its cumulative receive-side speculation statistics so the
 /// peer can decide to degrade its send path from zero-copy to copying.
-pub const SVC_CTX_ZC_HEALTH: u32 = 0x5A43_0004;
+pub const SVC_CTX_ZC_HEALTH: u32 = zc_vendor_id(4);
 
 /// A single GIOP service context: an id plus opaque encapsulated data.
 ///
@@ -448,5 +449,17 @@ mod tests {
         ];
         assert_eq!(ZcHealthContext::find_in(&list).unwrap().unwrap(), h);
         assert_eq!(ZcHealthContext::find_in(&list[..1]).unwrap(), None);
+    }
+
+    /// Cross-assert the wire values against spelled-out literals: the ids
+    /// are derived from `zc_cdr::wire::ZC_TAG`, and this test pins them so
+    /// a refactor of the derivation cannot silently renumber the protocol.
+    #[test]
+    fn service_context_ids_pinned_to_wire_values() {
+        assert_eq!(SVC_CTX_DEPOSIT, 0x5A43_0001);
+        assert_eq!(SVC_CTX_NEGOTIATE, 0x5A43_0002);
+        assert_eq!(SVC_CTX_TRACE, 0x5A43_0003);
+        assert_eq!(SVC_CTX_ZC_HEALTH, 0x5A43_0004);
+        assert_eq!(SVC_CTX_DEPOSIT >> 16, u16::from_be_bytes(*b"ZC") as u32);
     }
 }

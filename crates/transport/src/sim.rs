@@ -70,6 +70,7 @@ impl SimConfig {
             mode: StackMode::Copying,
             mtu_payload: MTU_PAYLOAD,
             zc_success_prob: 1.0,
+            // zc-audit: allow(wire-const) — deterministic RNG seed; "ZC" digits are branding, not a protocol id
             seed: 0x5A43_0001,
         }
     }
@@ -81,6 +82,7 @@ impl SimConfig {
             mode: StackMode::ZeroCopy,
             mtu_payload: MTU_PAYLOAD,
             zc_success_prob: 1.0,
+            // zc-audit: allow(wire-const) — deterministic RNG seed; "ZC" digits are branding, not a protocol id
             seed: 0x5A43_0002,
         }
     }

@@ -90,6 +90,54 @@ pub struct MeterCoverage {
     pub markers: Vec<String>,
 }
 
+/// zc-escape pass configuration (disabled when `types` is empty).
+#[derive(Debug, Clone, Default)]
+pub struct ZcEscape {
+    /// Zero-copy type names whose values are tracked across call edges
+    /// (e.g. `ZcBytes`, `AlignedBuf`, `PooledBuf`).
+    pub types: Vec<String>,
+    /// Idioms banned when applied to a tracked value in a reachable callee.
+    pub idioms: Vec<Idiom>,
+}
+
+/// lock-order pass configuration (disabled when `paths` is empty).
+#[derive(Debug, Clone, Default)]
+pub struct LockOrder {
+    /// Files (or directory prefixes) whose lock acquisitions are analyzed.
+    pub paths: Vec<String>,
+    /// Function names considered blocking at the leaves (e.g. `send_data`,
+    /// `recv_control`, `connect`); blocking-ness propagates up call edges.
+    pub blocking: Vec<String>,
+}
+
+/// One wire-constant family: a hex literal prefix with a single defining
+/// module (disabled when no families and no enums are configured).
+#[derive(Debug, Clone)]
+pub struct WireFamily {
+    pub name: String,
+    /// Hex prefix, e.g. `0x5A43` — any hex literal starting with these
+    /// digits outside `defined_in` is flagged.
+    pub prefix: String,
+    pub defined_in: Vec<String>,
+}
+
+/// One wire enum whose discriminants must stay in bijection with its
+/// decoder's match arms.
+#[derive(Debug, Clone)]
+pub struct WireEnum {
+    pub name: String,
+    pub file: String,
+    /// Name of the decoding function in the same file (e.g. `from_octet`).
+    pub decoder: String,
+}
+
+/// wire-consts pass configuration.
+#[derive(Debug, Clone, Default)]
+pub struct WireConsts {
+    pub families: Vec<WireFamily>,
+    pub enums: Vec<WireEnum>,
+}
+
 /// Full auditor configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -100,6 +148,9 @@ pub struct Config {
     pub modules: Vec<CopyPathModule>,
     pub unsafe_audit: UnsafeAudit,
     pub meter: MeterCoverage,
+    pub escape: ZcEscape,
+    pub lock_order: LockOrder,
+    pub wire: WireConsts,
 }
 
 #[derive(Debug)]
@@ -218,12 +269,93 @@ impl Config {
             None => MeterCoverage::default(),
         };
 
+        let escape = match root.get("zc_escape") {
+            Some(v) => {
+                let t = v
+                    .as_table()
+                    .ok_or_else(|| bad("`zc_escape` must be a table"))?;
+                ZcEscape {
+                    types: str_array(t, "types", "[zc_escape]")?,
+                    idioms: str_array(t, "idioms", "[zc_escape]")?
+                        .iter()
+                        .map(|s| {
+                            Idiom::parse(s)
+                                .ok_or_else(|| bad(format!("[zc_escape]: unknown idiom `{s}`")))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                }
+            }
+            None => ZcEscape::default(),
+        };
+
+        let lock_order = match root.get("lock_order") {
+            Some(v) => {
+                let t = v
+                    .as_table()
+                    .ok_or_else(|| bad("`lock_order` must be a table"))?;
+                LockOrder {
+                    paths: str_array(t, "paths", "[lock_order]")?,
+                    blocking: str_array(t, "blocking", "[lock_order]")?,
+                }
+            }
+            None => LockOrder::default(),
+        };
+
+        let mut wire = WireConsts::default();
+        if let Some(w) = root.get("wire_consts") {
+            let w = w
+                .as_table()
+                .ok_or_else(|| bad("`wire_consts` must be a table"))?;
+            if let Some(list) = w.get("family").and_then(Value::as_table_array) {
+                for (i, f) in list.iter().enumerate() {
+                    let ctx = format!("[[wire_consts.family]] #{}", i + 1);
+                    let name = f
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| bad(format!("{ctx}: missing `name`")))?
+                        .to_string();
+                    let prefix = f
+                        .get("prefix")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| bad(format!("{ctx}: missing `prefix`")))?
+                        .to_string();
+                    if !prefix.starts_with("0x") {
+                        return Err(bad(format!("{ctx}: `prefix` must be a 0x… hex literal")));
+                    }
+                    wire.families.push(WireFamily {
+                        name,
+                        prefix,
+                        defined_in: str_array(f, "defined_in", &ctx)?,
+                    });
+                }
+            }
+            if let Some(list) = w.get("enum").and_then(Value::as_table_array) {
+                for (i, e) in list.iter().enumerate() {
+                    let ctx = format!("[[wire_consts.enum]] #{}", i + 1);
+                    let get = |key: &str| -> Result<String, ConfigError> {
+                        e.get(key)
+                            .and_then(Value::as_str)
+                            .map(str::to_string)
+                            .ok_or_else(|| bad(format!("{ctx}: missing `{key}`")))
+                    };
+                    wire.enums.push(WireEnum {
+                        name: get("name")?,
+                        file: get("file")?,
+                        decoder: get("decoder")?,
+                    });
+                }
+            }
+        }
+
         Ok(Config {
             exclude,
             copy_layers,
             modules,
             unsafe_audit,
             meter,
+            escape,
+            lock_order,
+            wire,
         })
     }
 
@@ -282,6 +414,47 @@ markers = ["meter", "CopyMeter", "record"]
         assert_eq!(c.modules[0].idioms.len(), 3);
         assert_eq!(c.unsafe_audit.paths, vec!["crates/buffers/src/"]);
         assert_eq!(c.meter.markers.len(), 3);
+    }
+
+    #[test]
+    fn parses_interproc_sections() {
+        let doc = format!(
+            "{SAMPLE}\n\
+             [zc_escape]\n\
+             types = [\"ZcBytes\", \"AlignedBuf\"]\n\
+             idioms = [\"to_vec\", \"clone\"]\n\
+             \n\
+             [lock_order]\n\
+             paths = [\"crates/\"]\n\
+             blocking = [\"send_data\", \"connect\"]\n\
+             \n\
+             [[wire_consts.family]]\n\
+             name = \"zc-tag\"\n\
+             prefix = \"0x5A43\"\n\
+             defined_in = [\"crates/cdr/src/wire.rs\"]\n\
+             \n\
+             [[wire_consts.enum]]\n\
+             name = \"MessageType\"\n\
+             file = \"crates/giop/src/msg.rs\"\n\
+             decoder = \"from_octet\"\n"
+        );
+        let c = Config::parse(&doc).unwrap();
+        assert_eq!(c.escape.types, vec!["ZcBytes", "AlignedBuf"]);
+        assert_eq!(c.escape.idioms.len(), 2);
+        assert_eq!(c.lock_order.paths, vec!["crates/"]);
+        assert_eq!(c.lock_order.blocking.len(), 2);
+        assert_eq!(c.wire.families.len(), 1);
+        assert_eq!(c.wire.families[0].prefix, "0x5A43");
+        assert_eq!(c.wire.enums.len(), 1);
+        assert_eq!(c.wire.enums[0].decoder, "from_octet");
+    }
+
+    #[test]
+    fn interproc_sections_default_off() {
+        let c = Config::parse(SAMPLE).unwrap();
+        assert!(c.escape.types.is_empty());
+        assert!(c.lock_order.paths.is_empty());
+        assert!(c.wire.families.is_empty() && c.wire.enums.is_empty());
     }
 
     #[test]

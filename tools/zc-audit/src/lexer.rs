@@ -166,6 +166,7 @@ pub fn scan(src: &str) -> Scanned {
                 });
             }
             c if c.is_ascii_digit() => {
+                let start = i;
                 while i < b.len() && (b[i] == b'_' || b[i] == b'.' || b[i].is_ascii_alphanumeric())
                 {
                     // Stop a number at `..` (range operator), not inside it.
@@ -174,9 +175,11 @@ pub fn scan(src: &str) -> Scanned {
                     }
                     i += 1;
                 }
+                // Keep the literal text: the wire-consts pass matches
+                // protocol constants (`0x5A43_0001`) by their digits.
                 out.toks.push(Tok {
                     kind: TokKind::Number,
-                    text: String::new(),
+                    text: src[start..i].to_string(),
                     line,
                 });
             }
@@ -327,6 +330,18 @@ mod tests {
         let s = scan("let a = \"two\nlines\";\nb();");
         let b_tok = s.toks.iter().find(|t| t.text == "b").unwrap();
         assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn number_text_retained() {
+        let s = scan("const A: u32 = 0x5A43_0001; let f = 1.5; let n = 42u16;");
+        let nums: Vec<&str> = s
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0x5A43_0001", "1.5", "42u16"]);
     }
 
     #[test]

@@ -11,14 +11,33 @@
 //! `workspace_is_clean` integration test.
 
 pub mod config;
+mod escape;
 pub mod lexer;
+mod locks;
+pub mod parser;
 pub mod rules;
 pub mod toml;
+mod wire;
 
 pub use config::Config;
-pub use rules::{audit_file, Violation};
+pub use rules::{audit_file, Violation, WaiverKind};
 
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+
+/// One scanned + item-parsed workspace file, shared by the
+/// inter-procedural passes.
+pub struct FileAnalysis {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    pub scanned: lexer::Scanned,
+    pub items: Vec<parser::FnItem>,
+    /// Token spans of `#[cfg(test)] mod` items.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Under a tests/benches/examples/fixtures directory.
+    pub in_test_tree: bool,
+}
 
 /// Locate the workspace root: walk up from `start` until a directory
 /// containing `zc-audit.toml` is found.
@@ -74,16 +93,159 @@ fn relative_slash(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Audit the whole workspace rooted at `root` with `cfg`. Violations are
-/// sorted by file then line.
-pub fn audit_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Violation>> {
-    let mut out = Vec::new();
+/// One waiver seen during a workspace audit (for machine-readable output:
+/// every tolerated finding is a used waiver).
+#[derive(Debug, Clone)]
+pub struct WaiverRecord {
+    pub file: String,
+    pub line: u32,
+    pub kind: WaiverKind,
+    pub used: bool,
+}
+
+/// Full result of a workspace audit: violations plus the waiver inventory.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub waivers: Vec<WaiverRecord>,
+}
+
+impl Report {
+    /// Are all remaining violations advisory-grade (`lock-order`)?
+    pub fn only_advisory(&self) -> bool {
+        !self.violations.is_empty() && self.violations.iter().all(|v| v.rule == "lock-order")
+    }
+
+    /// Machine-readable findings: every violation and every waiver with its
+    /// status, as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": \"zc-audit/v2\",\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"msg\": {}}}",
+                if i > 0 { "," } else { "" },
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.msg)
+            );
+        }
+        if !self.violations.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"waivers\": [");
+        for (i, w) in self.waivers.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n    {{\"file\": {}, \"line\": {}, \"kind\": {}, \"used\": {}}}",
+                if i > 0 { "," } else { "" },
+                json_str(&w.file),
+                w.line,
+                json_str(w.kind.name()),
+                w.used
+            );
+        }
+        if !self.waivers.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Audit the whole workspace rooted at `root` with `cfg`: the per-file
+/// rules plus the inter-procedural passes (zc-escape, lock-order,
+/// wire-consts). Violations are sorted by file then line.
+pub fn audit_workspace_report(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let mut files = Vec::new();
     for rel in collect_rs_files(root, &cfg.exclude)? {
         let src = std::fs::read_to_string(root.join(&rel))?;
-        out.extend(audit_file(&rel, &src, cfg));
+        let scanned = lexer::scan(&src);
+        let test_spans = rules::cfg_test_mod_spans(&scanned.toks);
+        let items = parser::parse_items(&scanned.toks, &test_spans);
+        let in_test_tree = rules::is_test_tree(&rel);
+        files.push(FileAnalysis {
+            rel,
+            scanned,
+            items,
+            test_spans,
+            in_test_tree,
+        });
     }
+
+    let mut out = Vec::new();
+    // Unlike the per-file entry point, collect waivers everywhere: the
+    // inter-procedural passes accept waivers in files no per-file rule
+    // covers (a lock-held waiver in the ORB, say).
+    let waivers: Vec<BTreeMap<u32, rules::Waiver>> = files
+        .iter()
+        .map(|f| rules::collect_waivers(&f.rel, &f.scanned, cfg, &mut out))
+        .collect();
+
+    for (f, w) in files.iter().zip(&waivers) {
+        rules::run_rules(&f.rel, &f.scanned, cfg, w, &f.test_spans, &mut out);
+    }
+    escape::run(&files, cfg, &waivers, &mut out);
+    locks::run(&files, cfg, &waivers, &mut out);
+    wire::run(&files, cfg, &waivers, &mut out);
+
+    // Stale sweep, deferred until every pass has had a chance to consume
+    // its waivers. Reported under the rule the waiver kind belongs to.
+    let mut records = Vec::new();
+    for (f, ws) in files.iter().zip(&waivers) {
+        for w in ws.values() {
+            if !w.used.get() {
+                out.push(Violation {
+                    file: f.rel.clone(),
+                    line: w.line,
+                    rule: w.kind.stale_rule(),
+                    msg: format!(
+                        "stale waiver: no {} finding on this or the next line",
+                        w.kind.name()
+                    ),
+                });
+            }
+            records.push(WaiverRecord {
+                file: f.rel.clone(),
+                line: w.line,
+                kind: w.kind,
+                used: w.used.get(),
+            });
+        }
+    }
+
     out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
-    Ok(out)
+    Ok(Report {
+        violations: out,
+        waivers: records,
+    })
+}
+
+/// Audit the whole workspace rooted at `root` with `cfg`. Violations are
+/// sorted by file then line. Convenience wrapper over
+/// [`audit_workspace_report`].
+pub fn audit_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Violation>> {
+    Ok(audit_workspace_report(root, cfg)?.violations)
 }
 
 #[cfg(test)]

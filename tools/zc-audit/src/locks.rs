@@ -1,0 +1,372 @@
+//! lock-order — held-lock propagation, cycle detection, and blocking-call
+//! checks.
+//!
+//! Buffer-loaning transports (U-Net, fbufs, this repo's deposit scheme) are
+//! notoriously easy to deadlock: the connection mutex serializes the wire,
+//! and any second lock — or a blocking transport call — taken while it is
+//! held couples independent wait graphs. This pass:
+//!
+//! 1. collects every `Mutex`/`RwLock` acquisition (`.lock()`, `.read()`,
+//!    `.write()` with no arguments) in the configured paths, with the
+//!    parser's conservative guard-hold spans;
+//! 2. computes, per function *name*, the closure of lock names its call
+//!    tree can acquire, and whether its call tree can reach a configured
+//!    blocking leaf (`send_data`, `recv_control`, `connect`, …);
+//! 3. reports (a) a lock re-acquired while already held (self-deadlock —
+//!    the vendored parking_lot locks are non-reentrant), (b) a lock held
+//!    across a blocking call, and (c) cycles in the lock-ordering graph,
+//!    where edge `A → B` means B is acquired (directly or via a callee)
+//!    while A is held.
+//!
+//! Lock identity is textual — the field name the acquisition method is
+//! called on. Two fields with one name alias into one node (adds edges,
+//! over-approximates); one lock reached through differently-named bindings
+//! splits into two nodes (a documented false-negative). Waive with
+//! `allow(lock-held)` at the acquisition or call line, explaining why the
+//! hold cannot deadlock.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::config::{path_matches_any, Config};
+use crate::rules::{waiver_for, Violation, Waiver, WaiverKind};
+use crate::FileAnalysis;
+
+/// Std-prelude method names treated as *opaque* by name-level resolution.
+/// Unioning every workspace `fn len` into one call-graph node makes
+/// `HashMap::len` alias `NamingContextServant::len` and floods the ordering
+/// graph with phantom edges; likewise `std::mem::drop(guard)` — the
+/// guard-release idiom — would alias every `Drop::drop` impl. Calls to
+/// these names never propagate blocking-ness or acquisition sets. A name
+/// the config explicitly lists as a blocking leaf stays a blocking leaf.
+/// The cost is a documented false negative: a lock acquired inside a
+/// workspace fn that shadows one of these names is invisible to callers.
+const OPAQUE_CALLEES: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "chain",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "default",
+    "drain",
+    "drop",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "expect",
+    "extend",
+    "filter",
+    "find",
+    "first",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "map",
+    "max",
+    "min",
+    "new",
+    "next",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_default",
+    "or_insert",
+    "pop",
+    "position",
+    "push",
+    "remove",
+    "replace",
+    "retain",
+    "rev",
+    "sort",
+    "split",
+    "take",
+    "then",
+    "then_some",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "truncate",
+    "try_from",
+    "try_into",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "zip",
+];
+
+pub(crate) fn run(
+    files: &[FileAnalysis],
+    cfg: &Config,
+    waivers: &[BTreeMap<u32, Waiver>],
+    out: &mut Vec<Violation>,
+) {
+    let lc = &cfg.lock_order;
+    if lc.paths.is_empty() {
+        return;
+    }
+    let opaque =
+        |name: &str| OPAQUE_CALLEES.contains(&name) && !lc.blocking.iter().any(|b| b == name);
+
+    // Name-level blocking closure: a function is blocking if its name is a
+    // configured leaf or it calls a blocking name. Computed over the whole
+    // workspace — blocking-ness crosses crate lines.
+    let mut blocking: HashSet<String> = lc.blocking.iter().cloned().collect();
+    loop {
+        let mut changed = false;
+        for file in files {
+            for f in &file.items {
+                if opaque(&f.name) || blocking.contains(&f.name) {
+                    continue;
+                }
+                if f.calls.iter().any(|c| blocking.contains(&c.callee)) {
+                    blocking.insert(f.name.clone());
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Acquisition closure per function name: the lock names the function or
+    // anything it (transitively, by name) calls can acquire.
+    let mut acq: HashMap<String, BTreeSet<String>> = HashMap::new();
+    for file in files {
+        for f in &file.items {
+            let entry = acq.entry(f.name.clone()).or_default();
+            entry.extend(f.locks.iter().map(|l| l.lock.clone()));
+        }
+    }
+    loop {
+        let mut changed = false;
+        for file in files {
+            for f in &file.items {
+                let mut add = BTreeSet::new();
+                for c in &f.calls {
+                    if opaque(&c.callee) {
+                        continue;
+                    }
+                    if let Some(locks) = acq.get(&c.callee) {
+                        add.extend(locks.iter().cloned());
+                    }
+                }
+                let entry = acq.entry(f.name.clone()).or_default();
+                let before = entry.len();
+                entry.extend(add);
+                changed |= entry.len() != before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Walk held ranges: blocking-call findings, re-acquire findings, and
+    // ordering edges.
+    struct Edge {
+        from: String,
+        to: String,
+        file: usize,
+        line: u32,
+        lock_line: u32,
+        waived: bool,
+    }
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut seen_blocking: HashSet<(usize, u32, String, String)> = HashSet::new();
+
+    for (fi, file) in files.iter().enumerate() {
+        if !path_matches_any(&file.rel, &lc.paths) || file.in_test_tree {
+            continue;
+        }
+        for f in &file.items {
+            if f.is_test {
+                continue;
+            }
+            for l in &f.locks {
+                let held = |idx: usize| idx > l.tok_idx && idx < l.hold_end;
+                let lock_waived = |line: u32| {
+                    waiver_for(&waivers[fi], line, &[WaiverKind::LockHeld]).is_some()
+                        || waiver_for(&waivers[fi], l.line, &[WaiverKind::LockHeld]).is_some()
+                };
+                for m in &f.locks {
+                    if !held(m.tok_idx) {
+                        continue;
+                    }
+                    if m.lock == l.lock {
+                        if !lock_waived(m.line) {
+                            out.push(Violation {
+                                file: file.rel.clone(),
+                                line: m.line,
+                                rule: "lock-order",
+                                msg: format!(
+                                    "lock `{}` re-acquired in `fn {}` while a guard from \
+                                     line {} may still be held (parking_lot locks are \
+                                     non-reentrant: self-deadlock)",
+                                    m.lock, f.name, l.line
+                                ),
+                            });
+                        }
+                    } else {
+                        edges.push(Edge {
+                            from: l.lock.clone(),
+                            to: m.lock.clone(),
+                            file: fi,
+                            line: m.line,
+                            lock_line: l.line,
+                            waived: lock_waived(m.line),
+                        });
+                    }
+                }
+                for c in &f.calls {
+                    if !held(c.tok_idx) {
+                        continue;
+                    }
+                    // Skip the acquisition expressions themselves.
+                    if f.locks.iter().any(|o| o.tok_idx == c.tok_idx) {
+                        continue;
+                    }
+                    if blocking.contains(&c.callee)
+                        && seen_blocking.insert((fi, c.line, c.callee.clone(), l.lock.clone()))
+                        && !lock_waived(c.line)
+                    {
+                        out.push(Violation {
+                            file: file.rel.clone(),
+                            line: c.line,
+                            rule: "lock-order",
+                            msg: format!(
+                                "lock `{}` (acquired line {}) held across blocking call \
+                                 `{}` in `fn {}`; drop the guard first or waive with \
+                                 allow(lock-held) explaining why this cannot deadlock",
+                                l.lock, l.line, c.callee, f.name
+                            ),
+                        });
+                    }
+                    if opaque(&c.callee) {
+                        continue;
+                    }
+                    if let Some(locks) = acq.get(&c.callee) {
+                        for b in locks {
+                            if *b != l.lock {
+                                edges.push(Edge {
+                                    from: l.lock.clone(),
+                                    to: b.clone(),
+                                    file: fi,
+                                    line: c.line,
+                                    lock_line: l.line,
+                                    waived: lock_waived(c.line),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the ordering graph (distinct lock names only —
+    // same-lock re-acquisition is reported above). The graph is tiny, so
+    // report every minimal 2+-node strongly connected component once.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(e.from.as_str())
+            .or_default()
+            .insert(e.to.as_str());
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = adj.get(n) {
+                for &m in next {
+                    if m == to {
+                        return true;
+                    }
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    };
+    let mut reported: BTreeSet<BTreeSet<&str>> = BTreeSet::new();
+    for e in &edges {
+        if e.from == e.to || !reaches(&e.to, &e.from) {
+            continue;
+        }
+        let pair: BTreeSet<&str> = [e.from.as_str(), e.to.as_str()].into();
+        if !reported.insert(pair) {
+            continue;
+        }
+        // A cycle is tolerated only when every participating edge between
+        // the two locks carries a waiver (breaking any edge breaks it, but
+        // an unwaived edge is an unexplained edge).
+        let cycle_edges: Vec<&Edge> = edges
+            .iter()
+            .filter(|o| (o.from == e.from && o.to == e.to) || (o.from == e.to && o.to == e.from))
+            .collect();
+        if cycle_edges.iter().all(|o| o.waived) {
+            continue;
+        }
+        let site = cycle_edges
+            .iter()
+            .min_by_key(|o| (&files[o.file].rel, o.line))
+            .unwrap();
+        let mut locations: Vec<String> = cycle_edges
+            .iter()
+            .map(|o| {
+                format!(
+                    "{}→{} at {}:{} (held since line {})",
+                    o.from, o.to, files[o.file].rel, o.line, o.lock_line
+                )
+            })
+            .collect();
+        locations.dedup();
+        out.push(Violation {
+            file: files[site.file].rel.clone(),
+            line: site.line,
+            rule: "lock-order",
+            msg: format!(
+                "lock-order cycle between `{}` and `{}` (potential deadlock): {}",
+                e.from,
+                e.to,
+                locations.join("; ")
+            ),
+        });
+    }
+}

@@ -1,15 +1,38 @@
 //! CLI entry point: audit the workspace, print violations, exit non-zero if
 //! any are found.
 //!
-//! Usage: `cargo run -p zc-audit [-- <root>]` — `<root>` defaults to the
-//! nearest ancestor directory containing `zc-audit.toml`.
+//! Usage: `cargo run -p zc-audit [-- [--json] [--deny-lock-order] [<root>]]`
+//!
+//! - `<root>` defaults to the nearest ancestor directory containing
+//!   `zc-audit.toml`.
+//! - `--json` emits the machine-readable report (rule, file, line, msg,
+//!   and the full waiver inventory with used/stale status) on stdout.
+//! - lock-order findings are *advisory* by default (printed, exit 0) while
+//!   waivers settle across the workspace; `--deny-lock-order` makes them
+//!   hard failures like every other rule. The `workspace_is_clean` test is
+//!   always strict.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = match std::env::args_os().nth(1) {
-        Some(arg) => PathBuf::from(arg),
+    let mut json = false;
+    let mut deny_lock_order = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args_os().skip(1) {
+        match arg.to_str() {
+            Some("--json") => json = true,
+            Some("--deny-lock-order") => deny_lock_order = true,
+            Some(s) if s.starts_with("--") => {
+                eprintln!("zc-audit: unknown flag `{s}`");
+                return ExitCode::from(2);
+            }
+            _ => root_arg = Some(PathBuf::from(arg)),
+        }
+    }
+
+    let root = match root_arg {
+        Some(root) => root,
         None => {
             let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
             match zc_audit::find_root(&start) {
@@ -30,22 +53,33 @@ fn main() -> ExitCode {
         }
     };
 
-    let violations = match zc_audit::audit_workspace(&root, &cfg) {
-        Ok(v) => v,
+    let report = match zc_audit::audit_workspace_report(&root, &cfg) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("zc-audit: I/O error: {e}");
             return ExitCode::from(2);
         }
     };
 
-    if violations.is_empty() {
+    if json {
+        print!("{}", report.to_json());
+    } else if report.violations.is_empty() {
         println!("zc-audit: clean — zero-copy invariants hold");
-        ExitCode::SUCCESS
     } else {
-        for v in &violations {
+        for v in &report.violations {
             println!("{v}");
         }
-        println!("zc-audit: {} violation(s)", violations.len());
+        println!("zc-audit: {} violation(s)", report.violations.len());
+    }
+
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else if report.only_advisory() && !deny_lock_order {
+        if !json {
+            println!("zc-audit: all findings are advisory (lock-order); exiting 0 (use --deny-lock-order to enforce)");
+        }
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
 }

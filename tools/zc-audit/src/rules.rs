@@ -54,26 +54,122 @@ pub enum WaiverKind {
     CheapClone,
     /// Control-plane work: headers, errors, logs — bounded and payload-free.
     ControlPlane,
+    /// A lock deliberately held across a blocking call / ordering edge
+    /// (lock-order pass); the reason must explain why it cannot deadlock.
+    LockHeld,
+    /// A numeric literal that coincides with a wire-constant family but is
+    /// not a wire constant (wire-consts pass).
+    WireConst,
 }
+
+impl WaiverKind {
+    pub fn parse(s: &str) -> Option<WaiverKind> {
+        Some(match s {
+            "copy" => WaiverKind::Copy,
+            "cheap-clone" => WaiverKind::CheapClone,
+            "control-plane" => WaiverKind::ControlPlane,
+            "lock-held" => WaiverKind::LockHeld,
+            "wire-const" => WaiverKind::WireConst,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            WaiverKind::Copy => "copy",
+            WaiverKind::CheapClone => "cheap-clone",
+            WaiverKind::ControlPlane => "control-plane",
+            WaiverKind::LockHeld => "lock-held",
+            WaiverKind::WireConst => "wire-const",
+        }
+    }
+
+    /// The rule a stale waiver of this kind is reported under.
+    pub(crate) fn stale_rule(self) -> &'static str {
+        match self {
+            WaiverKind::Copy | WaiverKind::CheapClone | WaiverKind::ControlPlane => "copy-path",
+            WaiverKind::LockHeld => "lock-order",
+            WaiverKind::WireConst => "wire-consts",
+        }
+    }
+}
+
+/// The copy-flavored kinds accepted by copy-path, meter-coverage and
+/// zc-escape sites.
+pub(crate) const COPY_KINDS: &[WaiverKind] = &[
+    WaiverKind::Copy,
+    WaiverKind::CheapClone,
+    WaiverKind::ControlPlane,
+];
 
 #[derive(Debug, Clone)]
-struct Waiver {
-    kind: WaiverKind,
+pub(crate) struct Waiver {
+    pub(crate) kind: WaiverKind,
     /// Line of the waiver comment; it covers this line and the next.
-    line: u32,
+    pub(crate) line: u32,
     /// Set once a flagged idiom consumes the waiver (stale-waiver check).
-    used: std::cell::Cell<bool>,
+    pub(crate) used: std::cell::Cell<bool>,
 }
 
-/// Audit one file. `rel` is the workspace-relative path with `/` separators.
+/// Is `rel` a test-tree path (tests/benches/examples/fixtures directory)?
+pub(crate) fn is_test_tree(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples" || seg == "fixtures")
+}
+
+/// Audit one file with the per-file rules. `rel` is the workspace-relative
+/// path with `/` separators. The inter-procedural passes need the whole
+/// workspace and run only through [`crate::audit_workspace_report`].
 pub fn audit_file(rel: &str, src: &str, cfg: &Config) -> Vec<Violation> {
     let scanned = scan(src);
     let mut out = Vec::new();
 
-    let in_test_tree = rel
-        .split('/')
-        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples" || seg == "fixtures");
     let test_spans = cfg_test_mod_spans(&scanned.toks);
+    let modules_apply = cfg.modules.iter().any(|m| path_matches_any(rel, &m.paths));
+    let meter_applies = path_matches_any(rel, &cfg.meter.paths);
+
+    // Waivers only exist (and are only validated) where copy rules run;
+    // elsewhere, prose that happens to mention the syntax is just prose.
+    let waivers = if modules_apply || meter_applies {
+        collect_waivers(rel, &scanned, cfg, &mut out)
+    } else {
+        BTreeMap::new()
+    };
+
+    run_rules(rel, &scanned, cfg, &waivers, &test_spans, &mut out);
+
+    // Stale waivers: a waiver that no flagged site consumed is dead weight
+    // and hides future regressions. Only meaningful where rules ran.
+    if modules_apply || meter_applies {
+        for w in waivers.values() {
+            if !w.used.get() {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: w.line,
+                    rule: "copy-path",
+                    msg: "stale waiver: no audited copy idiom on this or the next line".into(),
+                });
+            }
+        }
+    }
+
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// Run the per-file rules (copy-path, unsafe-audit, meter-coverage) on one
+/// scanned file. Waiver collection and stale-waiver sweeping are the
+/// caller's job — the workspace runner defers the sweep until the
+/// inter-procedural passes have had their chance to consume waivers.
+pub(crate) fn run_rules(
+    rel: &str,
+    scanned: &Scanned,
+    cfg: &Config,
+    waivers: &BTreeMap<u32, Waiver>,
+    test_spans: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    let in_test_tree = is_test_tree(rel);
     let in_test_code = |tok_idx: usize| {
         in_test_tree
             || test_spans
@@ -86,34 +182,19 @@ pub fn audit_file(rel: &str, src: &str, cfg: &Config) -> Vec<Violation> {
         .iter()
         .filter(|m| path_matches_any(rel, &m.paths))
         .collect();
-    let meter_applies = path_matches_any(rel, &cfg.meter.paths);
 
-    // Waivers only exist (and are only validated) where copy rules run;
-    // elsewhere, prose that happens to mention the syntax is just prose.
-    let waivers = if !modules.is_empty() || meter_applies {
-        collect_waivers(rel, &scanned, cfg, &mut out)
-    } else {
-        BTreeMap::new()
-    };
-    let safety_lines: Vec<u32> = scanned
-        .comments
-        .iter()
-        .filter(|c| c.text.contains("SAFETY:"))
-        .map(|c| c.line)
-        .collect();
     if !modules.is_empty() {
-        copy_path_rule(
-            rel,
-            &scanned.toks,
-            &modules,
-            &waivers,
-            &in_test_code,
-            &mut out,
-        );
+        copy_path_rule(rel, &scanned.toks, &modules, waivers, &in_test_code, out);
     }
 
     if path_matches_any(rel, &cfg.unsafe_audit.paths) {
-        unsafe_rule(rel, &scanned.toks, &safety_lines, &mut out);
+        let safety_lines: Vec<u32> = scanned
+            .comments
+            .iter()
+            .filter(|c| c.text.contains("SAFETY:"))
+            .map(|c| c.line)
+            .collect();
+        unsafe_rule(rel, &scanned.toks, &safety_lines, out);
     }
     if cfg
         .unsafe_audit
@@ -133,32 +214,14 @@ pub fn audit_file(rel: &str, src: &str, cfg: &Config) -> Vec<Violation> {
         });
     }
 
-    if meter_applies {
-        meter_rule(rel, &scanned.toks, cfg, &waivers, &in_test_code, &mut out);
+    if path_matches_any(rel, &cfg.meter.paths) {
+        meter_rule(rel, &scanned.toks, cfg, waivers, &in_test_code, out);
     }
-
-    // Stale waivers: a waiver that no flagged site consumed is dead weight
-    // and hides future regressions. Only meaningful where rules ran.
-    if !modules.is_empty() || meter_applies {
-        for w in waivers.values() {
-            if !w.used.get() {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line: w.line,
-                    rule: "copy-path",
-                    msg: "stale waiver: no audited copy idiom on this or the next line".into(),
-                });
-            }
-        }
-    }
-
-    out.sort_by_key(|v| v.line);
-    out
 }
 
 /// Parse `// zc-audit: allow(<kind>) — <reason>` comments, validating them
 /// as they are collected. Returns waivers keyed by comment line.
-fn collect_waivers(
+pub(crate) fn collect_waivers(
     rel: &str,
     scanned: &Scanned,
     cfg: &Config,
@@ -179,7 +242,11 @@ fn collect_waivers(
             })
         };
         let Some(rest) = body.strip_prefix("allow(") else {
-            push_err(format!("malformed zc-audit comment: `{body}`"));
+            // Prose that merely mentions the marker (docs, this tool's own
+            // sources) is not a waiver attempt; only an `allow` spelling is.
+            if body.starts_with("allow") {
+                push_err(format!("malformed zc-audit comment: `{body}`"));
+            }
             continue;
         };
         let Some(close) = rest.find(')') else {
@@ -190,16 +257,20 @@ fn collect_waivers(
         let reason = rest[close + 1..]
             .trim_start_matches([' ', '—', '-', ':'])
             .trim();
-        let kind = match kind_str {
-            "copy" => WaiverKind::Copy,
-            "cheap-clone" => WaiverKind::CheapClone,
-            "control-plane" => WaiverKind::ControlPlane,
-            other => {
+        let Some(kind) = WaiverKind::parse(kind_str) else {
+            // Diagnose plausible kind spellings; skip placeholder prose
+            // like `allow(<kind>)` or `allow(...)` in documentation.
+            let plausible = !kind_str.is_empty()
+                && kind_str
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b == b'-');
+            if plausible {
                 push_err(format!(
-                    "unknown waiver kind `{other}` (expected copy, cheap-clone or control-plane)"
+                    "unknown waiver kind `{kind_str}` (expected copy, cheap-clone, \
+                     control-plane, lock-held or wire-const)"
                 ));
-                continue;
             }
+            continue;
         };
         if reason.is_empty() {
             push_err("waiver must carry a reason after the kind".into());
@@ -225,20 +296,28 @@ fn collect_waivers(
     waivers
 }
 
-/// Find the waiver covering `line` (trailing comment on the same line, or a
-/// comment on the line directly above) and mark it used.
-fn waiver_for(waivers: &BTreeMap<u32, Waiver>, line: u32) -> Option<WaiverKind> {
+/// Find a waiver of one of `kinds` covering `line` (trailing comment on the
+/// same line, or a comment on the line directly above) and mark it used.
+/// A waiver of the wrong kind neither silences the site nor is consumed —
+/// it will surface as stale.
+pub(crate) fn waiver_for(
+    waivers: &BTreeMap<u32, Waiver>,
+    line: u32,
+    kinds: &[WaiverKind],
+) -> Option<WaiverKind> {
     for l in [line, line.saturating_sub(1)] {
         if let Some(w) = waivers.get(&l) {
-            w.used.set(true);
-            return Some(w.kind);
+            if kinds.contains(&w.kind) {
+                w.used.set(true);
+                return Some(w.kind);
+            }
         }
     }
     None
 }
 
 /// Token-index spans (inclusive) of `#[cfg(test)] mod … { … }` items.
-fn cfg_test_mod_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn cfg_test_mod_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -340,14 +419,14 @@ fn brace_span(toks: &[Tok], from: usize) -> Option<(usize, usize)> {
 }
 
 /// A flagged idiom occurrence.
-struct Site {
-    tok_idx: usize,
-    line: u32,
-    idiom: Idiom,
+pub(crate) struct Site {
+    pub(crate) tok_idx: usize,
+    pub(crate) line: u32,
+    pub(crate) idiom: Idiom,
 }
 
 /// Locate every occurrence of `idioms` in the token stream.
-fn find_idiom_sites(toks: &[Tok], idioms: &[Idiom]) -> Vec<Site> {
+pub(crate) fn find_idiom_sites(toks: &[Tok], idioms: &[Idiom]) -> Vec<Site> {
     let mut sites = Vec::new();
     let prev = |i: usize, n: usize| i.checked_sub(n).map(|j| toks[j].text.as_str());
     for (i, t) in toks.iter().enumerate() {
@@ -426,7 +505,7 @@ fn copy_path_rule(
         if in_test_code(site.tok_idx) {
             continue;
         }
-        if waiver_for(waivers, site.line).is_some() {
+        if waiver_for(waivers, site.line, COPY_KINDS).is_some() {
             continue;
         }
         out.push(Violation {
@@ -505,10 +584,10 @@ fn meter_rule(
         if metered {
             // The enclosing function meters; consume any waiver present so
             // it does not read as stale.
-            waiver_for(waivers, site.line);
+            waiver_for(waivers, site.line, COPY_KINDS);
             continue;
         }
-        if waiver_for(waivers, site.line) == Some(WaiverKind::Copy) {
+        if waiver_for(waivers, site.line, COPY_KINDS) == Some(WaiverKind::Copy) {
             continue; // waiver names the layer under which callers meter it
         }
         out.push(Violation {

@@ -1,0 +1,4 @@
+pub fn send_block(buf: &ZcBytes) -> usize {
+    let n = stash_copy(buf);
+    n
+}

@@ -1,0 +1,4 @@
+pub fn stash_copy(buf: &ZcBytes) -> usize {
+    let copied = buf.to_vec();
+    copied.len()
+}

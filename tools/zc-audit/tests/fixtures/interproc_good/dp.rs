@@ -1,0 +1,4 @@
+pub fn send_block(buf: &ZcBytes) -> usize {
+    let view = borrow_view(buf);
+    view
+}

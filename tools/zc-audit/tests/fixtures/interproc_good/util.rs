@@ -1,0 +1,13 @@
+pub fn borrow_view(buf: &ZcBytes) -> usize {
+    let n = buf.len();
+    // zc-audit: allow(wire-const) — deterministic RNG seed, coincidental digits
+    let seed = 0x5A43_0009;
+    n + seed as usize
+}
+
+pub fn flush(conn: &Conn, block: &Payload) {
+    // zc-audit: allow(lock-held) — leaf lock serializing the wire; nothing else is held
+    let g = conn.state.lock();
+    conn.wire.send_data(block);
+    drop(g);
+}

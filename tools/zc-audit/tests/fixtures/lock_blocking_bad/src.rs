@@ -1,0 +1,15 @@
+impl Conn {
+    pub fn push(&self, block: &ZcBytes) {
+        let g = self.state.lock();
+        self.wire.send_data(block);
+        drop(g);
+    }
+    pub fn push_indirect(&self, block: &ZcBytes) {
+        let g = self.state.lock();
+        self.relay(block);
+        drop(g);
+    }
+    pub fn relay(&self, block: &ZcBytes) {
+        self.wire.send_data(block);
+    }
+}

@@ -1,0 +1,11 @@
+impl Pair {
+    pub fn forward(&self) {
+        let g = self.alpha.lock();
+        self.grab_beta();
+        drop(g);
+    }
+    pub fn grab_beta(&self) {
+        let h = self.beta.lock();
+        drop(h);
+    }
+}

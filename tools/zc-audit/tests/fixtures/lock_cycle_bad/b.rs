@@ -1,0 +1,11 @@
+impl Pair {
+    pub fn backward(&self) {
+        let h = self.beta.lock();
+        self.grab_alpha();
+        drop(h);
+    }
+    pub fn grab_alpha(&self) {
+        let g = self.alpha.lock();
+        drop(g);
+    }
+}

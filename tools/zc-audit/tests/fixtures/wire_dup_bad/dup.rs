@@ -1,0 +1,1 @@
+pub const LOCAL_TAG: u32 = 0x5A43_0007;

@@ -1,0 +1,127 @@
+//! Fixture tests for the inter-procedural passes (zc-escape, lock-order,
+//! wire-consts), the `--json` output mode, and the advisory lock-order
+//! exit policy. Unlike `fixtures.rs`, these fixtures span multiple files,
+//! so expectations carry `(file, line, rule)` triples.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_dir(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Audit one fixture directory through the library; returns
+/// `(file, line, rule)` triples sorted by file then line.
+fn audit(name: &str) -> Vec<(String, u32, String)> {
+    let dir = fixture_dir(name);
+    let cfg = zc_audit::Config::load(&dir.join("zc-audit.toml")).expect("fixture config");
+    let violations = zc_audit::audit_workspace(&dir, &cfg).expect("fixture audit");
+    violations
+        .iter()
+        .map(|v| (v.file.clone(), v.line, v.rule.to_string()))
+        .collect()
+}
+
+fn run_binary(name: &str, flags: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_zc-audit"))
+        .args(flags)
+        .arg(fixture_dir(name))
+        .output()
+        .expect("run zc-audit binary");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn escape_fixture_follows_value_across_files() {
+    let got = audit("escape_bad");
+    assert_eq!(
+        got,
+        vec![("util.rs".to_string(), 2, "zc-escape".to_string())],
+        "the to_vec in the helper file must be reported"
+    );
+}
+
+#[test]
+fn lock_cycle_fixture_reports_the_cycle_once() {
+    let got = audit("lock_cycle_bad");
+    assert_eq!(got.len(), 1, "exactly one cycle report: {got:?}");
+    assert_eq!(got[0], ("a.rs".to_string(), 4, "lock-order".to_string()));
+
+    let dir = fixture_dir("lock_cycle_bad");
+    let cfg = zc_audit::Config::load(&dir.join("zc-audit.toml")).unwrap();
+    let v = zc_audit::audit_workspace(&dir, &cfg).unwrap();
+    assert!(
+        v[0].msg.contains("cycle") && v[0].msg.contains("alpha") && v[0].msg.contains("beta"),
+        "cycle message must name both locks: {}",
+        v[0].msg
+    );
+}
+
+#[test]
+fn lock_blocking_fixture_reports_direct_and_indirect_holds() {
+    let got = audit("lock_blocking_bad");
+    let want = vec![
+        ("src.rs".to_string(), 4, "lock-order".to_string()),
+        ("src.rs".to_string(), 9, "lock-order".to_string()),
+    ];
+    assert_eq!(got, want, "direct send_data and the relay wrapper");
+}
+
+#[test]
+fn wire_fixture_reports_duplicate_and_decoder_drift() {
+    let got = audit("wire_dup_bad");
+    let want = vec![
+        ("consts.rs".to_string(), 6, "wire-consts".to_string()), // Data has no decode arm
+        ("consts.rs".to_string(), 14, "wire-consts".to_string()), // arm 9 decodes nothing
+        ("dup.rs".to_string(), 1, "wire-consts".to_string()),    // re-spelled 0x5A43 literal
+    ];
+    assert_eq!(got, want, "wire_dup_bad violations");
+}
+
+#[test]
+fn interproc_good_fixture_is_clean_and_waivers_are_used() {
+    assert_eq!(audit("interproc_good"), Vec::<(String, u32, String)>::new());
+
+    let dir = fixture_dir("interproc_good");
+    let cfg = zc_audit::Config::load(&dir.join("zc-audit.toml")).unwrap();
+    let report = zc_audit::audit_workspace_report(&dir, &cfg).unwrap();
+    assert_eq!(report.waivers.len(), 2, "both seeded waivers visible");
+    assert!(
+        report.waivers.iter().all(|w| w.used),
+        "no stale waivers in the clean fixture: {:?}",
+        report.waivers
+    );
+}
+
+#[test]
+fn json_mode_emits_machine_readable_report() {
+    let (code, stdout) = run_binary("wire_dup_bad", &["--json"]);
+    assert_eq!(code, 1, "wire-consts findings are hard failures");
+    assert!(stdout.contains("\"schema\": \"zc-audit/v2\""), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"wire-consts\""), "{stdout}");
+    assert!(stdout.contains("\"file\": \"dup.rs\""), "{stdout}");
+
+    let (code, stdout) = run_binary("interproc_good", &["--json"]);
+    assert_eq!(code, 0, "clean fixture: {stdout}");
+    assert!(stdout.contains("\"violations\": []"), "{stdout}");
+    assert!(stdout.contains("\"used\": true"), "{stdout}");
+}
+
+#[test]
+fn lock_order_findings_are_advisory_unless_denied() {
+    let (code, stdout) = run_binary("lock_blocking_bad", &[]);
+    assert_eq!(code, 0, "lock-order alone is advisory: {stdout}");
+    assert!(stdout.contains("advisory"), "{stdout}");
+
+    let (code, _) = run_binary("lock_blocking_bad", &["--deny-lock-order"]);
+    assert_eq!(code, 1, "--deny-lock-order upgrades to a hard failure");
+
+    // A mix with any non-advisory rule still fails without the flag.
+    let (code, _) = run_binary("wire_dup_bad", &[]);
+    assert_eq!(code, 1);
+}
