@@ -59,6 +59,31 @@ pub const fn round_up_to_page(n: usize) -> usize {
     }
 }
 
+/// Largest upfront reservation honoured for a peer-announced length.
+///
+/// Wire decoders must not let a 4-byte length field commit the receiver to
+/// a large allocation before the bytes actually exist: a truncated or
+/// hostile stream would turn every announcement into an OOM lever. 64 KiB
+/// covers virtually every control message in one reservation while keeping
+/// the worst case per announcement trivial.
+pub const MAX_UPFRONT_RESERVATION: usize = 64 * 1024;
+
+/// Capacity to pre-reserve for a length `announced` by an untrusted peer
+/// under the protocol cap `cap` (both in the collection's units — bytes
+/// for byte buffers, element counts for typed sequences).
+///
+/// The announcement is clamped to the cap, and the upfront reservation
+/// additionally to [`MAX_UPFRONT_RESERVATION`]; growable collections then
+/// extend incrementally toward the full (capped) size as bytes actually
+/// arrive. A stream that lies about its length can therefore waste at
+/// most 64 KiB of allocation, never `cap` bytes.
+#[inline]
+pub const fn bounded_capacity(announced: u64, cap: u64) -> usize {
+    let capped = if announced < cap { announced } else { cap };
+    let upfront = MAX_UPFRONT_RESERVATION as u64;
+    (if capped < upfront { capped } else { upfront }) as usize
+}
+
 /// Number of MTU-or-page sized chunks needed to carry `n` bytes.
 #[inline]
 pub const fn div_ceil(n: usize, chunk: usize) -> usize {

@@ -90,14 +90,19 @@ impl<'a> CdrDecoder<'a> {
     }
 
     fn take(&mut self, n: usize) -> CdrResult<&'a [u8]> {
-        if self.remaining() < n {
-            return Err(CdrError::OutOfBounds {
+        // Overflow-proof and panic-free: `checked_add` guards the cursor
+        // arithmetic and `get` turns any out-of-window read into an error,
+        // so no length field in the stream can reach a slice panic.
+        let buf = self.buf;
+        let s = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| buf.get(self.pos..end))
+            .ok_or(CdrError::OutOfBounds {
                 need: n,
                 have: self.remaining(),
-            });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+            })?;
+        self.pos = self.pos.saturating_add(n);
         Ok(s)
     }
 
@@ -200,7 +205,7 @@ impl<'a> CdrDecoder<'a> {
         let n = n as usize;
         if min_elem_bytes > 0 && n.saturating_mul(min_elem_bytes) > self.remaining() {
             return Err(CdrError::OutOfBounds {
-                need: n * min_elem_bytes,
+                need: n.saturating_mul(min_elem_bytes),
                 have: self.remaining(),
             });
         }
@@ -254,16 +259,20 @@ impl<'a> CdrDecoder<'a> {
             .deposits
             .get_mut(index as usize)
             .ok_or(CdrError::BadDepositIndex(index))?;
-        let present = slot.as_ref().ok_or(CdrError::BadDepositIndex(index))?;
-        if present.len() != announced_len {
-            // Leave the block in place: a length mismatch is a protocol
-            // error, not a consumption.
-            return Err(CdrError::DepositLengthMismatch {
-                announced: announced_len,
-                deposited: present.len(),
-            });
+        match slot.take() {
+            Some(block) if block.len() == announced_len => Ok(block),
+            Some(block) => {
+                // Leave the block in place: a length mismatch is a protocol
+                // error, not a consumption.
+                let deposited = block.len();
+                *slot = Some(block);
+                Err(CdrError::DepositLengthMismatch {
+                    announced: announced_len,
+                    deposited,
+                })
+            }
+            None => Err(CdrError::BadDepositIndex(index)),
         }
-        Ok(slot.take().expect("presence checked above"))
     }
 
     /// Decode a nested encapsulation: reads the ulong length, then hands a

@@ -111,7 +111,7 @@ impl<T: CdrMarshal> CdrMarshal for Vec<T> {
                 have: dec.remaining(),
             });
         }
-        let mut out = Vec::with_capacity((count as usize).min(4096));
+        let mut out = Vec::with_capacity(zc_buffers::bounded_capacity(count as u64, 4096));
         for _ in 0..count {
             out.push(T::demarshal(dec)?);
         }

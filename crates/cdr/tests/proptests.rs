@@ -130,3 +130,128 @@ proptest! {
         prop_assert_eq!(e1.finish_stream(), e2.finish_stream());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Adversarial replay of the wire-taint pass's flagged sites: a lying length
+// prefix must land as an error — never a panic — and must never drive an
+// allocation anywhere near the announced size. A counting global allocator
+// measures the peak live-byte delta across each hostile decode.
+// ---------------------------------------------------------------------------
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+/// Mirrors `zc_giop::MAX_GIOP_MESSAGE` (this crate cannot depend on giop
+/// without a cycle): no decode of a lying length may allocate past it.
+/// Hostile announced lengths reach into the gigabytes, so the margin
+/// between "bug" and "pass" is wide even with other tests running.
+const PEAK_CAP: usize = 64 << 20;
+
+/// Run `f` with the peak counter rebased to the current live total and
+/// return `(result, peak delta in bytes)`. A gate serializes measuring
+/// sections against each other; concurrently running non-measuring tests
+/// can only add kilobyte-scale noise, far under [`PEAK_CAP`].
+fn measured_peak<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    static GATE: Mutex<()> = Mutex::new(());
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    let r = f();
+    let peak = PEAK.load(Ordering::Relaxed).saturating_sub(base);
+    (r, peak)
+}
+
+fn length_prefix(announced: u32, order: ByteOrder) -> Vec<u8> {
+    match order {
+        ByteOrder::Big => announced.to_be_bytes().to_vec(),
+        ByteOrder::Little => announced.to_le_bytes().to_vec(),
+    }
+}
+
+proptest! {
+    /// Every length-prefixed decode entrypoint the taint pass flags —
+    /// `read_string`, `read_octet_seq` (owned and borrowed),
+    /// `read_encapsulation`, and sequence demarshal — must reject a length
+    /// field larger than the bytes behind it, without panicking and
+    /// without allocating toward the announced size.
+    #[test]
+    fn prop_hostile_length_prefix_errors_bounded(
+        announced in 64u32..u32::MAX,
+        tail in proptest::collection::vec(any::<u8>(), 0..48),
+        order in orders(),
+    ) {
+        let mut bytes = length_prefix(announced, order);
+        bytes.extend_from_slice(&tail);
+        // announced >= 64 > tail.len(), so every decode must fail.
+        let (all_err, peak) = measured_peak(|| {
+            CdrDecoder::new(&bytes, order).read_string().is_err()
+                && CdrDecoder::new(&bytes, order).read_octet_seq().is_err()
+                && CdrDecoder::new(&bytes, order).read_octet_seq_borrowed().is_err()
+                && CdrDecoder::new(&bytes, order)
+                    .read_encapsulation(|inner| inner.read_u32())
+                    .is_err()
+                && Vec::<i32>::demarshal(&mut CdrDecoder::new(&bytes, order)).is_err()
+                && String::demarshal(&mut CdrDecoder::new(&bytes, order)).is_err()
+        });
+        prop_assert!(
+            all_err,
+            "a lying length of {} over {} payload bytes must error",
+            announced, tail.len()
+        );
+        prop_assert!(peak <= PEAK_CAP, "hostile length drove a {peak} byte peak");
+    }
+
+    /// Mutating a ZC stream (descriptor indices, announced deposit
+    /// lengths, the inline tag) must never panic `take_deposit` or the
+    /// demarshal path, and must never drive a large allocation.
+    #[test]
+    fn prop_zc_deposit_stream_mutation_errors_bounded(
+        len in 1usize..4096,
+        flips in proptest::collection::vec((any::<usize>(), 1u8..=255u8), 1..6),
+    ) {
+        let m = CopyMeter::new_shared();
+        let seq = ZcOctetSeq::with_length(len);
+        let mut e = CdrEncoder::native().with_meter(m.clone()).with_zc(true);
+        seq.marshal(&mut e).unwrap();
+        let (mut stream, deposits) = e.finish();
+        for &(idx, xor) in &flips {
+            let p = idx % stream.len();
+            stream[p] ^= xor;
+        }
+        let ((), peak) = measured_peak(|| {
+            let mut d = CdrDecoder::new(&stream, ByteOrder::native())
+                .with_meter(m.clone())
+                .with_deposits(deposits);
+            // A mutation may survive as a still-valid stream or land as any
+            // decode error; the only unacceptable outcomes are a panic or a
+            // length-field-sized allocation.
+            let _ = ZcOctetSeq::demarshal(&mut d);
+        });
+        prop_assert!(peak <= PEAK_CAP, "mutated ZC stream drove a {peak} byte peak");
+    }
+}

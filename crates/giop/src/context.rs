@@ -49,7 +49,7 @@ impl ServiceContext {
     /// Demarshal a service-context list.
     pub fn demarshal_list(dec: &mut CdrDecoder<'_>) -> CdrResult<Vec<ServiceContext>> {
         let count = dec.read_u32()?;
-        let mut out = Vec::with_capacity((count as usize).min(64));
+        let mut out = Vec::with_capacity(zc_buffers::bounded_capacity(count as u64, 64));
         for _ in 0..count {
             let id = dec.read_u32()?;
             let data = dec.read_octet_seq()?;
@@ -118,7 +118,8 @@ impl DepositManifest {
         let mut dec = CdrDecoder::new(&ctx.data, order);
         dec.read_octet()?; // flag
         let count = dec.read_u32()?;
-        let mut block_lengths = Vec::with_capacity((count as usize).min(1024));
+        let mut block_lengths =
+            Vec::with_capacity(zc_buffers::bounded_capacity(count as u64, 1024));
         for _ in 0..count {
             block_lengths.push(dec.read_u64()?);
         }

@@ -125,7 +125,7 @@ impl Ior {
     pub fn demarshal(dec: &mut CdrDecoder<'_>) -> CdrResult<Ior> {
         let type_id = dec.read_string()?;
         let count = dec.read_u32()?;
-        let mut profiles = Vec::with_capacity((count as usize).min(16));
+        let mut profiles = Vec::with_capacity(zc_buffers::bounded_capacity(count as u64, 16));
         for _ in 0..count {
             let tag = dec.read_u32()?;
             if tag == TAG_INTERNET_IOP {

@@ -164,7 +164,9 @@ impl GiopHeader {
     /// Parse from the fixed 12 bytes, validating magic, version, type and
     /// the size limit.
     pub fn decode(bytes: &[u8; GIOP_HEADER_LEN]) -> GiopResult<GiopHeader> {
-        let magic: [u8; 4] = bytes[..4].try_into().expect("fixed width");
+        // Constant indices into the fixed 12-byte array: infallible, and
+        // panic-free even on hostile input.
+        let magic = [bytes[0], bytes[1], bytes[2], bytes[3]];
         if magic != GIOP_MAGIC {
             return Err(GiopError::BadMagic(magic));
         }
@@ -244,15 +246,29 @@ pub fn fragment_frames(
 /// `(msg_type, body)`. Returns an error when a continuation is not a
 /// `Fragment` or the final frame still announces more fragments.
 pub fn reassemble(frames: &[Vec<u8>]) -> GiopResult<(MessageType, Vec<u8>)> {
-    let mut body = Vec::new();
+    // Bounded upfront reservation: the body grows incrementally toward the
+    // running total, which is itself capped at MAX_GIOP_MESSAGE below, so a
+    // hostile fragment train can never out-allocate a single legal message.
+    let mut body = Vec::with_capacity(zc_buffers::bounded_capacity(
+        frames.first().map_or(0, |f| f.len() as u64),
+        MAX_GIOP_MESSAGE,
+    ));
     let mut msg_type = None;
+    let mut total: u64 = 0;
     let last = frames.len().saturating_sub(1);
     for (i, f) in frames.iter().enumerate() {
         if f.len() < GIOP_HEADER_LEN {
             return Err(GiopError::BadMagic([0; 4]));
         }
-        let hdr_bytes: [u8; GIOP_HEADER_LEN] = f[..GIOP_HEADER_LEN].try_into().expect("checked");
+        let Ok(hdr_bytes) = <[u8; GIOP_HEADER_LEN]>::try_from(&f[..GIOP_HEADER_LEN]) else {
+            // Length checked above; an error return keeps hostile input
+            // away from any panic.
+            return Err(GiopError::BadMagic([0; 4]));
+        };
         let hdr = GiopHeader::decode(&hdr_bytes)?;
+        // `decode` has validated msg_size <= MAX_GIOP_MESSAGE; the rebind
+        // through the clamp makes that bound local and explicit.
+        let frag_len = (hdr.msg_size as u64).min(MAX_GIOP_MESSAGE) as usize;
         match (i, hdr.msg_type) {
             (0, t) => msg_type = Some(t),
             (_, MessageType::Fragment) => {}
@@ -261,8 +277,15 @@ pub fn reassemble(frames: &[Vec<u8>]) -> GiopResult<(MessageType, Vec<u8>)> {
         if (i == last) == hdr.flags.more_fragments {
             return Err(GiopError::BadHandshake); // inconsistent fragment bits
         }
-        if f.len() != GIOP_HEADER_LEN + hdr.msg_size as usize {
-            return Err(GiopError::MessageTooLarge(hdr.msg_size as u64));
+        if f.len() != GIOP_HEADER_LEN + frag_len {
+            return Err(GiopError::MessageTooLarge(frag_len as u64));
+        }
+        // Per-fragment sizes are individually capped, but their *sum* must
+        // be too: otherwise a long fragment train OOMs the receiver one
+        // legal fragment at a time.
+        total = total.saturating_add(frag_len as u64);
+        if total > MAX_GIOP_MESSAGE {
+            return Err(GiopError::MessageTooLarge(total));
         }
         // zc-audit: allow(copy) — software reassembly concatenates fragment bodies; this models the KernelDefrag layer
         body.extend_from_slice(&f[GIOP_HEADER_LEN..]);

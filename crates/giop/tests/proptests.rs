@@ -182,6 +182,131 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial replay of the wire-taint pass's flagged sites: lying
+// `msg_size` fields, hostile fragment trains, and hostile count fields in
+// service contexts must land as errors — never panics — and must never
+// allocate past MAX_GIOP_MESSAGE. A counting global allocator measures the
+// peak live-byte delta across each hostile decode.
+// ---------------------------------------------------------------------------
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use zc_giop::{DepositManifest as Manifest, ServiceContext, MAX_GIOP_MESSAGE, SVC_CTX_DEPOSIT};
+
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+/// Run `f` with the peak counter rebased to the current live total and
+/// return `(result, peak delta in bytes)`. A gate serializes measuring
+/// sections; concurrent non-measuring tests only add kilobyte-scale noise,
+/// far under the `MAX_GIOP_MESSAGE` assertion bound.
+fn measured_peak<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    static GATE: Mutex<()> = Mutex::new(());
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    let r = f();
+    let peak = PEAK.load(Ordering::Relaxed).saturating_sub(base);
+    (r, peak)
+}
+
+fn u32_wire(v: u32, order: ByteOrder) -> [u8; 4] {
+    match order {
+        ByteOrder::Big => v.to_be_bytes(),
+        ByteOrder::Little => v.to_le_bytes(),
+    }
+}
+
+proptest! {
+    /// A frame whose header announces far more body than the frame carries
+    /// must be rejected by reassembly without panicking — and without the
+    /// announced size ever reaching an allocator. This replays the
+    /// `reassemble` sites the taint pass flagged: the body pre-reservation
+    /// and the per-fragment length accounting.
+    #[test]
+    fn prop_hostile_msg_size_errors_bounded(
+        body in proptest::collection::vec(any::<u8>(), 1..2048),
+        max_body in 32usize..256,
+        order in orders(),
+        hostile in 4096u32..u32::MAX,
+        victim in any::<usize>(),
+    ) {
+        let mut frames = zc_giop::msg::fragment_frames(
+            GiopVersion::V1_2, order, MessageType::Request, &body, max_body);
+        // Overwrite one frame's msg_size field (bytes 8..12 of the fixed
+        // header) with a lie much larger than any actual fragment body.
+        let fi = victim % frames.len();
+        frames[fi][8..12].copy_from_slice(&u32_wire(hostile, order));
+        let (res, peak) = measured_peak(|| zc_giop::msg::reassemble(&frames));
+        prop_assert!(
+            res.is_err(),
+            "frame {} announcing {} bytes must be rejected", fi, hostile
+        );
+        prop_assert!(
+            peak <= MAX_GIOP_MESSAGE as usize,
+            "hostile msg_size drove a {peak} byte peak"
+        );
+    }
+
+    /// Hostile count fields in the service-context layer: a context list
+    /// announcing millions of entries over a few bytes, and a deposit
+    /// manifest announcing millions of block lengths, must both error with
+    /// bounded allocation. These replay the `demarshal_list` and
+    /// `DepositManifest::from_context` sizing sites.
+    #[test]
+    fn prop_hostile_context_counts_error_bounded(
+        announced in 8u32..u32::MAX,
+        tail in proptest::collection::vec(any::<u8>(), 0..32),
+        order in orders(),
+    ) {
+        // Context list: each entry needs at least 8 bytes (id + length),
+        // so `announced` entries over <32 bytes cannot decode.
+        let mut list_bytes = u32_wire(announced, order).to_vec();
+        list_bytes.extend_from_slice(&tail);
+
+        // Deposit manifest: flag octet, block count, then u64 lengths —
+        // the announced count has no bytes behind it.
+        let mut data = vec![order.flag() as u8, 0, 0, 0];
+        data.extend_from_slice(&u32_wire(announced, order));
+        data.extend_from_slice(&tail);
+        let ctx = ServiceContext { id: SVC_CTX_DEPOSIT, data };
+
+        let (all_err, peak) = measured_peak(|| {
+            ServiceContext::demarshal_list(&mut CdrDecoder::new(&list_bytes, order)).is_err()
+                && Manifest::from_context(&ctx).is_err()
+        });
+        prop_assert!(all_err, "a lying count of {} must error", announced);
+        prop_assert!(
+            peak <= MAX_GIOP_MESSAGE as usize,
+            "hostile count drove a {peak} byte peak"
+        );
+    }
+}
+
 #[test]
 fn iiop_profile_struct_is_public() {
     // compile-time check that the profile type is usable downstream

@@ -78,14 +78,16 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Whether this is the final fragment of its block.
+    /// Whether this is the final fragment of its block. A hostile offset
+    /// near `u64::MAX` must not overflow the comparison, so the sum is
+    /// checked: an overflowing window is never "last".
     pub fn is_last(&self) -> bool {
-        self.offset + self.payload.len() as u64 == self.total_len
+        self.offset.checked_add(self.payload.len() as u64) == Some(self.total_len)
     }
 
     /// Total bytes this frame occupies on the wire (header + payload).
     pub fn wire_bytes(&self) -> usize {
-        FRAME_HEADER_BYTES + self.payload.len()
+        FRAME_HEADER_BYTES.saturating_add(self.payload.len())
     }
 }
 

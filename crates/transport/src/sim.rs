@@ -437,6 +437,36 @@ impl Drop for SimListener {
 /// total must error out, never size an allocation.
 pub const MAX_SIM_BLOCK_BYTES: u64 = 1 << 30;
 
+/// Re-validate a wire-announced block length at the allocation site.
+/// `recv_block_frames` checks the first fragment's total too, but every
+/// allocation clamps locally so no refactor of the call path can let an
+/// unchecked announcement size a buffer (wire-taint invariant).
+fn checked_block_len(total: u64) -> TResult<usize> {
+    if total > MAX_SIM_BLOCK_BYTES {
+        // zc-audit: allow(control-plane) — protocol error diagnostic
+        return Err(TransportError::Protocol(format!(
+            "block announces {total} bytes, above the {MAX_SIM_BLOCK_BYTES} byte cap"
+        )));
+    }
+    Ok(total as usize)
+}
+
+/// Bounds-check one fragment's deposit window (`offset .. offset + len`)
+/// within a block of `total` bytes, erroring instead of panicking on a
+/// hostile offset: overflow and overrun both become protocol errors.
+fn checked_span(offset: u64, len: usize, total: usize) -> TResult<std::ops::Range<usize>> {
+    usize::try_from(offset)
+        .ok()
+        .and_then(|off| off.checked_add(len).map(|end| off..end))
+        .filter(|span| span.end <= total)
+        .ok_or_else(|| {
+            // zc-audit: allow(control-plane) — protocol error diagnostic
+            TransportError::Protocol(format!(
+                "fragment window {offset}+{len} outside its block of {total} bytes"
+            ))
+        })
+}
+
 /// One endpoint of a simulated connection.
 pub struct SimConn {
     peer: String,
@@ -771,7 +801,16 @@ impl SimConn {
                     f.block_id
                 )));
             }
-            got += f.payload.len() as u64;
+            if f.payload.is_empty() {
+                // Progress guarantee: a peer streaming empty continuation
+                // fragments must not pin the receiver in this loop (and
+                // grow `frames`) forever.
+                // zc-audit: allow(control-plane) — protocol error diagnostic
+                return Err(TransportError::Protocol(format!(
+                    "zero-length continuation fragment in block {block_id}"
+                )));
+            }
+            got = got.saturating_add(f.payload.len() as u64);
             frames.push(f);
         }
         if got != total {
@@ -787,18 +826,14 @@ impl SimConn {
     /// copy kernel→user.
     fn reassemble_copying(&mut self, frames: &[Frame]) -> TResult<ZcBytes> {
         let meter = Arc::clone(&self.ctx.meter);
-        let total = frames[0].total_len as usize;
+        let total = checked_block_len(frames.first().map_or(0, |f| f.total_len))?;
         // Defragmentation: fragments are copied off the receive ring into a
         // contiguous kernel buffer.
         let mut kernel_buf = vec![0u8; total];
         for f in frames {
-            let off = f.offset as usize;
             let payload = f.payload.as_slice();
-            meter.copy(
-                CopyLayer::KernelDefrag,
-                &mut kernel_buf[off..off + payload.len()],
-                payload,
-            );
+            let span = checked_span(f.offset, payload.len(), total)?;
+            meter.copy(CopyLayer::KernelDefrag, &mut kernel_buf[span], payload);
         }
         // read(): kernel→user copy into an aligned application buffer.
         let mut user_buf = self.ctx.pool.acquire(total.max(1));
@@ -809,7 +844,7 @@ impl SimConn {
 
     /// The zero-copy receive path: speculate that fragments landed in place.
     fn reassemble_zero_copy(&mut self, frames: Vec<Frame>) -> TResult<ZcBytes> {
-        let total = frames[0].total_len as usize;
+        let total = checked_block_len(frames.first().map_or(0, |f| f.total_len))?;
         if total == 0 {
             return Ok(ZcBytes::empty());
         }
@@ -870,11 +905,11 @@ impl SimConn {
         let mut buf = self.ctx.pool.acquire(total);
         buf.set_len(total);
         for f in &frames {
-            let off = f.offset as usize;
             let payload = f.payload.as_slice();
+            let span = checked_span(f.offset, payload.len(), total)?;
             meter.copy(
                 CopyLayer::DepositFallback,
-                &mut buf.as_mut_slice()[off..off + payload.len()],
+                &mut buf.as_mut_slice()[span],
                 payload,
             );
         }
@@ -918,14 +953,14 @@ impl Connection for SimConn {
                 z.as_slice().to_vec()
             }
             StackMode::ZeroCopy => {
-                let total = frames[0].total_len as usize;
+                let total = checked_block_len(frames.first().map_or(0, |f| f.total_len))?;
                 let mut out = vec![0u8; total];
                 for f in &frames {
-                    let off = f.offset as usize;
                     let p = f.payload.as_slice();
+                    let span = checked_span(f.offset, p.len(), total)?;
                     self.ctx
                         .meter
-                        .copy(CopyLayer::SocketRecv, &mut out[off..off + p.len()], p);
+                        .copy(CopyLayer::SocketRecv, &mut out[span], p);
                 }
                 out
             }

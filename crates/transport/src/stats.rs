@@ -83,7 +83,11 @@ impl StatsCell {
     }
 
     pub(crate) fn add(&self, field: TransportField, n: u64) {
-        self.cells[field as usize].fetch_add(n, Ordering::Relaxed);
+        // `cells` is indexed by the enum discriminant, which is always in
+        // range; the clamp makes the bound local so a future enum/array
+        // mismatch degrades to miscounting instead of a panic.
+        let idx = (field as usize).min(TransportField::COUNT - 1);
+        self.cells[idx].fetch_add(n, Ordering::Relaxed);
         if let Some(t) = &self.mirror {
             t.transport().add(field, n);
         }

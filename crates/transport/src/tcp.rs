@@ -20,8 +20,25 @@ use crate::{Acceptor, Connection, Connector, TResult, TransportCtx, TransportErr
 const LANE_CONTROL: u8 = 0;
 const LANE_DATA: u8 = 1;
 
-/// Upper bound for a single TCP frame (sanity check against corruption).
-const MAX_TCP_FRAME: u64 = 1 << 31;
+/// Upper bound for a single TCP frame. A frame carries at most one GIOP
+/// message (64 MiB cap) or one data block, and every real workload stays
+/// far below that, so anything larger is corruption or a hostile header —
+/// and the announced length sizes a buffer allocation, so the cap is also
+/// the receiver's worst-case allocation from a 9-byte header.
+pub const MAX_TCP_FRAME: u64 = 64 << 20;
+
+/// Validate a wire-announced frame length against [`MAX_TCP_FRAME`] and
+/// convert it for allocation. Every allocation sized by a peer-controlled
+/// length must pass through here first (wire-taint invariant).
+fn checked_frame_len(len: u64) -> TResult<usize> {
+    if len > MAX_TCP_FRAME {
+        // zc-audit: allow(control-plane) — protocol error diagnostic
+        return Err(TransportError::Protocol(format!(
+            "frame announces {len} bytes, above the {MAX_TCP_FRAME} byte cap"
+        )));
+    }
+    Ok(len as usize)
+}
 
 /// A TCP connection speaking the zcorba lane framing:
 /// `lane(1) | length(8, little-endian) | payload`.
@@ -80,14 +97,13 @@ impl TcpConn {
         let mut header = [0u8; 9];
         self.read_exact(&mut header)?;
         let lane = header[0];
-        let len = u64::from_le_bytes(header[1..9].try_into().expect("fixed"));
-        if len > MAX_TCP_FRAME {
-            // zc-audit: allow(control-plane) — protocol error diagnostic
-            return Err(TransportError::Protocol(format!(
-                "frame length {len} exceeds limit"
-            )));
-        }
-        let len = len as usize;
+        let len = match <[u8; 8]>::try_from(&header[1..9]) {
+            Ok(b) => u64::from_le_bytes(b),
+            // `header` is 9 bytes, so the 8-byte window always converts;
+            // an error return keeps hostile input away from any panic.
+            Err(_) => return Err(TransportError::Protocol("malformed frame header".into())),
+        };
+        let len = checked_frame_len(len)?;
         let mut buf = self.ctx.pool.acquire(len.max(1));
         buf.set_len(len);
         self.read_exact(buf.as_mut_slice())?;
@@ -104,7 +120,7 @@ impl TcpConn {
             if want == LANE_CONTROL {
                 if let Some(m) = self.pending_control.pop_front() {
                     return Ok({
-                        // control pending is Vec<u8>; rewrap cheaply
+                        // zc-audit: allow(taint-alloc) — sized by control bytes already received and held; read_frame bounds every frame to MAX_TCP_FRAME
                         let mut b = zc_buffers::AlignedBuf::with_capacity(m.len());
                         // zc-audit: allow(copy) — queued control bytes rewrapped into aligned storage; accounted as SocketRecv
                         b.extend_from_slice(&m);

@@ -110,6 +110,24 @@ pub struct LockOrder {
     pub blocking: Vec<String>,
 }
 
+/// wire-taint pass configuration (disabled when `paths` is empty).
+#[derive(Debug, Clone, Default)]
+pub struct TaintConfig {
+    /// Files (or directory prefixes) whose decode-path sinks are audited.
+    pub paths: Vec<String>,
+    /// Function names whose parameters carry wire-controlled bytes (taint
+    /// seeds); matched only inside `paths`.
+    pub entrypoints: Vec<String>,
+    /// Identifiers that bound a tainted value. A `let` rebind whose
+    /// initializer mentions one (or any `checked_*`/`saturating_*` call)
+    /// clears taint, and taint waiver reasons / `SAFETY:` citations must
+    /// name one.
+    pub clamps: Vec<String>,
+    /// Callee names that allocate proportionally to an argument
+    /// (`with_capacity`, `reserve`, this repo's `acquire`, …).
+    pub allocs: Vec<String>,
+}
+
 /// One wire-constant family: a hex literal prefix with a single defining
 /// module (disabled when no families and no enums are configured).
 #[derive(Debug, Clone)]
@@ -150,6 +168,7 @@ pub struct Config {
     pub meter: MeterCoverage,
     pub escape: ZcEscape,
     pub lock_order: LockOrder,
+    pub taint: TaintConfig,
     pub wire: WireConsts,
 }
 
@@ -301,6 +320,19 @@ impl Config {
             None => LockOrder::default(),
         };
 
+        let taint = match root.get("taint") {
+            Some(v) => {
+                let t = v.as_table().ok_or_else(|| bad("`taint` must be a table"))?;
+                TaintConfig {
+                    paths: str_array(t, "paths", "[taint]")?,
+                    entrypoints: str_array(t, "entrypoints", "[taint]")?,
+                    clamps: str_array(t, "clamps", "[taint]")?,
+                    allocs: opt_str_array(t, "allocs", "[taint]")?,
+                }
+            }
+            None => TaintConfig::default(),
+        };
+
         let mut wire = WireConsts::default();
         if let Some(w) = root.get("wire_consts") {
             let w = w
@@ -355,6 +387,7 @@ impl Config {
             meter,
             escape,
             lock_order,
+            taint,
             wire,
         })
     }
@@ -454,7 +487,25 @@ markers = ["meter", "CopyMeter", "record"]
         let c = Config::parse(SAMPLE).unwrap();
         assert!(c.escape.types.is_empty());
         assert!(c.lock_order.paths.is_empty());
+        assert!(c.taint.paths.is_empty());
         assert!(c.wire.families.is_empty() && c.wire.enums.is_empty());
+    }
+
+    #[test]
+    fn parses_taint_section() {
+        let doc = format!(
+            "{SAMPLE}\n\
+             [taint]\n\
+             paths = [\"crates/cdr/src/\", \"crates/giop/src/\"]\n\
+             entrypoints = [\"decode\", \"read_frame\"]\n\
+             clamps = [\"MAX_GIOP_MESSAGE\", \"bounded_capacity\", \"min\"]\n\
+             allocs = [\"with_capacity\", \"acquire\"]\n"
+        );
+        let c = Config::parse(&doc).unwrap();
+        assert_eq!(c.taint.paths.len(), 2);
+        assert_eq!(c.taint.entrypoints, vec!["decode", "read_frame"]);
+        assert_eq!(c.taint.clamps.len(), 3);
+        assert_eq!(c.taint.allocs, vec!["with_capacity", "acquire"]);
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod lexer;
 mod locks;
 pub mod parser;
 pub mod rules;
+mod taint;
 pub mod toml;
 mod wire;
 
@@ -111,15 +112,36 @@ pub struct Report {
 }
 
 impl Report {
-    /// Are all remaining violations advisory-grade (`lock-order`)?
+    /// Are all remaining violations advisory-grade? Advisory families are
+    /// opt-in hard failures: `lock-order` under `--deny-lock-order` and the
+    /// `taint-*` rules under `--deny-taint`. The `workspace_is_clean` test
+    /// is always strict.
     pub fn only_advisory(&self) -> bool {
-        !self.violations.is_empty() && self.violations.iter().all(|v| v.rule == "lock-order")
+        !self.violations.is_empty()
+            && self
+                .violations
+                .iter()
+                .all(|v| v.rule == "lock-order" || v.rule.starts_with("taint-"))
+    }
+
+    /// Would this report fail with the given enforcement flags? Advisory
+    /// families stay exit-0 until their deny flag upgrades them.
+    pub fn fails(&self, deny_lock_order: bool, deny_taint: bool) -> bool {
+        self.violations.iter().any(|v| {
+            if v.rule == "lock-order" {
+                deny_lock_order
+            } else if v.rule.starts_with("taint-") {
+                deny_taint
+            } else {
+                true
+            }
+        })
     }
 
     /// Machine-readable findings: every violation and every waiver with its
     /// status, as one JSON document.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"schema\": \"zc-audit/v2\",\n  \"violations\": [");
+        let mut s = String::from("{\n  \"schema\": \"zc-audit/v3\",\n  \"violations\": [");
         for (i, v) in self.violations.iter().enumerate() {
             let _ = write!(
                 s,
@@ -175,7 +197,7 @@ fn json_str(s: &str) -> String {
 
 /// Audit the whole workspace rooted at `root` with `cfg`: the per-file
 /// rules plus the inter-procedural passes (zc-escape, lock-order,
-/// wire-consts). Violations are sorted by file then line.
+/// wire-taint, wire-consts). Violations are sorted by file then line.
 pub fn audit_workspace_report(root: &Path, cfg: &Config) -> std::io::Result<Report> {
     let mut files = Vec::new();
     for rel in collect_rs_files(root, &cfg.exclude)? {
@@ -207,6 +229,7 @@ pub fn audit_workspace_report(root: &Path, cfg: &Config) -> std::io::Result<Repo
     }
     escape::run(&files, cfg, &waivers, &mut out);
     locks::run(&files, cfg, &waivers, &mut out);
+    taint::run(&files, cfg, &waivers, &mut out);
     wire::run(&files, cfg, &waivers, &mut out);
 
     // Stale sweep, deferred until every pass has had a chance to consume

@@ -40,7 +40,7 @@ use crate::FileAnalysis;
 /// the config explicitly lists as a blocking leaf stays a blocking leaf.
 /// The cost is a documented false negative: a lock acquired inside a
 /// workspace fn that shadows one of these names is invisible to callers.
-const OPAQUE_CALLEES: &[&str] = &[
+pub(crate) const OPAQUE_CALLEES: &[&str] = &[
     "all",
     "and_then",
     "any",

@@ -1,15 +1,17 @@
 //! CLI entry point: audit the workspace, print violations, exit non-zero if
 //! any are found.
 //!
-//! Usage: `cargo run -p zc-audit [-- [--json] [--deny-lock-order] [<root>]]`
+//! Usage: `cargo run -p zc-audit [-- [--json] [--deny-lock-order]
+//! [--deny-taint] [<root>]]`
 //!
 //! - `<root>` defaults to the nearest ancestor directory containing
 //!   `zc-audit.toml`.
 //! - `--json` emits the machine-readable report (rule, file, line, msg,
 //!   and the full waiver inventory with used/stale status) on stdout.
-//! - lock-order findings are *advisory* by default (printed, exit 0) while
-//!   waivers settle across the workspace; `--deny-lock-order` makes them
-//!   hard failures like every other rule. The `workspace_is_clean` test is
+//! - lock-order and wire-taint (`taint-*`) findings are *advisory* by
+//!   default (printed, exit 0) while waivers settle across the workspace;
+//!   `--deny-lock-order` / `--deny-taint` upgrade their family to hard
+//!   failures like every other rule. The `workspace_is_clean` test is
 //!   always strict.
 
 use std::path::PathBuf;
@@ -18,11 +20,13 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut json = false;
     let mut deny_lock_order = false;
+    let mut deny_taint = false;
     let mut root_arg: Option<PathBuf> = None;
     for arg in std::env::args_os().skip(1) {
         match arg.to_str() {
             Some("--json") => json = true,
             Some("--deny-lock-order") => deny_lock_order = true,
+            Some("--deny-taint") => deny_taint = true,
             Some(s) if s.starts_with("--") => {
                 eprintln!("zc-audit: unknown flag `{s}`");
                 return ExitCode::from(2);
@@ -74,9 +78,12 @@ fn main() -> ExitCode {
 
     if report.violations.is_empty() {
         ExitCode::SUCCESS
-    } else if report.only_advisory() && !deny_lock_order {
+    } else if !report.fails(deny_lock_order, deny_taint) {
         if !json {
-            println!("zc-audit: all findings are advisory (lock-order); exiting 0 (use --deny-lock-order to enforce)");
+            println!(
+                "zc-audit: all findings are advisory (lock-order / taint-*); exiting 0 \
+                 (use --deny-lock-order / --deny-taint to enforce)"
+            );
         }
         ExitCode::SUCCESS
     } else {

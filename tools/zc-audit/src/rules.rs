@@ -60,6 +60,20 @@ pub enum WaiverKind {
     /// A numeric literal that coincides with a wire-constant family but is
     /// not a wire constant (wire-consts pass).
     WireConst,
+    /// A panicking idiom on a wire-tainted value that cannot actually fire
+    /// (wire-taint pass); the reason must cite a configured clamp.
+    TaintPanic,
+    /// Unchecked arithmetic on a wire-tainted length/offset that cannot
+    /// overflow (wire-taint pass); the reason must cite a configured clamp.
+    TaintArith,
+    /// An allocation sized by a wire-tainted value that is bounded by
+    /// construction (wire-taint pass); the reason must cite a configured
+    /// clamp.
+    TaintAlloc,
+    /// A wire-tainted value entering `unsafe` where the bound lives outside
+    /// the `SAFETY:` comment (wire-taint pass); the reason must cite a
+    /// configured clamp.
+    TaintUnsafe,
 }
 
 impl WaiverKind {
@@ -70,6 +84,10 @@ impl WaiverKind {
             "control-plane" => WaiverKind::ControlPlane,
             "lock-held" => WaiverKind::LockHeld,
             "wire-const" => WaiverKind::WireConst,
+            "taint-panic" => WaiverKind::TaintPanic,
+            "taint-arith" => WaiverKind::TaintArith,
+            "taint-alloc" => WaiverKind::TaintAlloc,
+            "taint-unsafe" => WaiverKind::TaintUnsafe,
             _ => return None,
         })
     }
@@ -81,6 +99,10 @@ impl WaiverKind {
             WaiverKind::ControlPlane => "control-plane",
             WaiverKind::LockHeld => "lock-held",
             WaiverKind::WireConst => "wire-const",
+            WaiverKind::TaintPanic => "taint-panic",
+            WaiverKind::TaintArith => "taint-arith",
+            WaiverKind::TaintAlloc => "taint-alloc",
+            WaiverKind::TaintUnsafe => "taint-unsafe",
         }
     }
 
@@ -90,7 +112,23 @@ impl WaiverKind {
             WaiverKind::Copy | WaiverKind::CheapClone | WaiverKind::ControlPlane => "copy-path",
             WaiverKind::LockHeld => "lock-order",
             WaiverKind::WireConst => "wire-consts",
+            WaiverKind::TaintPanic => "taint-panic",
+            WaiverKind::TaintArith => "taint-arith",
+            WaiverKind::TaintAlloc => "taint-alloc",
+            WaiverKind::TaintUnsafe => "taint-unsafe",
         }
+    }
+
+    /// Is this one of the wire-taint waiver kinds (whose reasons must cite
+    /// a configured clamp)?
+    pub(crate) fn is_taint(self) -> bool {
+        matches!(
+            self,
+            WaiverKind::TaintPanic
+                | WaiverKind::TaintArith
+                | WaiverKind::TaintAlloc
+                | WaiverKind::TaintUnsafe
+        )
     }
 }
 
@@ -267,7 +305,8 @@ pub(crate) fn collect_waivers(
             if plausible {
                 push_err(format!(
                     "unknown waiver kind `{kind_str}` (expected copy, cheap-clone, \
-                     control-plane, lock-held or wire-const)"
+                     control-plane, lock-held, wire-const, taint-panic, taint-arith, \
+                     taint-alloc or taint-unsafe)"
                 ));
             }
             continue;
@@ -281,6 +320,17 @@ pub(crate) fn collect_waivers(
             push_err(format!(
                 "allow(copy) waiver must name a CopyLayer ({})",
                 cfg.copy_layers.join(", ")
+            ));
+            continue;
+        }
+        if kind.is_taint()
+            && !cfg.taint.clamps.is_empty()
+            && !cfg.taint.clamps.iter().any(|c| reason.contains(c.as_str()))
+        {
+            push_err(format!(
+                "allow({}) waiver must cite the clamp bounding the value ({})",
+                kind.name(),
+                cfg.taint.clamps.join(", ")
             ));
             continue;
         }

