@@ -1,0 +1,132 @@
+//! `demo_server` — a self-loading TCP demo ORB for exercising `zc-top`.
+//!
+//! Boots a real TCP ORB with telemetry enabled, registers a bulk-transfer
+//! sink, and (optionally) saturates it with its own loopback client
+//! threads so the introspection plane has live traffic to report.
+//!
+//! ```text
+//! cargo run -p zc-bench --bin demo_server -- --port 47117 --load 2 --duration-secs 30
+//! # then, in another terminal:
+//! cargo run -p zc-bench --bin zc-top -- --connect 127.0.0.1:47117
+//! ```
+//!
+//! Prints `zcorba demo server listening on HOST:PORT` once the acceptor is
+//! up — scripts wait for that line before polling. `--duration-secs 0`
+//! (the default) serves until killed.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use zc_orb::{ObjectAdapterExt, Orb, OrbResult, Servant, ServerRequest};
+
+const BULK_REPO_ID: &str = "IDL:zcorba/bench/BulkSink:1.0";
+
+/// Accepts zero-copy octet blocks and acknowledges their length — the
+/// minimal bulk-data servant, so wire bytes and deposit traffic dominate.
+struct BulkSink;
+
+impl Servant for BulkSink {
+    fn repo_id(&self) -> &'static str {
+        BULK_REPO_ID
+    }
+
+    fn dispatch(&self, op: &str, req: &mut ServerRequest<'_>) -> OrbResult<()> {
+        match op {
+            "push" => {
+                let data: zc_cdr::ZcOctetSeq = req.arg()?;
+                req.result(&(data.len() as u32))
+            }
+            other => req.bad_operation(other),
+        }
+    }
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != name).nth(1)
+}
+
+fn arg_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    arg_value(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let port: u16 = arg_num("--port", 0);
+    let load_threads: usize = arg_num("--load", 2);
+    let block_kib: usize = arg_num("--block-kib", 256);
+    let duration_secs: u64 = arg_num("--duration-secs", 0);
+
+    let telemetry = zc_trace::Telemetry::with_capacity(4096);
+    let server_orb = Orb::builder()
+        .tcp()
+        .telemetry(Arc::clone(&telemetry))
+        .build();
+    server_orb.adapter().register("bulk", Arc::new(BulkSink));
+    let server = server_orb.serve(port).expect("bind demo server");
+    let (host, port) = (server.host().to_string(), server.port());
+    println!("zcorba demo server listening on {host}:{port}");
+    let _ = std::io::stdout().flush();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ior = server.ior_for("bulk", BULK_REPO_ID).expect("bulk ior");
+    let mut workers = Vec::new();
+    for i in 0..load_threads {
+        let stop = Arc::clone(&stop);
+        let ior = ior.clone();
+        // The loopback load clients share the server's telemetry, so one
+        // zc-top poll sees the whole request lifecycle — client marshal
+        // stages and reply latencies alongside the server-side counters.
+        let telemetry = Arc::clone(&telemetry);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("demo-load-{i}"))
+                .spawn(move || {
+                    let client = Orb::builder().tcp().telemetry(telemetry).build();
+                    let obj = match client.resolve(&ior) {
+                        Ok(o) => o,
+                        Err(e) => {
+                            eprintln!("load thread {i}: resolve failed: {e}");
+                            return;
+                        }
+                    };
+                    let payload = zc_cdr::ZcOctetSeq::with_length(block_kib << 10);
+                    while !stop.load(Ordering::Relaxed) {
+                        let sent = obj
+                            .request("push")
+                            .arg(&payload)
+                            .expect("marshal")
+                            .invoke()
+                            .and_then(|r| r.result::<u32>());
+                        match sent {
+                            Ok(n) => debug_assert_eq!(n as usize, payload.len()),
+                            Err(e) => {
+                                eprintln!("load thread {i}: push failed: {e}");
+                                break;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn load thread"),
+        );
+    }
+
+    let deadline = (duration_secs > 0).then(|| Instant::now() + Duration::from_secs(duration_secs));
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                break;
+            }
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        let _ = w.join();
+    }
+    server.shutdown();
+    println!("zcorba demo server done");
+}

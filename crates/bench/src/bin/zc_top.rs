@@ -1,0 +1,123 @@
+//! `zc-top` — a terminal dashboard over the in-band `_ZcTelemetry` object.
+//!
+//! Polls a live server's reserved management object over plain GIOP and
+//! renders goodput, windowed load rates, copy-meter deltas, stage p99s,
+//! breaker/degrade gauges and pool/queue watermarks as a refreshing frame.
+//!
+//! ```text
+//! cargo run -p zc-bench --bin zc-top -- --connect 127.0.0.1:47117
+//! cargo run -p zc-bench --bin zc-top -- --connect 127.0.0.1:47117 --once --json
+//! ```
+//!
+//! Flags:
+//! * `--connect HOST:PORT` (required) — the server to poll.
+//! * `--interval-ms N` — poll interval (default 1000).
+//! * `--frames N` — stop after N frames (default: run until killed).
+//! * `--once` — take two closely-spaced polls, emit one summary, exit.
+//! * `--json` — machine output (`zcorba-top/v1`), one object per frame.
+//!
+//! Exit codes: 0 ok, 2 usage, 3 connect/poll failure.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use zc_bench::top::{delta, render_frame, render_once_json, TopDelta, TopSample};
+use zc_orb::{Orb, TelemetryClient};
+
+fn arg_value(name: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != name).nth(1)
+}
+
+fn poll(client: &TelemetryClient) -> Result<TopSample, String> {
+    let text = client
+        .snapshot_json()
+        .map_err(|e| format!("snapshot_json poll failed: {e}"))?;
+    TopSample::parse(&text)
+}
+
+fn main() {
+    let Some(endpoint) = arg_value("--connect") else {
+        eprintln!(
+            "usage: zc-top --connect HOST:PORT [--interval-ms N] [--frames N] [--once] [--json]"
+        );
+        std::process::exit(2);
+    };
+    let Some((host, port)) = endpoint.rsplit_once(':') else {
+        eprintln!("zc-top: --connect wants HOST:PORT, got {endpoint:?}");
+        std::process::exit(2);
+    };
+    let Ok(port) = port.parse::<u16>() else {
+        eprintln!("zc-top: bad port in {endpoint:?}");
+        std::process::exit(2);
+    };
+    let once = std::env::args().any(|a| a == "--once");
+    let json = std::env::args().any(|a| a == "--json");
+    let interval = Duration::from_millis(
+        arg_value("--interval-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1000),
+    );
+    let frames: u64 = arg_value("--frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    let orb = Orb::builder().tcp().build();
+    let client = match TelemetryClient::connect(&orb, host, port) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("zc-top: cannot connect to {endpoint}: {e}");
+            std::process::exit(3);
+        }
+    };
+
+    let run = || -> Result<(), String> {
+        if once {
+            // Two closely-spaced polls so rates/deltas are live, not
+            // lifetime averages.
+            let first = poll(&client)?;
+            let t0 = Instant::now();
+            std::thread::sleep(Duration::from_millis(250));
+            let second = poll(&client)?;
+            let d = delta(&first, &second, t0.elapsed().as_secs_f64());
+            if json {
+                println!("{}", render_once_json(&second, &d, &endpoint));
+            } else {
+                print!("{}", render_frame(&second, Some(&d), &endpoint));
+            }
+            return Ok(());
+        }
+        let mut prev: Option<(TopSample, Instant)> = None;
+        let mut n = 0u64;
+        loop {
+            let sample = poll(&client)?;
+            let now = Instant::now();
+            let d: Option<TopDelta> = prev
+                .as_ref()
+                .map(|(p, t)| delta(p, &sample, now.duration_since(*t).as_secs_f64()));
+            if json {
+                println!(
+                    "{}",
+                    render_once_json(&sample, &d.unwrap_or_default(), &endpoint)
+                );
+            } else {
+                // Clear + home, then the frame: a cheap full-screen refresh.
+                print!(
+                    "\x1b[2J\x1b[H{}",
+                    render_frame(&sample, d.as_ref(), &endpoint)
+                );
+                let _ = std::io::stdout().flush();
+            }
+            prev = Some((sample, now));
+            n += 1;
+            if frames != 0 && n >= frames {
+                return Ok(());
+            }
+            std::thread::sleep(interval);
+        }
+    };
+
+    if let Err(e) = run() {
+        eprintln!("zc-top: {e}");
+        std::process::exit(3);
+    }
+}

@@ -11,6 +11,7 @@
 //!    but the ordering and the copy accounting must tell the same story.
 
 pub mod report;
+pub mod top;
 pub mod trajectory;
 
 pub use report::{

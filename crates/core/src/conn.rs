@@ -171,6 +171,7 @@ impl GiopConn {
         let remote = Handshake::decode(&remote_bytes)?;
         let negotiated = Handshake::negotiate(&local, &remote);
         let conn_id = conn.trace_conn_id();
+        ctx.telemetry.note_conn_open();
         Ok(GiopConn {
             conn,
             negotiated,
@@ -198,6 +199,7 @@ impl GiopConn {
         // Client is the `client` argument of negotiate on both sides.
         let negotiated = Handshake::negotiate(&remote, &local);
         let conn_id = conn.trace_conn_id();
+        ctx.telemetry.note_conn_open();
         Ok(GiopConn {
             conn,
             negotiated,
@@ -290,6 +292,7 @@ impl GiopConn {
                 if tele.is_enabled() {
                     tele.metrics().upgrades.incr();
                 }
+                tele.note_degraded(false);
                 tele.record(
                     TraceLayer::Giop,
                     EventKind::Upgrade,
@@ -314,6 +317,7 @@ impl GiopConn {
                 if tele.is_enabled() {
                     tele.metrics().degradations.incr();
                 }
+                tele.note_degraded(true);
                 tele.record(
                     TraceLayer::Giop,
                     EventKind::Degrade,
@@ -410,10 +414,12 @@ impl GiopConn {
             header_enc.write_raw(payload);
             let body = header_enc.finish_stream();
             self.send_framed(msg_type, &body)?;
+            let mut sent = body.len() as u64;
             // Data transfer, decoupled: blocks follow on the data path,
             // already announced by the manifest in the control message.
             for block in &deposits {
                 self.conn.send_data(block)?;
+                sent += block.len() as u64;
                 if self.ctx.telemetry.is_enabled() {
                     self.ctx
                         .telemetry
@@ -429,6 +435,9 @@ impl GiopConn {
                     block.len() as u64,
                 );
             }
+            // One window tick per message (not per frame): the tx rate
+            // signal costs a clock read, which is too hot for the MTU loop.
+            self.ctx.telemetry.note_wire_tx(sent);
         } else {
             // Ablation A1: couple data back into the control message.
             // Blocks are *copied* inline (metered as marshal: this is the
@@ -455,6 +464,7 @@ impl GiopConn {
             header_enc.write_raw(payload);
             let body = header_enc.finish_stream();
             self.send_framed(msg_type, &body)?;
+            self.ctx.telemetry.note_wire_tx(body.len() as u64);
         }
         Ok(())
     }
@@ -493,6 +503,13 @@ impl GiopConn {
             body.extend_from_slice(&cont_body);
             more = cont_hdr.flags.more_fragments;
         }
+        // Watermark: peak bytes a fragment train held in reassembly. The
+        // body only grows, so one post-loop sample sees the same peak as a
+        // per-fragment sample would — at message, not MTU, granularity.
+        self.ctx.telemetry.note_reassembly_bytes(body.len() as u64);
+        // One rx window tick per reassembled message; deposit blocks tick
+        // separately in `collect_deposits` when they arrive on the data path.
+        self.ctx.telemetry.note_wire_rx(body.len() as u64);
         Ok((msg_type, body, order))
     }
 
@@ -538,6 +555,7 @@ impl GiopConn {
             let mut blocks = Vec::with_capacity(manifest.block_count());
             for &len in &manifest.block_lengths {
                 blocks.push(self.conn.recv_data(len as usize)?);
+                self.ctx.telemetry.note_wire_rx(len);
                 self.ctx.telemetry.record(
                     TraceLayer::Giop,
                     EventKind::DepositReceived,
@@ -1061,6 +1079,18 @@ impl GiopConn {
         enc.write_u32(request_id);
         let body = enc.finish_stream();
         self.send_framed(MessageType::CancelRequest, &body)
+    }
+}
+
+impl Drop for GiopConn {
+    fn drop(&mut self) {
+        // Balance the open-connections gauge (raised in client()/server());
+        // a connection that dies while degraded also leaves that gauge.
+        let tele = &self.ctx.telemetry;
+        if self.degrade.degraded {
+            tele.note_degraded(false);
+        }
+        tele.note_conn_closed();
     }
 }
 

@@ -57,6 +57,7 @@
 pub mod adapter;
 pub mod collective;
 pub mod conn;
+pub mod introspect;
 pub mod naming;
 pub mod orb;
 pub mod proxy;
@@ -65,6 +66,7 @@ pub mod retry;
 pub use adapter::{ObjectAdapter, ObjectAdapterExt, Servant, ServerRequest};
 pub use collective::{partition_into, ParGroup};
 pub use conn::{ConnTuning, GiopConn};
+pub use introspect::{TelemetryClient, TelemetryServant, MAX_TIMELINES};
 pub use naming::{install_name_service, NamingClient, NamingContextServant};
 pub use orb::{Orb, OrbBuilder, OrbConfig, ServerHandle};
 pub use proxy::{ObjectRef, Reply, StaticRequest};

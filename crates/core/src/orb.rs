@@ -153,7 +153,14 @@ impl Orb {
     /// open (an elapsed cooldown admits one half-open trial).
     pub(crate) fn breaker_check(&self, endpoint: &(String, u16)) -> OrbResult<()> {
         match self.inner.endpoint_health.check(endpoint) {
-            Ok(()) => Ok(()),
+            Ok(half_open_admitted) => {
+                if half_open_admitted {
+                    // Open → half-open counts as closed for the gauge; a
+                    // failed trial re-raises it via note_endpoint_failure.
+                    self.inner.ctx.telemetry.note_breaker(false);
+                }
+                Ok(())
+            }
             Err(_remaining) => Err(OrbError::System(SystemException {
                 kind: SystemExceptionKind::Transient,
                 minor: 1,
@@ -174,6 +181,7 @@ impl Orb {
             if tele.is_enabled() {
                 tele.metrics().breaker_opens.incr();
             }
+            tele.note_breaker(true);
             tele.record(
                 TraceLayer::Orb,
                 EventKind::BreakerOpen,
@@ -186,7 +194,9 @@ impl Orb {
 
     /// Record a successful call: `endpoint` is healthy, breaker resets.
     pub(crate) fn note_endpoint_success(&self, endpoint: &(String, u16)) {
-        self.inner.endpoint_health.on_success(endpoint);
+        if self.inner.endpoint_health.on_success(endpoint) {
+            self.inner.ctx.telemetry.note_breaker(false);
+        }
     }
 
     /// Replace the connection inside `shared` with a freshly established
@@ -365,6 +375,9 @@ impl Orb {
             let response_expected = incoming.header.response_expected;
             let trace_id = incoming.trace_id;
             let dispatch_start = tele.is_enabled().then(std::time::Instant::now);
+            // Load signals: arrival rate + in-flight gauge around dispatch.
+            tele.note_request_received();
+            tele.note_dispatch_begin();
 
             // Build the argument decoder over the received body, wired to
             // the deposited blocks when the connection is in ZC mode.
@@ -408,6 +421,7 @@ impl Orb {
                 );
                 served_span.commit(&tele, gc.trace_conn_id(), trace_id);
             }
+            tele.note_dispatch_end();
 
             if !response_expected {
                 continue;
@@ -540,6 +554,20 @@ impl OrbBuilder {
         let meter = self.meter.unwrap_or_else(CopyMeter::new_shared);
         let pool = self.pool.unwrap_or_else(PagePool::default_for_orb);
         let telemetry = self.telemetry.unwrap_or_else(Telemetry::disabled);
+        let adapter = Arc::new(ObjectAdapter::new());
+        // Every ORB serves the in-band introspection plane: the reserved
+        // `_ZcTelemetry` object answers snapshot/exposition polls over
+        // plain GIOP even when the caller never registered a servant. It
+        // serves meter/pool accounting (tracked unconditionally) with a
+        // disabled-telemetry handle too, so it is registered regardless.
+        adapter.register_key(
+            zc_cdr::wire::ZC_TELEMETRY_KEY,
+            Arc::new(crate::introspect::TelemetryServant::new(
+                Arc::clone(&telemetry),
+                Arc::clone(&meter),
+                pool.clone(),
+            )),
+        );
         Orb {
             inner: Arc::new(OrbInner {
                 ctx: TransportCtx {
@@ -549,7 +577,7 @@ impl OrbBuilder {
                 },
                 transport,
                 config: self.config,
-                adapter: Arc::new(ObjectAdapter::new()),
+                adapter,
                 conn_cache: Mutex::new(HashMap::new()),
                 endpoint_health: HealthRegistry::default(),
             }),

@@ -413,6 +413,7 @@ fn try_recover(
     if tele.is_enabled() {
         tele.metrics().retries.incr();
     }
+    tele.note_retry();
     tele.record(
         TraceLayer::Orb,
         EventKind::Retry,

@@ -134,10 +134,12 @@ impl HealthRegistry {
     /// Fail fast when `endpoint`'s breaker is open. An elapsed cooldown
     /// admits one half-open trial: the breaker closes, but the failure
     /// count stays at the threshold so a single new failure re-opens it.
-    pub(crate) fn check(&self, endpoint: &(String, u16)) -> Result<(), Duration> {
+    /// `Ok(true)` reports that this call performed the open→half-open
+    /// transition (so the caller can move the open-breaker gauge).
+    pub(crate) fn check(&self, endpoint: &(String, u16)) -> Result<bool, Duration> {
         let mut map = self.map.lock();
         let Some(health) = map.get_mut(endpoint) else {
-            return Ok(());
+            return Ok(false);
         };
         if let Some(until) = health.open_until {
             let now = Instant::now();
@@ -148,8 +150,9 @@ impl HealthRegistry {
             // below the threshold so one failure re-opens immediately.
             health.open_until = None;
             health.consecutive_failures = health.consecutive_failures.saturating_sub(1);
+            return Ok(true);
         }
-        Ok(())
+        Ok(false)
     }
 
     /// Record a failed attempt; opens the breaker at the threshold.
@@ -170,12 +173,15 @@ impl HealthRegistry {
         }
     }
 
-    /// Record a success: the endpoint is healthy again.
-    pub(crate) fn on_success(&self, endpoint: &(String, u16)) {
+    /// Record a success: the endpoint is healthy again. Returns whether
+    /// the breaker was open (so the caller can lower the open gauge).
+    pub(crate) fn on_success(&self, endpoint: &(String, u16)) -> bool {
         let mut map = self.map.lock();
         if let Some(health) = map.get_mut(endpoint) {
             health.consecutive_failures = 0;
-            health.open_until = None;
+            health.open_until.take().is_some()
+        } else {
+            false
         }
     }
 }
@@ -249,8 +255,30 @@ mod tests {
             FailureVerdict::JustOpened(1)
         ));
         assert!(reg.check(&ep()).is_err());
-        reg.on_success(&ep());
+        assert!(reg.on_success(&ep()), "breaker was open");
         assert!(reg.check(&ep()).is_ok());
+        // Idempotent: a second success reports no open breaker to close.
+        assert!(!reg.on_success(&ep()));
+    }
+
+    #[test]
+    fn transitions_are_reported_for_gauges() {
+        let p = RetryPolicy {
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(3),
+            ..RetryPolicy::default()
+        };
+        let reg = HealthRegistry::default();
+        // Unknown endpoint: no transition.
+        assert_eq!(reg.check(&ep()), Ok(false));
+        assert!(matches!(
+            reg.on_failure(&ep(), &p),
+            FailureVerdict::JustOpened(1)
+        ));
+        std::thread::sleep(Duration::from_millis(6));
+        // The half-open admit is the open→closed transition.
+        assert_eq!(reg.check(&ep()), Ok(true));
+        assert_eq!(reg.check(&ep()), Ok(false));
     }
 
     #[test]

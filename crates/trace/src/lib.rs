@@ -22,13 +22,16 @@
 //! this crate is the ledger.
 
 mod event;
+mod export;
 mod metrics;
 mod recorder;
 mod report;
 mod span;
 mod telemetry;
+mod windows;
 
 pub use event::{EventKind, TraceEvent, TraceLayer};
+pub use export::prometheus_text;
 pub use metrics::{
     Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, StageHistograms,
     StageSnapshots, TransportCounters, TransportField, TransportTotals, HISTOGRAM_BUCKETS,
@@ -40,6 +43,7 @@ pub use span::{
     STAGE_DUR_MASK,
 };
 pub use telemetry::Telemetry;
+pub use windows::{Gauge, GaugeSnapshot, LoadSnapshot, LoadWindows, RateWindow, DEFAULT_WINDOW_NS};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;

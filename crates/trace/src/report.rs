@@ -13,6 +13,7 @@ use zc_buffers::{CopyLayer, CopySnapshot, PoolStats};
 
 use crate::event::TraceEvent;
 use crate::metrics::{HistogramSnapshot, MetricsSnapshot, TransportField, TransportTotals};
+use crate::windows::LoadSnapshot;
 
 /// A point-in-time, ORB-wide telemetry report.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +30,8 @@ pub struct OrbTelemetry {
     pub transport: TransportTotals,
     /// ORB metrics (counters + histograms).
     pub metrics: MetricsSnapshot,
+    /// Windowed load signals (rates + watermark gauges).
+    pub load: LoadSnapshot,
     /// Flight-recorder record attempts.
     pub events_recorded: u64,
     /// Flight-recorder events dropped under contention.
@@ -140,6 +143,33 @@ impl OrbTelemetry {
                 }
             }
         }
+        let _ = writeln!(
+            out,
+            "-- load ({}ms window) --",
+            self.load.window_ns / 1_000_000
+        );
+        for (name, v) in [
+            ("req/s", self.load.req_per_s),
+            ("wire tx B/s", self.load.wire_tx_bytes_per_s),
+            ("wire rx B/s", self.load.wire_rx_bytes_per_s),
+            ("retries/s", self.load.retries_per_s),
+        ] {
+            let _ = writeln!(out, "{name:<20}{v:>14.1}");
+        }
+        for (name, g) in [
+            ("inflight", self.load.inflight),
+            ("conns", self.load.conns),
+            ("degraded_conns", self.load.degraded_conns),
+            ("breakers_open", self.load.breakers_open),
+            ("reassembly_bytes", self.load.reassembly_bytes),
+            ("pool_retained", self.load.pool_retained),
+        ] {
+            let _ = writeln!(
+                out,
+                "{name:<20}{:>14} current {:>10} peak",
+                g.current, g.peak
+            );
+        }
         out
     }
 
@@ -214,6 +244,28 @@ impl OrbTelemetry {
                 out.push_str(&stage_json_line(stage, h));
             }
         }
+        let l = &self.load;
+        let mut g = String::new();
+        for (name, gs) in [
+            ("inflight", l.inflight),
+            ("conns", l.conns),
+            ("degraded_conns", l.degraded_conns),
+            ("breakers_open", l.breakers_open),
+            ("reassembly_bytes", l.reassembly_bytes),
+            ("pool_retained", l.pool_retained),
+        ] {
+            let _ = write!(g, ",\"{name}\":{},\"{name}_peak\":{}", gs.current, gs.peak);
+        }
+        let _ = writeln!(
+            out,
+            "{{\"section\":\"load\",\"window_ns\":{},\"req_per_s\":{:.3},\"wire_tx_bytes_per_s\":{:.3},\"wire_rx_bytes_per_s\":{:.3},\"retries_per_s\":{:.3},\"req_rx_total\":{}{g}}}",
+            l.window_ns,
+            l.req_per_s,
+            l.wire_tx_bytes_per_s,
+            l.wire_rx_bytes_per_s,
+            l.retries_per_s,
+            l.req_rx_total
+        );
         out
     }
 }

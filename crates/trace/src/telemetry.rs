@@ -12,10 +12,11 @@ use std::sync::Arc;
 use zc_buffers::{CopySnapshot, PoolStats};
 
 use crate::event::{EventKind, TraceEvent, TraceLayer};
-use crate::metrics::{MetricsRegistry, TransportCounters};
+use crate::metrics::{MetricsRegistry, TransportCounters, TransportField};
 use crate::recorder::FlightRecorder;
 use crate::report::OrbTelemetry;
 use crate::span::{pack_stage, RequestSpan, Stage};
+use crate::windows::LoadWindows;
 
 /// Shared telemetry state for one ORB (or one experiment, when the client
 /// and server ORBs are handed the same instance).
@@ -24,6 +25,7 @@ pub struct Telemetry {
     recorder: FlightRecorder,
     metrics: MetricsRegistry,
     transport: TransportCounters,
+    windows: LoadWindows,
 }
 
 impl Telemetry {
@@ -43,6 +45,7 @@ impl Telemetry {
             recorder: FlightRecorder::new(capacity),
             metrics: MetricsRegistry::default(),
             transport: TransportCounters::default(),
+            windows: LoadWindows::default(),
         })
     }
 
@@ -126,6 +129,149 @@ impl Telemetry {
         &self.transport
     }
 
+    /// The windowed load signals. Callers must gate updates on
+    /// [`Telemetry::is_enabled`] (or use the `note_*` helpers, which do).
+    pub fn windows(&self) -> &LoadWindows {
+        &self.windows
+    }
+
+    /// Mirror one per-connection transport increment into the ORB-wide
+    /// totals. This is the entry the transport's `StatsCell` calls when it
+    /// holds a mirror handle — the handle only exists when telemetry is
+    /// enabled, but the gate is kept so a stray call on a disabled instance
+    /// still costs one boolean load. It runs per *frame* (every MTU-sized
+    /// write/read), so it must stay a single relaxed add: the wire-byte
+    /// rate windows are ticked per *message* by the GIOP connection layer
+    /// via [`Telemetry::note_wire_tx`]/[`Telemetry::note_wire_rx`] instead
+    /// of here, keeping the clock read off the per-frame path.
+    #[inline]
+    pub fn mirror_transport(&self, field: TransportField, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.transport.add(field, n);
+    }
+
+    /// Tick the transmit byte-rate window with one message's worth of wire
+    /// bytes (control body plus any separated deposit blocks). Called once
+    /// per GIOP message send, not per frame.
+    #[inline]
+    pub fn note_wire_tx(&self, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.wire_tx.tick(crate::now_ns(), bytes);
+    }
+
+    /// Tick the receive byte-rate window with one reassembled message body
+    /// or one received deposit block. Called per message/block, not per
+    /// frame.
+    #[inline]
+    pub fn note_wire_rx(&self, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.wire_rx.tick(crate::now_ns(), bytes);
+    }
+
+    /// Count one received request into the arrival-rate window.
+    #[inline]
+    pub fn note_request_received(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.req_rx.tick(crate::now_ns(), 1);
+    }
+
+    /// Count one retry attempt into the retry-rate window.
+    #[inline]
+    pub fn note_retry(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.retries.tick(crate::now_ns(), 1);
+    }
+
+    /// A dispatch began: raise the in-flight gauge.
+    #[inline]
+    pub fn note_dispatch_begin(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.inflight.add(1);
+    }
+
+    /// A dispatch finished: lower the in-flight gauge.
+    #[inline]
+    pub fn note_dispatch_end(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.inflight.sub(1);
+    }
+
+    /// A GIOP connection opened.
+    #[inline]
+    pub fn note_conn_open(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.conns.add(1);
+    }
+
+    /// A GIOP connection closed.
+    #[inline]
+    pub fn note_conn_closed(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.conns.sub(1);
+    }
+
+    /// A connection entered (`true`) or left (`false`) degraded mode.
+    #[inline]
+    pub fn note_degraded(&self, degraded: bool) {
+        if !self.enabled {
+            return;
+        }
+        if degraded {
+            self.windows.degraded_conns.add(1);
+        } else {
+            self.windows.degraded_conns.sub(1);
+        }
+    }
+
+    /// An endpoint circuit breaker opened (`true`) or closed (`false`).
+    #[inline]
+    pub fn note_breaker(&self, open: bool) {
+        if !self.enabled {
+            return;
+        }
+        if open {
+            self.windows.breakers_open.add(1);
+        } else {
+            self.windows.breakers_open.sub(1);
+        }
+    }
+
+    /// Fold an in-progress fragment-reassembly size into its watermark.
+    #[inline]
+    pub fn note_reassembly_bytes(&self, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.reassembly_bytes.record(bytes);
+    }
+
+    /// Fold a sampled pool retained-bytes value into its watermark.
+    #[inline]
+    pub fn note_pool_retained(&self, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.pool_retained.record(bytes);
+    }
+
     /// `Some(self)` when enabled — the handle a per-connection stats cell
     /// should mirror into, `None` (mirror nothing, pay nothing) otherwise.
     pub fn transport_mirror(self: &Arc<Self>) -> Option<Arc<Telemetry>> {
@@ -151,12 +297,16 @@ impl Telemetry {
     /// Assemble the unified [`OrbTelemetry`] report from this instance plus
     /// the copy-meter and pool snapshots the caller owns.
     pub fn orb_snapshot(&self, copies: CopySnapshot, pool: PoolStats) -> OrbTelemetry {
+        // Fold the instantaneous pool occupancy into its watermark first,
+        // so the reported peak is never below the value in this snapshot.
+        self.note_pool_retained(pool.retained_bytes);
         OrbTelemetry {
             enabled: self.enabled,
             copies,
             pool,
             transport: self.transport.snapshot(),
             metrics: self.metrics.snapshot(),
+            load: self.windows.snapshot(crate::now_ns()),
             events_recorded: self.recorder.recorded(),
             events_dropped: self.recorder.dropped(),
         }

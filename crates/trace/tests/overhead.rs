@@ -28,8 +28,18 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 use zc_trace::{EventKind, Stage, Telemetry, TraceLayer};
 
+/// The allocation counter is process-global, so tests that assert on its
+/// deltas must not overlap with another test's setup allocations. Each
+/// counting test holds this lock for its measured region.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[test]
 fn disabled_record_allocates_nothing_and_moves_no_counter() {
+    let _guard = serial();
     let tele = Telemetry::disabled();
     assert!(!tele.is_enabled());
 
@@ -57,6 +67,7 @@ fn disabled_record_allocates_nothing_and_moves_no_counter() {
 
 #[test]
 fn disabled_span_allocates_nothing_and_moves_no_counter() {
+    let _guard = serial();
     let tele = Telemetry::disabled();
 
     // Warm up lazy state before counting.
@@ -92,6 +103,7 @@ fn disabled_span_allocates_nothing_and_moves_no_counter() {
 
 #[test]
 fn enabled_span_recording_does_not_allocate() {
+    let _guard = serial();
     let tele = Telemetry::with_capacity(1024);
     tele.record_stage(Stage::ClientMarshal, 1, 1, 0);
     let before = ALLOCATIONS.load(Ordering::SeqCst);
@@ -112,6 +124,7 @@ fn enabled_span_recording_does_not_allocate() {
 
 #[test]
 fn disabled_telemetry_offers_no_mirror() {
+    let _guard = serial();
     let tele = Telemetry::disabled();
     assert!(
         tele.transport_mirror().is_none(),
@@ -121,7 +134,81 @@ fn disabled_telemetry_offers_no_mirror() {
 }
 
 #[test]
+fn disabled_load_notes_allocate_nothing_and_move_no_window() {
+    let _guard = serial();
+    let tele = Telemetry::disabled();
+
+    // Warm up lazy state (the trace clock epoch) before counting.
+    tele.note_request_received();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100_000u64 {
+        // Every load-signal helper the request path touches: all must cost
+        // exactly the one enabled-flag load when telemetry is off.
+        tele.note_request_received();
+        tele.note_retry();
+        tele.note_dispatch_begin();
+        tele.note_dispatch_end();
+        tele.note_conn_open();
+        tele.note_conn_closed();
+        tele.note_degraded(true);
+        tele.note_breaker(true);
+        tele.note_reassembly_bytes(4096);
+        tele.note_pool_retained(4096);
+        tele.note_wire_tx(4096);
+        tele.note_wire_rx(4096);
+        tele.mirror_transport(zc_trace::TransportField::WireBytesRecv, 4096);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "disabled load notes allocated");
+
+    // No atomics traffic: every window and gauge is exactly at zero.
+    let load = tele.windows().snapshot(zc_trace::now_ns());
+    assert_eq!(load.req_rx_total, 0);
+    assert_eq!(load.req_per_s, 0.0);
+    assert_eq!(load.wire_tx_bytes_per_s, 0.0);
+    assert_eq!(load.wire_rx_bytes_per_s, 0.0);
+    assert_eq!(tele.windows().wire_tx.total(), 0);
+    assert_eq!(tele.windows().wire_rx.total(), 0);
+    assert_eq!(load.inflight.peak, 0);
+    assert_eq!(load.conns.peak, 0);
+    assert_eq!(load.degraded_conns.peak, 0);
+    assert_eq!(load.breakers_open.peak, 0);
+    assert_eq!(load.reassembly_bytes.peak, 0);
+    assert_eq!(load.pool_retained.peak, 0);
+    assert_eq!(tele.transport().snapshot().wire_bytes_recv, 0);
+}
+
+#[test]
+fn enabled_load_notes_do_not_allocate() {
+    let _guard = serial();
+    // Windows and gauges are fixed-size atomics inside Telemetry: ticking
+    // them never heap-allocates, only rendering does.
+    let tele = Telemetry::with_capacity(64);
+    tele.note_request_received();
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10_000u64 {
+        tele.note_request_received();
+        tele.note_dispatch_begin();
+        tele.note_dispatch_end();
+        tele.note_reassembly_bytes(1 << 20);
+        tele.note_wire_tx(4096);
+        tele.note_wire_rx(512);
+        tele.mirror_transport(zc_trace::TransportField::WireBytesSent, 4096);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "enabled load notes allocated");
+    let load = tele.windows().snapshot(zc_trace::now_ns());
+    assert_eq!(load.req_rx_total, 10_001);
+    assert_eq!(load.reassembly_bytes.peak, 1 << 20);
+    assert_eq!(tele.windows().wire_tx.total(), 10_000 * 4096);
+    assert_eq!(tele.windows().wire_rx.total(), 10_000 * 512);
+    assert_eq!(tele.transport().snapshot().wire_bytes_sent, 10_000 * 4096);
+}
+
+#[test]
 fn enabled_record_does_not_allocate_either() {
+    let _guard = serial();
     // The ring is pre-allocated at construction: steady-state recording is
     // allocation-free even when enabled (allocation happens only on
     // snapshot/export).

@@ -39,10 +39,18 @@ fn eight_producers_and_a_reader_never_tear_an_event() {
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             let mut observed = 0u64;
-            while !stop.load(Ordering::Relaxed) {
+            // Sample `stop` *before* each pass so the reader always makes
+            // one final sweep after the producers finish — on a loaded
+            // single-CPU host this thread may not be scheduled at all until
+            // then, and it must still observe the ring.
+            loop {
+                let stopping = stop.load(Ordering::Relaxed);
                 for ev in rec.events() {
                     assert!(is_sealed(&ev), "torn event observed: {ev:?}");
                     observed += 1;
+                }
+                if stopping {
+                    break;
                 }
             }
             observed

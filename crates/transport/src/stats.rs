@@ -89,7 +89,12 @@ impl StatsCell {
         let idx = (field as usize).min(TransportField::COUNT - 1);
         self.cells[idx].fetch_add(n, Ordering::Relaxed);
         if let Some(t) = &self.mirror {
-            t.transport().add(field, n);
+            // Mirrors into the ORB-wide totals only — this runs per frame,
+            // so it must stay one relaxed add; the byte-rate windows are
+            // ticked per message by the GIOP layer. The mirror handle only
+            // exists when telemetry is enabled, so the disabled-path cost
+            // is unchanged: one relaxed fetch_add and a None check.
+            t.mirror_transport(field, n);
         }
     }
 
