@@ -17,7 +17,10 @@
 use std::path::PathBuf;
 
 use zc_bench::trajectory::{unix_ms, GoodputPoint, LatencyPoint};
-use zc_bench::{compare, find_baseline, parse_json, run_breakdown, TrajectorySnapshot};
+use zc_bench::{
+    compare, find_baseline, overload_sweep, parse_json, run_breakdown, OverloadParams,
+    TrajectorySnapshot,
+};
 use zc_ttcp::{run_latency, run_measured, run_modeled, TtcpParams, TtcpTransport, TtcpVersion};
 
 fn arg_value(name: &str) -> Option<String> {
@@ -27,12 +30,12 @@ fn arg_value(name: &str) -> Option<String> {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let advisory = std::env::args().any(|a| a == "--advisory");
-    let out_path = PathBuf::from(arg_value("--out").unwrap_or_else(|| "BENCH_PR4.json".into()));
+    let out_path = PathBuf::from(arg_value("--out").unwrap_or_else(|| "BENCH_PR8.json".into()));
     let label = out_path
         .file_stem()
         .and_then(|s| s.to_str())
         .and_then(|s| s.strip_prefix("BENCH_"))
-        .unwrap_or("PR4")
+        .unwrap_or("PR8")
         .to_string();
 
     // ---- goodput sweep: every version, sim transport, modeled + measured ----
@@ -91,6 +94,14 @@ fn main() {
     };
     let breakdown = run_breakdown(bd_block, bd_total, TtcpTransport::Sim);
 
+    // ---- overload curve: goodput vs offered load, seed vs admission ----
+    let overload_params = if smoke {
+        OverloadParams::smoke(42)
+    } else {
+        OverloadParams::full(42)
+    };
+    let overload = overload_sweep(&overload_params, |line| println!("overload: {line}"));
+
     let snapshot = TrajectorySnapshot {
         label,
         smoke,
@@ -98,6 +109,7 @@ fn main() {
         goodput,
         latency,
         breakdown,
+        overload: Some(overload),
     };
     let json = snapshot.to_json();
 

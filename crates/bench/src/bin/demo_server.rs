@@ -13,13 +13,20 @@
 //! Prints `zcorba demo server listening on HOST:PORT` once the acceptor is
 //! up — scripts wait for that line before polling. `--duration-secs 0`
 //! (the default) serves until killed.
+//!
+//! `--admit-requests N` (with an optional `--admit-bytes B`, default
+//! `N × block`) bounds the dispatch queue: excess loopback load is shed
+//! with `TRANSIENT` and shows up in zc-top's `sheds_total` while the
+//! `_ZcTelemetry` lane keeps answering — the CI overload-smoke job drives
+//! exactly this. Load threads count sheds and keep going; only hard
+//! failures stop them.
 
 use std::io::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use zc_orb::{ObjectAdapterExt, Orb, OrbResult, Servant, ServerRequest};
+use zc_orb::{AdmissionConfig, ObjectAdapterExt, Orb, OrbError, OrbResult, Servant, ServerRequest};
 
 const BULK_REPO_ID: &str = "IDL:zcorba/bench/BulkSink:1.0";
 
@@ -58,12 +65,18 @@ fn main() {
     let load_threads: usize = arg_num("--load", 2);
     let block_kib: usize = arg_num("--block-kib", 256);
     let duration_secs: u64 = arg_num("--duration-secs", 0);
+    let admit_requests: u64 = arg_num("--admit-requests", 0);
+    let admit_bytes: u64 = arg_num(
+        "--admit-bytes",
+        admit_requests.saturating_mul((block_kib as u64) << 10),
+    );
 
     let telemetry = zc_trace::Telemetry::with_capacity(4096);
-    let server_orb = Orb::builder()
-        .tcp()
-        .telemetry(Arc::clone(&telemetry))
-        .build();
+    let mut builder = Orb::builder().tcp().telemetry(Arc::clone(&telemetry));
+    if admit_requests > 0 {
+        builder = builder.admission(AdmissionConfig::bounded(admit_requests, admit_bytes));
+    }
+    let server_orb = builder.build();
     server_orb.adapter().register("bulk", Arc::new(BulkSink));
     let server = server_orb.serve(port).expect("bind demo server");
     let (host, port) = (server.host().to_string(), server.port());
@@ -71,10 +84,12 @@ fn main() {
     let _ = std::io::stdout().flush();
 
     let stop = Arc::new(AtomicBool::new(false));
+    let shed_seen = Arc::new(AtomicU64::new(0));
     let ior = server.ior_for("bulk", BULK_REPO_ID).expect("bulk ior");
     let mut workers = Vec::new();
     for i in 0..load_threads {
         let stop = Arc::clone(&stop);
+        let shed_seen = Arc::clone(&shed_seen);
         let ior = ior.clone();
         // The loopback load clients share the server's telemetry, so one
         // zc-top poll sees the whole request lifecycle — client marshal
@@ -102,6 +117,13 @@ fn main() {
                             .and_then(|r| r.result::<u32>());
                         match sent {
                             Ok(n) => debug_assert_eq!(n as usize, payload.len()),
+                            // Shed with completed = NO: the server is
+                            // protecting itself, not failing. Count it and
+                            // keep offering load — that pressure is the
+                            // point of the overload demo.
+                            Err(OrbError::System(ex)) if zc_orb::admission::is_shed(&ex) => {
+                                shed_seen.fetch_add(1, Ordering::Relaxed);
+                            }
                             Err(e) => {
                                 eprintln!("load thread {i}: push failed: {e}");
                                 break;
@@ -128,5 +150,9 @@ fn main() {
         let _ = w.join();
     }
     server.shutdown();
+    let sheds = shed_seen.load(Ordering::Relaxed);
+    if sheds > 0 {
+        println!("zcorba demo server shed {sheds} requests (admission control)");
+    }
     println!("zcorba demo server done");
 }

@@ -10,9 +10,15 @@
 //!    copies are real `memcpy`s; absolute numbers reflect *this* machine,
 //!    but the ordering and the copy accounting must tell the same story.
 
+pub mod overload;
 pub mod report;
 pub mod top;
 pub mod trajectory;
+
+pub use overload::{
+    probe_capacity, run_point as overload_point, run_sweep as overload_sweep, OverloadCurve,
+    OverloadMode, OverloadParams, OverloadPoint,
+};
 
 pub use report::{
     json_flag, print_telemetry, render_breakdown_json, render_breakdown_text, run_breakdown,

@@ -205,6 +205,16 @@ pub fn render_frame(s: &TopSample, d: Option<&TopDelta>, endpoint: &str) -> Stri
     );
     let _ = writeln!(
         out,
+        "overload  shed {:>7.0} total ({:>6.2}/s)   brownout {:>7.0} ({:>6.2}/s)   failover {:>5.0} ({:>6.2}/s)",
+        s.num("counter.sheds"),
+        s.num("load.shed_per_s"),
+        s.num("counter.brownout_sheds"),
+        s.num("load.brownout_per_s"),
+        s.num("counter.failovers"),
+        s.num("load.failover_per_s"),
+    );
+    let _ = writeln!(
+        out,
         "marks     reassembly peak {:>10}   pool retained {:>10} (peak {:>10})",
         fmt_bytes(s.num("load.reassembly_bytes_peak")),
         fmt_bytes(s.num("pool.retained_bytes")),
@@ -273,6 +283,12 @@ pub fn render_once_json(s: &TopSample, d: &TopDelta, endpoint: &str) -> String {
         ("retries_total", s.num("counter.retries")),
         ("reconnects_total", s.num("counter.reconnects")),
         ("breaker_opens_total", s.num("counter.breaker_opens")),
+        ("sheds_total", s.num("counter.sheds")),
+        ("brownout_sheds_total", s.num("counter.brownout_sheds")),
+        ("failovers_total", s.num("counter.failovers")),
+        ("shed_per_s", s.num("load.shed_per_s")),
+        ("brownout_per_s", s.num("load.brownout_per_s")),
+        ("failover_per_s", s.num("load.failover_per_s")),
         ("degradations_total", s.num("counter.degradations")),
         ("upgrades_total", s.num("counter.upgrades")),
         ("spec_hit_rate", s.num("transport.spec_hit_rate")),
@@ -372,6 +388,9 @@ mod tests {
         assert!(frame.contains("goodput"), "{frame}");
         assert!(frame.contains("stage p99"), "{frame}");
         assert!(frame.contains("reassembly peak"), "{frame}");
+        assert!(frame.contains("overload"), "{frame}");
+        assert!(frame.contains("brownout"), "{frame}");
+        assert!(frame.contains("failover"), "{frame}");
 
         let json = render_once_json(&s, &d, "127.0.0.1:47117");
         let v = parse_json(&json).expect("valid json");
@@ -387,6 +406,12 @@ mod tests {
             "pool_retained_peak",
             "spec_hit_rate",
             "copied_bytes_delta",
+            "sheds_total",
+            "brownout_sheds_total",
+            "failovers_total",
+            "shed_per_s",
+            "brownout_per_s",
+            "failover_per_s",
         ] {
             assert!(v.get(key).and_then(Json::as_f64).is_some(), "missing {key}");
         }

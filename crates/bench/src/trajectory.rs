@@ -41,6 +41,16 @@ pub const STAGE_P99_ABS_SLACK_NS: f64 = 50_000.0;
 /// the gate (smoke runs are noisy at the tail).
 pub const MIN_STAGE_SAMPLES: u64 = 8;
 
+/// Overload gate: the admission-mode goodput at the highest offered load
+/// must retain at least this fraction of the mode's peak ("no collapse
+/// past saturation"). Applies to the *current* snapshot only — the curve
+/// is a property of the point, not a diff against the baseline.
+pub const OVERLOAD_PLATEAU_GATE: f64 = 0.80;
+
+/// Relaxed plateau gate for `--smoke` snapshots (two sub-second points on
+/// a shared CI host flap more than the full sweep).
+pub const OVERLOAD_PLATEAU_GATE_SMOKE: f64 = 0.50;
+
 // ---------------------------------------------------------------------------
 // Snapshot assembly and emission
 // ---------------------------------------------------------------------------
@@ -90,6 +100,10 @@ pub struct TrajectorySnapshot {
     pub latency: Vec<LatencyPoint>,
     /// The §5.2 breakdown (three configs over one block size).
     pub breakdown: Breakdown,
+    /// The overload goodput-vs-offered-load curve (absent on points that
+    /// predate admission control; `compare` treats a missing section as a
+    /// note, not a failure).
+    pub overload: Option<crate::overload::OverloadCurve>,
 }
 
 impl TrajectorySnapshot {
@@ -142,7 +156,14 @@ impl TrajectorySnapshot {
                 }
             );
         }
-        out.push_str("  ]}\n}\n");
+        out.push_str("  ]}");
+        if let Some(curve) = &self.overload {
+            // Re-indent the curve's own pretty-printed object two spaces
+            // so the document stays readable.
+            out.push_str(",\n  \"overload\": ");
+            out.push_str(&curve.to_json().replace('\n', "\n  "));
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -590,6 +611,43 @@ pub fn compare(current: &Json, baseline: &Json) -> Verdict {
                     baseline: base,
                     current: cur,
                 });
+            }
+        }
+    }
+
+    // Gate 3: overload plateau on the current snapshot. Admission-mode
+    // goodput past saturation must not collapse relative to its own peak.
+    match current.get("overload") {
+        None => v
+            .notes
+            .push("current snapshot has no overload section".to_string()),
+        Some(section) => {
+            let smoke = current.get("smoke") == Some(&Json::Bool(true));
+            let gate = if smoke {
+                OVERLOAD_PLATEAU_GATE_SMOKE
+            } else {
+                OVERLOAD_PLATEAU_GATE
+            };
+            if let Some(ratio) = section
+                .get("admission_plateau_ratio")
+                .and_then(Json::as_f64)
+            {
+                if ratio < gate {
+                    v.regressions.push(Regression {
+                        gate: "overload-plateau",
+                        what: "admission goodput at max offered load / peak".to_string(),
+                        baseline: gate,
+                        current: ratio,
+                    });
+                }
+            }
+            if section
+                .get("total_sheds")
+                .and_then(Json::as_f64)
+                .is_some_and(|s| s == 0.0)
+            {
+                v.notes
+                    .push("overload sweep recorded zero sheds (gate never fired?)".to_string());
             }
         }
     }

@@ -1,0 +1,405 @@
+//! Server-side admission control: bounded dispatch queues with early
+//! shedding and a watermark-based brownout mode.
+//!
+//! An overloaded thread-per-connection server fails in a characteristic
+//! way: every connection keeps reading requests, every request pins
+//! deposit pages and queues for dispatch, and once the offered load passes
+//! saturation *all* requests finish late — goodput collapses even though
+//! the server is doing maximal work. Admission control converts that
+//! collapse into a plateau by refusing work it cannot finish in time,
+//! **before** the expensive part of the receive path runs:
+//!
+//! * the gate sits between GIOP request-header decode and deposit
+//!   collection, so a shed request never pins pool pages and never enters
+//!   the dispatcher — the refusal costs one small `TRANSIENT` reply;
+//! * the budget is two-dimensional (in-flight **requests** and announced
+//!   in-flight **bytes**), because a queue of tiny control calls and a
+//!   queue of multi-megabyte deposits saturate different resources;
+//! * a **brownout** watermark below the hard budget sheds only bulk
+//!   zero-copy deposits while still admitting small calls, degrading the
+//!   data plane first;
+//! * a **reserved lane** keeps control-plane objects (keys in the
+//!   reserved `_`-prefix namespace, e.g. the `_ZcTelemetry` introspection
+//!   object) answerable up to the hard cap, so operators can still observe
+//!   a saturated server — the moment you most need telemetry is exactly
+//!   when the data plane is drowning.
+//!
+//! Shed replies are `TRANSIENT` with `completed = NO`: the request was
+//! provably never dispatched, so the client may safely retry **any**
+//! operation — or, for a replicated object group, rotate to the next
+//! profile (see `proxy.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use zc_cdr::wire::zc_vendor_id;
+use zc_giop::{SystemException, SystemExceptionKind};
+
+/// `TRANSIENT` minor code for a hard-budget shed (zcorba vendor space).
+pub const MINOR_SHED_QUEUE_FULL: u32 = zc_vendor_id(0x20);
+/// `TRANSIENT` minor code for a brownout (bulk-deposit) shed.
+pub const MINOR_SHED_BROWNOUT: u32 = zc_vendor_id(0x21);
+/// CORBA completion status `COMPLETED_NO` — shed before dispatch.
+const COMPLETED_NO: u32 = 1;
+
+/// Budgets and watermarks for one ORB's dispatch queue. The default is
+/// unlimited (admission control disabled); [`AdmissionConfig::bounded`]
+/// derives sensible watermarks from the two hard budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Hard cap on concurrently admitted requests (dispatch queue depth
+    /// across all connections).
+    pub max_requests: u64,
+    /// Hard cap on the sum of announced deposit bytes in flight.
+    pub max_bytes: u64,
+    /// Brownout watermark: at or above this many in-flight requests, bulk
+    /// (deposit-carrying) requests are shed while small calls still pass.
+    pub brownout_requests: u64,
+    /// Brownout watermark on announced in-flight bytes.
+    pub brownout_bytes: u64,
+    /// Request slots reserved for control-plane objects (reserved-key
+    /// namespace, `_`-prefix): data-plane requests are shed this many
+    /// slots early so `_ZcTelemetry` polls keep answering under overload.
+    pub control_reserve: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_requests: u64::MAX,
+            max_bytes: u64::MAX,
+            brownout_requests: u64::MAX,
+            brownout_bytes: u64::MAX,
+            control_reserve: 0,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// A bounded queue with derived watermarks: brownout begins at 3/4 of
+    /// either hard budget, and 1/8 of the request slots (at least one) are
+    /// reserved for the control-plane lane.
+    pub fn bounded(max_requests: u64, max_bytes: u64) -> AdmissionConfig {
+        AdmissionConfig {
+            max_requests,
+            max_bytes,
+            brownout_requests: max_requests - max_requests / 4,
+            brownout_bytes: max_bytes - max_bytes / 4,
+            control_reserve: (max_requests / 8).max(1).min(max_requests),
+        }
+    }
+
+    /// Whether this configuration can ever shed.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_requests == u64::MAX
+            && self.max_bytes == u64::MAX
+            && self.brownout_requests == u64::MAX
+            && self.brownout_bytes == u64::MAX
+    }
+}
+
+/// Why a request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// A hard budget (request slots or byte budget) is exhausted.
+    QueueFull,
+    /// The brownout watermark is reached and the request carries bulk
+    /// deposits; small calls would still be admitted.
+    Brownout,
+}
+
+impl ShedReason {
+    /// The wire exception for this shed: `TRANSIENT`, `completed = NO`
+    /// (never dispatched — safe for the client to retry or fail over).
+    pub fn exception(self) -> SystemException {
+        SystemException {
+            kind: SystemExceptionKind::Transient,
+            minor: match self {
+                ShedReason::QueueFull => MINOR_SHED_QUEUE_FULL,
+                ShedReason::Brownout => MINOR_SHED_BROWNOUT,
+            },
+            completed: COMPLETED_NO,
+        }
+    }
+}
+
+/// Classify an error as a server-side shed (`TRANSIENT`, `completed=NO`,
+/// zcorba shed minor code). Used by clients deciding whether a failure is
+/// overload (rotate/fail over) or something structural.
+pub fn is_shed(ex: &SystemException) -> bool {
+    ex.kind == SystemExceptionKind::Transient
+        && ex.completed == COMPLETED_NO
+        && (ex.minor == MINOR_SHED_QUEUE_FULL || ex.minor == MINOR_SHED_BROWNOUT)
+}
+
+#[derive(Debug)]
+struct AdmissionState {
+    config: AdmissionConfig,
+    inflight_requests: AtomicU64,
+    inflight_bytes: AtomicU64,
+}
+
+/// The admission gate shared by every connection thread of one ORB.
+/// Cheap to clone; owns its own counters so it works (and sheds) even
+/// with telemetry disabled.
+#[derive(Debug, Clone)]
+pub struct AdmissionControl {
+    state: Arc<AdmissionState>,
+}
+
+/// A successfully admitted request's reservation. Releases its request
+/// slot and byte budget on drop — panic-safe: a dispatcher that unwinds
+/// still returns its capacity.
+#[derive(Debug)]
+pub struct AdmissionTicket {
+    state: Arc<AdmissionState>,
+    bytes: u64,
+}
+
+impl Drop for AdmissionTicket {
+    fn drop(&mut self) {
+        self.state.inflight_requests.fetch_sub(1, Ordering::AcqRel);
+        self.state
+            .inflight_bytes
+            .fetch_sub(self.bytes, Ordering::AcqRel);
+    }
+}
+
+impl AdmissionControl {
+    /// Build a gate from a configuration.
+    pub fn new(config: AdmissionConfig) -> AdmissionControl {
+        AdmissionControl {
+            state: Arc::new(AdmissionState {
+                config,
+                inflight_requests: AtomicU64::new(0),
+                inflight_bytes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A gate that admits everything (the default ORB behavior).
+    pub fn unlimited() -> AdmissionControl {
+        AdmissionControl::new(AdmissionConfig::default())
+    }
+
+    /// The configured budgets.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.state.config
+    }
+
+    /// Currently admitted `(requests, announced_bytes)` (diagnostics).
+    pub fn inflight(&self) -> (u64, u64) {
+        (
+            self.state.inflight_requests.load(Ordering::Acquire),
+            self.state.inflight_bytes.load(Ordering::Acquire),
+        )
+    }
+
+    /// Decide one request's fate. `control_plane` marks reserved-key
+    /// (`_`-prefix) objects that ride the reserved lane; `announced_bytes`
+    /// is the deposit-manifest total (0 without deposits); `bulk` marks
+    /// deposit-carrying requests (the ones brownout sheds first).
+    ///
+    /// On `Ok`, the returned ticket holds the reservation until dropped.
+    pub fn admit(
+        &self,
+        control_plane: bool,
+        announced_bytes: u64,
+        bulk: bool,
+    ) -> Result<AdmissionTicket, ShedReason> {
+        let cfg = &self.state.config;
+        // Optimistically reserve, then validate; the undo on the shed path
+        // makes transient over-count harmless (it only sheds *earlier*).
+        let prior_reqs = self.state.inflight_requests.fetch_add(1, Ordering::AcqRel);
+        let prior_bytes = self
+            .state
+            .inflight_bytes
+            .fetch_add(announced_bytes, Ordering::AcqRel);
+        let total_bytes = prior_bytes.saturating_add(announced_bytes);
+
+        // Reserved lane: data-plane requests stop `control_reserve` slots
+        // below the hard cap; control-plane requests may use them all.
+        let slot_cap = if control_plane {
+            cfg.max_requests
+        } else {
+            cfg.max_requests.saturating_sub(cfg.control_reserve)
+        };
+        let reason = if prior_reqs >= slot_cap || total_bytes > cfg.max_bytes {
+            Some(ShedReason::QueueFull)
+        } else if !control_plane
+            && bulk
+            && (prior_reqs >= cfg.brownout_requests || total_bytes > cfg.brownout_bytes)
+        {
+            Some(ShedReason::Brownout)
+        } else {
+            None
+        };
+        match reason {
+            None => Ok(AdmissionTicket {
+                state: Arc::clone(&self.state),
+                bytes: announced_bytes,
+            }),
+            Some(r) => {
+                self.state.inflight_requests.fetch_sub(1, Ordering::AcqRel);
+                self.state
+                    .inflight_bytes
+                    .fetch_sub(announced_bytes, Ordering::AcqRel);
+                Err(r)
+            }
+        }
+    }
+}
+
+/// Whether `object_key` addresses a control-plane object (the reserved
+/// `_`-prefix key namespace, e.g. `_ZcTelemetry`).
+pub fn is_control_plane_key(object_key: &[u8]) -> bool {
+    object_key.first() == Some(&b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_admits_everything() {
+        let gate = AdmissionControl::unlimited();
+        assert!(gate.config().is_unlimited());
+        let mut tickets = Vec::new();
+        for i in 0..256 {
+            tickets.push(gate.admit(false, 1 << 20, i % 2 == 0).unwrap());
+        }
+        assert_eq!(gate.inflight().0, 256);
+        drop(tickets);
+        assert_eq!(gate.inflight(), (0, 0));
+    }
+
+    #[test]
+    fn hard_request_budget_sheds_queue_full() {
+        let gate = AdmissionControl::new(AdmissionConfig {
+            max_requests: 2,
+            control_reserve: 0,
+            ..AdmissionConfig::default()
+        });
+        let t1 = gate.admit(false, 0, false).unwrap();
+        let _t2 = gate.admit(false, 0, false).unwrap();
+        assert!(matches!(
+            gate.admit(false, 0, false),
+            Err(ShedReason::QueueFull)
+        ));
+        // Releasing a slot re-admits.
+        drop(t1);
+        assert!(gate.admit(false, 0, false).is_ok());
+    }
+
+    #[test]
+    fn byte_budget_sheds_and_releases() {
+        let gate = AdmissionControl::new(AdmissionConfig {
+            max_bytes: 1000,
+            brownout_bytes: u64::MAX,
+            ..AdmissionConfig::default()
+        });
+        let t = gate.admit(false, 900, true).unwrap();
+        assert!(matches!(
+            gate.admit(false, 200, true),
+            Err(ShedReason::QueueFull)
+        ));
+        // A shed must not leak its optimistic reservation.
+        assert_eq!(gate.inflight(), (1, 900));
+        drop(t);
+        assert!(gate.admit(false, 1000, true).is_ok());
+    }
+
+    #[test]
+    fn brownout_sheds_bulk_but_admits_small_calls() {
+        let gate = AdmissionControl::new(AdmissionConfig {
+            max_requests: 8,
+            brownout_requests: 2,
+            control_reserve: 0,
+            ..AdmissionConfig::default()
+        });
+        let _t1 = gate.admit(false, 4096, true).unwrap();
+        let _t2 = gate.admit(false, 4096, true).unwrap();
+        // Watermark reached: bulk sheds (brownout), small calls pass.
+        assert!(matches!(
+            gate.admit(false, 4096, true),
+            Err(ShedReason::Brownout)
+        ));
+        assert!(gate.admit(false, 0, false).is_ok());
+    }
+
+    #[test]
+    fn reserved_lane_keeps_control_plane_answerable() {
+        let gate = AdmissionControl::new(AdmissionConfig {
+            max_requests: 2,
+            control_reserve: 1,
+            ..AdmissionConfig::default()
+        });
+        let _t = gate.admit(false, 0, false).unwrap();
+        // Data plane stops one slot early; the telemetry lane still admits.
+        assert!(matches!(
+            gate.admit(false, 0, false),
+            Err(ShedReason::QueueFull)
+        ));
+        let _c = gate.admit(true, 0, false).unwrap();
+        // …but control is bounded by the hard cap too.
+        assert!(matches!(
+            gate.admit(true, 0, false),
+            Err(ShedReason::QueueFull)
+        ));
+    }
+
+    #[test]
+    fn shed_exceptions_are_transient_completed_no() {
+        for (reason, minor) in [
+            (ShedReason::QueueFull, MINOR_SHED_QUEUE_FULL),
+            (ShedReason::Brownout, MINOR_SHED_BROWNOUT),
+        ] {
+            let ex = reason.exception();
+            assert_eq!(ex.kind, SystemExceptionKind::Transient);
+            assert_eq!(ex.minor, minor);
+            assert_eq!(ex.completed, COMPLETED_NO, "shed is pre-dispatch");
+            assert!(is_shed(&ex));
+        }
+        // A garden-variety TRANSIENT (breaker fail-fast) is not a shed.
+        assert!(!is_shed(&SystemException {
+            kind: SystemExceptionKind::Transient,
+            minor: 1,
+            completed: COMPLETED_NO,
+        }));
+    }
+
+    #[test]
+    fn control_plane_keys_use_the_reserved_prefix() {
+        assert!(is_control_plane_key(zc_cdr::wire::ZC_TELEMETRY_KEY));
+        assert!(is_control_plane_key(b"_anything"));
+        assert!(!is_control_plane_key(b"bulk-1"));
+        assert!(!is_control_plane_key(b""));
+    }
+
+    #[test]
+    fn bounded_derives_watermarks_and_reserve() {
+        let c = AdmissionConfig::bounded(32, 1 << 20);
+        assert_eq!(c.brownout_requests, 24);
+        assert_eq!(c.brownout_bytes, (1 << 20) - (1 << 18));
+        assert_eq!(c.control_reserve, 4);
+        assert!(!c.is_unlimited());
+        // Tiny budgets still reserve one control slot (never more than all).
+        assert_eq!(AdmissionConfig::bounded(1, 64).control_reserve, 1);
+    }
+
+    #[test]
+    fn ticket_release_is_panic_safe() {
+        let gate = AdmissionControl::new(AdmissionConfig {
+            max_requests: 1,
+            control_reserve: 0,
+            ..AdmissionConfig::default()
+        });
+        let g2 = gate.clone();
+        let _ = std::panic::catch_unwind(move || {
+            let _t = g2.admit(false, 7, false).unwrap();
+            panic!("dispatcher died");
+        });
+        assert_eq!(gate.inflight(), (0, 0), "unwind returned the capacity");
+        assert!(gate.admit(false, 0, false).is_ok());
+    }
+}

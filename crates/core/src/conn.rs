@@ -594,6 +594,12 @@ impl GiopConn {
         }
     }
 
+    /// Whether an earlier reply timeout poisoned this connection (a stale
+    /// reply may still arrive, so it must not carry another request).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     fn check_poisoned(&self) -> OrbResult<()> {
         if self.poisoned {
             Err(OrbError::Protocol(
@@ -852,6 +858,24 @@ impl GiopConn {
     /// consumed silently (we never start executing before reading the next
     /// request, so a cancel that arrives here is already moot).
     pub fn recv_request(&mut self) -> OrbResult<IncomingRequest> {
+        self.recv_request_admitted(|_, _, _| Ok(()))
+            .map(|(req, ())| req)
+    }
+
+    /// Server: receive the next **admitted** request. `gate` runs after
+    /// the request header and deposit manifest are decoded but *before*
+    /// any deposit block is collected, with `(header, announced deposit
+    /// bytes, carries-deposits)`. A refusal is cheap by construction: the
+    /// announced blocks are drained straight off the data path without
+    /// retaining a single pool page, the supplied system exception (e.g.
+    /// `TRANSIENT` from admission control) answers the request, and the
+    /// loop continues with the connection intact. On admission, the gate's
+    /// success value (e.g. a queue-slot ticket) is returned alongside the
+    /// request so the caller can scope the reservation to the dispatch.
+    pub fn recv_request_admitted<T>(
+        &mut self,
+        mut gate: impl FnMut(&RequestHeader, u64, bool) -> Result<T, SystemException>,
+    ) -> OrbResult<(IncomingRequest, T)> {
         loop {
             let (msg_type, body, order) = self.recv_message()?;
             match msg_type {
@@ -877,6 +901,31 @@ impl GiopConn {
                     // Self-describing per message: manifest present iff the
                     // sender used descriptors (see `recv_reply`).
                     let zc = manifest.is_some();
+                    let announced: u64 = manifest
+                        .as_ref()
+                        .map(|m| m.block_lengths.iter().sum())
+                        .unwrap_or(0);
+                    let token = match gate(&header, announced, zc) {
+                        Ok(t) => t,
+                        Err(ex) => {
+                            // Shed: drain the announced blocks (receive and
+                            // immediately drop — no page is pinned past the
+                            // refusal). On the coupled path the blocks are
+                            // inline in `body` and simply never parsed.
+                            if self.tuning.separate_data {
+                                if let Some(m) = &manifest {
+                                    for &len in &m.block_lengths {
+                                        let _ = self.conn.recv_data(len as usize)?;
+                                        self.ctx.telemetry.note_wire_rx(len);
+                                    }
+                                }
+                            }
+                            if header.response_expected {
+                                self.send_reply_exception(header.request_id, &ex)?;
+                            }
+                            continue;
+                        }
+                    };
                     let (deposits, args_offset) =
                         self.collect_deposits(manifest, &body, after_header, order)?;
                     let tele = &self.ctx.telemetry;
@@ -912,15 +961,18 @@ impl GiopConn {
                         trace_id,
                         deposits.iter().map(|b| b.len() as u64).sum(),
                     );
-                    return Ok(IncomingRequest {
-                        header,
-                        body,
-                        args_offset,
-                        deposits,
-                        order,
-                        zc,
-                        trace_id,
-                    });
+                    return Ok((
+                        IncomingRequest {
+                            header,
+                            body,
+                            args_offset,
+                            deposits,
+                            order,
+                            zc,
+                            trace_id,
+                        },
+                        token,
+                    ));
                 }
                 MessageType::CancelRequest => continue,
                 MessageType::CloseConnection => {

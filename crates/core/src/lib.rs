@@ -55,6 +55,7 @@
 //! ```
 
 pub mod adapter;
+pub mod admission;
 pub mod collective;
 pub mod conn;
 pub mod introspect;
@@ -64,6 +65,7 @@ pub mod proxy;
 pub mod retry;
 
 pub use adapter::{ObjectAdapter, ObjectAdapterExt, Servant, ServerRequest};
+pub use admission::{AdmissionConfig, AdmissionControl, AdmissionTicket, ShedReason};
 pub use collective::{partition_into, ParGroup};
 pub use conn::{ConnTuning, GiopConn};
 pub use introspect::{TelemetryClient, TelemetryServant, MAX_TIMELINES};

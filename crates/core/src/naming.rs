@@ -136,6 +136,16 @@ impl NamingClient {
             .result()
     }
 
+    /// Bind `name` to a replicated object group: the members' profile
+    /// lists are merged into one multi-profile IOR (the first member is
+    /// the primary, the rest fail-over replicas in order) and bound like
+    /// any other name. Whoever resolves the name gets failover-aware
+    /// routing for free — the wire protocol is unchanged.
+    pub fn bind_group(&self, name: &str, members: &[Ior]) -> OrbResult<bool> {
+        let group = Ior::merge_group(members)?;
+        self.bind(name, &group)
+    }
+
     /// Resolve `name` to an IOR.
     pub fn resolve_name(&self, name: &str) -> OrbResult<Ior> {
         let s: String = self

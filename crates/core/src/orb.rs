@@ -16,6 +16,7 @@ use zc_transport::{
 };
 
 use crate::adapter::{ObjectAdapter, ServerRequest};
+use crate::admission::{AdmissionConfig, AdmissionControl, ShedReason};
 use crate::conn::{ConnTuning, GiopConn};
 use crate::proxy::ObjectRef;
 use crate::retry::{FailureVerdict, HealthRegistry, RetryPolicy};
@@ -42,6 +43,8 @@ pub struct OrbConfig {
     pub pretend_foreign: bool,
     /// Client-side retry/backoff/circuit-breaker policy.
     pub retry: RetryPolicy,
+    /// Server-side admission budgets (default: unlimited — no shedding).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for OrbConfig {
@@ -51,6 +54,7 @@ impl Default for OrbConfig {
             tuning: ConnTuning::default(),
             pretend_foreign: false,
             retry: RetryPolicy::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -65,6 +69,7 @@ struct OrbInner {
     adapter: Arc<ObjectAdapter>,
     conn_cache: Mutex<HashMap<(String, u16), SharedConn>>,
     endpoint_health: HealthRegistry,
+    admission: AdmissionControl,
 }
 
 /// The Object Request Broker. Cheap to clone; all clones share state.
@@ -147,6 +152,11 @@ impl Orb {
     /// The ORB's retry/breaker policy.
     pub fn retry_policy(&self) -> &RetryPolicy {
         &self.inner.config.retry
+    }
+
+    /// The server-side admission gate (diagnostics: budgets + in-flight).
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.inner.admission
     }
 
     /// Fail fast with `TRANSIENT` while `endpoint`'s circuit breaker is
@@ -244,52 +254,95 @@ impl Orb {
         }
     }
 
+    /// Every dialable target of an IOR, in profile order (for a replicated
+    /// object group: primary first, then the backups).
+    fn group_targets(ior: &Ior) -> OrbResult<Vec<crate::proxy::Target>> {
+        // At least one IIOP profile must exist (same error as before).
+        ior.iiop_profile()?;
+        Ok(ior
+            .iiop_profiles()
+            .map(|p| ((p.host.clone(), p.port), p.object_key.clone()))
+            .collect())
+    }
+
     /// Resolve an IOR to an object reference, reusing a cached connection
-    /// to the same endpoint when one exists.
+    /// to the same endpoint when one exists. Multi-profile IORs (replicated
+    /// object groups) bind to the first live profile: profiles are tried in
+    /// IOR order, skipping endpoints whose circuit breaker is open.
     pub fn resolve(&self, ior: &Ior) -> OrbResult<ObjectRef> {
-        let profile = ior.iiop_profile()?;
-        let key = (profile.host.clone(), profile.port);
-        let conn = {
-            let cache = self.inner.conn_cache.lock();
-            cache.get(&key).cloned()
-        };
-        let conn = match conn {
-            Some(c) => c,
-            None => {
-                self.breaker_check(&key)?;
-                let c = match self.establish(&profile.host, profile.port) {
-                    Ok(c) => Arc::new(Mutex::new(c)),
-                    Err(e) => {
-                        self.note_endpoint_failure(&key);
-                        return Err(e);
+        let targets = Self::group_targets(ior)?;
+        let mut bound = None;
+        let mut last_err = None;
+        for (idx, (endpoint, _)) in targets.iter().enumerate() {
+            let cached = self.inner.conn_cache.lock().get(endpoint).cloned();
+            let conn = match cached {
+                Some(c) => c,
+                None => {
+                    if let Err(e) = self.breaker_check(endpoint) {
+                        last_err = Some(e);
+                        continue;
                     }
-                };
-                self.inner
-                    .conn_cache
-                    .lock()
-                    .insert(key.clone(), Arc::clone(&c));
-                c
+                    match self.establish(&endpoint.0, endpoint.1) {
+                        Ok(c) => {
+                            let c = Arc::new(Mutex::new(c));
+                            self.inner
+                                .conn_cache
+                                .lock()
+                                .insert(endpoint.clone(), Arc::clone(&c));
+                            c
+                        }
+                        Err(e) => {
+                            self.note_endpoint_failure(endpoint);
+                            last_err = Some(e);
+                            continue;
+                        }
+                    }
+                }
+            };
+            bound = Some((idx, conn));
+            break;
+        }
+        match bound {
+            Some((idx, conn)) => {
+                Ok(ObjectRef::new(ior.clone(), conn)?.with_recovery(self.clone(), targets, idx))
             }
-        };
-        Ok(ObjectRef::new(ior.clone(), conn)?.with_recovery(self.clone(), key))
+            None => Err(last_err.expect("group_targets guarantees at least one profile")),
+        }
     }
 
     /// Resolve over a *fresh private* connection (needed for concurrent
-    /// clients, since requests on one connection are serialized).
+    /// clients, since requests on one connection are serialized). Tries
+    /// profiles in IOR order like [`Orb::resolve`].
     pub fn resolve_private(&self, ior: &Ior) -> OrbResult<ObjectRef> {
-        let profile = ior.iiop_profile()?;
-        let key = (profile.host.clone(), profile.port);
-        self.breaker_check(&key)?;
-        let conn = match self.establish(&profile.host, profile.port) {
-            Ok(c) => Arc::new(Mutex::new(c)),
-            Err(e) => {
-                self.note_endpoint_failure(&key);
-                return Err(e);
+        let targets = Self::group_targets(ior)?;
+        let mut bound = None;
+        let mut last_err = None;
+        for (idx, (endpoint, _)) in targets.iter().enumerate() {
+            if let Err(e) = self.breaker_check(endpoint) {
+                last_err = Some(e);
+                continue;
             }
-        };
-        // Private references recover too, but their replacement connection
-        // is never inserted into the shared cache.
-        Ok(ObjectRef::new(ior.clone(), conn)?.with_recovery_private(self.clone(), key))
+            match self.establish(&endpoint.0, endpoint.1) {
+                Ok(c) => {
+                    // Private references recover too, but their replacement
+                    // connection is never inserted into the shared cache.
+                    bound = Some((idx, Arc::new(Mutex::new(c))));
+                    break;
+                }
+                Err(e) => {
+                    self.note_endpoint_failure(endpoint);
+                    last_err = Some(e);
+                }
+            }
+        }
+        match bound {
+            Some((idx, conn)) => Ok(ObjectRef::new(ior.clone(), conn)?.with_recovery_private(
+                self.clone(),
+                targets,
+                idx,
+            )),
+            None => Err(last_err.expect("group_targets guarantees at least one profile")),
+        }
     }
 
     /// Resolve an `IOR:…` string.
@@ -350,8 +403,41 @@ impl Orb {
             Err(_) => return, // failed or garbled handshake: drop quietly
         };
         let tele = self.telemetry();
+        let admission = self.inner.admission.clone();
+        let conn_id = gc.trace_conn_id();
         loop {
-            let incoming = match gc.recv_request() {
+            // Admission runs after the request header decodes but before
+            // any deposit page is pinned: a shed costs one TRANSIENT
+            // (completed = NO) reply. Control-plane objects (reserved
+            // `_`-prefix keys, e.g. `_ZcTelemetry`) ride the reserved lane
+            // so operators can still poll a saturated server. The ticket
+            // holds the queue slot until the reply is sent (end of this
+            // loop iteration).
+            let (incoming, _ticket) = match gc.recv_request_admitted(|header, announced, bulk| {
+                let control = crate::admission::is_control_plane_key(&header.object_key);
+                admission.admit(control, announced, bulk).map_err(|reason| {
+                    if tele.is_enabled() {
+                        let m = tele.metrics();
+                        m.sheds.incr();
+                        if matches!(reason, ShedReason::Brownout) {
+                            m.brownout_sheds.incr();
+                        }
+                    }
+                    let kind = match reason {
+                        ShedReason::QueueFull => {
+                            tele.note_shed();
+                            EventKind::Shed
+                        }
+                        ShedReason::Brownout => {
+                            tele.note_shed();
+                            tele.note_brownout_shed();
+                            EventKind::Brownout
+                        }
+                    };
+                    tele.record(TraceLayer::Orb, kind, conn_id, 0, announced);
+                    reason.exception()
+                })
+            }) {
                 Ok(r) => r,
                 Err(OrbError::Transport(TransportError::Closed)) => break,
                 Err(OrbError::Giop(zc_giop::GiopError::MessageTooLarge(_))) => {
@@ -543,6 +629,15 @@ impl OrbBuilder {
         self
     }
 
+    /// Install server-side admission budgets (default:
+    /// [`AdmissionConfig::default`] — unlimited, never sheds; use
+    /// [`AdmissionConfig::bounded`] for a bounded dispatch queue with
+    /// brownout watermarks and a reserved control-plane lane).
+    pub fn admission(mut self, config: AdmissionConfig) -> Self {
+        self.config.admission = config;
+        self
+    }
+
     /// Build the ORB.
     ///
     /// # Panics
@@ -568,6 +663,7 @@ impl OrbBuilder {
                 pool.clone(),
             )),
         );
+        let admission = AdmissionControl::new(self.config.admission);
         Orb {
             inner: Arc::new(OrbInner {
                 ctx: TransportCtx {
@@ -580,6 +676,7 @@ impl OrbBuilder {
                 adapter,
                 conn_cache: Mutex::new(HashMap::new()),
                 endpoint_health: HealthRegistry::default(),
+                admission,
             }),
         }
     }

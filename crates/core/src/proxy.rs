@@ -6,6 +6,7 @@
 //! on a ZC connection, not at all — a descriptor is written and the block
 //! rides the data channel).
 
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -23,15 +24,109 @@ use crate::{OrbError, OrbResult};
 /// CORBA completion codes (`completed` field of a system exception).
 const COMPLETED_MAYBE: u32 = 2;
 
-/// What an `ObjectRef` needs to heal itself: the owning ORB (to dial a
-/// replacement connection and consult the breaker) and the endpoint.
+/// One dialable member of an object group: endpoint plus object key.
+pub(crate) type Target = ((String, u16), Vec<u8>);
+
+/// What an `ObjectRef` needs to heal itself: the owning ORB (to dial
+/// replacement connections and consult breakers) plus every dialable
+/// target from the IOR's profile list. For a replicated object group the
+/// list has one entry per replica, in IOR order (index 0 = primary).
+/// `active` is shared by every clone of the reference, so one failover
+/// heals them all (they already share the connection `Arc` being swapped).
 #[derive(Clone)]
 struct Recovery {
     orb: crate::Orb,
-    endpoint: (String, u16),
+    /// One entry per IIOP profile, in IOR order.
+    targets: Arc<Vec<Target>>,
+    /// Index of the profile currently in use.
+    active: Arc<AtomicUsize>,
+    /// Consecutive successes on a backup since the last primary probe
+    /// (sticky-primary fail-back, see [`RetryPolicy::reprobe_interval`]).
+    backup_streak: Arc<AtomicU32>,
     /// Whether replacement connections also repair the ORB's shared
     /// connection cache (false for private references).
     cached: bool,
+}
+
+impl Recovery {
+    fn active_index(&self) -> usize {
+        self.active
+            .load(Ordering::SeqCst)
+            .min(self.targets.len() - 1)
+    }
+
+    fn active_target(&self) -> &Target {
+        &self.targets[self.active_index()]
+    }
+
+    /// Record a success on the active profile, and — when running on a
+    /// backup — count toward the sticky-primary re-probe: after
+    /// `reprobe_interval` consecutive backup successes, one attempt is
+    /// made to dial the primary back (its breaker gets the first say).
+    fn note_success_and_maybe_reprobe(
+        &self,
+        conn: &Arc<Mutex<GiopConn>>,
+        policy: &RetryPolicy,
+        tele: &Arc<zc_trace::Telemetry>,
+    ) {
+        let idx = self.active_index();
+        self.orb.note_endpoint_success(&self.targets[idx].0);
+        if idx == 0 || policy.reprobe_interval == 0 {
+            return;
+        }
+        let streak = self.backup_streak.fetch_add(1, Ordering::SeqCst) + 1;
+        if streak < policy.reprobe_interval {
+            return;
+        }
+        self.backup_streak.store(0, Ordering::SeqCst);
+        // reconnect_shared consults the primary's breaker first: a still-
+        // open breaker refuses the probe without a dial.
+        if self
+            .orb
+            .reconnect_shared(&self.targets[0].0, conn, self.cached)
+            .is_ok()
+        {
+            self.active.store(0, Ordering::SeqCst);
+            record_failover(0, tele);
+        }
+    }
+}
+
+/// Account a completed profile switch (failover, or fail-back to `idx` 0).
+fn record_failover(idx: usize, tele: &Arc<zc_trace::Telemetry>) {
+    if tele.is_enabled() {
+        tele.metrics().failovers.incr();
+    }
+    tele.note_failover();
+    tele.record(TraceLayer::Orb, EventKind::Failover, 0, 0, idx as u64);
+}
+
+/// Rotate `target` to the next live profile of its object group: walk the
+/// profile list in IOR order starting after the active one, skip replicas
+/// whose breaker is open, and swap the first successful dial into the
+/// shared connection slot. Returns whether a replacement profile is live.
+fn rotate_failover(target: &ObjectRef, r: &Recovery, tele: &Arc<zc_trace::Telemetry>) -> bool {
+    let n = r.targets.len();
+    if n <= 1 {
+        return false;
+    }
+    let cur = r.active_index();
+    for step in 1..n {
+        let idx = (cur + step) % n;
+        let ep = &r.targets[idx].0;
+        // A breaker-open replica is known-bad: skip it without a dial.
+        if r.orb.breaker_check(ep).is_err() {
+            continue;
+        }
+        // reconnect_shared records dial failures against the replica.
+        if r.orb.reconnect_shared(ep, &target.conn, r.cached).is_ok() {
+            r.active.store(idx, Ordering::SeqCst);
+            r.backup_streak.store(0, Ordering::SeqCst);
+            record_failover(idx, tele);
+            return true;
+        }
+    }
+    false
 }
 
 /// A client-side reference to a remote object: the IOR plus a (shared)
@@ -60,10 +155,20 @@ impl ObjectRef {
     }
 
     /// Attach recovery state (reconnects repair the shared cache).
-    pub(crate) fn with_recovery(mut self, orb: crate::Orb, endpoint: (String, u16)) -> ObjectRef {
+    /// `targets` lists every dialable profile of the IOR in order;
+    /// `active` is the one currently connected.
+    pub(crate) fn with_recovery(
+        mut self,
+        orb: crate::Orb,
+        targets: Vec<Target>,
+        active: usize,
+    ) -> ObjectRef {
+        debug_assert!(!targets.is_empty() && active < targets.len());
         self.recovery = Some(Recovery {
             orb,
-            endpoint,
+            targets: Arc::new(targets),
+            active: Arc::new(AtomicUsize::new(active)),
+            backup_streak: Arc::new(AtomicU32::new(0)),
             cached: true,
         });
         self
@@ -73,14 +178,31 @@ impl ObjectRef {
     pub(crate) fn with_recovery_private(
         mut self,
         orb: crate::Orb,
-        endpoint: (String, u16),
+        targets: Vec<Target>,
+        active: usize,
     ) -> ObjectRef {
+        debug_assert!(!targets.is_empty() && active < targets.len());
         self.recovery = Some(Recovery {
             orb,
-            endpoint,
+            targets: Arc::new(targets),
+            active: Arc::new(AtomicUsize::new(active)),
+            backup_streak: Arc::new(AtomicU32::new(0)),
             cached: false,
         });
         self
+    }
+
+    /// The endpoint the reference is currently bound to (for an object
+    /// group, the active replica; otherwise the IOR's first profile).
+    pub fn active_endpoint(&self) -> OrbResult<(String, u16)> {
+        match &self.recovery {
+            Some(r) => {
+                let (endpoint, _) = r.active_target();
+                // zc-audit: allow(cheap-clone) — endpoint identity (host string + port), not payload
+                Ok(endpoint.clone())
+            }
+            None => Ok(self.ior.iiop_profile()?.endpoint()),
+        }
     }
 
     /// The reference's IOR.
@@ -207,14 +329,25 @@ impl StaticRequest {
         let salt = target
             .recovery
             .as_ref()
-            .map(|r| endpoint_salt(&r.endpoint))
+            .map(|r| endpoint_salt(&r.active_target().0))
             .unwrap_or(0);
-        let expected_order = target.conn.lock().wire_order();
+        let (expected_order, tele) = {
+            let conn = target.conn.lock();
+            (conn.wire_order(), Arc::clone(conn.telemetry()))
+        };
         let mut attempt: u32 = 0;
         loop {
             attempt += 1;
             if let Some(r) = &target.recovery {
-                r.orb.breaker_check(&r.endpoint)?;
+                if let Err(e) = r.orb.breaker_check(&r.active_target().0) {
+                    // Fail-fast on the active profile — but for an object
+                    // group, rotate to the next live replica instead of
+                    // surfacing TRANSIENT: the call was never attempted
+                    // (completed = NO), so any operation may move.
+                    if !rotate_failover(&target, r, &tele) {
+                        return Err(e);
+                    }
+                }
             }
             // The conn mutex *is* the wire serializer: one request/reply
             // round-trip owns the connection end to end, and conn is a leaf
@@ -223,6 +356,19 @@ impl StaticRequest {
             // the analysis is branch-insensitive about that.
             // zc-audit: allow(lock-held) — round-trip under the wire-serializing leaf lock
             let mut conn = target.conn.lock();
+            // A connection poisoned by an earlier reply timeout carries no
+            // further requests — and nothing has been sent on *this*
+            // attempt, so any operation (idempotent or not) may move to a
+            // fresh connection, or rotate to the next replica of a group.
+            if conn.is_poisoned() {
+                drop(conn);
+                if try_recover(&target, &policy, salt, attempt, &tele) {
+                    continue;
+                }
+                return Err(OrbError::Protocol(
+                    "connection poisoned by an earlier reply timeout; resolve a fresh one".into(),
+                ));
+            }
             // A replacement connection must accept the already-marshaled
             // bytes verbatim: same byte order, and descriptor-marshaled
             // deposits need a zero-copy connection. A mismatched renegotiation
@@ -230,10 +376,16 @@ impl StaticRequest {
             if conn.wire_order() != expected_order || (!deposits.is_empty() && !conn.zc_active()) {
                 return Err(comm_failure_maybe(3));
             }
-            let tele = Arc::clone(conn.telemetry());
             let start = tele.is_enabled().then(std::time::Instant::now);
+            // The wire object key follows the active profile: replicas of
+            // an object group may register the same object under
+            // different keys.
+            let wire_key: &[u8] = match &target.recovery {
+                Some(r) => &r.active_target().1,
+                None => &target.object_key,
+            };
             let id = match conn.send_request_raw(
-                &target.object_key,
+                wire_key,
                 &operation,
                 true,
                 &args,
@@ -279,7 +431,7 @@ impl StaticRequest {
                     let meter = conn.meter();
                     drop(conn);
                     if let Some(r) = &target.recovery {
-                        r.orb.note_endpoint_success(&r.endpoint);
+                        r.note_success_and_maybe_reprobe(&target.conn, &policy, &tele);
                     }
                     return Ok(Reply { incoming, meter });
                 }
@@ -291,8 +443,9 @@ impl StaticRequest {
                     // dials fresh.
                     drop(conn);
                     if let Some(r) = &target.recovery {
-                        r.orb.note_endpoint_failure(&r.endpoint);
-                        r.orb.quarantine(&r.endpoint, &target.conn);
+                        let endpoint = &r.active_target().0;
+                        r.orb.note_endpoint_failure(endpoint);
+                        r.orb.quarantine(endpoint, &target.conn);
                     }
                     return Err(e);
                 }
@@ -305,8 +458,28 @@ impl StaticRequest {
                             | OrbError::Cdr(_)
                     );
                     if !conn_dead {
-                        // A System/User exception *is* a reply: the wire
-                        // worked, the endpoint is healthy.
+                        // A server-side shed (`TRANSIENT`, completed = NO)
+                        // refused the request *before* dispatch: the wire
+                        // worked but the replica is overloaded. Count it
+                        // as failure evidence (sustained sheds open the
+                        // breaker) and rotate *any* operation — idempotent
+                        // or not — to the next live replica of the group.
+                        if let OrbError::System(ex) = &e {
+                            if crate::admission::is_shed(ex) {
+                                drop(conn);
+                                if let Some(r) = &target.recovery {
+                                    r.orb.note_endpoint_failure(&r.active_target().0);
+                                    if attempt < policy.max_attempts
+                                        && rotate_failover(&target, r, &tele)
+                                    {
+                                        continue;
+                                    }
+                                }
+                                return Err(e);
+                            }
+                        }
+                        // Any other System/User exception *is* a reply:
+                        // the wire worked, the endpoint is healthy.
                         if matches!(e, OrbError::System(_)) {
                             if let Some(dump) = conn.post_mortem(16) {
                                 eprintln!(
@@ -316,7 +489,7 @@ impl StaticRequest {
                         }
                         drop(conn);
                         if let Some(r) = &target.recovery {
-                            r.orb.note_endpoint_success(&r.endpoint);
+                            r.orb.note_endpoint_success(&r.active_target().0);
                         }
                         return Err(e);
                     }
@@ -333,7 +506,7 @@ impl StaticRequest {
                     }
                     if !idempotent {
                         if let Some(r) = &target.recovery {
-                            r.orb.note_endpoint_failure(&r.endpoint);
+                            r.orb.note_endpoint_failure(&r.active_target().0);
                         }
                     }
                     // An oversized reply is a marshaling failure, not a
@@ -369,7 +542,11 @@ impl StaticRequest {
         }
         // zc-audit: allow(lock-held) — oneway send under the wire-serializing leaf lock; no reply is awaited
         let mut conn = target.conn.lock();
-        conn.send_request(&target.object_key, &operation, false, enc)?;
+        let wire_key: &[u8] = match &target.recovery {
+            Some(r) => &r.active_target().1,
+            None => &target.object_key,
+        };
+        conn.send_request(wire_key, &operation, false, enc)?;
         Ok(())
     }
 }
@@ -404,10 +581,14 @@ fn try_recover(
         return false;
     }
     std::thread::sleep(policy.backoff(attempt, salt));
-    if r.orb
-        .reconnect_shared(&r.endpoint, &target.conn, r.cached)
-        .is_err()
-    {
+    let recovered = r
+        .orb
+        .reconnect_shared(&r.active_target().0, &target.conn, r.cached)
+        .is_ok()
+        // The active profile refused the dial (down, or breaker open):
+        // for an object group the retry may land on the next live replica.
+        || rotate_failover(target, r, tele);
+    if !recovered {
         return false;
     }
     if tele.is_enabled() {

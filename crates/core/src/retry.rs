@@ -43,6 +43,10 @@ pub struct RetryPolicy {
     /// How long an open breaker rejects calls before admitting a
     /// half-open trial.
     pub breaker_cooldown: Duration,
+    /// Sticky-primary re-probe: after this many consecutive successes on a
+    /// backup profile of a replicated object group, the proxy attempts to
+    /// fail back to the primary (profile 0). `0` disables fail-back.
+    pub reprobe_interval: u32,
 }
 
 impl Default for RetryPolicy {
@@ -54,6 +58,7 @@ impl Default for RetryPolicy {
             jitter: 0.5,
             breaker_threshold: 4,
             breaker_cooldown: Duration::from_millis(250),
+            reprobe_interval: 16,
         }
     }
 }

@@ -8,6 +8,24 @@ use crate::{GiopError, GiopResult};
 /// OMG tag for the IIOP profile.
 pub const TAG_INTERNET_IOP: u32 = 0;
 
+/// Capacity clamp for wire-announced profile counts: an object group lists
+/// one profile per replica, so anything past this is a hostile count field,
+/// not a deployment.
+pub const MAX_IOR_PROFILES: u64 = 16;
+
+/// Capacity clamp for wire-announced tagged-component counts per profile.
+pub const MAX_PROFILE_COMPONENTS: u64 = 16;
+
+/// One tagged component inside an IIOP profile, kept verbatim (this ORB
+/// relays components losslessly but interprets none of them yet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedComponent {
+    /// OMG component tag.
+    pub tag: u32,
+    /// Raw component data.
+    pub data: Vec<u8>,
+}
+
 /// An IIOP profile: where an object lives and how to name it there.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IiopProfile {
@@ -19,9 +37,29 @@ pub struct IiopProfile {
     pub port: u16,
     /// Opaque object key within the server ORB.
     pub object_key: Vec<u8>,
+    /// Tagged components. Encoded only when non-empty (this dialect keeps
+    /// component-free profiles byte-identical to the historical form), and
+    /// preserved verbatim on relay.
+    pub components: Vec<TaggedComponent>,
 }
 
 impl IiopProfile {
+    /// A component-free profile.
+    pub fn new(version: GiopVersion, host: &str, port: u16, object_key: &[u8]) -> IiopProfile {
+        IiopProfile {
+            version,
+            host: host.to_string(),
+            port,
+            object_key: object_key.to_vec(),
+            components: Vec::new(),
+        }
+    }
+
+    /// The `(host, port)` endpoint this profile names.
+    pub fn endpoint(&self) -> (String, u16) {
+        (self.host.clone(), self.port)
+    }
+
     /// Encode the profile body (an encapsulation).
     fn marshal_body(&self, enc: &mut CdrEncoder) {
         enc.write_encapsulation(|e| {
@@ -30,6 +68,13 @@ impl IiopProfile {
             e.write_string(&self.host);
             e.write_u16(self.port);
             e.write_octet_seq(&self.object_key);
+            if !self.components.is_empty() {
+                e.write_u32(self.components.len() as u32);
+                for c in &self.components {
+                    e.write_u32(c.tag);
+                    e.write_octet_seq(&c.data);
+                }
+            }
         });
     }
 
@@ -40,11 +85,25 @@ impl IiopProfile {
             let host = e.read_string()?;
             let port = e.read_u16()?;
             let object_key = e.read_octet_seq()?;
+            let mut components = Vec::new();
+            if e.remaining() > 0 {
+                let count = e.read_u32()?;
+                components.reserve(zc_buffers::bounded_capacity(
+                    count as u64,
+                    MAX_PROFILE_COMPONENTS,
+                ));
+                for _ in 0..count {
+                    let tag = e.read_u32()?;
+                    let data = e.read_octet_seq()?;
+                    components.push(TaggedComponent { tag, data });
+                }
+            }
             Ok(IiopProfile {
                 version: GiopVersion { major, minor },
                 host,
                 port,
                 object_key,
+                components,
             })
         })
     }
@@ -82,24 +141,59 @@ impl Ior {
     pub fn new_iiop(type_id: &str, host: &str, port: u16, object_key: &[u8]) -> Ior {
         Ior {
             type_id: type_id.to_string(),
-            profiles: vec![TaggedProfile::Iiop(IiopProfile {
-                version: GiopVersion::V1_2,
-                host: host.to_string(),
+            profiles: vec![TaggedProfile::Iiop(IiopProfile::new(
+                GiopVersion::V1_2,
+                host,
                 port,
-                object_key: object_key.to_vec(),
-            })],
+                object_key,
+            ))],
         }
+    }
+
+    /// Build an object-group reference: one IIOP profile per replica, in
+    /// preference order (the first entry is the sticky primary).
+    pub fn new_group(type_id: &str, replicas: &[(&str, u16, &[u8])]) -> Ior {
+        Ior {
+            type_id: type_id.to_string(),
+            profiles: replicas
+                .iter()
+                .map(|(host, port, key)| {
+                    TaggedProfile::Iiop(IiopProfile::new(GiopVersion::V1_2, host, *port, key))
+                })
+                .collect(),
+        }
+    }
+
+    /// Merge several references into one object group: the type id of the
+    /// first member plus every member's profiles, concatenated in argument
+    /// order (so preference order is the argument order).
+    pub fn merge_group(members: &[Ior]) -> GiopResult<Ior> {
+        let first = members.first().ok_or(GiopError::NoIiopProfile)?;
+        let mut group = Ior {
+            type_id: first.type_id.clone(),
+            profiles: Vec::with_capacity(members.iter().map(|m| m.profiles.len()).sum()),
+        };
+        for m in members {
+            // Every member must actually be dialable, or the group would
+            // silently drop a replica the operator thought was registered.
+            m.iiop_profile()?;
+            group.profiles.extend(m.profiles.iter().cloned());
+        }
+        Ok(group)
     }
 
     /// The first IIOP profile, if any.
     pub fn iiop_profile(&self) -> GiopResult<&IiopProfile> {
-        self.profiles
-            .iter()
-            .find_map(|p| match p {
-                TaggedProfile::Iiop(p) => Some(p),
-                TaggedProfile::Other { .. } => None,
-            })
-            .ok_or(GiopError::NoIiopProfile)
+        self.iiop_profiles().next().ok_or(GiopError::NoIiopProfile)
+    }
+
+    /// All IIOP profiles, in preference order (an object group lists one
+    /// per replica).
+    pub fn iiop_profiles(&self) -> impl Iterator<Item = &IiopProfile> {
+        self.profiles.iter().filter_map(|p| match p {
+            TaggedProfile::Iiop(p) => Some(p),
+            TaggedProfile::Other { .. } => None,
+        })
     }
 
     /// Marshal onto a CDR stream.
@@ -123,9 +217,18 @@ impl Ior {
 
     /// Demarshal from a CDR stream.
     pub fn demarshal(dec: &mut CdrDecoder<'_>) -> CdrResult<Ior> {
+        Ior::demarshal_ior(dec)
+    }
+
+    /// The actual multi-profile decoder. Registered by name as a zc-audit
+    /// wire-taint entrypoint (zc-audit.toml `[taint] entrypoints`): the
+    /// profile and component counts are attacker-controlled, so every
+    /// count-driven allocation below must pass through `bounded_capacity`.
+    fn demarshal_ior(dec: &mut CdrDecoder<'_>) -> CdrResult<Ior> {
         let type_id = dec.read_string()?;
         let count = dec.read_u32()?;
-        let mut profiles = Vec::with_capacity(zc_buffers::bounded_capacity(count as u64, 16));
+        let mut profiles =
+            Vec::with_capacity(zc_buffers::bounded_capacity(count as u64, MAX_IOR_PROFILES));
         for _ in 0..count {
             let tag = dec.read_u32()?;
             if tag == TAG_INTERNET_IOP {
@@ -257,14 +360,77 @@ mod tests {
     #[test]
     fn multi_profile_order_preserved() {
         let mut ior = sample();
-        ior.profiles.push(TaggedProfile::Iiop(IiopProfile {
-            version: GiopVersion::V1_0,
-            host: "backup".into(),
-            port: 1,
-            object_key: vec![1],
-        }));
+        ior.profiles.push(TaggedProfile::Iiop(IiopProfile::new(
+            GiopVersion::V1_0,
+            "backup",
+            1,
+            &[1],
+        )));
         let back = Ior::from_ior_string(&ior.to_ior_string()).unwrap();
         assert_eq!(back.profiles.len(), 2);
         assert_eq!(back.iiop_profile().unwrap().host, "10.0.0.7");
+        let hosts: Vec<&str> = back.iiop_profiles().map(|p| p.host.as_str()).collect();
+        assert_eq!(hosts, ["10.0.0.7", "backup"]);
+    }
+
+    #[test]
+    fn group_constructor_lists_replicas_in_order() {
+        let g = Ior::new_group(
+            "IDL:zcorba/Transfer:1.0",
+            &[
+                ("primary", 2809, b"t".as_slice()),
+                ("replica-a", 2810, b"t".as_slice()),
+                ("replica-b", 2811, b"t".as_slice()),
+            ],
+        );
+        let back = Ior::from_ior_string(&g.to_ior_string()).unwrap();
+        let eps: Vec<(String, u16)> = back.iiop_profiles().map(|p| p.endpoint()).collect();
+        assert_eq!(
+            eps,
+            [
+                ("primary".to_string(), 2809),
+                ("replica-a".to_string(), 2810),
+                ("replica-b".to_string(), 2811)
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_group_concatenates_profiles() {
+        let a = Ior::new_iiop("IDL:zcorba/Transfer:1.0", "a", 1, b"k");
+        let b = Ior::new_iiop("IDL:zcorba/Transfer:1.0", "b", 2, b"k");
+        let g = Ior::merge_group(&[a, b]).unwrap();
+        assert_eq!(g.iiop_profiles().count(), 2);
+        assert_eq!(g.iiop_profile().unwrap().host, "a");
+        // Empty and non-dialable member sets are rejected.
+        assert!(Ior::merge_group(&[]).is_err());
+        let foreign = Ior {
+            type_id: "IDL:x:1.0".into(),
+            profiles: vec![TaggedProfile::Other {
+                tag: 7,
+                data: vec![],
+            }],
+        };
+        assert!(Ior::merge_group(&[foreign]).is_err());
+    }
+
+    #[test]
+    fn tagged_components_roundtrip_losslessly() {
+        let mut ior = sample();
+        if let TaggedProfile::Iiop(p) = &mut ior.profiles[0] {
+            p.components.push(TaggedComponent {
+                tag: 3, // TAG_ALTERNATE_IIOP_ADDRESS
+                data: vec![1, 2, 3, 4],
+            });
+            p.components.push(TaggedComponent {
+                tag: 0x5A,
+                data: vec![],
+            });
+        }
+        let s = ior.to_ior_string();
+        let back = Ior::from_ior_string(&s).unwrap();
+        assert_eq!(back, ior);
+        assert_eq!(back.to_ior_string(), s);
+        assert_eq!(back.iiop_profile().unwrap().components.len(), 2);
     }
 }

@@ -31,7 +31,9 @@ pub use context::{
     SVC_CTX_NEGOTIATE, SVC_CTX_TRACE, SVC_CTX_ZC_HEALTH,
 };
 pub use handshake::{Handshake, Negotiated};
-pub use ior::{IiopProfile, Ior, TaggedProfile};
+pub use ior::{
+    IiopProfile, Ior, TaggedComponent, TaggedProfile, MAX_IOR_PROFILES, MAX_PROFILE_COMPONENTS,
+};
 pub use msg::{
     fragment_frames, frame as frame_msg, reassemble, GiopFlags, GiopHeader, GiopVersion,
     MessageType, GIOP_HEADER_LEN, GIOP_MAGIC,

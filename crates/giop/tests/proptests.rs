@@ -272,6 +272,118 @@ proptest! {
         );
     }
 
+    /// Multi-profile (object group) IORs with tagged components survive a
+    /// marshal/demarshal round trip and the `IOR:<hex>` string form.
+    #[test]
+    fn prop_group_ior_roundtrip_with_components(
+        type_id in "[ -~]{0,40}",
+        replicas in proptest::collection::vec(
+            ("[a-z0-9.]{1,20}", any::<u16>(), proptest::collection::vec(any::<u8>(), 0..16)),
+            1..6,
+        ),
+        comps in proptest::collection::vec(
+            (1u32..1000, proptest::collection::vec(any::<u8>(), 0..16)),
+            0..4,
+        ),
+    ) {
+        let members: Vec<(&str, u16, &[u8])> = replicas
+            .iter()
+            .map(|(h, p, k)| (h.as_str(), *p, k.as_slice()))
+            .collect();
+        let mut ior = Ior::new_group(&type_id, &members);
+        // Components ride on the first profile; relay must be lossless.
+        if let Some(TaggedProfile::Iiop(p)) = ior.profiles.first_mut() {
+            p.components = comps
+                .iter()
+                .map(|(tag, data)| zc_giop::TaggedComponent { tag: *tag, data: data.clone() })
+                .collect();
+        }
+        let s = ior.to_ior_string();
+        let back = Ior::from_ior_string(&s).unwrap();
+        prop_assert_eq!(&back, &ior);
+        prop_assert_eq!(back.iiop_profiles().count(), replicas.len());
+        prop_assert_eq!(back.to_ior_string(), s);
+    }
+
+    /// A valid multi-profile group IOR with random byte flips and/or a
+    /// truncation never panics the IOR decoder — the profile count, the
+    /// per-profile encapsulation lengths, and the component counts are all
+    /// attacker-reachable, and every corruption must land as `Err`.
+    #[test]
+    fn prop_mutated_multi_profile_ior_never_panics(
+        replicas in proptest::collection::vec(
+            ("[a-z0-9.]{1,20}", any::<u16>(), proptest::collection::vec(any::<u8>(), 0..16)),
+            1..6,
+        ),
+        comp_data in proptest::collection::vec(any::<u8>(), 0..16),
+        flips in proptest::collection::vec((any::<usize>(), 1u8..=255u8), 0..8),
+        cut in any::<usize>(),
+        do_truncate: bool,
+    ) {
+        let members: Vec<(&str, u16, &[u8])> = replicas
+            .iter()
+            .map(|(h, p, k)| (h.as_str(), *p, k.as_slice()))
+            .collect();
+        let mut ior = Ior::new_group("IDL:zcorba/Group:1.0", &members);
+        if let Some(TaggedProfile::Iiop(p)) = ior.profiles.first_mut() {
+            p.components = vec![zc_giop::TaggedComponent { tag: 77, data: comp_data }];
+        }
+        let mut enc = CdrEncoder::native();
+        enc.write_octet(enc.order().flag() as u8);
+        ior.marshal(&mut enc).unwrap();
+        let mut bytes = enc.finish_stream();
+        for &(idx, xor) in &flips {
+            let pos = idx % bytes.len();
+            bytes[pos] ^= xor;
+        }
+        if do_truncate {
+            bytes.truncate(cut % bytes.len());
+        }
+        if !bytes.is_empty() {
+            let order = ByteOrder::from_flag(bytes[0] & 1 == 1);
+            let mut dec = CdrDecoder::new(&bytes, order);
+            if dec.read_octet().is_ok() {
+                let _ = Ior::demarshal(&mut dec);
+            }
+        }
+        // The hex string path wraps the same decoder and must not panic
+        // either.
+        let mut s = String::with_capacity(4 + bytes.len() * 2);
+        s.push_str("IOR:");
+        for b in &bytes {
+            s.push_str(&format!("{b:02x}"));
+        }
+        let _ = Ior::from_ior_string(&s);
+    }
+
+    /// Hostile profile and component counts in an IOR — millions announced
+    /// over a handful of bytes — must error with bounded allocation. These
+    /// replay the `demarshal_ior` and `demarshal_body` sizing sites, which
+    /// clamp through `bounded_capacity`.
+    #[test]
+    fn prop_hostile_ior_counts_error_bounded(
+        announced in 64u32..u32::MAX,
+        tail in proptest::collection::vec(any::<u8>(), 0..32),
+        order in orders(),
+    ) {
+        // Profile count with almost no bytes behind it: type_id (empty
+        // string = 4-byte length + NUL), then the lying count.
+        let mut enc = CdrEncoder::new(order);
+        enc.write_string("");
+        enc.write_u32(announced);
+        let mut ior_bytes = enc.finish_stream();
+        ior_bytes.extend_from_slice(&tail);
+
+        let (res, peak) = measured_peak(|| {
+            Ior::demarshal(&mut CdrDecoder::new(&ior_bytes, order))
+        });
+        prop_assert!(res.is_err(), "a lying profile count of {announced} must error");
+        prop_assert!(
+            peak <= MAX_GIOP_MESSAGE as usize,
+            "hostile profile count drove a {peak} byte peak"
+        );
+    }
+
     /// Hostile count fields in the service-context layer: a context list
     /// announcing millions of entries over a few bytes, and a deposit
     /// manifest announcing millions of block lengths, must both error with
@@ -315,6 +427,8 @@ fn iiop_profile_struct_is_public() {
         host: "h".into(),
         port: 1,
         object_key: vec![],
+        components: vec![],
     };
     assert_eq!(p.port, 1);
+    assert_eq!(p.endpoint(), ("h".to_string(), 1));
 }

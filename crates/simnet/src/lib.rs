@@ -28,12 +28,14 @@ pub mod des;
 pub mod link;
 pub mod machine;
 pub mod sweep;
+pub mod workload;
 
 pub use analytic::{block_costs, cpu_utilization, predict, stage_budget, BlockCosts, StageBudget};
 pub use des::simulate;
 pub use link::LinkSpec;
 pub use machine::MachineSpec;
 pub use sweep::{paper_sweep, run_sweep, Sweep, SweepConfig, FIGURE_CONFIGS};
+pub use workload::{ArrivalSchedule, KeySkew, SeededRng};
 
 /// Kernel socket layer variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

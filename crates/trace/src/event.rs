@@ -89,11 +89,20 @@ pub enum EventKind {
     /// top byte, duration in ns in the low 56 bits — see
     /// [`crate::pack_stage`]).
     Stage = 16,
+    /// Admission control shed a request before dispatch
+    /// (payload: announced request bytes, body plus deposits).
+    Shed = 17,
+    /// A bulk request was shed by brownout-mode admission while
+    /// control-plane traffic stayed admitted (payload: announced bytes).
+    Brownout = 18,
+    /// The client rotated an object reference to another IOR profile
+    /// (payload: index of the newly active profile).
+    Failover = 19,
 }
 
 impl EventKind {
     /// All kinds.
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::RequestSent,
         EventKind::RequestReceived,
         EventKind::ReplySent,
@@ -111,6 +120,9 @@ impl EventKind {
         EventKind::Degrade,
         EventKind::Upgrade,
         EventKind::Stage,
+        EventKind::Shed,
+        EventKind::Brownout,
+        EventKind::Failover,
     ];
 
     /// Short name used in reports.
@@ -133,6 +145,9 @@ impl EventKind {
             EventKind::Degrade => "degrade",
             EventKind::Upgrade => "upgrade",
             EventKind::Stage => "stage",
+            EventKind::Shed => "shed",
+            EventKind::Brownout => "brownout",
+            EventKind::Failover => "failover",
         }
     }
 

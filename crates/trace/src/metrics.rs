@@ -475,6 +475,13 @@ pub struct MetricsRegistry {
     pub degradations: Counter,
     /// Degraded connections that re-upgraded to zero-copy.
     pub upgrades: Counter,
+    /// Requests shed by server-side admission control before dispatch.
+    pub sheds: Counter,
+    /// Bulk requests shed specifically by brownout-mode admission (a
+    /// subset of `sheds`).
+    pub brownout_sheds: Counter,
+    /// Client-side profile rotations to a replica endpoint.
+    pub failovers: Counter,
     /// Client-observed request→reply latency, in nanoseconds.
     pub request_latency_ns: Histogram,
     /// Server-side servant dispatch duration, in nanoseconds.
@@ -505,6 +512,9 @@ impl MetricsRegistry {
             breaker_opens: self.breaker_opens.get(),
             degradations: self.degradations.get(),
             upgrades: self.upgrades.get(),
+            sheds: self.sheds.get(),
+            brownout_sheds: self.brownout_sheds.get(),
+            failovers: self.failovers.get(),
             request_latency_ns: self.request_latency_ns.snapshot(),
             dispatch_ns: self.dispatch_ns.snapshot(),
             deposit_block_bytes: self.deposit_block_bytes.snapshot(),
@@ -538,6 +548,12 @@ pub struct MetricsSnapshot {
     pub degradations: u64,
     /// Copy→ZC re-upgrades.
     pub upgrades: u64,
+    /// Requests shed by admission control.
+    pub sheds: u64,
+    /// Bulk requests shed by brownout mode.
+    pub brownout_sheds: u64,
+    /// Client-side profile rotations.
+    pub failovers: u64,
     /// Request→reply latency histogram.
     pub request_latency_ns: HistogramSnapshot,
     /// Dispatch duration histogram.

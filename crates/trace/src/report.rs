@@ -102,6 +102,9 @@ impl OrbTelemetry {
             ("breaker_opens", self.metrics.breaker_opens),
             ("degradations", self.metrics.degradations),
             ("upgrades", self.metrics.upgrades),
+            ("sheds", self.metrics.sheds),
+            ("brownout_sheds", self.metrics.brownout_sheds),
+            ("failovers", self.metrics.failovers),
         ] {
             if v != 0 {
                 let _ = writeln!(out, "{name:<20}{v:>14}");
@@ -153,6 +156,9 @@ impl OrbTelemetry {
             ("wire tx B/s", self.load.wire_tx_bytes_per_s),
             ("wire rx B/s", self.load.wire_rx_bytes_per_s),
             ("retries/s", self.load.retries_per_s),
+            ("shed/s", self.load.shed_per_s),
+            ("brownout/s", self.load.brownout_per_s),
+            ("failover/s", self.load.failover_per_s),
         ] {
             let _ = writeln!(out, "{name:<20}{v:>14.1}");
         }
@@ -224,6 +230,9 @@ impl OrbTelemetry {
             ("breaker_opens", self.metrics.breaker_opens),
             ("degradations", self.metrics.degradations),
             ("upgrades", self.metrics.upgrades),
+            ("sheds", self.metrics.sheds),
+            ("brownout_sheds", self.metrics.brownout_sheds),
+            ("failovers", self.metrics.failovers),
         ] {
             let _ = writeln!(
                 out,
@@ -258,12 +267,15 @@ impl OrbTelemetry {
         }
         let _ = writeln!(
             out,
-            "{{\"section\":\"load\",\"window_ns\":{},\"req_per_s\":{:.3},\"wire_tx_bytes_per_s\":{:.3},\"wire_rx_bytes_per_s\":{:.3},\"retries_per_s\":{:.3},\"req_rx_total\":{}{g}}}",
+            "{{\"section\":\"load\",\"window_ns\":{},\"req_per_s\":{:.3},\"wire_tx_bytes_per_s\":{:.3},\"wire_rx_bytes_per_s\":{:.3},\"retries_per_s\":{:.3},\"shed_per_s\":{:.3},\"brownout_per_s\":{:.3},\"failover_per_s\":{:.3},\"req_rx_total\":{}{g}}}",
             l.window_ns,
             l.req_per_s,
             l.wire_tx_bytes_per_s,
             l.wire_rx_bytes_per_s,
             l.retries_per_s,
+            l.shed_per_s,
+            l.brownout_per_s,
+            l.failover_per_s,
             l.req_rx_total
         );
         out

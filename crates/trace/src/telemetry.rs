@@ -192,6 +192,33 @@ impl Telemetry {
         self.windows.retries.tick(crate::now_ns(), 1);
     }
 
+    /// Count one admission-control shed into the shed-rate window.
+    #[inline]
+    pub fn note_shed(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.shed.tick(crate::now_ns(), 1);
+    }
+
+    /// Count one brownout-mode bulk shed into the brownout-rate window.
+    #[inline]
+    pub fn note_brownout_shed(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.brownout.tick(crate::now_ns(), 1);
+    }
+
+    /// Count one client-side profile failover into the failover-rate window.
+    #[inline]
+    pub fn note_failover(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.windows.failover.tick(crate::now_ns(), 1);
+    }
+
     /// A dispatch began: raise the in-flight gauge.
     #[inline]
     pub fn note_dispatch_begin(&self) {

@@ -213,6 +213,12 @@ pub struct LoadWindows {
     pub wire_rx: RateWindow,
     /// Client retry attempts per second.
     pub retries: RateWindow,
+    /// Requests shed by admission control per second.
+    pub shed: RateWindow,
+    /// Bulk requests shed by brownout-mode admission per second.
+    pub brownout: RateWindow,
+    /// Client-side profile failovers per second.
+    pub failover: RateWindow,
     /// Requests currently being dispatched (per-ORB in-flight) + peak.
     pub inflight: Gauge,
     /// Open GIOP connections + peak.
@@ -243,6 +249,9 @@ impl LoadWindows {
             wire_tx: RateWindow::new(window_ns),
             wire_rx: RateWindow::new(window_ns),
             retries: RateWindow::new(window_ns),
+            shed: RateWindow::new(window_ns),
+            brownout: RateWindow::new(window_ns),
+            failover: RateWindow::new(window_ns),
             inflight: Gauge::new(),
             conns: Gauge::new(),
             degraded_conns: Gauge::new(),
@@ -260,6 +269,9 @@ impl LoadWindows {
             wire_tx_bytes_per_s: self.wire_tx.rate_per_s(now_ns),
             wire_rx_bytes_per_s: self.wire_rx.rate_per_s(now_ns),
             retries_per_s: self.retries.rate_per_s(now_ns),
+            shed_per_s: self.shed.rate_per_s(now_ns),
+            brownout_per_s: self.brownout.rate_per_s(now_ns),
+            failover_per_s: self.failover.rate_per_s(now_ns),
             req_rx_total: self.req_rx.total(),
             inflight: self.inflight.snapshot(),
             conns: self.conns.snapshot(),
@@ -284,6 +296,12 @@ pub struct LoadSnapshot {
     pub wire_rx_bytes_per_s: f64,
     /// Retry attempts per second.
     pub retries_per_s: f64,
+    /// Requests shed by admission control per second.
+    pub shed_per_s: f64,
+    /// Bulk requests shed by brownout mode per second.
+    pub brownout_per_s: f64,
+    /// Client-side profile failovers per second.
+    pub failover_per_s: f64,
     /// Exact lifetime count of received requests seen by the window (for
     /// monotonicity checks against the registry counter).
     pub req_rx_total: u64,
