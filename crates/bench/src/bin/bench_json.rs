@@ -30,7 +30,7 @@ fn arg_value(name: &str) -> Option<String> {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let advisory = std::env::args().any(|a| a == "--advisory");
-    let out_path = PathBuf::from(arg_value("--out").unwrap_or_else(|| "BENCH_PR8.json".into()));
+    let out_path = PathBuf::from(arg_value("--out").unwrap_or_else(|| "BENCH_PR9.json".into()));
     let label = out_path
         .file_stem()
         .and_then(|s| s.to_str())

@@ -20,15 +20,25 @@
 //! `_ZcTelemetry` lane keeps answering — the CI overload-smoke job drives
 //! exactly this. Load threads count sheds and keep going; only hard
 //! failures stop them.
+//!
+//! `--spool DIR` drains the flight recorder into durable segment files
+//! under `DIR` (see `zc_trace::SpoolConfig`) and additionally runs a small
+//! in-process *journey demo*: a two-replica object group is booted on the
+//! same shared telemetry, the primary is killed mid-stream, and an
+//! idempotent caller fails over — so the spooled segments always contain
+//! at least one multi-attempt journey for `zc-flame` to reconstruct. The
+//! CI trace-spool smoke job drives exactly this.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use zc_giop::Ior;
 use zc_orb::{AdmissionConfig, ObjectAdapterExt, Orb, OrbError, OrbResult, Servant, ServerRequest};
 
 const BULK_REPO_ID: &str = "IDL:zcorba/bench/BulkSink:1.0";
+const PONG_REPO_ID: &str = "IDL:zcorba/bench/Pong:1.0";
 
 /// Accepts zero-copy octet blocks and acknowledges their length — the
 /// minimal bulk-data servant, so wire bytes and deposit traffic dominate.
@@ -47,6 +57,99 @@ impl Servant for BulkSink {
             }
             other => req.bad_operation(other),
         }
+    }
+}
+
+/// The journey demo's replica servant: a trivial idempotent `ping` plus a
+/// `nap` stall used to poison a connection to a killed primary.
+struct Pong;
+
+impl Servant for Pong {
+    fn repo_id(&self) -> &'static str {
+        PONG_REPO_ID
+    }
+
+    fn dispatch(&self, op: &str, req: &mut ServerRequest<'_>) -> OrbResult<()> {
+        match op {
+            "ping" => {
+                let n: u32 = req.arg()?;
+                req.result(&n)
+            }
+            "nap" => {
+                let ms: u32 = req.arg()?;
+                std::thread::sleep(Duration::from_millis(ms as u64));
+                req.result(&ms)
+            }
+            other => req.bad_operation(other),
+        }
+    }
+}
+
+/// Boot a two-replica Pong group on `telemetry`, kill the primary
+/// mid-stream, and drive an idempotent caller across the failover. Every
+/// event lands in the shared recorder, so the spool (owned by the main
+/// server ORB) captures a complete multi-attempt journey.
+fn run_journey_demo(telemetry: &Arc<zc_trace::Telemetry>) {
+    let mut servers = Vec::new();
+    let mut orbs = Vec::new();
+    let mut iors = Vec::new();
+    for _ in 0..2 {
+        let orb = Orb::builder()
+            .tcp()
+            .telemetry(Arc::clone(telemetry))
+            .build();
+        orb.adapter().register("pong", Arc::new(Pong));
+        let server = orb.serve(0).expect("bind journey replica");
+        iors.push(server.ior_for("pong", PONG_REPO_ID).expect("pong ior"));
+        servers.push(server);
+        orbs.push(orb);
+    }
+    let group = Ior::merge_group(&iors).expect("journey group ior");
+    let client = Orb::builder()
+        .tcp()
+        .telemetry(Arc::clone(telemetry))
+        .build();
+    let obj = match client.resolve(&group) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("journey demo: resolve failed: {e}");
+            return;
+        }
+    };
+    let ping = |n: u32| {
+        obj.request("ping")
+            .arg(&n)
+            .expect("marshal")
+            .idempotent()
+            .invoke()
+            .and_then(|r| r.result::<u32>())
+    };
+    for n in 0..3 {
+        let _ = ping(n);
+    }
+    // Kill the primary mid-stream: stop its acceptor, then poison the
+    // still-open connection with a timed-out nap (real TCP has no fault
+    // injection; the stall plays the dead peer). The next idempotent ping
+    // reconnects, is refused, and rotates to the backup — a journey whose
+    // second attempt carries a nonzero cause tag.
+    servers.remove(0).shutdown();
+    let _ = obj
+        .request("nap")
+        .arg(&5_000u32)
+        .expect("marshal")
+        .idempotent()
+        .invoke_timeout(Duration::from_millis(50));
+    let mut recovered = false;
+    for n in 0..3 {
+        recovered |= ping(n).is_ok();
+    }
+    for s in servers {
+        s.shutdown();
+    }
+    if recovered {
+        println!("zcorba journey demo complete (failover exercised)");
+    } else {
+        eprintln!("journey demo: failover never recovered");
     }
 }
 
@@ -71,10 +174,15 @@ fn main() {
         admit_requests.saturating_mul((block_kib as u64) << 10),
     );
 
+    let spool_dir = arg_value("--spool");
+
     let telemetry = zc_trace::Telemetry::with_capacity(4096);
     let mut builder = Orb::builder().tcp().telemetry(Arc::clone(&telemetry));
     if admit_requests > 0 {
         builder = builder.admission(AdmissionConfig::bounded(admit_requests, admit_bytes));
+    }
+    if let Some(dir) = &spool_dir {
+        builder = builder.trace_spool(zc_trace::SpoolConfig::new(dir));
     }
     let server_orb = builder.build();
     server_orb.adapter().register("bulk", Arc::new(BulkSink));
@@ -149,6 +257,15 @@ fn main() {
     for w in workers {
         let _ = w.join();
     }
+
+    // With a spool configured, guarantee the retained segments hold at
+    // least one multi-attempt journey regardless of how much external load
+    // ran: the demo goes last, after the load threads stop, so rotation
+    // can no longer prune its events before the final drain.
+    if spool_dir.is_some() {
+        run_journey_demo(&telemetry);
+    }
+
     server.shutdown();
     let sheds = shed_seen.load(Ordering::Relaxed);
     if sheds > 0 {

@@ -1,0 +1,68 @@
+//! `zc-flame` — offline critical-path analyzer over trace-spool segments.
+//!
+//! ```text
+//! cargo run -p zc-bench --bin zc_flame -- --dir /tmp/zc-spool
+//! cargo run -p zc-bench --bin zc_flame -- --dir /tmp/zc-spool --json --out flame.json
+//! ```
+//!
+//! Reads every `spool-*.zcs` segment under `--dir` (oldest first, torn
+//! tails tolerated — the segments are untrusted input), reconstructs
+//! request journeys across their attempts, and renders either a text
+//! flamegraph with per-stage/per-cause aggregates (the default) or the
+//! `zcorba-flame/v1` machine summary (`--json`). `--top N` bounds the
+//! per-journey detail (longest critical path first, default 10).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use zc_bench::flame::{analyze_spool_dir, render_json, render_text};
+
+fn arg_value(name: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != name).nth(1)
+}
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn main() -> ExitCode {
+    let Some(dir) = arg_value("--dir") else {
+        eprintln!("usage: zc_flame --dir SPOOL_DIR [--json] [--out FILE] [--top N]");
+        return ExitCode::FAILURE;
+    };
+    let top: usize = arg_value("--top")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+
+    let analysis = match analyze_spool_dir(&PathBuf::from(&dir)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("zc_flame: {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let rendered = if arg_flag("--json") {
+        render_json(&analysis, top)
+    } else {
+        render_text(&analysis, top)
+    };
+
+    match arg_value("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, rendered.as_bytes()) {
+                eprintln!("zc_flame: write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            // write_all, not println!: a downstream `| head` closing the
+            // pipe early must end the program quietly, not panic it.
+            use std::io::Write as _;
+            let mut out = std::io::stdout().lock();
+            let _ = out.write_all(rendered.as_bytes());
+            let _ = out.write_all(b"\n");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -15,13 +15,17 @@
 //! * `--frames N` — stop after N frames (default: run until killed).
 //! * `--once` — take two closely-spaced polls, emit one summary, exit.
 //! * `--json` — machine output (`zcorba-top/v1`), one object per frame.
+//! * `--keys` — print the `--once --json` schema's required keys, one per
+//!   line, and exit (no server needed); CI asserts against this list.
 //!
 //! Exit codes: 0 ok, 2 usage, 3 connect/poll failure.
 
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
-use zc_bench::top::{delta, render_frame, render_once_json, TopDelta, TopSample};
+use zc_bench::top::{
+    delta, render_frame, render_once_json, TopDelta, TopSample, REQUIRED_JSON_KEYS,
+};
 use zc_orb::{Orb, TelemetryClient};
 
 fn arg_value(name: &str) -> Option<String> {
@@ -36,6 +40,14 @@ fn poll(client: &TelemetryClient) -> Result<TopSample, String> {
 }
 
 fn main() {
+    // `--keys` needs no server: print the `--once --json` schema contract
+    // (one key per line) for scripts and CI to assert against.
+    if std::env::args().any(|a| a == "--keys") {
+        for key in REQUIRED_JSON_KEYS {
+            println!("{key}");
+        }
+        return;
+    }
     let Some(endpoint) = arg_value("--connect") else {
         eprintln!(
             "usage: zc-top --connect HOST:PORT [--interval-ms N] [--frames N] [--once] [--json]"

@@ -10,10 +10,15 @@
 //!    copies are real `memcpy`s; absolute numbers reflect *this* machine,
 //!    but the ordering and the copy accounting must tell the same story.
 
+pub mod flame;
 pub mod overload;
 pub mod report;
 pub mod top;
 pub mod trajectory;
+
+pub use flame::{
+    analyze_spool_dir, reconstruct_journeys, Attempt, FlameAnalysis, Journey, FLAME_SCHEMA,
+};
 
 pub use overload::{
     probe_capacity, run_point as overload_point, run_sweep as overload_sweep, OverloadCurve,

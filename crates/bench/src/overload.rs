@@ -88,7 +88,7 @@ impl OverloadParams {
         }
     }
 
-    /// The full four-point curve of `BENCH_PR8.json`.
+    /// The full four-point curve of `BENCH_PR9.json`.
     pub fn full(seed: u64) -> OverloadParams {
         OverloadParams {
             seed,

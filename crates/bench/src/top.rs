@@ -250,51 +250,108 @@ pub fn render_frame(s: &TopSample, d: Option<&TopDelta>, endpoint: &str) -> Stri
     out
 }
 
-/// Render the `--once --json` machine summary: one flat object with the
-/// keys CI asserts on. Hand-rolled like every other JSON emitter here.
+/// Every key the `--once --json` summary is contractually required to
+/// carry. CI asserts the whole list with one jq query (replacing the old
+/// hand-maintained grep loop, which silently rotted whenever a key was
+/// renamed), `zc-top --keys` prints it for scripts, and a unit test keeps
+/// it in lock-step with [`render_once_json`] in both directions.
+pub const REQUIRED_JSON_KEYS: &[&str] = &[
+    "schema",
+    "endpoint",
+    "enabled",
+    "goodput_mbit_s",
+    "tx_mbit_s",
+    "copied_bytes_delta",
+    "poll_interval_s",
+    "req_per_s",
+    "wire_tx_bytes_per_s",
+    "wire_rx_bytes_per_s",
+    "retries_per_s",
+    "inflight",
+    "inflight_peak",
+    "conns",
+    "conns_peak",
+    "degraded_conns",
+    "degraded_conns_peak",
+    "breakers_open",
+    "breakers_open_peak",
+    "reassembly_peak_bytes",
+    "pool_retained_bytes",
+    "pool_retained_peak",
+    "requests_received",
+    "replies_ok",
+    "replies_exception",
+    "retries_total",
+    "reconnects_total",
+    "breaker_opens_total",
+    "sheds_total",
+    "brownout_sheds_total",
+    "failovers_total",
+    "shed_per_s",
+    "brownout_per_s",
+    "failover_per_s",
+    "degradations_total",
+    "upgrades_total",
+    "spec_hit_rate",
+    "events_recorded",
+    "events_dropped",
+    "stage_p99_ns",
+];
+
+/// The numeric summary fields, in emission order: the `REQUIRED_JSON_KEYS`
+/// tail between the three header fields and `stage_p99_ns`.
+fn summary_numbers(s: &TopSample, d: &TopDelta) -> [f64; 36] {
+    [
+        d.goodput_mbit_s,
+        d.tx_mbit_s,
+        d.copied_bytes_delta,
+        d.elapsed_s,
+        s.num("load.req_per_s"),
+        s.num("load.wire_tx_bytes_per_s"),
+        s.num("load.wire_rx_bytes_per_s"),
+        s.num("load.retries_per_s"),
+        s.num("load.inflight"),
+        s.num("load.inflight_peak"),
+        s.num("load.conns"),
+        s.num("load.conns_peak"),
+        s.num("load.degraded_conns"),
+        s.num("load.degraded_conns_peak"),
+        s.num("load.breakers_open"),
+        s.num("load.breakers_open_peak"),
+        s.num("load.reassembly_bytes_peak"),
+        s.num("pool.retained_bytes"),
+        s.num("load.pool_retained_peak"),
+        s.num("counter.requests_received"),
+        s.num("counter.replies_ok"),
+        s.num("counter.replies_exception"),
+        s.num("counter.retries"),
+        s.num("counter.reconnects"),
+        s.num("counter.breaker_opens"),
+        s.num("counter.sheds"),
+        s.num("counter.brownout_sheds"),
+        s.num("counter.failovers"),
+        s.num("load.shed_per_s"),
+        s.num("load.brownout_per_s"),
+        s.num("load.failover_per_s"),
+        s.num("counter.degradations"),
+        s.num("counter.upgrades"),
+        s.num("transport.spec_hit_rate"),
+        s.num("recorder.recorded"),
+        s.num("recorder.dropped"),
+    ]
+}
+
+/// Render the `--once --json` machine summary: one flat object carrying
+/// exactly [`REQUIRED_JSON_KEYS`]. Hand-rolled like every other JSON
+/// emitter here; the key names come straight from the required list so the
+/// contract and the emitter cannot drift apart.
 pub fn render_once_json(s: &TopSample, d: &TopDelta, endpoint: &str) -> String {
     let mut out = String::from("{");
     let _ = write!(out, "\"schema\":\"zcorba-top/v1\"");
     let _ = write!(out, ",\"endpoint\":\"{endpoint}\"");
     let _ = write!(out, ",\"enabled\":{}", s.enabled);
-    for (key, v) in [
-        ("goodput_mbit_s", d.goodput_mbit_s),
-        ("tx_mbit_s", d.tx_mbit_s),
-        ("copied_bytes_delta", d.copied_bytes_delta),
-        ("poll_interval_s", d.elapsed_s),
-        ("req_per_s", s.num("load.req_per_s")),
-        ("wire_tx_bytes_per_s", s.num("load.wire_tx_bytes_per_s")),
-        ("wire_rx_bytes_per_s", s.num("load.wire_rx_bytes_per_s")),
-        ("retries_per_s", s.num("load.retries_per_s")),
-        ("inflight", s.num("load.inflight")),
-        ("inflight_peak", s.num("load.inflight_peak")),
-        ("conns", s.num("load.conns")),
-        ("conns_peak", s.num("load.conns_peak")),
-        ("degraded_conns", s.num("load.degraded_conns")),
-        ("degraded_conns_peak", s.num("load.degraded_conns_peak")),
-        ("breakers_open", s.num("load.breakers_open")),
-        ("breakers_open_peak", s.num("load.breakers_open_peak")),
-        ("reassembly_peak_bytes", s.num("load.reassembly_bytes_peak")),
-        ("pool_retained_bytes", s.num("pool.retained_bytes")),
-        ("pool_retained_peak", s.num("load.pool_retained_peak")),
-        ("requests_received", s.num("counter.requests_received")),
-        ("replies_ok", s.num("counter.replies_ok")),
-        ("replies_exception", s.num("counter.replies_exception")),
-        ("retries_total", s.num("counter.retries")),
-        ("reconnects_total", s.num("counter.reconnects")),
-        ("breaker_opens_total", s.num("counter.breaker_opens")),
-        ("sheds_total", s.num("counter.sheds")),
-        ("brownout_sheds_total", s.num("counter.brownout_sheds")),
-        ("failovers_total", s.num("counter.failovers")),
-        ("shed_per_s", s.num("load.shed_per_s")),
-        ("brownout_per_s", s.num("load.brownout_per_s")),
-        ("failover_per_s", s.num("load.failover_per_s")),
-        ("degradations_total", s.num("counter.degradations")),
-        ("upgrades_total", s.num("counter.upgrades")),
-        ("spec_hit_rate", s.num("transport.spec_hit_rate")),
-        ("events_recorded", s.num("recorder.recorded")),
-        ("events_dropped", s.num("recorder.dropped")),
-    ] {
+    let numeric_keys = &REQUIRED_JSON_KEYS[3..REQUIRED_JSON_KEYS.len() - 1];
+    for (key, v) in numeric_keys.iter().zip(summary_numbers(s, d)) {
         let _ = write!(out, ",\"{key}\":{v:.6}");
     }
     let _ = write!(out, ",\"stage_p99_ns\":{{");
@@ -421,6 +478,29 @@ mod tests {
                 .is_some(),
             "{json}"
         );
+    }
+
+    /// The schema contract, both directions: every required key is
+    /// emitted, and nothing is emitted that the required list does not
+    /// name. CI's jq check trusts this list, so drift fails here first.
+    #[test]
+    fn json_summary_carries_exactly_the_required_keys() {
+        let s = live_sample();
+        let json = render_once_json(&s, &TopDelta::default(), "127.0.0.1:1");
+        let v = parse_json(&json).expect("valid json");
+        for key in REQUIRED_JSON_KEYS {
+            assert!(v.get(key).is_some(), "summary missing required key {key}");
+        }
+        let Json::Obj(members) = &v else {
+            panic!("summary is not an object")
+        };
+        for (key, _) in members {
+            assert!(
+                REQUIRED_JSON_KEYS.contains(&key.as_str()),
+                "summary emits undeclared key {key}"
+            );
+        }
+        assert_eq!(members.len(), REQUIRED_JSON_KEYS.len());
     }
 
     #[test]

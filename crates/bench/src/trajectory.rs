@@ -113,13 +113,14 @@ impl TrajectorySnapshot {
         let _ = write!(
             out,
             "{{\n  \"schema\": \"{SCHEMA}\",\n  \"label\": \"{}\",\n  \"smoke\": {},\n  \
-             \"generated_unix_ms\": {},\n  \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},\n",
+             \"generated_unix_ms\": {},\n  \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}, \"load1\": {:.2}}},\n",
             json_escape(&self.label),
             self.smoke,
             self.generated_unix_ms,
             std::env::consts::OS,
             std::env::consts::ARCH,
             std::thread::available_parallelism().map_or(0, |n| n.get()),
+            host_load1(),
         );
         out.push_str("  \"goodput\": [\n");
         for (i, g) in self.goodput.iter().enumerate() {
@@ -183,6 +184,17 @@ pub fn goodput_json(g: &GoodputPoint) -> String {
         g.overhead_copy_factor,
         g.spec_hit_rate,
     )
+}
+
+/// The host's 1-minute load average (`/proc/loadavg` first field); 0.0
+/// where unavailable. Recorded into every snapshot's `host` section so a
+/// later comparison can tell "this point was taken on a busy box" from a
+/// real regression.
+pub fn host_load1() -> f64 {
+    std::fs::read_to_string("/proc/loadavg")
+        .ok()
+        .and_then(|s| s.split_whitespace().next().and_then(|f| f.parse().ok()))
+        .unwrap_or(0.0)
 }
 
 /// Milliseconds since the Unix epoch (0 when the clock is unavailable).
@@ -451,6 +463,11 @@ pub struct Regression {
     pub baseline: f64,
     /// Current value.
     pub current: f64,
+    /// Advisory only: the two snapshots came from mismatched hosts (os,
+    /// arch, or cpu count differ), so an apparent host-sensitive
+    /// regression cannot be trusted. Advisory cells are rendered and
+    /// counted but do not fail the verdict.
+    pub advisory: bool,
 }
 
 /// The verdict of comparing a current snapshot (as JSON) to a baseline.
@@ -467,9 +484,10 @@ pub struct Verdict {
 }
 
 impl Verdict {
-    /// Whether all gates passed.
+    /// Whether all gates passed. Advisory regressions (host-mismatched
+    /// comparisons) never fail the verdict; they are surfaced for a human.
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty()
+        self.regressions.iter().all(|r| r.advisory)
     }
 
     /// Human-readable multi-line summary.
@@ -486,14 +504,24 @@ impl Verdict {
         for r in &self.regressions {
             let _ = writeln!(
                 out,
-                "  FAIL [{}] {}: baseline {:.1} -> current {:.1}",
-                r.gate, r.what, r.baseline, r.current
+                "  {} [{}] {}: baseline {:.1} -> current {:.1}",
+                if r.advisory { "ADVISORY" } else { "FAIL" },
+                r.gate,
+                r.what,
+                r.baseline,
+                r.current
             );
         }
+        let advisories = self.regressions.iter().filter(|r| r.advisory).count();
         let _ = writeln!(
             out,
-            "verdict: {}",
-            if self.passed() { "PASS" } else { "FAIL" }
+            "verdict: {}{}",
+            if self.passed() { "PASS" } else { "FAIL" },
+            if self.passed() && advisories > 0 {
+                " (with host-mismatch advisories)"
+            } else {
+                ""
+            }
         );
         out
     }
@@ -524,6 +552,28 @@ pub fn compare(current: &Json, baseline: &Json) -> Verdict {
                 .to_string(),
         );
     }
+    // Host context: absolute throughput and latency only compare cleanly
+    // between like machines. On a mismatch (os/arch/cpu count), gate
+    // violations are demoted to advisory — reported, never fatal. Load
+    // average is recorded for the human reading the advisory but does not
+    // itself demote (every box has *some* load).
+    let host = |doc: &Json, key: &str| {
+        doc.get("host")
+            .and_then(|h| h.get(key))
+            .cloned()
+            .unwrap_or(Json::Null)
+    };
+    let host_mismatch = ["os", "arch", "cpus"]
+        .iter()
+        .any(|k| host(current, k) != host(baseline, k));
+    if host_mismatch {
+        v.notes.push(format!(
+            "host mismatch (os/arch/cpus differ; load1 current {:.2}, baseline {:.2}): \
+             gate violations below are advisory",
+            host(current, "load1").as_f64().unwrap_or(0.0),
+            host(baseline, "load1").as_f64().unwrap_or(0.0),
+        ));
+    }
 
     // Gate 1: measured goodput per (version, transport, block) point.
     let cur_points = current.get("goodput").and_then(Json::as_arr).unwrap_or(&[]);
@@ -552,6 +602,7 @@ pub fn compare(current: &Json, baseline: &Json) -> Verdict {
                 what: format!("{} / {} / {} B", key.0, key.1, key.2),
                 baseline: base,
                 current: cur,
+                advisory: host_mismatch,
             });
         }
     }
@@ -610,6 +661,7 @@ pub fn compare(current: &Json, baseline: &Json) -> Verdict {
                     what: format!("{config} / {stage}"),
                     baseline: base,
                     current: cur,
+                    advisory: host_mismatch,
                 });
             }
         }
@@ -638,6 +690,9 @@ pub fn compare(current: &Json, baseline: &Json) -> Verdict {
                         what: "admission goodput at max offered load / peak".to_string(),
                         baseline: gate,
                         current: ratio,
+                        // A property of the current snapshot alone: host
+                        // mismatch with the baseline is irrelevant.
+                        advisory: false,
                     });
                 }
             }
@@ -716,6 +771,68 @@ mod tests {
         assert!(!v.passed());
         assert_eq!(v.regressions[0].gate, "stage-p99");
         assert!(v.render().contains("FAIL [stage-p99] standard / marshal"));
+    }
+
+    /// A real regression measured across different machines is demoted to
+    /// advisory: reported in the render, but never fatal.
+    #[test]
+    fn host_mismatch_demotes_regressions_to_advisory() {
+        fn with_host(mut d: Json, cpus: f64) -> Json {
+            let Json::Obj(members) = &mut d else {
+                unreachable!()
+            };
+            members.push((
+                "host".to_string(),
+                Json::Obj(vec![
+                    ("os".to_string(), Json::Str("linux".to_string())),
+                    ("arch".to_string(), Json::Str("x86_64".to_string())),
+                    ("cpus".to_string(), Json::Num(cpus)),
+                    ("load1".to_string(), Json::Num(7.5)),
+                ]),
+            ));
+            d
+        }
+        // Same failure as goodput_gate_fires_past_ten_percent, but the
+        // snapshots disagree on cpu count.
+        let cur = with_host(doc(89.0, 1400000.0), 4.0);
+        let base = with_host(doc(100.0, 1000000.0), 64.0);
+        let v = compare(&cur, &base);
+        assert_eq!(v.regressions.len(), 2, "{}", v.render());
+        assert!(v.regressions.iter().all(|r| r.advisory));
+        assert!(v.passed(), "advisory must not fail: {}", v.render());
+        assert!(v.render().contains("ADVISORY [goodput]"), "{}", v.render());
+        assert!(v.render().contains("host mismatch"), "{}", v.render());
+        assert!(v.render().contains("PASS (with host-mismatch advisories)"));
+
+        // Matching hosts: the same numbers fail for real.
+        let v = compare(&with_host(doc(89.0, 1400000.0), 64.0), &base);
+        assert!(!v.passed());
+        assert!(v.regressions.iter().all(|r| !r.advisory));
+    }
+
+    #[test]
+    fn snapshot_records_host_context() {
+        let snap = TrajectorySnapshot {
+            label: "TEST".to_string(),
+            smoke: true,
+            generated_unix_ms: 0,
+            goodput: Vec::new(),
+            latency: Vec::new(),
+            breakdown: Breakdown {
+                block_bytes: 0,
+                total_bytes: 0,
+                transport: zc_ttcp::TtcpTransport::Sim,
+                columns: Vec::new(),
+            },
+            overload: None,
+        };
+        let j = parse_json(&snap.to_json()).unwrap();
+        let host = j.get("host").expect("host section");
+        assert!(host.get("cpus").and_then(Json::as_f64).is_some());
+        assert!(
+            host.get("load1").and_then(Json::as_f64).is_some(),
+            "host section must record the 1-minute load average"
+        );
     }
 
     #[test]

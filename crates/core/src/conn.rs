@@ -99,6 +99,10 @@ struct DegradeState {
     msgs_since_probe: u64,
     /// Probes sent while degraded (payload of the Upgrade event).
     probes: u64,
+    /// Whether the most recent `zc_send_active` decision was a degraded
+    /// connection's zero-copy probe (consumed by [`GiopConn::take_last_probe`]
+    /// to tag the attempt's journey cause).
+    last_was_probe: bool,
 }
 
 /// An incoming request as surfaced to the server loop.
@@ -154,6 +158,11 @@ pub struct GiopConn {
     /// Trace id of the request currently in flight on this connection
     /// (outbound: the one we stamped; inbound: the one the peer sent).
     last_trace_id: u64,
+    /// Journey annotation for the *next* outbound request, set by the proxy
+    /// via [`GiopConn::set_journey`]: `(journey_id, attempt, cause)`.
+    /// Consumed by `send_request_raw`, which stamps it into the `ZC_TRACE`
+    /// context and records the attempt event.
+    pending_journey: Option<(u64, u32, u8)>,
     /// Zero-copy send-path health (graceful degradation).
     degrade: DegradeState,
 }
@@ -182,6 +191,7 @@ impl GiopConn {
             poisoned: false,
             conn_id,
             last_trace_id: 0,
+            pending_journey: None,
             degrade: DegradeState::default(),
         })
     }
@@ -210,6 +220,7 @@ impl GiopConn {
             poisoned: false,
             conn_id,
             last_trace_id: 0,
+            pending_journey: None,
             degrade: DegradeState::default(),
         })
     }
@@ -235,6 +246,7 @@ impl GiopConn {
     /// except for the periodic probe that tests whether the peer's
     /// speculation has recovered.
     fn zc_send_active(&mut self) -> bool {
+        self.degrade.last_was_probe = false;
         if !self.zc_active() {
             return false;
         }
@@ -245,10 +257,18 @@ impl GiopConn {
         if self.degrade.msgs_since_probe >= self.tuning.probe_interval.max(1) {
             self.degrade.msgs_since_probe = 0;
             self.degrade.probes += 1;
+            self.degrade.last_was_probe = true;
             true
         } else {
             false
         }
+    }
+
+    /// Whether the most recent [`GiopConn::body_encoder`] call scheduled a
+    /// degraded connection's zero-copy probe. Consumed (reset on read): the
+    /// proxy tags that attempt's journey cause as `degrade-probe`.
+    pub fn take_last_probe(&mut self) -> bool {
+        std::mem::take(&mut self.degrade.last_was_probe)
     }
 
     /// Our receive-side speculation counters, piggybacked for the peer's
@@ -375,6 +395,15 @@ impl GiopConn {
     /// connection (`0` before the first traced exchange).
     pub fn last_trace_id(&self) -> u64 {
         self.last_trace_id
+    }
+
+    /// Annotate the *next* outbound request with its journey coordinates:
+    /// the logical-request id, the attempt ordinal (0-based) and the cause
+    /// that produced this attempt (a [`zc_trace::JourneyCause`] as its wire
+    /// byte). Consumed by the next `send_request_raw`, which carries the
+    /// triple in the `ZC_TRACE` context and records the attempt event.
+    pub fn set_journey(&mut self, journey_id: u64, attempt: u32, cause: u8) {
+        self.pending_journey = Some((journey_id, attempt, cause));
     }
 
     /// Render the last `n` flight-recorder events touching this connection
@@ -679,10 +708,14 @@ impl GiopConn {
         // a receiver with telemetry enabled can then correlate (and derive
         // the wire stage) even when ours is off.
         let sent_at_ns = zc_trace::now_ns();
+        let (journey_id, attempt, cause) = self.pending_journey.take().unwrap_or_default();
         header.service_contexts.push(
             TraceContext {
                 trace_id,
                 sent_at_ns,
+                journey_id,
+                attempt,
+                cause,
             }
             .to_context(),
         );
@@ -692,6 +725,19 @@ impl GiopConn {
             header.service_contexts.push(health);
         }
         let dep_bytes: u64 = deposits.iter().map(|b| b.len() as u64).sum();
+        // The attempt event joins this send's trace id to its journey.
+        // Recorded *before* the write: a send that dies on a closed socket
+        // still consumed this attempt, and the journey's ordinal chain must
+        // show it or offline reconstruction sees a hole. An unknown cause
+        // byte cannot happen locally (the proxy packs it from
+        // `JourneyCause`), but stay lenient anyway.
+        if enabled && journey_id != 0 {
+            if let Some(c) = zc_trace::JourneyCause::from_u8(cause) {
+                self.ctx
+                    .telemetry
+                    .record_attempt(self.conn_id, trace_id, c, attempt, journey_id);
+            }
+        }
         let mut enc = CdrEncoder::new(self.wire_order());
         header.marshal(&mut enc)?;
         self.send_message(MessageType::Request, enc, args, deposits)?;
@@ -935,6 +981,22 @@ impl GiopConn {
                         if trace_id != 0 {
                             m.trace_contexts_seen.incr();
                         }
+                        // Mirror the caller's journey annotation so a spool
+                        // on this side alone can still reconstruct journeys.
+                        // The cause byte is wire data: tolerate values from
+                        // newer peers by dropping only the event, not the
+                        // request.
+                        if tctx.journey_id != 0 {
+                            if let Some(c) = zc_trace::JourneyCause::from_u8(tctx.cause) {
+                                tele.record_attempt(
+                                    self.conn_id,
+                                    trace_id,
+                                    c,
+                                    tctx.attempt,
+                                    tctx.journey_id,
+                                );
+                            }
+                        }
                         // Wire stage: the client's send stamp → our arrival,
                         // valid on the shared in-process trace clock.
                         if tctx.sent_at_ns != 0 && arrival_ns >= tctx.sent_at_ns {
@@ -1020,6 +1082,8 @@ impl GiopConn {
             TraceContext {
                 trace_id: self.last_trace_id,
                 sent_at_ns: zc_trace::now_ns(),
+                // Replies do not re-announce the journey: the client owns it.
+                ..Default::default()
             }
             .to_context(),
         );

@@ -10,7 +10,7 @@ use parking_lot::Mutex;
 use zc_buffers::{CopyMeter, PagePool};
 use zc_cdr::CdrDecoder;
 use zc_giop::{Handshake, Ior, SystemException, SystemExceptionKind};
-use zc_trace::{EventKind, OrbTelemetry, Telemetry, TraceLayer};
+use zc_trace::{EventKind, OrbTelemetry, SpoolConfig, SpoolWriter, Telemetry, TraceLayer};
 use zc_transport::{
     Acceptor, Connection, SimNetwork, TcpTransportListener, TransportCtx, TransportError,
 };
@@ -70,6 +70,10 @@ struct OrbInner {
     conn_cache: Mutex<HashMap<(String, u16), SharedConn>>,
     endpoint_health: HealthRegistry,
     admission: AdmissionControl,
+    /// Background trace-spool writer, if configured: held so its final
+    /// drain runs when the last ORB clone drops. Never read — the writer
+    /// only needs to live exactly as long as the ORB.
+    _spool: Option<SpoolWriter>,
 }
 
 /// The Object Request Broker. Cheap to clone; all clones share state.
@@ -553,6 +557,7 @@ pub struct OrbBuilder {
     meter: Option<Arc<CopyMeter>>,
     pool: Option<PagePool>,
     telemetry: Option<Arc<Telemetry>>,
+    spool: Option<SpoolConfig>,
 }
 
 impl OrbBuilder {
@@ -593,6 +598,17 @@ impl OrbBuilder {
     /// data path pays one boolean check per would-be event.
     pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Spool the flight recorder to durable, rotating segment files (see
+    /// `zc_trace::SpoolConfig`). Requires an enabled telemetry handle to
+    /// have anything to drain; the writer runs on its own thread and the
+    /// data path is untouched — when no spool is configured, not one
+    /// instruction is added. The writer's final drain runs when the last
+    /// clone of the built ORB drops.
+    pub fn trace_spool(mut self, config: SpoolConfig) -> Self {
+        self.spool = Some(config);
         self
     }
 
@@ -664,6 +680,17 @@ impl OrbBuilder {
             )),
         );
         let admission = AdmissionControl::new(self.config.admission);
+        let spool = self.spool.and_then(|config| {
+            match SpoolWriter::spawn(Arc::clone(&telemetry), config) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    // Observability must never take the ORB down: a spool
+                    // directory that cannot be created degrades to no spool.
+                    eprintln!("zcorba: trace spool disabled: {e}");
+                    None
+                }
+            }
+        });
         Orb {
             inner: Arc::new(OrbInner {
                 ctx: TransportCtx {
@@ -677,6 +704,7 @@ impl OrbBuilder {
                 conn_cache: Mutex::new(HashMap::new()),
                 endpoint_health: HealthRegistry::default(),
                 admission,
+                _spool: spool,
             }),
         }
     }

@@ -220,6 +220,10 @@ impl ObjectRef {
         let mut conn = self.conn.lock();
         let span = conn.telemetry().request_span();
         let enc = conn.body_encoder();
+        // body_encoder just decided whether this message is a degraded
+        // connection's zero-copy probe; that decision tags the journey's
+        // first attempt (`degrade-probe` instead of `initial`).
+        let probe = conn.take_last_probe();
         drop(conn);
         StaticRequest {
             // zc-audit: allow(cheap-clone) — ObjectRef is an Arc handle plus small IOR metadata
@@ -228,6 +232,7 @@ impl ObjectRef {
             enc,
             err: None,
             idempotent: false,
+            probe,
             span,
         }
     }
@@ -264,6 +269,9 @@ pub struct StaticRequest {
     enc: CdrEncoder,
     err: Option<OrbError>,
     idempotent: bool,
+    /// Whether the encoder was scheduled as a degraded connection's
+    /// zero-copy probe (tags the journey's first attempt).
+    probe: bool,
     /// Per-request stage clocks; accumulates marshal time across `arg`
     /// calls and commits once the trace id exists (after the send).
     span: zc_trace::RequestSpan,
@@ -311,11 +319,22 @@ impl StaticRequest {
             enc,
             err,
             idempotent,
+            probe,
             mut span,
         } = self;
         if let Some(e) = err {
             return Err(e);
         }
+        // One journey per logical request: every attempt below shares this
+        // id and carries the cause that produced it. Allocating the id is
+        // one relaxed fetch_add — no clock, no allocation — so the
+        // disabled-telemetry data path stays zero-overhead.
+        let journey_id = zc_trace::next_journey_id();
+        let mut cause = if probe {
+            zc_trace::JourneyCause::DegradeProbe
+        } else {
+            zc_trace::JourneyCause::Initial
+        };
         // Marshal exactly once: retries resend the same finished bytes
         // (deposit blocks are reference-counted, so re-sending is cheap
         // and bit-identical — no double marshaling cost, no divergence).
@@ -347,6 +366,7 @@ impl StaticRequest {
                     if !rotate_failover(&target, r, &tele) {
                         return Err(e);
                     }
+                    cause = zc_trace::JourneyCause::Failover;
                 }
             }
             // The conn mutex *is* the wire serializer: one request/reply
@@ -361,8 +381,14 @@ impl StaticRequest {
             // attempt, so any operation (idempotent or not) may move to a
             // fresh connection, or rotate to the next replica of a group.
             if conn.is_poisoned() {
+                // The attempt existed but never reached the wire: record it
+                // with a zero trace id (no stage timeline to join) so the
+                // journey's ordinal chain stays contiguous for offline
+                // reconstruction.
+                tele.record_attempt(conn.trace_conn_id(), 0, cause, attempt - 1, journey_id);
                 drop(conn);
-                if try_recover(&target, &policy, salt, attempt, &tele) {
+                if let Some(c) = try_recover(&target, &policy, salt, attempt, &tele) {
+                    cause = c;
                     continue;
                 }
                 return Err(OrbError::Protocol(
@@ -384,6 +410,9 @@ impl StaticRequest {
                 Some(r) => &r.active_target().1,
                 None => &target.object_key,
             };
+            // Stamp this attempt's journey coordinates (0-based ordinal)
+            // into the next request's ZC_TRACE context.
+            conn.set_journey(journey_id, attempt - 1, cause as u8);
             let id = match conn.send_request_raw(
                 wire_key,
                 &operation,
@@ -404,7 +433,8 @@ impl StaticRequest {
                     // reached a dispatcher, so *any* operation (idempotent
                     // or not) may retry on a fresh connection.
                     drop(conn);
-                    if try_recover(&target, &policy, salt, attempt, &tele) {
+                    if let Some(c) = try_recover(&target, &policy, salt, attempt, &tele) {
+                        cause = c;
                         continue;
                     }
                     return Err(e);
@@ -472,6 +502,7 @@ impl StaticRequest {
                                     if attempt < policy.max_attempts
                                         && rotate_failover(&target, r, &tele)
                                     {
+                                        cause = zc_trace::JourneyCause::ShedRotate;
                                         continue;
                                     }
                                 }
@@ -501,8 +532,11 @@ impl StaticRequest {
                     drop(conn);
                     // At-most-once: only caller-declared idempotent
                     // operations may run twice.
-                    if idempotent && try_recover(&target, &policy, salt, attempt, &tele) {
-                        continue;
+                    if idempotent {
+                        if let Some(c) = try_recover(&target, &policy, salt, attempt, &tele) {
+                            cause = c;
+                            continue;
+                        }
                     }
                     if !idempotent {
                         if let Some(r) = &target.recovery {
@@ -535,6 +569,7 @@ impl StaticRequest {
             enc,
             err,
             idempotent: _,
+            probe: _,
             span: _,
         } = self;
         if let Some(e) = err {
@@ -562,35 +597,39 @@ fn comm_failure_maybe(minor: u32) -> OrbError {
 }
 
 /// Attempt one recovery step for `target`: record the failure, back off,
-/// and swap a freshly dialed connection into the shared slot. Returns
-/// `true` when the caller should retry.
+/// and swap a freshly dialed connection into the shared slot. Returns the
+/// journey cause of the retry the caller should now make — `Retry` when the
+/// same profile answered a fresh dial, `Failover` when the reference
+/// rotated to another replica — or `None` when recovery failed and the
+/// caller must surface the error.
 fn try_recover(
     target: &ObjectRef,
     policy: &RetryPolicy,
     salt: u64,
     attempt: u32,
     tele: &Arc<zc_trace::Telemetry>,
-) -> bool {
-    let Some(r) = &target.recovery else {
-        return false;
-    };
+) -> Option<zc_trace::JourneyCause> {
+    let r = target.recovery.as_ref()?;
     // Note: a failed send on a stale cached connection is not breaker
     // evidence — the dial below tells the truth about the endpoint
     // (reconnect_shared records its own failures).
     if attempt >= policy.max_attempts {
-        return false;
+        return None;
     }
     std::thread::sleep(policy.backoff(attempt, salt));
-    let recovered = r
+    let cause = if r
         .orb
         .reconnect_shared(&r.active_target().0, &target.conn, r.cached)
         .is_ok()
+    {
+        zc_trace::JourneyCause::Retry
+    } else if rotate_failover(target, r, tele) {
         // The active profile refused the dial (down, or breaker open):
         // for an object group the retry may land on the next live replica.
-        || rotate_failover(target, r, tele);
-    if !recovered {
-        return false;
-    }
+        zc_trace::JourneyCause::Failover
+    } else {
+        return None;
+    };
     if tele.is_enabled() {
         tele.metrics().retries.incr();
     }
@@ -602,7 +641,7 @@ fn try_recover(
         0,
         attempt as u64,
     );
-    true
+    Some(cause)
 }
 
 /// A successful reply; demarshal results in declaration order.

@@ -151,6 +151,16 @@ pub struct TraceContext {
     /// both endpoints share the trace clock — always true for the
     /// in-process Sim and loopback-TCP experiments this repo runs.
     pub sent_at_ns: u64,
+    /// The caller's journey id: one per *logical* request, shared by every
+    /// attempt (retry/failover/…) of it. `0` means "no journey" (a reply
+    /// echo, a foreign peer, or the pre-journey wire format).
+    pub journey_id: u64,
+    /// 1-based attempt ordinal within the journey (`0` when unknown).
+    pub attempt: u32,
+    /// Cause tag of this attempt (`zc_trace::JourneyCause` discriminant:
+    /// initial/retry/failover/shed-rotate/degrade-probe). Carried as a raw
+    /// byte so a decoder never rejects a cause minted by a newer peer.
+    pub cause: u8,
 }
 
 impl TraceContext {
@@ -160,6 +170,9 @@ impl TraceContext {
         enc.write_octet(enc.order().flag() as u8); // encapsulation-style flag
         enc.write_u64(self.trace_id);
         enc.write_u64(self.sent_at_ns);
+        enc.write_u64(self.journey_id);
+        // Attempt ordinal and cause share one trailing word.
+        enc.write_u64(((self.attempt as u64) << 8) | self.cause as u64);
         ServiceContext {
             id: SVC_CTX_TRACE,
             data: enc.finish_stream(),
@@ -168,9 +181,10 @@ impl TraceContext {
 
     /// Decode from a service context previously produced by
     /// [`TraceContext::to_context`]. Returns `None` if the id differs.
-    /// A context truncated before the trace id is an error; one that ends
-    /// after the trace id (the pre-span wire format) decodes with
-    /// `sent_at_ns == 0`.
+    /// A context truncated before the trace id is an error; every field
+    /// after it decodes leniently, so the pre-span format (trace id only)
+    /// and the pre-journey format (trace id + timestamp) both still parse,
+    /// with the missing fields reading as 0.
     pub fn from_context(ctx: &ServiceContext) -> CdrResult<Option<TraceContext>> {
         if ctx.id != SVC_CTX_TRACE {
             return Ok(None);
@@ -184,9 +198,14 @@ impl TraceContext {
         dec.read_octet()?; // flag
         let trace_id = dec.read_u64()?;
         let sent_at_ns = dec.read_u64().unwrap_or_default();
+        let journey_id = dec.read_u64().unwrap_or_default();
+        let attempt_cause = dec.read_u64().unwrap_or_default();
         Ok(Some(TraceContext {
             trace_id,
             sent_at_ns,
+            journey_id,
+            attempt: (attempt_cause >> 8) as u32,
+            cause: attempt_cause as u8,
         }))
     }
 
@@ -345,6 +364,9 @@ mod tests {
         let t = TraceContext {
             trace_id: 0xDEAD_BEEF_1234_5678,
             sent_at_ns: 987_654_321,
+            journey_id: 0x0000_0ABC_DEF0_1234,
+            attempt: 3,
+            cause: 2, // failover
         };
         let ctx = t.to_context();
         assert_eq!(ctx.id, SVC_CTX_TRACE);
@@ -355,16 +377,43 @@ mod tests {
     #[test]
     fn trace_context_without_timestamp_decodes_unstamped() {
         // The pre-span wire format ended after the trace id; it must still
-        // decode, with sent_at_ns reading as 0 (unstamped).
+        // decode, with sent_at_ns reading as 0 (unstamped) and no journey.
         let mut ctx = TraceContext {
             trace_id: 77,
             sent_at_ns: 999,
+            journey_id: 5,
+            attempt: 2,
+            cause: 1,
         }
         .to_context();
         ctx.data.truncate(16); // flag + alignment pad + trace_id only
         let back = TraceContext::from_context(&ctx).unwrap().unwrap();
         assert_eq!(back.trace_id, 77);
         assert_eq!(back.sent_at_ns, 0);
+        assert_eq!(back.journey_id, 0);
+        assert_eq!(back.attempt, 0);
+        assert_eq!(back.cause, 0);
+    }
+
+    #[test]
+    fn trace_context_without_journey_decodes_journeyless() {
+        // The pre-journey wire format ended after the timestamp; the
+        // journey fields must read as "no journey", not error.
+        let mut ctx = TraceContext {
+            trace_id: 77,
+            sent_at_ns: 999,
+            journey_id: 5,
+            attempt: 2,
+            cause: 1,
+        }
+        .to_context();
+        ctx.data.truncate(24); // flag + pad + trace_id + sent_at_ns
+        let back = TraceContext::from_context(&ctx).unwrap().unwrap();
+        assert_eq!(back.trace_id, 77);
+        assert_eq!(back.sent_at_ns, 999);
+        assert_eq!(back.journey_id, 0);
+        assert_eq!(back.attempt, 0);
+        assert_eq!(back.cause, 0);
     }
 
     #[test]
@@ -380,7 +429,7 @@ mod tests {
     fn trace_context_find_in_mixed_list() {
         let t = TraceContext {
             trace_id: 42,
-            sent_at_ns: 0,
+            ..Default::default()
         };
         let list = vec![
             DepositManifest {
@@ -399,7 +448,7 @@ mod tests {
     fn truncated_trace_context_rejected() {
         let mut ctx = TraceContext {
             trace_id: 7,
-            sent_at_ns: 0,
+            ..Default::default()
         }
         .to_context();
         ctx.data.truncate(4);
@@ -443,7 +492,7 @@ mod tests {
         let list = vec![
             TraceContext {
                 trace_id: 9,
-                sent_at_ns: 0,
+                ..Default::default()
             }
             .to_context(),
             h.to_context(),

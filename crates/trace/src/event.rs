@@ -98,11 +98,16 @@ pub enum EventKind {
     /// The client rotated an object reference to another IOR profile
     /// (payload: index of the newly active profile).
     Failover = 19,
+    /// One attempt of a logical request journey began (payload: cause tag,
+    /// attempt ordinal and journey id packed per [`pack_attempt`]). The
+    /// event's `trace_id` is the attempt's per-send trace id — the join key
+    /// from journey to that attempt's stage timeline.
+    Attempt = 20,
 }
 
 impl EventKind {
     /// All kinds.
-    pub const ALL: [EventKind; 20] = [
+    pub const ALL: [EventKind; 21] = [
         EventKind::RequestSent,
         EventKind::RequestReceived,
         EventKind::ReplySent,
@@ -123,6 +128,7 @@ impl EventKind {
         EventKind::Shed,
         EventKind::Brownout,
         EventKind::Failover,
+        EventKind::Attempt,
     ];
 
     /// Short name used in reports.
@@ -148,6 +154,7 @@ impl EventKind {
             EventKind::Shed => "shed",
             EventKind::Brownout => "brownout",
             EventKind::Failover => "failover",
+            EventKind::Attempt => "attempt",
         }
     }
 
@@ -155,6 +162,71 @@ impl EventKind {
     pub fn from_u8(v: u8) -> Option<EventKind> {
         EventKind::ALL.into_iter().find(|k| *k as u8 == v)
     }
+}
+
+/// Why an attempt of a logical request journey exists. The first attempt
+/// is `Initial` (or `DegradeProbe` when the degraded send path scheduled a
+/// zero-copy probe for it); every later attempt carries the recovery path
+/// that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum JourneyCause {
+    /// The first attempt of the journey.
+    Initial = 0,
+    /// A fresh connection was dialed to the same profile and the request
+    /// was re-sent.
+    Retry = 1,
+    /// The reference rotated to another profile of its object group.
+    Failover = 2,
+    /// The active replica shed the request (`TRANSIENT`) and the reference
+    /// rotated to the next live replica.
+    ShedRotate = 3,
+    /// The attempt was a degraded connection's periodic zero-copy probe.
+    DegradeProbe = 4,
+}
+
+impl JourneyCause {
+    /// All causes.
+    pub const ALL: [JourneyCause; 5] = [
+        JourneyCause::Initial,
+        JourneyCause::Retry,
+        JourneyCause::Failover,
+        JourneyCause::ShedRotate,
+        JourneyCause::DegradeProbe,
+    ];
+
+    /// Short name used in reports and the flame analyzer.
+    pub fn name(self) -> &'static str {
+        match self {
+            JourneyCause::Initial => "initial",
+            JourneyCause::Retry => "retry",
+            JourneyCause::Failover => "failover",
+            JourneyCause::ShedRotate => "shed-rotate",
+            JourneyCause::DegradeProbe => "degrade-probe",
+        }
+    }
+
+    /// Inverse of `self as u8`.
+    pub fn from_u8(v: u8) -> Option<JourneyCause> {
+        JourneyCause::ALL.into_iter().find(|c| *c as u8 == v)
+    }
+}
+
+/// Low 48 bits of an [`EventKind::Attempt`] payload: the journey id.
+pub const JOURNEY_ID_MASK: u64 = (1 << 48) - 1;
+
+/// Pack an attempt's cause, ordinal and journey id into one event payload:
+/// cause in the top byte, attempt ordinal (saturated to 255) below it, the
+/// journey id in the low 48 bits.
+pub fn pack_attempt(cause: JourneyCause, attempt: u32, journey_id: u64) -> u64 {
+    ((cause as u64) << 56) | ((attempt.min(255) as u64) << 48) | (journey_id & JOURNEY_ID_MASK)
+}
+
+/// Inverse of [`pack_attempt`]. `None` for an unknown cause byte.
+pub fn unpack_attempt(payload: u64) -> Option<(JourneyCause, u32, u64)> {
+    let cause = JourneyCause::from_u8((payload >> 56) as u8)?;
+    let attempt = ((payload >> 48) & 0xFF) as u32;
+    Some((cause, attempt, payload & JOURNEY_ID_MASK))
 }
 
 /// One recorded event. Small and `Copy`: recording moves six words.
@@ -222,5 +294,36 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), EventKind::ALL.len());
+    }
+
+    #[test]
+    fn attempt_payload_roundtrip() {
+        for cause in JourneyCause::ALL {
+            let p = pack_attempt(cause, 3, 0x0000_1234_5678_9ABC);
+            assert_eq!(
+                unpack_attempt(p),
+                Some((cause, 3, 0x0000_1234_5678_9ABC)),
+                "{cause:?}"
+            );
+        }
+        // Attempt ordinals saturate at one byte; journey ids mask to 48 bits.
+        let p = pack_attempt(JourneyCause::Retry, 1_000, u64::MAX);
+        assert_eq!(
+            unpack_attempt(p),
+            Some((JourneyCause::Retry, 255, JOURNEY_ID_MASK))
+        );
+        // An unknown cause byte is rejected, not misread.
+        assert_eq!(unpack_attempt(0xFF << 56), None);
+    }
+
+    #[test]
+    fn cause_names_are_distinct() {
+        let mut names: Vec<&str> = JourneyCause::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), JourneyCause::ALL.len());
+        for cause in JourneyCause::ALL {
+            assert_eq!(JourneyCause::from_u8(cause as u8), Some(cause));
+        }
     }
 }

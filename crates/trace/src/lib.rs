@@ -27,10 +27,13 @@ mod metrics;
 mod recorder;
 mod report;
 mod span;
+mod spool;
 mod telemetry;
 mod windows;
 
-pub use event::{EventKind, TraceEvent, TraceLayer};
+pub use event::{
+    pack_attempt, unpack_attempt, EventKind, JourneyCause, TraceEvent, TraceLayer, JOURNEY_ID_MASK,
+};
 pub use export::prometheus_text;
 pub use metrics::{
     Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, StageHistograms,
@@ -41,6 +44,10 @@ pub use report::OrbTelemetry;
 pub use span::{
     pack_stage, span_timelines, unpack_stage, RequestSpan, SpanTimeline, Stage, StageSample,
     STAGE_DUR_MASK,
+};
+pub use spool::{
+    read_spool_segment, repair_segment, spool_segments, SegmentRead, SpoolConfig, SpoolError,
+    SpoolWriter, SEGMENT_MAGIC, SPOOL_EVENT_LEN,
 };
 pub use telemetry::Telemetry;
 pub use windows::{Gauge, GaugeSnapshot, LoadSnapshot, LoadWindows, RateWindow, DEFAULT_WINDOW_NS};
@@ -63,6 +70,7 @@ pub fn now_ns() -> u64 {
 
 static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_JOURNEY_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Allocate a process-unique trace id (never 0; 0 means "untraced").
 pub fn next_trace_id() -> u64 {
@@ -72,6 +80,16 @@ pub fn next_trace_id() -> u64 {
 /// Allocate a process-unique connection id for trace correlation (never 0).
 pub fn next_conn_id() -> u64 {
     NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Allocate a process-unique journey id for one *logical* request (never 0;
+/// 0 means "no journey"). Every attempt of the journey — the initial send
+/// plus any retry/failover/shed-rotate re-sends — gets its own trace id but
+/// shares this id, carried in the `ZC_TRACE` context and the packed
+/// [`EventKind::Attempt`] payload. Only the low 48 bits travel in the
+/// payload ([`JOURNEY_ID_MASK`]), plenty for a process lifetime.
+pub fn next_journey_id() -> u64 {
+    NEXT_JOURNEY_ID.fetch_add(1, Ordering::Relaxed)
 }
 
 #[cfg(test)]

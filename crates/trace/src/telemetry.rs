@@ -104,6 +104,33 @@ impl Telemetry {
         });
     }
 
+    /// Record one journey attempt (no-op when disabled): an
+    /// [`EventKind::Attempt`] flight-recorder event whose payload packs
+    /// cause + attempt ordinal + journey id ([`crate::pack_attempt`]) and
+    /// whose `trace_id` is the attempt's per-send trace id — the join key
+    /// from the journey to that attempt's stage timeline.
+    #[inline]
+    pub fn record_attempt(
+        &self,
+        conn_id: u64,
+        trace_id: u64,
+        cause: crate::JourneyCause,
+        attempt: u32,
+        journey_id: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.recorder.record(TraceEvent {
+            ts_ns: crate::now_ns(),
+            conn_id,
+            trace_id,
+            layer: TraceLayer::Orb,
+            kind: EventKind::Attempt,
+            payload: crate::pack_attempt(cause, attempt, journey_id),
+        });
+    }
+
     /// A [`RequestSpan`] that accumulates exactly when this instance is
     /// enabled. The one-boolean construction keeps the disabled path free
     /// of clock reads and atomics.

@@ -207,6 +207,56 @@ fn enabled_load_notes_do_not_allocate() {
 }
 
 #[test]
+fn disabled_attempt_path_allocates_nothing_and_moves_no_counter() {
+    let _guard = serial();
+    let tele = Telemetry::disabled();
+
+    // Warm up lazy state before counting.
+    let _ = zc_trace::next_journey_id();
+    tele.record_attempt(1, 1, zc_trace::JourneyCause::Initial, 0, 1);
+
+    // This test sorts first, so it holds SERIAL while libtest is still
+    // spawning the sibling test threads — spawns allocate, and those land
+    // in the process-global counter. Retry the measured region: harness
+    // noise is transient (a handful of allocations once), whereas a real
+    // regression allocates on every one of the 100 000 iterations and
+    // fails every attempt.
+    let mut delta = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for i in 0..100_000u64 {
+            // The full per-invocation journey cost with telemetry off: one
+            // relaxed fetch_add for the id (no clock read, no allocation)
+            // and one enabled-flag load in record_attempt.
+            let journey = zc_trace::next_journey_id();
+            tele.record_attempt(1, i, zc_trace::JourneyCause::Retry, 1, journey);
+        }
+        delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        if delta == 0 {
+            break;
+        }
+    }
+    assert_eq!(delta, 0, "disabled journey path allocated");
+    assert_eq!(tele.recorder().recorded(), 0);
+    assert_eq!(tele.recorder().dropped(), 0);
+}
+
+#[test]
+fn enabled_attempt_recording_does_not_allocate() {
+    let _guard = serial();
+    let tele = Telemetry::with_capacity(1024);
+    tele.record_attempt(1, 1, zc_trace::JourneyCause::Initial, 0, 1);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        let journey = zc_trace::next_journey_id();
+        tele.record_attempt(1, i, zc_trace::JourneyCause::Failover, 2, journey);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "enabled attempt recording allocated");
+    assert_eq!(tele.recorder().recorded(), 10_001);
+}
+
+#[test]
 fn enabled_record_does_not_allocate_either() {
     let _guard = serial();
     // The ring is pre-allocated at construction: steady-state recording is

@@ -182,7 +182,7 @@ fn unknown_service_context_is_ignored_not_rejected() {
     header.service_contexts.push(
         TraceContext {
             trace_id: 777,
-            sent_at_ns: 0,
+            ..Default::default()
         }
         .to_context(),
     );
