@@ -24,6 +24,12 @@
 //! producer can neither block nor roll the ring backwards. Readers take the
 //! classic seqlock path: read the sequence word, read the fields, re-check
 //! the word; any concurrent writer changes it and the read is discarded.
+//!
+//! The ordering discipline — `Release` publish of the sequence word,
+//! `Acquire` (or fenced re-check) loads, `Relaxed` data fields — is the
+//! `trace-seqlock` protocol declared in `zc-audit.toml` and enforced by the
+//! atomics-protocol pass; the loom cases `no_event_is_torn_under_contention`
+//! and `wraparound_never_blocks` (`tests/loom.rs`) are the models behind it.
 
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 

@@ -15,8 +15,11 @@
 //!   `fetch_max`, so the peak is never below any instantaneous value that
 //!   was ever recorded.
 //!
-//! Everything here is relaxed atomics; nothing blocks and nothing
-//! allocates. Updates MUST be gated on [`crate::Telemetry::is_enabled`]
+//! Ordering discipline (the `trace-windows` cas-roll protocol in
+//! `zc-audit.toml`): the once-per-window roll CAS publishes with `AcqRel`;
+//! every per-event fast-path site stays `Relaxed`. Nothing blocks and
+//! nothing allocates. Updates MUST be gated on
+//! [`crate::Telemetry::is_enabled`]
 //! (the `note_*` helpers on `Telemetry` do this), preserving the
 //! disabled-mode zero-overhead guarantee: one plain boolean load, no
 //! atomic read-modify-write, no clock read.
@@ -77,9 +80,13 @@ impl RateWindow {
             // Losers loop and land in the fresh window. A tick racing
             // between the CAS and the swap below may be attributed to the
             // finished window — a bounded, documented approximation.
+            // AcqRel: the winner's swap/store below must not be reordered
+            // before the claim, and a loser observing the new start_ns also
+            // observes the rolled counters (loom:
+            // rate_window_roll_cas_under_concurrent_tickers).
             if self
                 .start_ns
-                .compare_exchange(start, now_ns, Ordering::Relaxed, Ordering::Relaxed)
+                .compare_exchange(start, now_ns, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
                 let finished = self.cur.swap(0, Ordering::Relaxed);
@@ -157,8 +164,12 @@ impl Gauge {
     #[inline]
     pub fn sub(&self, n: u64) {
         // fetch_update never blocks: it is a CAS loop over relaxed loads.
+        // Relaxed (not the cas-roll AcqRel) is deliberate: the gauge value
+        // is a pure statistic with no publication riding on it, and the
+        // saturating subtraction is linearizable at any ordering.
         let _ = self
             .current
+            // zc-audit: allow(atomics-protocol) — statistic-only CAS, nothing published: loom case gauge_sub_saturates_under_contention covers the Relaxed success ordering
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
                 Some(v.saturating_sub(n))
             });

@@ -17,7 +17,7 @@
 #![cfg(loom)]
 
 use loom::{explore, thread};
-use zc_trace::{EventKind, FlightRecorder, TraceEvent, TraceLayer};
+use zc_trace::{EventKind, FlightRecorder, Gauge, RateWindow, TraceEvent, TraceLayer};
 
 /// The payload is derived from the identifying fields; a torn slot (fields
 /// from two different writes) violates the relation.
@@ -115,5 +115,91 @@ fn wraparound_never_blocks() {
         let events = rec.events();
         assert!(events.len() <= 2);
         assert!(events.iter().all(is_sealed), "torn event after wraparound");
+    });
+}
+
+/// Concurrent tickers racing the once-per-window roll CAS (the `AcqRel`
+/// success ordering audited by the `trace-windows` cas-roll protocol):
+/// the lifetime total must stay exact no matter who wins each roll, the
+/// CAS-retry loop must never spin forever (the model completes), and any
+/// window count a reader observes is bounded by the total.
+#[test]
+fn rate_window_roll_cas_under_concurrent_tickers() {
+    loom::model(|| {
+        let w = std::sync::Arc::new(RateWindow::new(100));
+        // Each ticker crosses three window boundaries, so every thread has
+        // a chance to win (and to lose) a roll.
+        const TICKS: &[u64] = &[10, 60, 110, 160, 210, 260];
+        const TICKERS: u64 = 3;
+        let mut handles = Vec::new();
+        for _ in 0..TICKERS {
+            let w = std::sync::Arc::clone(&w);
+            handles.push(thread::spawn(move || {
+                for &t in TICKS {
+                    w.tick(t, 1);
+                    explore();
+                }
+            }));
+        }
+        let reader = {
+            let w = std::sync::Arc::clone(&w);
+            thread::spawn(move || {
+                let secs = w.window_ns() as f64 / 1e9;
+                for &t in TICKS {
+                    // A mid-race snapshot: whatever completed-window count
+                    // backs the rate, it can never exceed the events that
+                    // actually happened.
+                    let in_window = (w.rate_per_s(t) * secs).round() as u64;
+                    assert!(
+                        in_window <= TICKERS * TICKS.len() as u64,
+                        "window count {in_window} exceeds all events"
+                    );
+                    explore();
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        reader.join().unwrap();
+        // Roll races may misattribute an event's *window*, never its
+        // existence: the total is exact.
+        assert_eq!(w.total(), TICKERS * TICKS.len() as u64);
+    });
+}
+
+/// Concurrent `add`/`sub` on a [`Gauge`]: the saturating-subtract CAS loop
+/// (`fetch_update`, Relaxed — waived in the `trace-windows` protocol) must
+/// never underflow the current value past zero, never lose a competing
+/// update, and the watermark must dominate every value the gauge held.
+#[test]
+fn gauge_sub_saturates_under_contention() {
+    loom::model(|| {
+        let g = std::sync::Arc::new(Gauge::new());
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let g = std::sync::Arc::clone(&g);
+            handles.push(thread::spawn(move || {
+                g.add(1);
+                explore();
+                // Oversized decrement: saturates at zero instead of
+                // wrapping into a huge count.
+                g.sub(2);
+                explore();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = g.snapshot();
+        // Every interleaving of {add(1), add(1), sub(2), sub(2)} drains the
+        // gauge: subs saturate, so nothing can linger — and nothing can
+        // underflow into the billions.
+        assert_eq!(snap.current, 0, "saturating sub must drain to zero");
+        assert!(
+            (1..=2).contains(&snap.peak),
+            "peak {} must dominate some observed value and no more",
+            snap.peak
+        );
     });
 }

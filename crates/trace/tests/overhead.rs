@@ -141,26 +141,36 @@ fn disabled_load_notes_allocate_nothing_and_move_no_window() {
     // Warm up lazy state (the trace clock epoch) before counting.
     tele.note_request_received();
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for _ in 0..100_000u64 {
-        // Every load-signal helper the request path touches: all must cost
-        // exactly the one enabled-flag load when telemetry is off.
-        tele.note_request_received();
-        tele.note_retry();
-        tele.note_dispatch_begin();
-        tele.note_dispatch_end();
-        tele.note_conn_open();
-        tele.note_conn_closed();
-        tele.note_degraded(true);
-        tele.note_breaker(true);
-        tele.note_reassembly_bytes(4096);
-        tele.note_pool_retained(4096);
-        tele.note_wire_tx(4096);
-        tele.note_wire_rx(4096);
-        tele.mirror_transport(zc_trace::TransportField::WireBytesRecv, 4096);
+    // Retry the measured region: sibling test threads the harness is still
+    // spawning allocate into the process-global counter (transient, a
+    // handful once), whereas a real regression allocates on every one of
+    // the 100 000 iterations and fails every attempt.
+    let mut delta = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..100_000u64 {
+            // Every load-signal helper the request path touches: all must
+            // cost exactly the one enabled-flag load when telemetry is off.
+            tele.note_request_received();
+            tele.note_retry();
+            tele.note_dispatch_begin();
+            tele.note_dispatch_end();
+            tele.note_conn_open();
+            tele.note_conn_closed();
+            tele.note_degraded(true);
+            tele.note_breaker(true);
+            tele.note_reassembly_bytes(4096);
+            tele.note_pool_retained(4096);
+            tele.note_wire_tx(4096);
+            tele.note_wire_rx(4096);
+            tele.mirror_transport(zc_trace::TransportField::WireBytesRecv, 4096);
+        }
+        delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        if delta == 0 {
+            break;
+        }
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
-    assert_eq!(after - before, 0, "disabled load notes allocated");
+    assert_eq!(delta, 0, "disabled load notes allocated");
 
     // No atomics traffic: every window and gauge is exactly at zero.
     let load = tele.windows().snapshot(zc_trace::now_ns());

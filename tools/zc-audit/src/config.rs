@@ -128,6 +128,80 @@ pub struct TaintConfig {
     pub allocs: Vec<String>,
 }
 
+/// A declared atomic-ordering protocol kind (see `[[atomics.protocol]]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Relaxed increment, Release decrement, Acquire fence before drop —
+    /// the classic `Arc`-style refcount discipline.
+    Refcount,
+    /// Paired Acquire load / Release store publication on a sequence cell
+    /// (named by `seq`), Relaxed data fields in between.
+    Seqlock,
+    /// AcqRel `compare_exchange`/`fetch_update` with a Relaxed-tolerant
+    /// fast path: every non-CAS site must be Relaxed.
+    CasRoll,
+    /// Relaxed-only statistics counters; stronger orderings (especially
+    /// `SeqCst`) are flagged as needless.
+    CounterRelaxed,
+    /// A stop/shutdown flag: Release store, Acquire load, AcqRel RMW.
+    ReleaseFlag,
+}
+
+impl ProtocolKind {
+    pub fn parse(s: &str) -> Option<ProtocolKind> {
+        Some(match s {
+            "refcount" => ProtocolKind::Refcount,
+            "seqlock" => ProtocolKind::Seqlock,
+            "cas-roll" => ProtocolKind::CasRoll,
+            "counter-relaxed" => ProtocolKind::CounterRelaxed,
+            "release-flag" => ProtocolKind::ReleaseFlag,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Refcount => "refcount",
+            ProtocolKind::Seqlock => "seqlock",
+            ProtocolKind::CasRoll => "cas-roll",
+            ProtocolKind::CounterRelaxed => "counter-relaxed",
+            ProtocolKind::ReleaseFlag => "release-flag",
+        }
+    }
+}
+
+/// One `[[atomics.protocol]]` block: a named module, its protocol kind, the
+/// files it covers, and (for seqlock) the sequence-cell field names.
+#[derive(Debug, Clone)]
+pub struct AtomicProtocol {
+    pub module: String,
+    pub kind: ProtocolKind,
+    pub paths: Vec<String>,
+    /// Field names treated as the seqlock sequence cell (default `["seq"]`).
+    pub seq: Vec<String>,
+}
+
+/// atomics-protocol pass configuration (disabled when `paths` is empty).
+#[derive(Debug, Clone, Default)]
+pub struct AtomicsConfig {
+    /// Files (or directory prefixes) whose atomic sites are audited. Every
+    /// site inside must fall in some protocol's paths.
+    pub paths: Vec<String>,
+    pub protocols: Vec<AtomicProtocol>,
+}
+
+/// reactor-readiness pass configuration (disabled when `entrypoints` is
+/// empty).
+#[derive(Debug, Clone, Default)]
+pub struct ReactorConfig {
+    /// Data-path function names the future reactor shards will own; the
+    /// pass walks the name-call graph from these.
+    pub entrypoints: Vec<String>,
+    /// Callee names classified as blocking leaves (`lock`, `sleep`,
+    /// `recv`, socket verbs, …).
+    pub blocking: Vec<String>,
+}
+
 /// One wire-constant family: a hex literal prefix with a single defining
 /// module (disabled when no families and no enums are configured).
 #[derive(Debug, Clone)]
@@ -170,6 +244,8 @@ pub struct Config {
     pub lock_order: LockOrder,
     pub taint: TaintConfig,
     pub wire: WireConsts,
+    pub atomics: AtomicsConfig,
+    pub reactor: ReactorConfig,
 }
 
 #[derive(Debug)]
@@ -379,6 +455,58 @@ impl Config {
             }
         }
 
+        let mut atomics = AtomicsConfig::default();
+        if let Some(v) = root.get("atomics") {
+            let t = v
+                .as_table()
+                .ok_or_else(|| bad("`atomics` must be a table"))?;
+            atomics.paths = str_array(t, "paths", "[atomics]")?;
+            if let Some(list) = t.get("protocol").and_then(Value::as_table_array) {
+                for (i, p) in list.iter().enumerate() {
+                    let ctx = format!("[[atomics.protocol]] #{}", i + 1);
+                    let module = p
+                        .get("module")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| bad(format!("{ctx}: missing `module`")))?
+                        .to_string();
+                    let kind_str = p
+                        .get("kind")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| bad(format!("{ctx}: missing `kind`")))?;
+                    let kind = ProtocolKind::parse(kind_str).ok_or_else(|| {
+                        bad(format!(
+                            "{ctx}: unknown protocol kind `{kind_str}` (expected one of \
+                             refcount, seqlock, cas-roll, counter-relaxed, release-flag)"
+                        ))
+                    })?;
+                    let paths = str_array(p, "paths", &ctx)?;
+                    let mut seq = opt_str_array(p, "seq", &ctx)?;
+                    if seq.is_empty() {
+                        seq.push("seq".to_string());
+                    }
+                    atomics.protocols.push(AtomicProtocol {
+                        module,
+                        kind,
+                        paths,
+                        seq,
+                    });
+                }
+            }
+        }
+
+        let reactor = match root.get("reactor") {
+            Some(v) => {
+                let t = v
+                    .as_table()
+                    .ok_or_else(|| bad("`reactor` must be a table"))?;
+                ReactorConfig {
+                    entrypoints: str_array(t, "entrypoints", "[reactor]")?,
+                    blocking: str_array(t, "blocking", "[reactor]")?,
+                }
+            }
+            None => ReactorConfig::default(),
+        };
+
         Ok(Config {
             exclude,
             copy_layers,
@@ -389,6 +517,8 @@ impl Config {
             lock_order,
             taint,
             wire,
+            atomics,
+            reactor,
         })
     }
 
@@ -506,6 +636,62 @@ markers = ["meter", "CopyMeter", "record"]
         assert_eq!(c.taint.entrypoints, vec!["decode", "read_frame"]);
         assert_eq!(c.taint.clamps.len(), 3);
         assert_eq!(c.taint.allocs, vec!["with_capacity", "acquire"]);
+    }
+
+    #[test]
+    fn parses_atomics_and_reactor_sections() {
+        let doc = format!(
+            "{SAMPLE}\n\
+             [atomics]\n\
+             paths = [\"crates/trace/src/\", \"crates/buffers/src/\"]\n\
+             \n\
+             [[atomics.protocol]]\n\
+             module = \"trace-seqlock\"\n\
+             kind = \"seqlock\"\n\
+             paths = [\"crates/trace/src/recorder.rs\"]\n\
+             seq = [\"seq\"]\n\
+             \n\
+             [[atomics.protocol]]\n\
+             module = \"trace-windows\"\n\
+             kind = \"cas-roll\"\n\
+             paths = [\"crates/trace/src/windows.rs\"]\n\
+             \n\
+             [reactor]\n\
+             entrypoints = [\"recv_message\", \"dispatch\"]\n\
+             blocking = [\"lock\", \"sleep\", \"recv\"]\n"
+        );
+        let c = Config::parse(&doc).unwrap();
+        assert_eq!(c.atomics.paths.len(), 2);
+        assert_eq!(c.atomics.protocols.len(), 2);
+        assert_eq!(c.atomics.protocols[0].kind, ProtocolKind::Seqlock);
+        assert_eq!(c.atomics.protocols[0].seq, vec!["seq"]);
+        assert_eq!(c.atomics.protocols[1].kind, ProtocolKind::CasRoll);
+        // `seq` defaults to ["seq"] when omitted.
+        assert_eq!(c.atomics.protocols[1].seq, vec!["seq"]);
+        assert_eq!(c.reactor.entrypoints, vec!["recv_message", "dispatch"]);
+        assert_eq!(c.reactor.blocking.len(), 3);
+    }
+
+    #[test]
+    fn atomics_and_reactor_default_off() {
+        let c = Config::parse(SAMPLE).unwrap();
+        assert!(c.atomics.paths.is_empty() && c.atomics.protocols.is_empty());
+        assert!(c.reactor.entrypoints.is_empty());
+    }
+
+    #[test]
+    fn unknown_protocol_kind_rejected() {
+        let doc = format!(
+            "{SAMPLE}\n\
+             [atomics]\n\
+             paths = [\"crates/\"]\n\
+             [[atomics.protocol]]\n\
+             module = \"m\"\n\
+             kind = \"lock-free-magic\"\n\
+             paths = [\"crates/x.rs\"]\n"
+        );
+        let err = Config::parse(&doc).unwrap_err();
+        assert!(err.to_string().contains("unknown protocol kind"));
     }
 
     #[test]

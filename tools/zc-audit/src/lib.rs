@@ -10,16 +10,21 @@
 //! Run as `cargo run -p zc-audit` (non-zero exit on violations) or via the
 //! `workspace_is_clean` integration test.
 
+mod atomics;
+mod blocking;
 pub mod config;
 mod escape;
 pub mod lexer;
 mod locks;
 pub mod parser;
+pub mod ratchet;
 pub mod rules;
 mod taint;
 pub mod toml;
 mod wire;
 
+pub use atomics::{AtomicsSummary, ProtocolStat};
+pub use blocking::ReactorFinding;
 pub use config::Config;
 pub use rules::{audit_file, Violation, WaiverKind};
 
@@ -104,34 +109,56 @@ pub struct WaiverRecord {
     pub used: bool,
 }
 
-/// Full result of a workspace audit: violations plus the waiver inventory.
+/// Which advisory rule families are upgraded to hard failures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Deny {
+    pub lock_order: bool,
+    pub taint: bool,
+    pub atomics: bool,
+    pub reactor: bool,
+}
+
+/// Full result of a workspace audit: violations plus the waiver inventory
+/// and the v4 pass summaries.
 #[derive(Debug, Default)]
 pub struct Report {
     pub violations: Vec<Violation>,
     pub waivers: Vec<WaiverRecord>,
+    pub atomics: AtomicsSummary,
+    /// Blocking leaves reachable from the reactor entrypoints.
+    pub reactor: Vec<ReactorFinding>,
+    pub reactor_entrypoints: Vec<String>,
 }
 
 impl Report {
     /// Are all remaining violations advisory-grade? Advisory families are
-    /// opt-in hard failures: `lock-order` under `--deny-lock-order` and the
-    /// `taint-*` rules under `--deny-taint`. The `workspace_is_clean` test
-    /// is always strict.
+    /// opt-in hard failures: `lock-order` under `--deny-lock-order`, the
+    /// `taint-*` rules under `--deny-taint`, `atomics-protocol` under
+    /// `--deny-atomics` and `reactor-blocking` under `--deny-reactor`. The
+    /// `workspace_is_clean` test is strict on everything except live
+    /// `reactor-blocking` debt (measured, to be retired by ROADMAP item 1).
     pub fn only_advisory(&self) -> bool {
         !self.violations.is_empty()
-            && self
-                .violations
-                .iter()
-                .all(|v| v.rule == "lock-order" || v.rule.starts_with("taint-"))
+            && self.violations.iter().all(|v| {
+                v.rule == "lock-order"
+                    || v.rule.starts_with("taint-")
+                    || v.rule == "atomics-protocol"
+                    || v.rule == "reactor-blocking"
+            })
     }
 
     /// Would this report fail with the given enforcement flags? Advisory
     /// families stay exit-0 until their deny flag upgrades them.
-    pub fn fails(&self, deny_lock_order: bool, deny_taint: bool) -> bool {
+    pub fn fails(&self, deny: Deny) -> bool {
         self.violations.iter().any(|v| {
             if v.rule == "lock-order" {
-                deny_lock_order
+                deny.lock_order
             } else if v.rule.starts_with("taint-") {
-                deny_taint
+                deny.taint
+            } else if v.rule == "atomics-protocol" {
+                deny.atomics
+            } else if v.rule == "reactor-blocking" {
+                deny.reactor
             } else {
                 true
             }
@@ -139,9 +166,15 @@ impl Report {
     }
 
     /// Machine-readable findings: every violation and every waiver with its
-    /// status, as one JSON document.
+    /// status, as one JSON document (no ratchet section).
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"schema\": \"zc-audit/v3\",\n  \"violations\": [");
+        self.to_json_with(None)
+    }
+
+    /// Machine-readable findings including the ratchet outcome when a
+    /// `--ratchet` comparison ran.
+    pub fn to_json_with(&self, ratchet: Option<&ratchet::RatchetOutcome>) -> String {
+        let mut s = String::from("{\n  \"schema\": \"zc-audit/v4\",\n  \"violations\": [");
         for (i, v) in self.violations.iter().enumerate() {
             let _ = write!(
                 s,
@@ -171,7 +204,71 @@ impl Report {
         if !self.waivers.is_empty() {
             s.push_str("\n  ");
         }
-        s.push_str("]\n}\n");
+        s.push_str("],\n  \"atomics\": {\n    \"protocols\": [");
+        for (i, p) in self.atomics.protocols.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n      {{\"module\": {}, \"kind\": {}, \"sites\": {}}}",
+                if i > 0 { "," } else { "" },
+                json_str(&p.module),
+                json_str(p.kind),
+                p.sites
+            );
+        }
+        if !self.atomics.protocols.is_empty() {
+            s.push_str("\n    ");
+        }
+        let _ = write!(
+            s,
+            "],\n    \"undeclared_sites\": {}\n  }},\n  \"reactor\": {{\n    \"entrypoints\": [",
+            self.atomics.undeclared_sites
+        );
+        for (i, ep) in self.reactor_entrypoints.iter().enumerate() {
+            let _ = write!(s, "{}{}", if i > 0 { ", " } else { "" }, json_str(ep));
+        }
+        s.push_str("],\n    \"blocking\": [");
+        for (i, r) in self.reactor.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n      {{\"file\": {}, \"line\": {}, \"leaf\": {}, \"entrypoint\": {}, \
+                 \"chain\": {}}}",
+                if i > 0 { "," } else { "" },
+                json_str(&r.file),
+                r.line,
+                json_str(&r.leaf),
+                json_str(&r.entrypoint),
+                json_str(&r.chain.join(" -> "))
+            );
+        }
+        if !self.reactor.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("]\n  },\n  \"ratchet\": ");
+        match ratchet {
+            None => s.push_str("null"),
+            Some(o) => {
+                s.push_str("{\n    \"ok\": ");
+                s.push_str(if o.ok() { "true" } else { "false" });
+                s.push_str(",\n    \"rules\": [");
+                let kinds: std::collections::BTreeSet<&String> =
+                    o.baseline.keys().chain(o.current.keys()).collect();
+                for (i, kind) in kinds.iter().enumerate() {
+                    let _ = write!(
+                        s,
+                        "{}\n      {{\"kind\": {}, \"baseline\": {}, \"current\": {}}}",
+                        if i > 0 { "," } else { "" },
+                        json_str(kind),
+                        o.baseline.get(kind.as_str()).copied().unwrap_or(0),
+                        o.current.get(kind.as_str()).copied().unwrap_or(0)
+                    );
+                }
+                if !kinds.is_empty() {
+                    s.push_str("\n    ");
+                }
+                s.push_str("]\n  }");
+            }
+        }
+        s.push_str("\n}\n");
         s
     }
 }
@@ -197,7 +294,8 @@ fn json_str(s: &str) -> String {
 
 /// Audit the whole workspace rooted at `root` with `cfg`: the per-file
 /// rules plus the inter-procedural passes (zc-escape, lock-order,
-/// wire-taint, wire-consts). Violations are sorted by file then line.
+/// wire-taint, wire-consts, atomics-protocol, reactor-readiness).
+/// Violations are sorted by file then line.
 pub fn audit_workspace_report(root: &Path, cfg: &Config) -> std::io::Result<Report> {
     let mut files = Vec::new();
     for rel in collect_rs_files(root, &cfg.exclude)? {
@@ -231,6 +329,8 @@ pub fn audit_workspace_report(root: &Path, cfg: &Config) -> std::io::Result<Repo
     locks::run(&files, cfg, &waivers, &mut out);
     taint::run(&files, cfg, &waivers, &mut out);
     wire::run(&files, cfg, &waivers, &mut out);
+    let atomics_summary = atomics::run(&files, cfg, &waivers, &mut out);
+    let reactor = blocking::run(&files, cfg, &waivers, &mut out);
 
     // Stale sweep, deferred until every pass has had a chance to consume
     // its waivers. Reported under the rule the waiver kind belongs to.
@@ -261,6 +361,9 @@ pub fn audit_workspace_report(root: &Path, cfg: &Config) -> std::io::Result<Repo
     Ok(Report {
         violations: out,
         waivers: records,
+        atomics: atomics_summary,
+        reactor,
+        reactor_entrypoints: cfg.reactor.entrypoints.clone(),
     })
 }
 

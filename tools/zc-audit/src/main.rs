@@ -2,31 +2,60 @@
 //! any are found.
 //!
 //! Usage: `cargo run -p zc-audit [-- [--json] [--deny-lock-order]
-//! [--deny-taint] [<root>]]`
+//! [--deny-taint] [--deny-atomics] [--deny-reactor] [--reactor-report]
+//! [--ratchet <baseline.json>] [--update-ratchet <baseline.json>] [<root>]]`
 //!
 //! - `<root>` defaults to the nearest ancestor directory containing
 //!   `zc-audit.toml`.
 //! - `--json` emits the machine-readable report (rule, file, line, msg,
-//!   and the full waiver inventory with used/stale status) on stdout.
-//! - lock-order and wire-taint (`taint-*`) findings are *advisory* by
-//!   default (printed, exit 0) while waivers settle across the workspace;
-//!   `--deny-lock-order` / `--deny-taint` upgrade their family to hard
-//!   failures like every other rule. The `workspace_is_clean` test is
-//!   always strict.
+//!   the full waiver inventory with used/stale status, the atomics/reactor
+//!   pass summaries and the ratchet outcome) on stdout.
+//! - lock-order, wire-taint (`taint-*`), atomics-protocol and
+//!   reactor-blocking findings are *advisory* by default (printed, exit 0);
+//!   the matching `--deny-*` flag upgrades the family to a hard failure
+//!   like every other rule. The `workspace_is_clean` test is strict on
+//!   everything except live reactor-blocking debt.
+//! - `--ratchet <file>` compares the current per-kind waiver counts against
+//!   the committed baseline and fails (exit 1) if any kind grew; shrinkage
+//!   prints a hint to tighten the baseline. `--update-ratchet <file>`
+//!   rewrites the baseline from the current tree.
+//! - `--reactor-report` prints the blocking-reachability report (one line
+//!   per reachable blocking leaf with its call chain) after the findings.
+//!
+//! Relative ratchet paths resolve against the workspace root.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use zc_audit::{ratchet, Deny};
 
 fn main() -> ExitCode {
     let mut json = false;
-    let mut deny_lock_order = false;
-    let mut deny_taint = false;
+    let mut deny = Deny::default();
+    let mut reactor_report = false;
+    let mut ratchet_path: Option<PathBuf> = None;
+    let mut update_ratchet_path: Option<PathBuf> = None;
     let mut root_arg: Option<PathBuf> = None;
-    for arg in std::env::args_os().skip(1) {
+    let mut args = std::env::args_os().skip(1);
+    while let Some(arg) = args.next() {
         match arg.to_str() {
             Some("--json") => json = true,
-            Some("--deny-lock-order") => deny_lock_order = true,
-            Some("--deny-taint") => deny_taint = true,
+            Some("--deny-lock-order") => deny.lock_order = true,
+            Some("--deny-taint") => deny.taint = true,
+            Some("--deny-atomics") => deny.atomics = true,
+            Some("--deny-reactor") => deny.reactor = true,
+            Some("--reactor-report") => reactor_report = true,
+            Some(s @ ("--ratchet" | "--update-ratchet")) => {
+                let Some(path) = args.next() else {
+                    eprintln!("zc-audit: {s} requires a baseline path");
+                    return ExitCode::from(2);
+                };
+                let path = PathBuf::from(path);
+                if s == "--ratchet" {
+                    ratchet_path = Some(path);
+                } else {
+                    update_ratchet_path = Some(path);
+                }
+            }
             Some(s) if s.starts_with("--") => {
                 eprintln!("zc-audit: unknown flag `{s}`");
                 return ExitCode::from(2);
@@ -48,6 +77,7 @@ fn main() -> ExitCode {
             }
         }
     };
+    let resolve = |p: PathBuf| if p.is_relative() { root.join(p) } else { p };
 
     let cfg = match zc_audit::Config::load(&root.join("zc-audit.toml")) {
         Ok(cfg) => cfg,
@@ -65,8 +95,42 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = update_ratchet_path {
+        let path = resolve(path);
+        let counts = ratchet::waiver_counts(&report);
+        if let Err(e) = std::fs::write(&path, ratchet::baseline_json(&counts)) {
+            eprintln!("zc-audit: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !json {
+            println!("zc-audit: wrote waiver baseline to {}", path.display());
+        }
+    }
+
+    let ratchet_outcome = match ratchet_path {
+        None => None,
+        Some(path) => {
+            let path = resolve(path);
+            let src = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("zc-audit: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let baseline = match ratchet::parse_baseline(&src) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("zc-audit: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            Some(ratchet::compare(baseline, ratchet::waiver_counts(&report)))
+        }
+    };
+
     if json {
-        print!("{}", report.to_json());
+        print!("{}", report.to_json_with(ratchet_outcome.as_ref()));
     } else if report.violations.is_empty() {
         println!("zc-audit: clean — zero-copy invariants hold");
     } else {
@@ -76,13 +140,60 @@ fn main() -> ExitCode {
         println!("zc-audit: {} violation(s)", report.violations.len());
     }
 
+    if reactor_report && !json {
+        println!(
+            "reactor-readiness: {} blocking leaf site(s) reachable from entrypoints [{}]",
+            report.reactor.len(),
+            report.reactor_entrypoints.join(", ")
+        );
+        for r in &report.reactor {
+            println!(
+                "  {}:{}: `{}` via {}",
+                r.file,
+                r.line,
+                r.leaf,
+                r.chain.join(" -> ")
+            );
+        }
+    }
+
+    let mut ratchet_failed = false;
+    if let Some(o) = &ratchet_outcome {
+        if !json {
+            for kind in &o.grown {
+                let base = o.baseline.get(kind).copied().unwrap_or(0);
+                let cur = o.current.get(kind).copied().unwrap_or(0);
+                println!(
+                    "zc-audit: ratchet: waiver debt for `{kind}` grew {base} -> {cur}; \
+                     pay it down or consciously update the baseline with --update-ratchet"
+                );
+            }
+            for kind in &o.shrunk {
+                let base = o.baseline.get(kind).copied().unwrap_or(0);
+                let cur = o.current.get(kind).copied().unwrap_or(0);
+                println!(
+                    "zc-audit: ratchet: waiver debt for `{kind}` fell {base} -> {cur}; \
+                     tighten the baseline with --update-ratchet to lock in the win"
+                );
+            }
+            if o.ok() {
+                println!("zc-audit: ratchet: waiver debt within baseline");
+            }
+        }
+        ratchet_failed = !o.ok();
+    }
+
+    if ratchet_failed {
+        return ExitCode::FAILURE;
+    }
     if report.violations.is_empty() {
         ExitCode::SUCCESS
-    } else if !report.fails(deny_lock_order, deny_taint) {
+    } else if !report.fails(deny) {
         if !json {
             println!(
-                "zc-audit: all findings are advisory (lock-order / taint-*); exiting 0 \
-                 (use --deny-lock-order / --deny-taint to enforce)"
+                "zc-audit: all findings are advisory (lock-order / taint-* / \
+                 atomics-protocol / reactor-blocking); exiting 0 (use the matching \
+                 --deny-* flag to enforce)"
             );
         }
         ExitCode::SUCCESS

@@ -53,6 +53,28 @@ pub struct CallSite {
     pub args_close: usize,
 }
 
+/// One atomic operation site: a call to an atomic method (`load`, `store`,
+/// `compare_exchange`, `fetch_add`, …, or a bare `fence`) whose argument
+/// list names at least one `Ordering::*` variant. Requiring the ordering
+/// ident filters out non-atomic methods that share these names
+/// (`io::Read::read`-style `load`/`store` helpers, `cmp::Ordering` uses).
+#[derive(Debug, Clone)]
+pub struct AtomicSite {
+    /// The atomic method name (`load`, `fetch_add`, `compare_exchange`,
+    /// `fence`, …).
+    pub method: String,
+    /// Identifier left of the final `.` — the atomic cell's field name
+    /// (`self.seq.store(..)` → `seq`). `None` for bare `fence(..)` calls
+    /// and indexed receivers.
+    pub recv: Option<String>,
+    /// Memory orderings named in the argument list, in argument order
+    /// (`compare_exchange` lists success then failure).
+    pub orderings: Vec<String>,
+    pub line: u32,
+    /// Token index of the method identifier.
+    pub tok_idx: usize,
+}
+
 /// One lock acquisition site.
 #[derive(Debug, Clone)]
 pub struct LockSite {
@@ -82,6 +104,7 @@ pub struct FnItem {
     pub ret: Vec<String>,
     pub calls: Vec<CallSite>,
     pub locks: Vec<LockSite>,
+    pub atomics: Vec<AtomicSite>,
     /// Inside a `#[cfg(test)] mod` span.
     pub is_test: bool,
 }
@@ -138,9 +161,10 @@ pub fn parse_items(toks: &[Tok], test_spans: &[(usize, usize)]) -> Vec<FnItem> {
             .filter(|f| f.body.0 > open && f.body.1 < close)
             .map(|f| f.body)
             .collect();
-        let (calls, locks) = scan_body(toks, open, close, &children);
+        let (calls, locks, atomics) = scan_body(toks, open, close, &children);
         fns[k].calls = calls;
         fns[k].locks = locks;
+        fns[k].atomics = atomics;
     }
     fns
 }
@@ -194,6 +218,7 @@ fn parse_fn_header(
         ret,
         calls: Vec::new(),
         locks: Vec::new(),
+        atomics: Vec::new(),
         is_test,
     })
 }
@@ -358,17 +383,41 @@ fn params_from_chunk(toks: &[Tok], a: usize, b: usize) -> Vec<Param> {
     }
 }
 
-/// Collect call and lock sites in `toks[open+1..close]`, excluding nested
-/// fn body spans in `children`.
+/// Atomic method names recognized for [`AtomicSite`] extraction. A call
+/// only becomes a site when its argument list also names an `Ordering::*`
+/// variant (see [`MEMORY_ORDERINGS`]).
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "fence",
+];
+
+/// `std::sync::atomic::Ordering` variant names.
+const MEMORY_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Collect call, lock and atomic sites in `toks[open+1..close]`, excluding
+/// nested fn body spans in `children`.
 fn scan_body(
     toks: &[Tok],
     open: usize,
     close: usize,
     children: &[(usize, usize)],
-) -> (Vec<CallSite>, Vec<LockSite>) {
+) -> (Vec<CallSite>, Vec<LockSite>, Vec<AtomicSite>) {
     let excluded = |idx: usize| children.iter().any(|&(a, b)| idx >= a && idx <= b);
     let mut calls = Vec::new();
     let mut locks = Vec::new();
+    let mut atomics = Vec::new();
 
     for i in open + 1..close {
         if excluded(i) {
@@ -398,9 +447,26 @@ fn scan_body(
         {
             locks.push(lock_site(toks, &call, close, &excluded));
         }
+        if ATOMIC_METHODS.contains(&call.callee.as_str()) {
+            let orderings: Vec<String> = call
+                .args
+                .iter()
+                .filter(|a| MEMORY_ORDERINGS.contains(&a.as_str()))
+                .cloned()
+                .collect();
+            if !orderings.is_empty() {
+                atomics.push(AtomicSite {
+                    method: call.callee.clone(),
+                    recv: call.recv.clone(),
+                    orderings,
+                    line: call.line,
+                    tok_idx: call.tok_idx,
+                });
+            }
+        }
         calls.push(call);
     }
-    (calls, locks)
+    (calls, locks, atomics)
 }
 
 /// Identifier texts inside a paren group starting at `open` (`(`), plus the
@@ -720,6 +786,40 @@ mod tests {
         let items = parse("trait T { fn decl(&self); fn with_default(&self) { self.decl(); } }");
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].name, "with_default");
+    }
+
+    #[test]
+    fn atomic_sites_with_orderings() {
+        let items = parse(
+            "fn f(&self) {\n\
+               let s = self.seq.load(Ordering::Acquire);\n\
+               self.seq.compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed);\n\
+               self.seq.store(s + 2, Ordering::Release);\n\
+               fence(Ordering::Acquire);\n\
+             }",
+        );
+        let a = &items[0].atomics;
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].method, "load");
+        assert_eq!(a[0].recv.as_deref(), Some("seq"));
+        assert_eq!(a[0].orderings, vec!["Acquire"]);
+        assert_eq!(a[1].method, "compare_exchange");
+        assert_eq!(a[1].orderings, vec!["Acquire", "Relaxed"]);
+        assert_eq!(a[2].orderings, vec!["Release"]);
+        assert_eq!(a[3].method, "fence");
+        assert!(a[3].recv.is_none());
+    }
+
+    #[test]
+    fn non_atomic_load_store_not_sites() {
+        let items = parse(
+            "fn f(&mut self) {\n\
+               self.cart.load(path);\n\
+               self.disk.store(bytes);\n\
+               items.sort_by(|a, b| a.cmp(b));\n\
+             }",
+        );
+        assert!(items[0].atomics.is_empty());
     }
 
     #[test]

@@ -74,6 +74,13 @@ pub enum WaiverKind {
     /// the `SAFETY:` comment (wire-taint pass); the reason must cite a
     /// configured clamp.
     TaintUnsafe,
+    /// An atomic site deviating from its module's declared ordering
+    /// protocol (atomics-protocol pass); the reason must cite the loom
+    /// model covering the ordering.
+    AtomicsProtocol,
+    /// A blocking leaf deliberately left reachable from a reactor
+    /// entrypoint (reactor-readiness pass, advisory until ROADMAP item 1).
+    ReactorBlocking,
 }
 
 impl WaiverKind {
@@ -88,6 +95,8 @@ impl WaiverKind {
             "taint-arith" => WaiverKind::TaintArith,
             "taint-alloc" => WaiverKind::TaintAlloc,
             "taint-unsafe" => WaiverKind::TaintUnsafe,
+            "atomics-protocol" => WaiverKind::AtomicsProtocol,
+            "reactor-blocking" => WaiverKind::ReactorBlocking,
             _ => return None,
         })
     }
@@ -103,6 +112,8 @@ impl WaiverKind {
             WaiverKind::TaintArith => "taint-arith",
             WaiverKind::TaintAlloc => "taint-alloc",
             WaiverKind::TaintUnsafe => "taint-unsafe",
+            WaiverKind::AtomicsProtocol => "atomics-protocol",
+            WaiverKind::ReactorBlocking => "reactor-blocking",
         }
     }
 
@@ -116,6 +127,8 @@ impl WaiverKind {
             WaiverKind::TaintArith => "taint-arith",
             WaiverKind::TaintAlloc => "taint-alloc",
             WaiverKind::TaintUnsafe => "taint-unsafe",
+            WaiverKind::AtomicsProtocol => "atomics-protocol",
+            WaiverKind::ReactorBlocking => "reactor-blocking",
         }
     }
 
@@ -306,7 +319,7 @@ pub(crate) fn collect_waivers(
                 push_err(format!(
                     "unknown waiver kind `{kind_str}` (expected copy, cheap-clone, \
                      control-plane, lock-held, wire-const, taint-panic, taint-arith, \
-                     taint-alloc or taint-unsafe)"
+                     taint-alloc, taint-unsafe, atomics-protocol or reactor-blocking)"
                 ));
             }
             continue;
@@ -332,6 +345,14 @@ pub(crate) fn collect_waivers(
                 kind.name(),
                 cfg.taint.clamps.join(", ")
             ));
+            continue;
+        }
+        if kind == WaiverKind::AtomicsProtocol && !reason.contains("loom") {
+            push_err(
+                "allow(atomics-protocol) waiver must cite the loom model covering the \
+                 ordering (a crates/*/tests/loom.rs case)"
+                    .into(),
+            );
             continue;
         }
         waivers.insert(

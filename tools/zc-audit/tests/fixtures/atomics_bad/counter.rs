@@ -1,0 +1,11 @@
+pub struct Hits {
+    n: AtomicU64,
+}
+impl Hits {
+    pub fn bump(&self) {
+        self.n.fetch_add(1, Ordering::SeqCst);
+    }
+    pub fn read(&self) -> u64 {
+        self.n.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,14 @@
+pub struct Shared {
+    refs: AtomicU32,
+}
+impl Shared {
+    pub fn retain(&self) {
+        self.refs.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn release(&self) {
+        if self.refs.fetch_sub(1, Ordering::Relaxed) == 1 {
+            fence(Ordering::Acquire);
+            drop_slow(self);
+        }
+    }
+}

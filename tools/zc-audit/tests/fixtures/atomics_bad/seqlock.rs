@@ -1,0 +1,14 @@
+pub struct Slot {
+    seq: AtomicU64,
+    data: AtomicU64,
+}
+impl Slot {
+    pub fn publish(&self, v: u64) {
+        self.data.store(v, Ordering::Relaxed);
+        self.seq.store(2, Ordering::Relaxed);
+    }
+    pub fn read(&self) -> u64 {
+        while self.seq.load(Ordering::Acquire) & 1 == 1 {}
+        self.data.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,8 @@
+pub struct Free {
+    flag: AtomicBool,
+}
+impl Free {
+    pub fn poke(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+}

@@ -1,0 +1,16 @@
+impl Pump {
+    pub fn pump(&self) {
+        self.step();
+    }
+    pub fn step(&self) {
+        self.finish();
+    }
+    pub fn finish(&self) {
+        let g = self.state.lock();
+        drop(g);
+    }
+    pub fn locker(&self) {
+        let g = self.state.lock();
+        drop(g);
+    }
+}

@@ -1,0 +1,8 @@
+pub fn pack(payload: &[u8]) -> Vec<u8> {
+    // zc-audit: allow(copy) — Marshal boundary: the CDR encapsulation must own its bytes
+    payload.to_vec()
+}
+pub fn pack_again(payload: &[u8]) -> Vec<u8> {
+    // zc-audit: allow(copy) — Marshal boundary: the header rewrite needs a private copy
+    payload.to_vec()
+}

@@ -1,7 +1,8 @@
 //! Fixture tests for the inter-procedural passes (zc-escape, lock-order,
-//! wire-taint, wire-consts), the `--json` output mode, and the advisory
-//! lock-order / taint exit policy. Unlike `fixtures.rs`, these fixtures
-//! span multiple files, so expectations carry `(file, line, rule)` triples.
+//! wire-taint, wire-consts, atomics-protocol, reactor-readiness), the
+//! `--json` output mode, the advisory exit policy and the waiver-debt
+//! ratchet. Unlike `fixtures.rs`, these fixtures span multiple files, so
+//! expectations carry `(file, line, rule)` triples.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -102,7 +103,7 @@ fn interproc_good_fixture_is_clean_and_waivers_are_used() {
 fn json_mode_emits_machine_readable_report() {
     let (code, stdout) = run_binary("wire_dup_bad", &["--json"]);
     assert_eq!(code, 1, "wire-consts findings are hard failures");
-    assert!(stdout.contains("\"schema\": \"zc-audit/v3\""), "{stdout}");
+    assert!(stdout.contains("\"schema\": \"zc-audit/v4\""), "{stdout}");
     assert!(stdout.contains("\"rule\": \"wire-consts\""), "{stdout}");
     assert!(stdout.contains("\"file\": \"dup.rs\""), "{stdout}");
 
@@ -110,6 +111,11 @@ fn json_mode_emits_machine_readable_report() {
     assert_eq!(code, 0, "clean fixture: {stdout}");
     assert!(stdout.contains("\"violations\": []"), "{stdout}");
     assert!(stdout.contains("\"used\": true"), "{stdout}");
+
+    // v4 sections are always present, even when the passes are off.
+    assert!(stdout.contains("\"atomics\""), "{stdout}");
+    assert!(stdout.contains("\"reactor\""), "{stdout}");
+    assert!(stdout.contains("\"ratchet\": null"), "{stdout}");
 }
 
 #[test]
@@ -181,6 +187,159 @@ fn taint_findings_are_advisory_unless_denied() {
     // The other deny flag must not upgrade this family.
     let (code, _) = run_binary("taint_panic_bad", &["--deny-lock-order"]);
     assert_eq!(code, 0, "--deny-lock-order leaves taint-* advisory");
+}
+
+#[test]
+fn atomics_fixture_reports_protocol_violations() {
+    let got = audit("atomics_bad");
+    let want = vec![
+        ("counter.rs".to_string(), 6, "atomics-protocol".to_string()), // needless SeqCst
+        ("refcount.rs".to_string(), 9, "atomics-protocol".to_string()), // Relaxed decrement
+        ("seqlock.rs".to_string(), 8, "atomics-protocol".to_string()), // Relaxed publish
+        (
+            "undeclared.rs".to_string(),
+            6,
+            "atomics-protocol".to_string(),
+        ), // no protocol declared
+    ];
+    assert_eq!(got, want, "atomics_bad violations");
+
+    let dir = fixture_dir("atomics_bad");
+    let cfg = zc_audit::Config::load(&dir.join("zc-audit.toml")).unwrap();
+    let v = zc_audit::audit_workspace(&dir, &cfg).unwrap();
+    assert!(
+        v[0].msg.contains("needless `SeqCst`"),
+        "counter message: {}",
+        v[0].msg
+    );
+    assert!(
+        v[1].msg.contains("Release or AcqRel"),
+        "refcount message: {}",
+        v[1].msg
+    );
+    assert!(
+        v[2].msg.contains("Ordering::Release"),
+        "seqlock message: {}",
+        v[2].msg
+    );
+    assert!(
+        v[3].msg.contains("outside any declared"),
+        "undeclared message: {}",
+        v[3].msg
+    );
+
+    // The pass summary counts each protocol's sites and the stray one.
+    let report = zc_audit::audit_workspace_report(&dir, &cfg).unwrap();
+    assert_eq!(report.atomics.protocols.len(), 3);
+    assert_eq!(report.atomics.undeclared_sites, 1);
+    assert!(report.atomics.protocols.iter().all(|p| p.sites > 0));
+}
+
+#[test]
+fn atomics_findings_are_advisory_unless_denied() {
+    let (code, stdout) = run_binary("atomics_bad", &[]);
+    assert_eq!(code, 0, "atomics-protocol alone is advisory: {stdout}");
+    assert!(stdout.contains("advisory"), "{stdout}");
+
+    let (code, _) = run_binary("atomics_bad", &["--deny-atomics"]);
+    assert_eq!(code, 1, "--deny-atomics upgrades to a hard failure");
+
+    // The other deny flags must not upgrade this family.
+    let (code, _) = run_binary("atomics_bad", &["--deny-lock-order", "--deny-taint"]);
+    assert_eq!(code, 0, "other deny flags leave atomics-protocol advisory");
+}
+
+#[test]
+fn blocking_fixture_reports_reachable_leaf_only() {
+    let got = audit("blocking_bad");
+    assert_eq!(
+        got,
+        vec![("src.rs".to_string(), 9, "reactor-blocking".to_string())],
+        "only the reachable lock; `locker` is dead from the entrypoints"
+    );
+
+    let dir = fixture_dir("blocking_bad");
+    let cfg = zc_audit::Config::load(&dir.join("zc-audit.toml")).unwrap();
+    let v = zc_audit::audit_workspace(&dir, &cfg).unwrap();
+    assert!(
+        v[0].msg.contains("pump -> step -> finish"),
+        "the two-hop chain must be spelled out: {}",
+        v[0].msg
+    );
+
+    let report = zc_audit::audit_workspace_report(&dir, &cfg).unwrap();
+    assert_eq!(report.reactor.len(), 1);
+    assert_eq!(report.reactor[0].leaf, "lock");
+    assert_eq!(report.reactor[0].entrypoint, "pump");
+    assert_eq!(report.reactor[0].chain, vec!["pump", "step", "finish"]);
+}
+
+#[test]
+fn reactor_findings_are_advisory_unless_denied() {
+    let (code, stdout) = run_binary("blocking_bad", &[]);
+    assert_eq!(code, 0, "reactor-blocking alone is advisory: {stdout}");
+    assert!(stdout.contains("advisory"), "{stdout}");
+
+    let (code, stdout) = run_binary("blocking_bad", &["--reactor-report"]);
+    assert_eq!(code, 0);
+    assert!(
+        stdout.contains("reactor-readiness: 1 blocking leaf site(s)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("pump -> step -> finish"), "{stdout}");
+
+    let (code, _) = run_binary("blocking_bad", &["--deny-reactor"]);
+    assert_eq!(code, 1, "--deny-reactor upgrades to a hard failure");
+}
+
+#[test]
+fn ratchet_fails_on_growth_and_passes_within_baseline() {
+    // The fixture itself is clean: both copy waivers are cited and used.
+    let (code, stdout) = run_binary("ratchet_regress", &[]);
+    assert_eq!(
+        code, 0,
+        "fixture must be clean without the ratchet: {stdout}"
+    );
+
+    // 2 copy waivers vs a baseline of 1: growth, hard failure.
+    let (code, stdout) = run_binary("ratchet_regress", &["--ratchet", "baseline.json"]);
+    assert_eq!(code, 1, "waiver growth must fail the ratchet: {stdout}");
+    assert!(stdout.contains("grew 1 -> 2"), "{stdout}");
+
+    // Same tree vs a baseline of 2: within budget.
+    let (code, stdout) = run_binary("ratchet_regress", &["--ratchet", "baseline_ok.json"]);
+    assert_eq!(code, 0, "within-baseline debt must pass: {stdout}");
+    assert!(stdout.contains("within baseline"), "{stdout}");
+
+    // The JSON report carries the outcome.
+    let (code, stdout) = run_binary("ratchet_regress", &["--json", "--ratchet", "baseline.json"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("\"ok\": false"), "{stdout}");
+    assert!(
+        stdout.contains("{\"kind\": \"copy\", \"baseline\": 1, \"current\": 2}"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn update_ratchet_round_trips_through_the_binary() {
+    let path = std::env::temp_dir().join("zc-audit-test-baseline.json");
+    let _ = std::fs::remove_file(&path);
+
+    let (code, stdout) = run_binary(
+        "ratchet_regress",
+        &["--update-ratchet", path.to_str().unwrap()],
+    );
+    assert_eq!(code, 0, "{stdout}");
+    let written = std::fs::read_to_string(&path).expect("baseline written");
+    assert!(written.contains("zc-audit-baseline/v1"), "{written}");
+    assert!(written.contains("\"copy\": 2"), "{written}");
+
+    // A freshly written baseline always ratchets clean.
+    let (code, stdout) = run_binary("ratchet_regress", &["--ratchet", path.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("within baseline"), "{stdout}");
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
